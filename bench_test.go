@@ -1,0 +1,358 @@
+// Benchmarks regenerating the paper's evaluation (experiments R1-R8 of
+// DESIGN.md) plus micro-benchmarks of the core algorithms. Each BenchmarkR*
+// runs one full experiment per iteration and reports a headline metric; run
+//
+//	go test -bench=. -benchmem
+//
+// and compare the printed tables (via cmd/meshbench) against EXPERIMENTS.md.
+package main
+
+import (
+	"strconv"
+	"testing"
+	"time"
+
+	"wimesh/internal/conflict"
+	"wimesh/internal/experiments"
+	"wimesh/internal/lp"
+	"wimesh/internal/milp"
+	"wimesh/internal/schedule"
+	"wimesh/internal/sim"
+	"wimesh/internal/tdma"
+	"wimesh/internal/topology"
+)
+
+// metric extracts a float from a table cell for ReportMetric.
+func metric(t *experiments.Table, row, col int) float64 {
+	if row >= len(t.Rows) || col >= len(t.Rows[row]) {
+		return -1
+	}
+	v, err := strconv.ParseFloat(t.Rows[row][col], 64)
+	if err != nil {
+		return -1
+	}
+	return v
+}
+
+func BenchmarkR1MinFrameLength(b *testing.B) {
+	var last *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.R1MinFrameLength()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	// Min slots for 6 chain calls.
+	b.ReportMetric(metric(last, len(last.Rows)-1, 1), "slots/6calls")
+}
+
+func BenchmarkR2DelayAwareOrdering(b *testing.B) {
+	var last *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.R2DelayAwareOrdering()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	// Optimal vs naive delay at 8 hops.
+	b.ReportMetric(metric(last, len(last.Rows)-1, 1), "minmax-ms/8hops")
+	b.ReportMetric(metric(last, len(last.Rows)-1, 4), "naive-ms/8hops")
+}
+
+func BenchmarkR3VoIPCapacity(b *testing.B) {
+	var last *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.R3VoIPCapacity()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	// chain6 capacities.
+	b.ReportMetric(metric(last, 1, 1), "tdma-calls/chain6")
+	b.ReportMetric(metric(last, 1, 3), "dcf-calls/chain6")
+}
+
+func BenchmarkR4DelayDistribution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.R4DelayDistribution(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkR5EmulationOverhead(b *testing.B) {
+	var last *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.R5EmulationOverhead()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	b.ReportMetric(metric(last, 2, 1), "voice-eff/2ms-slot")
+}
+
+func BenchmarkR6SyncTolerance(b *testing.B) {
+	var last *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.R6SyncTolerance()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	b.ReportMetric(metric(last, len(last.Rows)-1, 1), "violations/200us-25us")
+}
+
+func BenchmarkR7SchedulerScalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.R7SchedulerScalability(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkR8DCFSaturation(b *testing.B) {
+	var last *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.R8DCFSaturation()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	b.ReportMetric(metric(last, len(last.Rows)-1, 1), "Mbps/30senders")
+}
+
+// ---- micro-benchmarks of the core algorithms ----
+
+func chainProblem(b *testing.B, n int, frame tdma.FrameConfig) *schedule.Problem {
+	b.Helper()
+	topo, err := topology.Chain(n, 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := conflict.Build(topo, conflict.Options{Model: conflict.ModelTwoHop})
+	if err != nil {
+		b.Fatal(err)
+	}
+	path, err := topo.ShortestPath(topology.NodeID(n-1), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	demand := make(map[topology.LinkID]int)
+	for _, l := range path {
+		demand[l] = 1
+	}
+	return &schedule.Problem{Graph: g, Demand: demand, FrameSlots: frame.DataSlots,
+		Flows: []schedule.FlowRequirement{{Path: path}}}
+}
+
+func BenchmarkOrderToSchedule16Hops(b *testing.B) {
+	frame := tdma.FrameConfig{FrameDuration: 40 * time.Millisecond, DataSlots: 32}
+	p := chainProblem(b, 17, frame)
+	o := schedule.PathMajorOrder(p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := schedule.OrderToSchedule(p, o, frame.DataSlots, frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMinSlotsILPChain6(b *testing.B) {
+	frame := tdma.FrameConfig{FrameDuration: 20 * time.Millisecond, DataSlots: 16}
+	p := chainProblem(b, 6, frame)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := schedule.MinSlots(p, frame, milp.Options{MaxNodes: 100_000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGreedyColoringChain24(b *testing.B) {
+	frame := tdma.FrameConfig{FrameDuration: 80 * time.Millisecond, DataSlots: 64}
+	p := chainProblem(b, 24, frame)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := schedule.Greedy(p, frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkConflictGraphRandom20(b *testing.B) {
+	topo, err := topology.RandomDisk(20, 800, 300, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := conflict.Build(topo, conflict.Options{Model: conflict.ModelTwoHop}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimplexLP(b *testing.B) {
+	// A 20-var, 25-row LP representative of relaxations in the search.
+	build := func() *lp.Problem {
+		p := lp.NewProblem(lp.Maximize, 20)
+		for j := 0; j < 20; j++ {
+			if err := p.SetObjCoef(j, float64(j%7+1)); err != nil {
+				b.Fatal(err)
+			}
+			if err := p.SetUpper(j, 10); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for r := 0; r < 25; r++ {
+			coef := make(map[int]float64, 4)
+			for k := 0; k < 4; k++ {
+				coef[(r*3+k*5)%20] = float64(k + 1)
+			}
+			if err := p.AddConstraint(coef, lp.LE, float64(20+r)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return p
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := build().Solve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKernelEventThroughput(b *testing.B) {
+	k := sim.NewKernel()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := k.After(time.Microsecond, func() {}); err != nil {
+			b.Fatal(err)
+		}
+		k.Step()
+	}
+}
+
+func BenchmarkR9MultiService(b *testing.B) {
+	var last *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.R9MultiService()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	// BE capacity with zero and max voice calls.
+	b.ReportMetric(metric(last, 0, 3), "BE-Mbps/0calls")
+	b.ReportMetric(metric(last, len(last.Rows)-1, 3), "BE-Mbps/5calls")
+}
+
+func BenchmarkR10HiddenTerminal(b *testing.B) {
+	var last *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.R10HiddenTerminal()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	b.ReportMetric(metric(last, 0, 4), "dcf-collision-rate")
+	b.ReportMetric(metric(last, 2, 4), "tdma-collision-rate")
+}
+
+func BenchmarkR11ControlPlane(b *testing.B) {
+	var last *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.R11ControlPlane()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	b.ReportMetric(metric(last, len(last.Rows)-1, 1), "cen-opps/16nodes")
+	b.ReportMetric(metric(last, len(last.Rows)-1, 4), "dist-msgs/16nodes")
+}
+
+func BenchmarkR12Failover(b *testing.B) {
+	var last *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.R12Failover()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	b.ReportMetric(metric(last, 0, 3), "after-loss-pct/100ms-detect")
+}
+
+func BenchmarkR13MixedService(b *testing.B) {
+	var last *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.R13MixedService()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	b.ReportMetric(metric(last, 1, 1), "voiceR/priority-flood")
+	b.ReportMetric(metric(last, 2, 1), "voiceR/fifo-flood")
+}
+
+func BenchmarkR14NativeVsEmulated(b *testing.B) {
+	var last *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.R14NativeVsEmulated()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	b.ReportMetric(metric(last, 0, 2), "emu-Mbps")
+	b.ReportMetric(metric(last, 2, 2), "native-Mbps")
+}
+
+func BenchmarkR15RoutingMetric(b *testing.B) {
+	var last *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.R15RoutingMetric()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	b.ReportMetric(metric(last, 0, 3), "hopcount-delivery-pct")
+	b.ReportMetric(metric(last, 2, 3), "etx-delivery-pct")
+}
+
+func BenchmarkR16ConflictModel(b *testing.B) {
+	var last *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.R16ConflictModel()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	b.ReportMetric(metric(last, 0, 2), "violations/primary")
+	b.ReportMetric(metric(last, 2, 2), "violations/geometric")
+}
+
+func BenchmarkR17FrameDuration(b *testing.B) {
+	var last *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.R17FrameDuration()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	b.ReportMetric(metric(last, 0, 3), "calls/8ms-frame")
+	b.ReportMetric(metric(last, len(last.Rows)-1, 3), "calls/64ms-frame")
+}

@@ -1,0 +1,81 @@
+// Command meshbench regenerates the paper's evaluation: every reconstructed
+// experiment R1-R8 indexed in DESIGN.md, printed as aligned tables.
+//
+// Usage:
+//
+//	meshbench            # run everything
+//	meshbench -only R3   # one experiment
+//	meshbench -list      # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"wimesh/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "meshbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("meshbench", flag.ContinueOnError)
+	var (
+		only   = fs.String("only", "", "run a single experiment (R1..R17)")
+		list   = fs.Bool("list", false, "list experiments and exit")
+		csvOut = fs.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		fmt.Fprintln(out, "R1  minimum TDMA window vs. VoIP calls (ILP linear search)")
+		fmt.Fprintln(out, "R2  scheduling delay vs. hops, by transmission order")
+		fmt.Fprintln(out, "R3  VoIP call capacity: TDMA emulation vs. DCF")
+		fmt.Fprintln(out, "R4  per-packet delay at fixed load: TDMA vs. DCF")
+		fmt.Fprintln(out, "R5  slot efficiency: 802.11-emulated vs. native 802.16")
+		fmt.Fprintln(out, "R6  schedule violations vs. clock-sync error")
+		fmt.Fprintln(out, "R7  scheduler wall time vs. network size")
+		fmt.Fprintln(out, "R8  DCF saturation throughput (baseline validation)")
+		fmt.Fprintln(out, "R9  multi-service split: voice slots vs. best-effort capacity")
+		fmt.Fprintln(out, "R10 hidden-terminal duel: DCF vs RTS/CTS vs TDMA")
+		fmt.Fprintln(out, "R11 control-plane cost: centralized vs distributed scheduling")
+		fmt.Fprintln(out, "R12 link-failure recovery: per-phase loss and rerouting")
+		fmt.Fprintln(out, "R13 mixed voice+best-effort data plane: priority ablation")
+		fmt.Fprintln(out, "R14 same schedule, measured: WiFi emulation vs native 802.16")
+		fmt.Fprintln(out, "R15 routing metric under lossy links: hop-count vs ETX, ARQ ablation")
+		fmt.Fprintln(out, "R16 interference-model ablation: planned window vs on-air violations")
+		fmt.Fprintln(out, "R17 frame-duration trade-off: capacity vs delay")
+		return nil
+	}
+	render := func(t *experiments.Table) error {
+		if *csvOut {
+			return t.WriteCSV(out)
+		}
+		t.Fprint(out)
+		return nil
+	}
+	if *only != "" {
+		t, err := experiments.ByID(*only)
+		if err != nil {
+			return err
+		}
+		return render(t)
+	}
+	tables, err := experiments.All()
+	if err != nil {
+		return err
+	}
+	for _, t := range tables {
+		if err := render(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-list"}, &sb); err != nil {
+		t.Fatalf("run -list: %v", err)
+	}
+	for _, id := range []string{"R1", "R4", "R8"} {
+		if !strings.Contains(sb.String(), id) {
+			t.Errorf("list missing %s", id)
+		}
+	}
+}
+
+func TestRunOnly(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-only", "R5"}, &sb); err != nil {
+		t.Fatalf("run -only R5: %v", err)
+	}
+	if !strings.Contains(sb.String(), "== R5:") {
+		t.Errorf("output missing R5 header:\n%s", sb.String())
+	}
+}
+
+func TestRunOnlyUnknown(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-only", "R42"}, &sb); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-only", "R5", "-csv"}, &sb); err != nil {
+		t.Fatalf("run -csv: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("csv lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "experiment,") {
+		t.Errorf("csv header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "R5,") {
+		t.Errorf("csv row = %q", lines[1])
+	}
+}

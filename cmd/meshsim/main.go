@@ -1,0 +1,178 @@
+// Command meshsim runs a VoIP-over-mesh simulation under either the
+// TDMA-over-WiFi emulation MAC or the 802.11 DCF baseline, and prints
+// per-flow delay, loss and E-model quality.
+//
+// Usage:
+//
+//	meshsim -mac tdma -topology chain -nodes 6 -calls 4 -duration 10s
+//	meshsim -mac dcf  -topology random -nodes 12 -calls 8 -seed 3
+//	meshsim -load plan.json -duration 10s      # replay a meshplan -save file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"wimesh/internal/core"
+	"wimesh/internal/scenario"
+	"wimesh/internal/timesync"
+	"wimesh/internal/voip"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "meshsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("meshsim", flag.ContinueOnError)
+	var (
+		macKind  = fs.String("mac", "tdma", "MAC: tdma (emulation) or dcf (baseline)")
+		topoName = fs.String("topology", "chain", "topology: chain, ring, grid, tree, random")
+		nodes    = fs.Int("nodes", 6, "number of nodes")
+		calls    = fs.Int("calls", 2, "number of VoIP calls to the gateway")
+		method   = fs.String("method", "path-major", "TDMA scheduler: ilp, minmax-delay, path-major, tree-order, greedy")
+		codec    = fs.String("codec", "g711", "voice codec: g711, g729, g723")
+		duration = fs.Duration("duration", 10*time.Second, "simulated duration")
+		seed     = fs.Int64("seed", 1, "simulation seed")
+		withSync = fs.Bool("sync", false, "enable the clock-error model (tdma only)")
+		guard    = fs.Duration("guard", 100*time.Microsecond, "TDMA slot guard interval")
+		spurts   = fs.Bool("talkspurt", false, "use on/off talk-spurt sources instead of CBR")
+		loadPath = fs.String("load", "", "replay a plan saved by meshplan -save (tdma only)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var (
+		spec  scenario.Spec
+		plan  *core.Plan
+		saved *scenario.SavedPlan
+	)
+	if *loadPath != "" {
+		f, err := os.Open(*loadPath)
+		if err != nil {
+			return err
+		}
+		sp, err := scenario.Load(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		saved = sp
+		spec = sp.Spec
+		*macKind = "tdma"
+	} else {
+		spec = scenario.Spec{
+			Topology: *topoName,
+			Nodes:    *nodes,
+			Seed:     *seed,
+			Calls:    *calls,
+			Codec:    *codec,
+			Method:   *method,
+		}
+		spec.DelayBound = (150 * time.Millisecond).String()
+	}
+
+	topo, err := spec.BuildTopology()
+	if err != nil {
+		return err
+	}
+	sysOpts := []core.Option{}
+	if saved != nil {
+		frame, err := saved.FrameConfig()
+		if err != nil {
+			return err
+		}
+		sysOpts = append(sysOpts, core.WithFrame(frame))
+	}
+	sys, err := core.NewSystem(topo, sysOpts...)
+	if err != nil {
+		return err
+	}
+	sys.MAC.Guard = *guard
+	cdc, err := spec.BuildCodec()
+	if err != nil {
+		return err
+	}
+	flows, err := spec.BuildFlows(topo)
+	if err != nil {
+		return err
+	}
+	runCfg := core.RunConfig{Duration: *duration, Codec: cdc, Seed: *seed}
+	if *spurts {
+		runCfg.Mode = voip.ModeTalkSpurt
+	}
+
+	var res *core.RunResult
+	switch *macKind {
+	case "tdma":
+		if saved != nil {
+			sched, err := saved.Schedule()
+			if err != nil {
+				return err
+			}
+			if err := sched.Validate(sys.Graph); err != nil {
+				return fmt.Errorf("loaded schedule conflicts with the topology: %w", err)
+			}
+			plan = &core.Plan{Schedule: sched, WindowSlots: saved.WindowSlots}
+			fmt.Fprintf(out, "replaying %s: %d slots\n\n", *loadPath, saved.WindowSlots)
+		} else {
+			m, err := spec.BuildMethod()
+			if err != nil {
+				return err
+			}
+			plan, err = sys.PlanVoIP(flows, m, cdc)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "schedule: %d slots, max scheduling delay %v\n\n",
+				plan.WindowSlots, plan.MaxSchedulingDelay)
+		}
+		if *withSync {
+			syncCfg := timesync.DefaultConfig()
+			runCfg.Sync = &syncCfg
+		}
+		res, err = sys.RunTDMA(plan, flows, runCfg)
+		if err != nil {
+			return err
+		}
+	case "dcf":
+		res, err = sys.RunDCF(flows, runCfg)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown mac %q", *macKind)
+	}
+	report(out, *macKind, res)
+	return nil
+}
+
+func report(out io.Writer, macKind string, res *core.RunResult) {
+	fmt.Fprintf(out, "%-5s %7s %7s %7s %10s %10s %10s %6s %5s\n",
+		"flow", "sent", "recv", "loss%", "mean", "p95", "max", "R", "MOS")
+	for _, f := range res.Flows {
+		fmt.Fprintf(out, "%-5d %7d %7d %7.2f %10v %10v %10v %6.1f %5.2f\n",
+			f.FlowID, f.Sent, f.Received, f.Loss*100,
+			f.MeanDelay.Round(time.Microsecond),
+			f.P95Delay.Round(time.Microsecond),
+			f.MaxDelay.Round(time.Microsecond),
+			f.Quality.R, f.Quality.MOS)
+	}
+	fmt.Fprintf(out, "\nworst R-factor: %.1f  all-toll-quality: %t\n", res.MinR, res.AllAcceptable)
+	switch macKind {
+	case "tdma":
+		fmt.Fprintf(out, "mac: %d tx, %d delivered, %d violations, %d queue drops\n",
+			res.TDMA.Transmissions, res.TDMA.Delivered, res.TDMA.Violations, res.TDMA.DroppedQueue)
+	case "dcf":
+		fmt.Fprintf(out, "mac: %d tx, %d delivered, %d collisions, %d retry drops, %d queue drops\n",
+			res.DCF.Transmissions, res.DCF.Delivered, res.DCF.Collisions,
+			res.DCF.DroppedRetries, res.DCF.DroppedQueue)
+	}
+}

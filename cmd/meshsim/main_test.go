@@ -1,0 +1,105 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"wimesh/internal/core"
+	"wimesh/internal/scenario"
+	"wimesh/internal/voip"
+)
+
+func TestRunTDMA(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-mac", "tdma", "-nodes", "4", "-calls", "2",
+		"-duration", "2s", "-seed", "1"}, &sb)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{"schedule:", "flow", "worst R-factor", "violations"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunTDMAWithSync(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-mac", "tdma", "-nodes", "4", "-calls", "1",
+		"-duration", "2s", "-sync", "-guard", "200us"}, &sb)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunDCF(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-mac", "dcf", "-nodes", "4", "-calls", "2",
+		"-duration", "2s"}, &sb)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(sb.String(), "collisions") {
+		t.Errorf("DCF output missing collisions line:\n%s", sb.String())
+	}
+}
+
+func TestRunTalkspurt(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-mac", "tdma", "-nodes", "4", "-calls", "1",
+		"-duration", "2s", "-talkspurt"}, &sb)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunRejectsBadMAC(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-mac", "aloha"}, &sb); err == nil {
+		t.Error("bad mac accepted")
+	}
+}
+
+func TestRunLoadRoundTrip(t *testing.T) {
+	// Produce a plan file the way meshplan -save does, then replay it.
+	dir := t.TempDir()
+	path := dir + "/plan.json"
+	spec := scenario.Spec{Topology: "chain", Nodes: 4, Calls: 2,
+		Codec: "g711", DelayBound: "150ms", Method: "path-major"}
+	topo, err := spec.BuildTopology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.NewSystem(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows, err := spec.BuildFlows(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := sys.PlanVoIP(flows, core.MethodPathMajor, voip.G711())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := scenario.Save(f, spec, sys.Frame, plan); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	var sb strings.Builder
+	if err := run([]string{"-load", path, "-duration", "2s"}, &sb); err != nil {
+		t.Fatalf("meshsim -load: %v", err)
+	}
+	if !strings.Contains(sb.String(), "replaying") {
+		t.Errorf("output missing replay banner:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "all-toll-quality: true") {
+		t.Errorf("replayed run not acceptable:\n%s", sb.String())
+	}
+}

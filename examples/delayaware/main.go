@@ -1,0 +1,110 @@
+// Delay-aware scheduling study: the same bandwidth demands on a chain can
+// yield wildly different end-to-end delays depending on the relative
+// transmission order of the links — the observation behind the min-max
+// delay optimization. This example schedules one flow across an 8-hop chain
+// with four different orders and prints the per-hop transmission map and the
+// resulting delay of each.
+//
+//	go run ./examples/delayaware
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"wimesh/internal/conflict"
+	"wimesh/internal/milp"
+	"wimesh/internal/schedule"
+	"wimesh/internal/sim"
+	"wimesh/internal/tdma"
+	"wimesh/internal/topology"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const hops = 8
+	topo, err := topology.Chain(hops+1, 100)
+	if err != nil {
+		return err
+	}
+	g, err := conflict.Build(topo, conflict.Options{Model: conflict.ModelTwoHop})
+	if err != nil {
+		return err
+	}
+	frame := tdma.FrameConfig{FrameDuration: 20 * time.Millisecond, DataSlots: 16}
+
+	// One flow across the whole chain, one slot per hop.
+	path, err := topo.ShortestPath(hops, 0)
+	if err != nil {
+		return err
+	}
+	demand := make(map[topology.LinkID]int, len(path))
+	for _, l := range path {
+		demand[l] = 1
+	}
+	p := &schedule.Problem{
+		Graph:      g,
+		Demand:     demand,
+		FrameSlots: frame.DataSlots,
+		Flows:      []schedule.FlowRequirement{{Path: path}},
+	}
+	fmt.Printf("%d-hop chain, one slot per hop, frame of %d x %v slots\n\n",
+		hops, frame.DataSlots, frame.SlotDuration())
+
+	show := func(name string, s *tdma.Schedule) error {
+		d, err := schedule.PathDelay(s, path)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("--- %s: end-to-end scheduling delay %v ---\n", name, d)
+		fmt.Print(s.String())
+		fmt.Println()
+		return nil
+	}
+
+	// 1. Exact min-max delay order (binary program).
+	res, err := schedule.MinMaxDelayOrder(p, frame.DataSlots, frame, milp.Options{MaxNodes: 300_000})
+	if err != nil {
+		return err
+	}
+	if err := show("min-max delay ILP", res.Schedule); err != nil {
+		return err
+	}
+
+	// 2. Path-major greedy order + Bellman-Ford.
+	s, err := schedule.OrderToSchedule(p, schedule.PathMajorOrder(p), frame.DataSlots, frame)
+	if err != nil {
+		return err
+	}
+	if err := show("path-major order + Bellman-Ford", s); err != nil {
+		return err
+	}
+
+	// 3. Naive order (by link ID): every hop wraps into the next frame.
+	s, err = schedule.OrderToSchedule(p, schedule.NaiveOrder(p), frame.DataSlots, frame)
+	if err != nil {
+		return err
+	}
+	if err := show("naive order", s); err != nil {
+		return err
+	}
+
+	// 4. Random order.
+	s, err = schedule.OrderToSchedule(p, schedule.RandomOrder(p, sim.NewRNG(4, 0)), frame.DataSlots, frame)
+	if err != nil {
+		return err
+	}
+	if err := show("random order", s); err != nil {
+		return err
+	}
+
+	fmt.Println("ordering hops inbound-before-outbound keeps the packet moving")
+	fmt.Println("within one frame; any inversion costs a full frame of delay.")
+	return nil
+}

@@ -1,0 +1,81 @@
+// Failover: what the managed TDMA system does when a scheduled link dies.
+// A ring carries three calls to the gateway; mid-run one call's first hop
+// fails. The management plane detects the failure, reroutes the call the
+// other way around the ring, replans, and hot-swaps the schedule — the
+// outage is confined to the detection window and the other calls never
+// notice.
+//
+//	go run ./examples/failover
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"wimesh/internal/core"
+	"wimesh/internal/topology"
+	"wimesh/internal/voip"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	topo, err := topology.Ring(6, 200)
+	if err != nil {
+		return err
+	}
+	sys, err := core.NewSystem(topo)
+	if err != nil {
+		return err
+	}
+	codec := voip.G711()
+	flows, err := core.GatewayCalls(topo, 3, codec, 0, false)
+	if err != nil {
+		return err
+	}
+	var victim topology.Flow
+	for _, f := range flows.Flows {
+		if f.Src == 3 {
+			victim = f
+		}
+	}
+	nodes, err := topo.PathNodes(victim.Path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("victim call: node %d -> gateway via %v\n", victim.Src, nodes)
+	fmt.Printf("failing its first hop (link %d) at t=3s; detection delay 300ms\n\n", victim.Path[0])
+
+	plan, err := sys.PlanVoIP(flows, core.MethodPathMajor, codec)
+	if err != nil {
+		return err
+	}
+	res, err := sys.RunTDMAFailover(plan, flows, core.RunConfig{Duration: 9 * time.Second, Seed: 2},
+		core.FailoverConfig{
+			FailedLink:  victim.Path[0],
+			FailAt:      3 * time.Second,
+			DetectDelay: 300 * time.Millisecond,
+		})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("schedule swapped at %v; %d flow(s) rerouted; %d slot transmissions wasted on the dead link\n\n",
+		res.SwapAt, res.ReroutedFlows, res.MAC.FailureDrops)
+	fmt.Printf("%-6s %-9s %-22s %-22s %-22s\n", "flow", "rerouted", "before", "outage", "after")
+	for _, f := range res.Flows {
+		fmt.Printf("%-6d %-9t %-22s %-22s %-22s\n", f.FlowID, f.Rerouted,
+			lossCell(f.Before), lossCell(f.During), lossCell(f.After))
+	}
+	fmt.Println("\nloss is confined to the outage window; bystander calls ride")
+	fmt.Println("through the schedule swap without a dropped packet.")
+	return nil
+}
+
+func lossCell(w core.WindowLoss) string {
+	return fmt.Sprintf("%d/%d (%.1f%% loss)", w.Received, w.Sent, w.Loss*100)
+}

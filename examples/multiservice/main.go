@@ -1,0 +1,149 @@
+// Multi-service mesh: guaranteed voice and best-effort bulk on one TDMA
+// data plane. The minimum-slot ILP reserves the voice window, FillResidual
+// hands every remaining conflict-free (slot, link) opportunity to
+// best-effort traffic, and strict-priority link queues keep bulk bursts
+// away from voice delay — the *Multi-service TDMA Mesh Networks* story,
+// both planned and then verified on the emulated air.
+//
+//	go run ./examples/multiservice
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"wimesh/internal/conflict"
+	"wimesh/internal/mac/tdmaemu"
+	"wimesh/internal/milp"
+	"wimesh/internal/schedule"
+	"wimesh/internal/sim"
+	"wimesh/internal/stats"
+	"wimesh/internal/tdma"
+	"wimesh/internal/topology"
+	"wimesh/internal/voip"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	frame := tdma.FrameConfig{FrameDuration: 20 * time.Millisecond, DataSlots: 16}
+	topo, err := topology.Chain(5, 100)
+	if err != nil {
+		return err
+	}
+	// The conflict graph must match the radio: geometric, 250 m (see
+	// experiment R16).
+	g, err := conflict.Build(topo, conflict.Options{
+		Model:             conflict.ModelGeometric,
+		InterferenceRange: 250,
+	})
+	if err != nil {
+		return err
+	}
+
+	// Guaranteed service: one G.711 call from node 4 to the gateway.
+	voicePath, err := topo.ShortestPath(4, 0)
+	if err != nil {
+		return err
+	}
+	demand := make(map[topology.LinkID]int, len(voicePath))
+	for _, l := range voicePath {
+		demand[l] = 1
+	}
+	p := &schedule.Problem{Graph: g, Demand: demand, FrameSlots: frame.DataSlots,
+		Flows: []schedule.FlowRequirement{{Path: voicePath}}}
+	win, qos, _, err := schedule.MinSlots(p, frame, milp.Options{MaxNodes: 200_000})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("voice window: %d of %d slots (ILP minimum)\n", win, frame.DataSlots)
+
+	// Best-effort: bulk downloads on the downlinks, filling the residue.
+	var be []topology.LinkID
+	for i := 0; i < 4; i++ {
+		l, err := topo.FindLink(topology.NodeID(i), topology.NodeID(i+1))
+		if err != nil {
+			return err
+		}
+		be = append(be, l)
+	}
+	full, grants, err := schedule.FillResidual(p, qos, be)
+	if err != nil {
+		return err
+	}
+	total := 0
+	for _, c := range grants {
+		total += c
+	}
+	fmt.Printf("best-effort: %d residual slot-grants across %d downlinks\n\n", total, len(be))
+	fmt.Print(full.String())
+
+	// Verify on the air: voice CBR + saturating bulk, priority queues on.
+	kernel := sim.NewKernel()
+	codec := voip.G711()
+	var (
+		voiceDelays stats.Sample
+		beBits      float64
+	)
+	nw, err := tdmaemu.New(tdmaemu.Config{QueueCap: 256}, topo, kernel, full, nil, 250,
+		func(pkt *tdmaemu.Packet, at time.Duration) {
+			if pkt.BestEffort {
+				beBits += float64(8 * pkt.Bytes)
+			} else {
+				voiceDelays.AddDuration(at - pkt.Created)
+			}
+		})
+	if err != nil {
+		return err
+	}
+	if err := nw.Start(); err != nil {
+		return err
+	}
+	src, err := voip.NewSource(codec, voip.ModeCBR, func(vp voip.Packet) {
+		_ = nw.Inject(&tdmaemu.Packet{Seq: vp.Seq, Path: voicePath, Bytes: vp.Bytes})
+	}, nil)
+	if err != nil {
+		return err
+	}
+	if err := src.Start(kernel, 0); err != nil {
+		return err
+	}
+	const duration = 6 * time.Second
+	frames := int(duration / frame.FrameDuration)
+	for j := 0; j < frames; j++ {
+		j := j
+		if _, err := kernel.At(time.Duration(j)*frame.FrameDuration, func() {
+			for _, l := range be[:1] { // bulk on the first downlink
+				for b := 0; b < 6; b++ {
+					_ = nw.Inject(&tdmaemu.Packet{FlowID: 1, Seq: j*6 + b, BestEffort: true,
+						Path: topology.Path{l}, Bytes: 1000})
+				}
+			}
+		}); err != nil {
+			return err
+		}
+	}
+	kernel.RunUntil(duration)
+	src.Stop()
+
+	p95, err := voiceDelays.Quantile(0.95)
+	if err != nil {
+		return err
+	}
+	q, _, err := voip.EvaluateWithPlayout(codec, voiceDelays.Durations(), 0, 0.01)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nmeasured under best-effort flood:\n")
+	fmt.Printf("  voice: p95 delay %v, R=%.1f (MOS %.2f)\n",
+		time.Duration(p95*float64(time.Second)).Round(100*time.Microsecond), q.R, q.MOS)
+	fmt.Printf("  bulk : %.2f Mb/s over the residual slots\n", beBits/duration.Seconds()/1e6)
+	fmt.Println("\npriority queueing keeps the flood away from the voice budget;")
+	fmt.Println("the bulk rides capacity the voice plan left on the table.")
+	return nil
+}

@@ -1,0 +1,3 @@
+module wimesh
+
+go 1.22

@@ -1,0 +1,235 @@
+// Package conflict builds wireless conflict graphs and solves the
+// difference-constraint systems used to turn transmission orders into TDMA
+// schedules.
+//
+// A conflict graph has one vertex per directed link of the mesh; two
+// vertices are adjacent when the links cannot transmit in the same TDMA slot.
+// The package implements the interference models used for 802.16 mesh
+// scheduling:
+//
+//   - Primary conflicts: two links sharing a node conflict (a half-duplex
+//     radio cannot transmit and receive simultaneously).
+//   - Secondary (two-hop) conflicts: a link conflicts with any link whose
+//     transmitter is a one-hop neighbour of its receiver (the protocol
+//     interference model of the 802.16 mesh standard).
+//   - Geometric (protocol-model) conflicts: a transmission interferes with
+//     any receiver within interferenceRange meters.
+package conflict
+
+import (
+	"fmt"
+	"sort"
+
+	"wimesh/internal/topology"
+)
+
+// Model selects how secondary interference is derived.
+type Model int
+
+// Interference models.
+const (
+	// ModelPrimary marks only node-sharing links as conflicting.
+	ModelPrimary Model = iota + 1
+	// ModelTwoHop is the 802.16 mesh model: primary conflicts plus links
+	// whose transmitter neighbours the other link's receiver.
+	ModelTwoHop
+	// ModelGeometric is the protocol model: primary conflicts plus links
+	// whose transmitter is within the interference range of the other
+	// link's receiver.
+	ModelGeometric
+)
+
+func (m Model) String() string {
+	switch m {
+	case ModelPrimary:
+		return "primary"
+	case ModelTwoHop:
+		return "two-hop"
+	case ModelGeometric:
+		return "geometric"
+	default:
+		return fmt.Sprintf("Model(%d)", int(m))
+	}
+}
+
+// Options configures conflict-graph construction.
+type Options struct {
+	Model Model
+	// InterferenceRange (meters) applies to ModelGeometric only.
+	InterferenceRange float64
+}
+
+// Graph is a conflict graph over the directed links of a mesh network.
+type Graph struct {
+	net   *topology.Network
+	model Model
+	// adj[l] holds the links conflicting with l, sorted ascending,
+	// excluding l itself.
+	adj map[topology.LinkID][]topology.LinkID
+}
+
+// Build constructs the conflict graph of net under the given options.
+func Build(net *topology.Network, opts Options) (*Graph, error) {
+	if opts.Model < ModelPrimary || opts.Model > ModelGeometric {
+		return nil, fmt.Errorf("conflict: unknown model %d", int(opts.Model))
+	}
+	if opts.Model == ModelGeometric && opts.InterferenceRange <= 0 {
+		return nil, fmt.Errorf("conflict: geometric model needs a positive interference range")
+	}
+	g := &Graph{
+		net:   net,
+		model: opts.Model,
+		adj:   make(map[topology.LinkID][]topology.LinkID, net.NumLinks()),
+	}
+	links := net.Links()
+	for i := 0; i < len(links); i++ {
+		for j := i + 1; j < len(links); j++ {
+			c, err := conflicts(net, links[i], links[j], opts)
+			if err != nil {
+				return nil, err
+			}
+			if c {
+				g.adj[links[i].ID] = append(g.adj[links[i].ID], links[j].ID)
+				g.adj[links[j].ID] = append(g.adj[links[j].ID], links[i].ID)
+			}
+		}
+	}
+	for _, l := range links {
+		ns := g.adj[l.ID]
+		sort.Slice(ns, func(a, b int) bool { return ns[a] < ns[b] })
+	}
+	return g, nil
+}
+
+func conflicts(net *topology.Network, a, b topology.Link, opts Options) (bool, error) {
+	// Primary: shared node.
+	if a.From == b.From || a.From == b.To || a.To == b.From || a.To == b.To {
+		return true, nil
+	}
+	switch opts.Model {
+	case ModelPrimary:
+		return false, nil
+	case ModelTwoHop:
+		// a's transmitter interferes at b's receiver if they neighbour,
+		// and vice versa.
+		if neighbours(net, a.From, b.To) || neighbours(net, b.From, a.To) {
+			return true, nil
+		}
+		return false, nil
+	case ModelGeometric:
+		dab, err := net.Distance(a.From, b.To)
+		if err != nil {
+			return false, err
+		}
+		dba, err := net.Distance(b.From, a.To)
+		if err != nil {
+			return false, err
+		}
+		return dab <= opts.InterferenceRange || dba <= opts.InterferenceRange, nil
+	default:
+		return false, fmt.Errorf("conflict: unknown model %d", int(opts.Model))
+	}
+}
+
+func neighbours(net *topology.Network, a, b topology.NodeID) bool {
+	if _, err := net.FindLink(a, b); err == nil {
+		return true
+	}
+	_, err := net.FindLink(b, a)
+	return err == nil
+}
+
+// Model returns the interference model the graph was built with.
+func (g *Graph) Model() Model { return g.model }
+
+// Network returns the underlying mesh network.
+func (g *Graph) Network() *topology.Network { return g.net }
+
+// Conflicts reports whether links a and b may not share a slot.
+func (g *Graph) Conflicts(a, b topology.LinkID) bool {
+	if a == b {
+		return true
+	}
+	ns := g.adj[a]
+	i := sort.Search(len(ns), func(i int) bool { return ns[i] >= b })
+	return i < len(ns) && ns[i] == b
+}
+
+// Neighbors returns the links conflicting with l, sorted ascending.
+func (g *Graph) Neighbors(l topology.LinkID) []topology.LinkID {
+	out := make([]topology.LinkID, len(g.adj[l]))
+	copy(out, g.adj[l])
+	return out
+}
+
+// Degree returns the number of links conflicting with l.
+func (g *Graph) Degree(l topology.LinkID) int { return len(g.adj[l]) }
+
+// NumVertices returns the number of links in the conflict graph.
+func (g *Graph) NumVertices() int { return g.net.NumLinks() }
+
+// NumEdges returns the number of conflicting pairs.
+func (g *Graph) NumEdges() int {
+	total := 0
+	for _, ns := range g.adj {
+		total += len(ns)
+	}
+	return total / 2
+}
+
+// GreedyClique grows a clique around each vertex of a restricted vertex set
+// by repeatedly adding the compatible vertex with the largest weight, and
+// returns the heaviest clique found. Weights must be non-negative. It is a
+// heuristic lower-bound generator for frame-length search: the links of a
+// clique must occupy disjoint slots, so the total clique weight (demand in
+// slots) lower-bounds the frame length.
+func (g *Graph) GreedyClique(weight map[topology.LinkID]float64) ([]topology.LinkID, float64) {
+	var verts []topology.LinkID
+	for l := range weight {
+		if weight[l] > 0 {
+			verts = append(verts, l)
+		}
+	}
+	sort.Slice(verts, func(i, j int) bool { return verts[i] < verts[j] })
+
+	var (
+		best       []topology.LinkID
+		bestWeight float64
+	)
+	for _, seed := range verts {
+		clique := []topology.LinkID{seed}
+		total := weight[seed]
+		// Candidates, heaviest first; ties by ID for determinism.
+		cands := make([]topology.LinkID, 0, len(verts))
+		for _, v := range verts {
+			if v != seed {
+				cands = append(cands, v)
+			}
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			wi, wj := weight[cands[i]], weight[cands[j]]
+			if wi != wj {
+				return wi > wj
+			}
+			return cands[i] < cands[j]
+		})
+		for _, c := range cands {
+			ok := true
+			for _, m := range clique {
+				if !g.Conflicts(c, m) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				clique = append(clique, c)
+				total += weight[c]
+			}
+		}
+		if total > bestWeight {
+			best, bestWeight = clique, total
+		}
+	}
+	sort.Slice(best, func(i, j int) bool { return best[i] < best[j] })
+	return best, bestWeight
+}

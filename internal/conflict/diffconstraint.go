@@ -1,0 +1,111 @@
+package conflict
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ConstraintSystem is a system of difference constraints
+//
+//	x[j] - x[i] <= c
+//
+// solved by Bellman-Ford over the constraint graph, as used to convert
+// transmission orders into concrete TDMA slot assignments (Djukic-Valaee).
+// Variables are dense indices in [0, N).
+type ConstraintSystem struct {
+	n     int
+	edges []diffEdge
+}
+
+type diffEdge struct {
+	from, to int // constraint x[to] - x[from] <= weight
+	weight   float64
+}
+
+// ErrInfeasible reports that the constraint system has no solution (the
+// constraint graph contains a negative cycle).
+var ErrInfeasible = errors.New("conflict: constraint system infeasible")
+
+// NewConstraintSystem returns a system over n variables.
+func NewConstraintSystem(n int) *ConstraintSystem {
+	return &ConstraintSystem{n: n}
+}
+
+// NumVariables returns the number of variables.
+func (cs *ConstraintSystem) NumVariables() int { return cs.n }
+
+// NumConstraints returns the number of constraints added.
+func (cs *ConstraintSystem) NumConstraints() int { return len(cs.edges) }
+
+// AddLE adds the constraint x[j] - x[i] <= c.
+func (cs *ConstraintSystem) AddLE(j, i int, c float64) error {
+	if i < 0 || i >= cs.n || j < 0 || j >= cs.n {
+		return fmt.Errorf("conflict: constraint variable out of range (i=%d j=%d n=%d)", i, j, cs.n)
+	}
+	cs.edges = append(cs.edges, diffEdge{from: i, to: j, weight: c})
+	return nil
+}
+
+// AddGE adds the constraint x[j] - x[i] >= c (equivalently x[i]-x[j] <= -c).
+func (cs *ConstraintSystem) AddGE(j, i int, c float64) error {
+	return cs.AddLE(i, j, -c)
+}
+
+// Solve runs Bellman-Ford from a virtual source connected to every variable
+// with weight 0 and returns a feasible assignment (the shortest-path
+// distances), or ErrInfeasible wrapped with a witness cycle description if a
+// negative cycle exists.
+//
+// The returned assignment is the component-wise maximum solution with all
+// values <= 0; callers typically shift it so the minimum is 0.
+func (cs *ConstraintSystem) Solve() ([]float64, error) {
+	dist := make([]float64, cs.n)
+	pred := make([]int, cs.n)
+	for i := range pred {
+		pred[i] = -1
+	}
+	// Virtual source initialization: dist already 0 everywhere.
+	var lastRelaxed int
+	for iter := 0; iter < cs.n; iter++ {
+		lastRelaxed = -1
+		for _, e := range cs.edges {
+			if d := dist[e.from] + e.weight; d < dist[e.to]-1e-12 {
+				dist[e.to] = d
+				pred[e.to] = e.from
+				lastRelaxed = e.to
+			}
+		}
+		if lastRelaxed == -1 {
+			return dist, nil
+		}
+	}
+	// A vertex relaxed on the n-th pass lies on or is reachable from a
+	// negative cycle; walk predecessors to find a vertex on the cycle.
+	v := lastRelaxed
+	for i := 0; i < cs.n; i++ {
+		v = pred[v]
+	}
+	cycle := []int{v}
+	for u := pred[v]; u != v; u = pred[u] {
+		cycle = append(cycle, u)
+	}
+	return nil, fmt.Errorf("%w: negative cycle through %d variables (witness var %d)", ErrInfeasible, len(cycle), v)
+}
+
+// ShiftNonNegative shifts a solution so its minimum value is exactly 0.
+func ShiftNonNegative(x []float64) []float64 {
+	if len(x) == 0 {
+		return nil
+	}
+	minV := x[0]
+	for _, v := range x[1:] {
+		if v < minV {
+			minV = v
+		}
+	}
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = v - minV
+	}
+	return out
+}

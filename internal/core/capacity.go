@@ -1,0 +1,148 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"wimesh/internal/topology"
+	"wimesh/internal/voip"
+)
+
+// CapacityConfig parameterizes the call-capacity search of experiment R3:
+// calls are added one at a time until the network can no longer serve all of
+// them at toll quality.
+type CapacityConfig struct {
+	// MaxCalls caps the search (default 60).
+	MaxCalls int
+	// Method is the TDMA planner (default MethodPathMajor; MethodILP is
+	// exact but slow beyond small meshes).
+	Method PlanMethod
+	// Run configures each simulation run.
+	Run RunConfig
+	// DelayBound is each call's end-to-end delay budget (default 150 ms).
+	DelayBound time.Duration
+	// Downlink adds a gateway->node flow per call in addition to the
+	// node->gateway uplink (a full duplex call).
+	Downlink bool
+}
+
+func (c *CapacityConfig) applyDefaults() {
+	if c.MaxCalls == 0 {
+		c.MaxCalls = 60
+	}
+	if c.Method == 0 {
+		c.Method = MethodPathMajor
+	}
+	if c.DelayBound == 0 {
+		c.DelayBound = 150 * time.Millisecond
+	}
+	c.Run.applyDefaults()
+}
+
+// StopReason reports what ended a capacity search.
+type StopReason string
+
+// Stop reasons.
+const (
+	// StopSchedule: no feasible schedule for one more call.
+	StopSchedule StopReason = "schedule-infeasible"
+	// StopQuality: one more call pushed a flow below toll quality.
+	StopQuality StopReason = "quality"
+	// StopMaxCalls: the search cap was reached while still acceptable.
+	StopMaxCalls StopReason = "max-calls"
+)
+
+// CapacityResult is the outcome of a capacity search.
+type CapacityResult struct {
+	// Calls is the largest number of calls served at toll quality.
+	Calls int
+	// StoppedBy explains the limit.
+	StoppedBy StopReason
+	// LastGood is the run result at Calls (nil when Calls is 0).
+	LastGood *RunResult
+}
+
+// GatewayCalls builds a flow set of n VoIP calls between distinct
+// non-gateway nodes and the gateway (uplink; plus downlink when downlink is
+// set), assigning callers round-robin over nodes sorted by ID.
+func GatewayCalls(topo *topology.Network, n int, codec voip.Codec, bound time.Duration, downlink bool) (*topology.FlowSet, error) {
+	gw, ok := topo.Gateway()
+	if !ok {
+		return nil, errors.New("core: topology has no gateway")
+	}
+	var callers []topology.NodeID
+	for _, nd := range topo.Nodes() {
+		if nd.ID != gw {
+			callers = append(callers, nd.ID)
+		}
+	}
+	if len(callers) == 0 {
+		return nil, errors.New("core: no non-gateway nodes")
+	}
+	fs := topology.NewFlowSet(topo)
+	rate := codec.BandwidthBps()
+	for i := 0; i < n; i++ {
+		caller := callers[i%len(callers)]
+		if _, err := fs.Add(caller, gw, rate, bound); err != nil {
+			return nil, fmt.Errorf("core: call %d: %w", i, err)
+		}
+		if downlink {
+			if _, err := fs.Add(gw, caller, rate, bound); err != nil {
+				return nil, fmt.Errorf("core: call %d downlink: %w", i, err)
+			}
+		}
+	}
+	return fs, nil
+}
+
+// VoIPCapacityTDMA finds the TDMA-emulation call capacity: the largest
+// number of gateway calls that can be scheduled and served at toll quality.
+func (s *System) VoIPCapacityTDMA(cfg CapacityConfig) (*CapacityResult, error) {
+	cfg.applyDefaults()
+	res := &CapacityResult{StoppedBy: StopMaxCalls}
+	for k := 1; k <= cfg.MaxCalls; k++ {
+		fs, err := GatewayCalls(s.Topo, k, cfg.Run.Codec, cfg.DelayBound, cfg.Downlink)
+		if err != nil {
+			return nil, err
+		}
+		plan, err := s.PlanVoIP(fs, cfg.Method, cfg.Run.Codec)
+		if err != nil {
+			res.StoppedBy = StopSchedule
+			return res, nil
+		}
+		run, err := s.RunTDMA(plan, fs, cfg.Run)
+		if err != nil {
+			return nil, err
+		}
+		if !run.AllAcceptable {
+			res.StoppedBy = StopQuality
+			return res, nil
+		}
+		res.Calls, res.LastGood = k, run
+	}
+	return res, nil
+}
+
+// VoIPCapacityDCF finds the DCF baseline call capacity under the same call
+// pattern (no admission control: calls degrade until quality breaks).
+func (s *System) VoIPCapacityDCF(cfg CapacityConfig) (*CapacityResult, error) {
+	cfg.applyDefaults()
+	res := &CapacityResult{StoppedBy: StopMaxCalls}
+	for k := 1; k <= cfg.MaxCalls; k++ {
+		fs, err := GatewayCalls(s.Topo, k, cfg.Run.Codec, cfg.DelayBound, cfg.Downlink)
+		if err != nil {
+			return nil, err
+		}
+		run, err := s.RunDCF(fs, cfg.Run)
+		if err != nil {
+			return nil, err
+		}
+		if !run.AllAcceptable {
+			res.StoppedBy = StopQuality
+			return res, nil
+		}
+		res.Calls, res.LastGood = k, run
+	}
+	return res, nil
+}

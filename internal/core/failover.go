@@ -1,0 +1,204 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"wimesh/internal/mac/tdmaemu"
+	"wimesh/internal/sim"
+	"wimesh/internal/topology"
+	"wimesh/internal/voip"
+)
+
+// FailoverConfig describes a link-failure scenario: the link dies at FailAt;
+// after DetectDelay the management plane reroutes the affected flows around
+// it, replans, and hot-swaps the schedule.
+type FailoverConfig struct {
+	// FailedLink is the link that dies.
+	FailedLink topology.LinkID
+	// FailAt is the failure instant (default Duration/3).
+	FailAt time.Duration
+	// DetectDelay is the failure-detection plus replanning latency
+	// (default 10 frames).
+	DetectDelay time.Duration
+	// Method plans the replacement schedule (default MethodPathMajor).
+	Method PlanMethod
+}
+
+// WindowLoss is the per-flow loss fraction within one phase of the
+// scenario.
+type WindowLoss struct {
+	Sent, Received int
+	Loss           float64
+}
+
+// FailoverFlowResult is one flow's delivery across the three phases.
+// Packets still in flight at a phase boundary (or at the end of the run)
+// count against the phase that created them, so a fraction of a percent of
+// boundary loss is expected even on healthy flows.
+type FailoverFlowResult struct {
+	FlowID topology.FlowID
+	// Rerouted reports that the flow's path crossed the failed link.
+	Rerouted bool
+	// Before covers packets created before the failure; During covers the
+	// outage (failure to schedule swap); After covers post-recovery.
+	Before, During, After WindowLoss
+}
+
+// FailoverResult is the outcome of a failover scenario.
+type FailoverResult struct {
+	Flows []FailoverFlowResult
+	// SwapAt is when the replacement schedule took over.
+	SwapAt time.Duration
+	// ReroutedFlows counts flows moved to new paths.
+	ReroutedFlows int
+	// MAC carries the emulation counters (FailureDrops included).
+	MAC tdmaemu.Stats
+}
+
+// RunTDMAFailover runs the flow set over the TDMA emulation, kills
+// cfg.FailedLink mid-run, reroutes and replans after the detection delay,
+// and reports per-phase delivery. Flows with no alternative path keep
+// failing — that shows up as After-phase loss.
+func (s *System) RunTDMAFailover(plan *Plan, fs *topology.FlowSet, run RunConfig, cfg FailoverConfig) (*FailoverResult, error) {
+	if plan == nil || plan.Schedule == nil {
+		return nil, errors.New("core: nil plan")
+	}
+	if fs == nil || len(fs.Flows) == 0 {
+		return nil, errors.New("core: no flows")
+	}
+	if _, err := s.Topo.Link(cfg.FailedLink); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	run.applyDefaults()
+	if cfg.FailAt == 0 {
+		cfg.FailAt = run.Duration / 3
+	}
+	if cfg.DetectDelay == 0 {
+		cfg.DetectDelay = 10 * s.Frame.FrameDuration
+	}
+	if cfg.Method == 0 {
+		cfg.Method = MethodPathMajor
+	}
+	if cfg.FailAt <= 0 || cfg.FailAt+cfg.DetectDelay >= run.Duration {
+		return nil, fmt.Errorf("core: failover timeline [%v, +%v] outside run of %v",
+			cfg.FailAt, cfg.DetectDelay, run.Duration)
+	}
+	swapAt := cfg.FailAt + cfg.DetectDelay
+
+	kernel := sim.NewKernel()
+	type probe struct {
+		sent, recv [3]int
+	}
+	probes := make(map[topology.FlowID]*probe, len(fs.Flows))
+	// paths is mutable: the inject closure reads it so rerouting takes
+	// effect for packets created after the swap.
+	paths := make(map[topology.FlowID]topology.Path, len(fs.Flows))
+	for _, f := range fs.Flows {
+		probes[f.ID] = &probe{}
+		paths[f.ID] = f.Path
+	}
+	phaseOf := func(created time.Duration) int {
+		switch {
+		case created < cfg.FailAt:
+			return 0
+		case created < swapAt:
+			return 1
+		default:
+			return 2
+		}
+	}
+
+	nw, err := tdmaemu.New(s.MAC, s.Topo, kernel, plan.Schedule, nil, s.InterferenceRange,
+		func(p *tdmaemu.Packet, at time.Duration) {
+			probes[topology.FlowID(p.FlowID)].recv[phaseOf(p.Created)]++
+		})
+	if err != nil {
+		return nil, err
+	}
+	if err := nw.Start(); err != nil {
+		return nil, err
+	}
+
+	sources, err := startSources(kernel, fs, run, func(f topology.Flow, pkt voip.Packet) {
+		probes[f.ID].sent[phaseOf(pkt.Sent)]++
+		p := &tdmaemu.Packet{FlowID: int(f.ID), Seq: pkt.Seq, Path: paths[f.ID], Bytes: pkt.Bytes}
+		_ = nw.Inject(p)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Failure event.
+	if _, err := kernel.At(cfg.FailAt, func() {
+		_ = nw.FailLink(cfg.FailedLink)
+	}); err != nil {
+		return nil, err
+	}
+
+	// Detection + replan + swap event.
+	res := &FailoverResult{SwapAt: swapAt}
+	rerouted := make(map[topology.FlowID]bool)
+	if _, err := kernel.At(swapAt, func() {
+		avoid := map[topology.LinkID]bool{cfg.FailedLink: true}
+		newFS := topology.NewFlowSet(s.Topo)
+		for _, f := range fs.Flows {
+			path := f.Path
+			if pathUses(path, cfg.FailedLink) {
+				alt, err := s.Topo.ShortestPathAvoiding(f.Src, f.Dst, avoid)
+				if err == nil {
+					path = alt
+					rerouted[f.ID] = true
+				}
+			}
+			// Flow IDs are assigned in order, so the new set keeps them.
+			if _, err := newFS.AddOnPath(f.Src, f.Dst, f.RateBps, f.DelayBound, path); err != nil {
+				return
+			}
+		}
+		newPlan, err := s.Plan(newFS, cfg.Method, run.Codec.PacketBytes())
+		if err != nil {
+			return // no feasible replacement: keep limping on the old one
+		}
+		for _, f := range newFS.Flows {
+			paths[f.ID] = f.Path
+		}
+		_ = nw.SetSchedule(newPlan.Schedule)
+	}); err != nil {
+		return nil, err
+	}
+
+	kernel.RunUntil(run.Duration)
+	for _, src := range sources {
+		src.Stop()
+	}
+
+	for _, f := range fs.Flows {
+		pr := probes[f.ID]
+		fr := FailoverFlowResult{FlowID: f.ID, Rerouted: rerouted[f.ID]}
+		for phase, dst := range []*WindowLoss{&fr.Before, &fr.During, &fr.After} {
+			dst.Sent = pr.sent[phase]
+			dst.Received = pr.recv[phase]
+			if dst.Sent > 0 {
+				dst.Loss = 1 - float64(dst.Received)/float64(dst.Sent)
+				if dst.Loss < 0 {
+					dst.Loss = 0
+				}
+			}
+		}
+		res.Flows = append(res.Flows, fr)
+	}
+	res.ReroutedFlows = len(rerouted)
+	res.MAC = nw.Stats()
+	return res, nil
+}
+
+func pathUses(p topology.Path, l topology.LinkID) bool {
+	for _, x := range p {
+		if x == l {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"wimesh/internal/topology"
+	"wimesh/internal/voip"
+)
+
+func TestRunTDMAFailoverRingReroutes(t *testing.T) {
+	topo, err := topology.Ring(6, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One call from node 3 to the gateway (node 0): a 3-hop path with a
+	// 3-hop alternative around the other side of the ring.
+	fs, err := GatewayCalls(topo, 3, voip.G711(), 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the flow from node 3 and the first link of its path.
+	var victim topology.Flow
+	found := false
+	for _, f := range fs.Flows {
+		if f.Src == 3 {
+			victim = f
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no flow from node 3")
+	}
+	plan, err := sys.PlanVoIP(fs, MethodPathMajor, voip.G711())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.RunTDMAFailover(plan, fs, RunConfig{Duration: 9 * time.Second, Seed: 6},
+		FailoverConfig{
+			FailedLink:  victim.Path[0],
+			FailAt:      3 * time.Second,
+			DetectDelay: 200 * time.Millisecond,
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ReroutedFlows < 1 {
+		t.Fatalf("no flows rerouted (result %+v)", res)
+	}
+	if res.MAC.FailureDrops == 0 {
+		t.Error("no failure drops recorded during the outage")
+	}
+	for _, f := range res.Flows {
+		if f.FlowID != victim.ID {
+			// Unaffected flows stay essentially clean (in-flight packets at
+			// phase/run boundaries allow a sliver of loss).
+			if f.Before.Loss > 0.02 || f.After.Loss > 0.02 {
+				t.Errorf("bystander flow %d lost packets: %+v", f.FlowID, f)
+			}
+			continue
+		}
+		if !f.Rerouted {
+			t.Error("victim flow not marked rerouted")
+		}
+		if f.Before.Loss > 0.02 {
+			t.Errorf("victim lost packets before the failure: %+v", f.Before)
+		}
+		if f.During.Loss == 0 {
+			t.Errorf("victim lost nothing during the outage: %+v", f.During)
+		}
+		// Post-swap delivery recovers (packets created after the swap ride
+		// the new path; allow stragglers).
+		if f.After.Loss > 0.05 {
+			t.Errorf("victim loss after recovery = %g: %+v", f.After.Loss, f.After)
+		}
+	}
+}
+
+func TestRunTDMAFailoverValidation(t *testing.T) {
+	sys := chainSystem(t, 3)
+	fs, err := GatewayCalls(sys.Topo, 1, voip.G711(), 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := sys.PlanVoIP(fs, MethodGreedy, voip.G711())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.RunTDMAFailover(nil, fs, RunConfig{}, FailoverConfig{}); err == nil {
+		t.Error("nil plan accepted")
+	}
+	if _, err := sys.RunTDMAFailover(plan, fs, RunConfig{}, FailoverConfig{FailedLink: 999}); err == nil {
+		t.Error("unknown link accepted")
+	}
+	// Timeline outside the run.
+	if _, err := sys.RunTDMAFailover(plan, fs, RunConfig{Duration: time.Second},
+		FailoverConfig{FailedLink: fs.Flows[0].Path[0], FailAt: 2 * time.Second}); err == nil {
+		t.Error("failure after run end accepted")
+	}
+}
+
+func TestFailoverNoAlternativePathKeepsFailing(t *testing.T) {
+	// A chain has no alternative route: the victim flow stays broken.
+	sys := chainSystem(t, 4)
+	fs, err := GatewayCalls(sys.Topo, 3, voip.G711(), 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := sys.PlanVoIP(fs, MethodPathMajor, voip.G711())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var victim topology.Flow
+	for _, f := range fs.Flows {
+		if f.Src == 3 {
+			victim = f
+		}
+	}
+	res, err := sys.RunTDMAFailover(plan, fs, RunConfig{Duration: 6 * time.Second, Seed: 7},
+		FailoverConfig{FailedLink: victim.Path[0], FailAt: 2 * time.Second,
+			DetectDelay: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range res.Flows {
+		if f.FlowID != victim.ID {
+			continue
+		}
+		if f.Rerouted {
+			t.Error("victim rerouted on a chain with no alternative")
+		}
+		if f.After.Loss < 0.9 {
+			t.Errorf("victim loss after failure = %g, want ~1 (no route)", f.After.Loss)
+		}
+	}
+}

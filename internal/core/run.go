@@ -1,0 +1,318 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"wimesh/internal/mac/dcf"
+	"wimesh/internal/mac/tdmaemu"
+	"wimesh/internal/sim"
+	"wimesh/internal/stats"
+	"wimesh/internal/timesync"
+	"wimesh/internal/topology"
+	"wimesh/internal/voip"
+)
+
+// RunConfig parameterizes one simulation run.
+type RunConfig struct {
+	// Duration is the simulated time (default 10 s).
+	Duration time.Duration
+	// Codec is the voice codec (default G.711).
+	Codec voip.Codec
+	// Mode selects CBR or talk-spurt sources (default CBR).
+	Mode voip.SourceMode
+	// Seed drives all randomness.
+	Seed int64
+	// Sync enables the clock model for TDMA emulation (nil = ideal
+	// clocks). Ignored by DCF.
+	Sync *timesync.Config
+	// WarmUp excludes initial packets from the measurements (default
+	// Duration/10).
+	WarmUp time.Duration
+}
+
+func (c *RunConfig) applyDefaults() {
+	if c.Duration == 0 {
+		c.Duration = 10 * time.Second
+	}
+	if c.Codec.Name == "" {
+		c.Codec = voip.G711()
+	}
+	if c.Mode == 0 {
+		c.Mode = voip.ModeCBR
+	}
+	if c.WarmUp == 0 {
+		c.WarmUp = c.Duration / 10
+	}
+}
+
+// FlowResult is the measured performance of one flow.
+type FlowResult struct {
+	FlowID topology.FlowID
+	// Sent and Received count measured packets (inside the measurement
+	// window).
+	Sent, Received int
+	// Loss is the fraction of measured packets not delivered.
+	Loss float64
+	// MeanDelay, P95Delay and MaxDelay summarize network delay.
+	MeanDelay, P95Delay, MaxDelay time.Duration
+	// JitterBuffer is the planned playout buffer: the smallest depth
+	// keeping late loss at or below 1%.
+	JitterBuffer time.Duration
+	// LateLoss is the fraction of delivered packets missing the playout
+	// instant (part of the loss fed to the E-model).
+	LateLoss float64
+	// MouthToEar is the E-model delay input: playout buffer plus
+	// packetization and codec lookahead.
+	MouthToEar time.Duration
+	// Quality is the E-model score.
+	Quality voip.Quality
+}
+
+// RunResult aggregates one simulation run.
+type RunResult struct {
+	Flows []FlowResult
+	// MinR is the worst flow R-factor.
+	MinR float64
+	// AllAcceptable reports that every flow kept toll quality.
+	AllAcceptable bool
+	// TDMA and DCF hold the MAC counters of whichever MAC ran.
+	TDMA *tdmaemu.Stats
+	DCF  *dcf.Stats
+}
+
+// flowProbe accumulates per-flow measurements.
+type flowProbe struct {
+	sent     int
+	received int
+	delays   stats.Sample
+}
+
+// measurementWindow returns [lo, hi) of packet-creation times that count.
+func measurementWindow(cfg RunConfig, frame time.Duration) (time.Duration, time.Duration) {
+	drain := 10 * frame
+	if drain < 200*time.Millisecond {
+		drain = 200 * time.Millisecond
+	}
+	hi := cfg.Duration - drain
+	if hi <= cfg.WarmUp {
+		hi = cfg.Duration // degenerate short runs: measure everything
+		return cfg.WarmUp / 2, hi
+	}
+	return cfg.WarmUp, hi
+}
+
+// RunTDMA simulates the flow set over the TDMA-over-WiFi emulation using the
+// plan's schedule.
+func (s *System) RunTDMA(plan *Plan, fs *topology.FlowSet, cfg RunConfig) (*RunResult, error) {
+	if plan == nil || plan.Schedule == nil {
+		return nil, errors.New("core: nil plan")
+	}
+	if fs == nil || len(fs.Flows) == 0 {
+		return nil, errors.New("core: no flows")
+	}
+	cfg.applyDefaults()
+	kernel := sim.NewKernel()
+
+	var ts *timesync.Sync
+	if cfg.Sync != nil {
+		rt, err := s.Topo.BuildRoutingTree()
+		if err != nil {
+			return nil, fmt.Errorf("core: sync needs a gateway: %w", err)
+		}
+		ts, err = timesync.New(*cfg.Sync, rt.Depth, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := ts.Start(kernel); err != nil {
+			return nil, err
+		}
+	}
+
+	lo, hi := measurementWindow(cfg, s.Frame.FrameDuration)
+	probes := make(map[topology.FlowID]*flowProbe, len(fs.Flows))
+	for _, f := range fs.Flows {
+		probes[f.ID] = &flowProbe{}
+	}
+	nw, err := tdmaemu.New(s.MAC, s.Topo, kernel, plan.Schedule, ts, s.InterferenceRange,
+		func(p *tdmaemu.Packet, at time.Duration) {
+			if p.Created < lo || p.Created >= hi {
+				return
+			}
+			pr := probes[topology.FlowID(p.FlowID)]
+			pr.received++
+			pr.delays.AddDuration(at - p.Created)
+		})
+	if err != nil {
+		return nil, err
+	}
+	if err := nw.Start(); err != nil {
+		return nil, err
+	}
+
+	sources, err := startSources(kernel, fs, cfg, func(f topology.Flow, pkt voip.Packet) {
+		if pkt.Sent >= lo && pkt.Sent < hi {
+			probes[f.ID].sent++
+		}
+		p := &tdmaemu.Packet{FlowID: int(f.ID), Seq: pkt.Seq, Path: f.Path, Bytes: pkt.Bytes}
+		if err := nw.Inject(p); err != nil {
+			// Injection only fails for malformed packets; surface loudly in
+			// measurements by counting nothing.
+			return
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	kernel.RunUntil(cfg.Duration)
+	for _, src := range sources {
+		src.Stop()
+	}
+	st := nw.Stats()
+	res, err := assemble(fs, probes, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res.TDMA = &st
+	return res, nil
+}
+
+// RunDCF simulates the flow set over plain 802.11 DCF (no schedule).
+func (s *System) RunDCF(fs *topology.FlowSet, cfg RunConfig) (*RunResult, error) {
+	if fs == nil || len(fs.Flows) == 0 {
+		return nil, errors.New("core: no flows")
+	}
+	cfg.applyDefaults()
+	kernel := sim.NewKernel()
+
+	lo, hi := measurementWindow(cfg, s.Frame.FrameDuration)
+	probes := make(map[topology.FlowID]*flowProbe, len(fs.Flows))
+	routes := make(map[topology.FlowID][]topology.NodeID, len(fs.Flows))
+	for _, f := range fs.Flows {
+		probes[f.ID] = &flowProbe{}
+		nodes, err := s.Topo.PathNodes(f.Path)
+		if err != nil {
+			return nil, fmt.Errorf("core: flow %d: %w", f.ID, err)
+		}
+		routes[f.ID] = nodes
+	}
+	// The DCF baseline reuses the emulation's PHY and rate; zero values let
+	// dcf apply the same 802.11b/11 Mb/s defaults.
+	dcfCfg := dcf.Config{
+		PHY:         s.MAC.PHY,
+		DataRateBps: s.MAC.DataRateBps,
+		Seed:        cfg.Seed,
+	}
+	nw, err := dcf.New(dcfCfg, s.Topo, kernel, s.InterferenceRange,
+		func(p *dcf.Packet, at time.Duration) {
+			if p.Created < lo || p.Created >= hi {
+				return
+			}
+			pr := probes[topology.FlowID(p.FlowID)]
+			pr.received++
+			pr.delays.AddDuration(at - p.Created)
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	sources, err := startSources(kernel, fs, cfg, func(f topology.Flow, pkt voip.Packet) {
+		if pkt.Sent >= lo && pkt.Sent < hi {
+			probes[f.ID].sent++
+		}
+		p := &dcf.Packet{FlowID: int(f.ID), Seq: pkt.Seq, Route: routes[f.ID], Bytes: pkt.Bytes}
+		if err := nw.Inject(p); err != nil {
+			return
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	kernel.RunUntil(cfg.Duration)
+	for _, src := range sources {
+		src.Stop()
+	}
+	st := nw.Stats()
+	res, err := assemble(fs, probes, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res.DCF = &st
+	return res, nil
+}
+
+// startSources creates and starts one voice source per flow, staggered by a
+// fraction of the packet interval.
+func startSources(kernel *sim.Kernel, fs *topology.FlowSet, cfg RunConfig,
+	inject func(topology.Flow, voip.Packet)) ([]*voip.Source, error) {
+	sources := make([]*voip.Source, 0, len(fs.Flows))
+	for i, f := range fs.Flows {
+		f := f
+		rng := sim.NewRNG(cfg.Seed, int64(i)+5000)
+		src, err := voip.NewSource(cfg.Codec, cfg.Mode, func(pkt voip.Packet) {
+			inject(f, pkt)
+		}, rng)
+		if err != nil {
+			return nil, err
+		}
+		offset := cfg.Codec.PacketInterval * time.Duration(i) / time.Duration(len(fs.Flows)+1)
+		if err := src.Start(kernel, offset); err != nil {
+			return nil, err
+		}
+		sources = append(sources, src)
+	}
+	return sources, nil
+}
+
+// assemble turns probes into a RunResult with E-model scores.
+func assemble(fs *topology.FlowSet, probes map[topology.FlowID]*flowProbe, cfg RunConfig) (*RunResult, error) {
+	res := &RunResult{MinR: 100, AllAcceptable: true}
+	for _, f := range fs.Flows {
+		pr := probes[f.ID]
+		fr := FlowResult{FlowID: f.ID, Sent: pr.sent, Received: pr.received}
+		if pr.sent > 0 {
+			fr.Loss = 1 - float64(pr.received)/float64(pr.sent)
+			if fr.Loss < 0 {
+				fr.Loss = 0 // duplicates cannot happen; guard rounding
+			}
+		}
+		if pr.delays.Len() > 0 {
+			mean, err := pr.delays.Mean()
+			if err != nil {
+				return nil, err
+			}
+			p95, err := pr.delays.Quantile(0.95)
+			if err != nil {
+				return nil, err
+			}
+			maxV, err := pr.delays.Max()
+			if err != nil {
+				return nil, err
+			}
+			fr.MeanDelay = time.Duration(mean * float64(time.Second))
+			fr.P95Delay = time.Duration(p95 * float64(time.Second))
+			fr.MaxDelay = time.Duration(maxV * float64(time.Second))
+			// Receiver-side playout: smallest jitter buffer keeping late
+			// loss <= 1%; late losses add to the network loss.
+			q, po, err := voip.EvaluateWithPlayout(cfg.Codec, pr.delays.Durations(), fr.Loss, 0.01)
+			if err != nil {
+				return nil, err
+			}
+			fr.JitterBuffer = po.Buffer
+			fr.LateLoss = po.LateLoss
+			fr.MouthToEar = voip.EndToEndDelay(cfg.Codec, po.Buffer, 0)
+			fr.Quality = q
+		} else {
+			fr.Quality = voip.Quality{R: 0, MOS: 1}
+		}
+		if fr.Quality.R < res.MinR {
+			res.MinR = fr.Quality.R
+		}
+		if !fr.Quality.Acceptable() {
+			res.AllAcceptable = false
+		}
+		res.Flows = append(res.Flows, fr)
+	}
+	return res, nil
+}

@@ -1,0 +1,175 @@
+// Package experiments regenerates the evaluation of the reproduced paper:
+// every table/figure R1-R8 indexed in DESIGN.md is a function here that
+// produces a Table of results. cmd/meshbench prints them; the root
+// bench_test.go wraps each in a testing.B benchmark.
+//
+// Because the original paper's text is unavailable (see DESIGN.md), the
+// experiments reconstruct the evaluation style of the Djukic-Valaee papers:
+// minimum frame length vs. offered VoIP load, delay-aware vs. arbitrary
+// transmission orders, TDMA-emulation vs. 802.11 DCF capacity and delay,
+// emulation overhead vs. guard time, and schedule violations vs. clock-sync
+// error. EXPERIMENTS.md records expected shape vs. measured output.
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is one experiment's result grid.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	// Notes explains parameters and reading of the table.
+	Notes string
+}
+
+// AddRow appends a row of cells formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Fprint renders the table as aligned text.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	if t.Notes != "" {
+		fmt.Fprintf(w, "%s\n", t.Notes)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, " ", strings.Join(parts, "  "))
+	}
+	printRow(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	printRow(sep)
+	for _, row := range t.Rows {
+		printRow(row)
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteCSV renders the table as CSV with an experiment-id column prepended,
+// so several tables can share one file.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{"experiment"}, t.Header...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(append([]string{t.ID}, row...)); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// All runs every experiment in order. Failing experiments abort with the
+// error.
+func All() ([]*Table, error) {
+	type gen struct {
+		name string
+		fn   func() (*Table, error)
+	}
+	gens := []gen{
+		{"R1", R1MinFrameLength},
+		{"R2", R2DelayAwareOrdering},
+		{"R3", R3VoIPCapacity},
+		{"R4", R4DelayDistribution},
+		{"R5", R5EmulationOverhead},
+		{"R6", R6SyncTolerance},
+		{"R7", R7SchedulerScalability},
+		{"R8", R8DCFSaturation},
+		{"R9", R9MultiService},
+		{"R10", R10HiddenTerminal},
+		{"R11", R11ControlPlane},
+		{"R12", R12Failover},
+		{"R13", R13MixedService},
+		{"R14", R14NativeVsEmulated},
+		{"R15", R15RoutingMetric},
+		{"R16", R16ConflictModel},
+		{"R17", R17FrameDuration},
+	}
+	var out []*Table
+	for _, g := range gens {
+		t, err := g.fn()
+		if err != nil {
+			return nil, fmt.Errorf("experiment %s: %w", g.name, err)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// ByID runs one experiment by its identifier (case-insensitive).
+func ByID(id string) (*Table, error) {
+	switch strings.ToUpper(id) {
+	case "R1":
+		return R1MinFrameLength()
+	case "R2":
+		return R2DelayAwareOrdering()
+	case "R3":
+		return R3VoIPCapacity()
+	case "R4":
+		return R4DelayDistribution()
+	case "R5":
+		return R5EmulationOverhead()
+	case "R6":
+		return R6SyncTolerance()
+	case "R7":
+		return R7SchedulerScalability()
+	case "R8":
+		return R8DCFSaturation()
+	case "R9":
+		return R9MultiService()
+	case "R10":
+		return R10HiddenTerminal()
+	case "R11":
+		return R11ControlPlane()
+	case "R12":
+		return R12Failover()
+	case "R13":
+		return R13MixedService()
+	case "R14":
+		return R14NativeVsEmulated()
+	case "R15":
+		return R15RoutingMetric()
+	case "R16":
+		return R16ConflictModel()
+	case "R17":
+		return R17FrameDuration()
+	default:
+		return nil, fmt.Errorf("experiments: unknown id %q (want R1..R17)", id)
+	}
+}

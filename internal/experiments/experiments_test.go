@@ -1,0 +1,532 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTableAddRowAndFprint(t *testing.T) {
+	tab := &Table{
+		ID:     "T",
+		Title:  "test",
+		Header: []string{"a", "bb"},
+		Notes:  "note",
+	}
+	tab.AddRow(1, 2.5)
+	tab.AddRow("x", "y")
+	var sb strings.Builder
+	tab.Fprint(&sb)
+	out := sb.String()
+	for _, want := range []string{"== T: test ==", "note", "a", "bb", "2.50", "x"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestByIDUnknown(t *testing.T) {
+	if _, err := ByID("R99"); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestByIDCaseInsensitive(t *testing.T) {
+	tab, err := ByID("r5")
+	if err != nil {
+		t.Fatalf("ByID(r5): %v", err)
+	}
+	if tab.ID != "R5" {
+		t.Errorf("ID = %s", tab.ID)
+	}
+}
+
+func TestR1ShapeChainNeedsMoreSlotsThanTree(t *testing.T) {
+	tab, err := R1MinFrameLength()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(tab.Rows))
+	}
+	// Monotone in calls, and chain >= tree at 6 calls (longer paths).
+	prev := 0
+	for _, row := range tab.Rows {
+		v, err := strconv.Atoi(row[1])
+		if err != nil {
+			t.Fatalf("chain ILP cell %q", row[1])
+		}
+		if v < prev {
+			t.Errorf("chain min slots not monotone: %v", tab.Rows)
+		}
+		prev = v
+	}
+	last := tab.Rows[len(tab.Rows)-1]
+	chainSlots, _ := strconv.Atoi(last[1])
+	treeSlots, _ := strconv.Atoi(last[4])
+	if chainSlots < treeSlots {
+		t.Errorf("chain %d < tree %d slots at 6 calls", chainSlots, treeSlots)
+	}
+	// Greedy never beats the ILP optimum.
+	for _, row := range tab.Rows {
+		ilp, err1 := strconv.Atoi(row[1])
+		greedy, err2 := strconv.Atoi(row[2])
+		if err1 == nil && err2 == nil && greedy < ilp {
+			t.Errorf("greedy %d beats ILP %d", greedy, ilp)
+		}
+	}
+}
+
+func TestR2ShapeOptimalBeatsNaive(t *testing.T) {
+	tab, err := R2DelayAwareOrdering()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		opt, err1 := strconv.ParseFloat(row[1], 64)
+		pm, err2 := strconv.ParseFloat(row[3], 64)
+		naive, err3 := strconv.ParseFloat(row[4], 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			t.Fatalf("bad row %v", row)
+		}
+		if opt > pm+1e-9 {
+			t.Errorf("hops %s: minmax %g worse than path-major %g", row[0], opt, pm)
+		}
+		if naive < opt {
+			t.Errorf("hops %s: naive %g beats optimal %g", row[0], naive, opt)
+		}
+	}
+	// Naive delay grows roughly one frame (20 ms) per hop; optimal stays
+	// within a frame for <= 8 hops.
+	last := tab.Rows[len(tab.Rows)-1]
+	opt, _ := strconv.ParseFloat(last[1], 64)
+	naive, _ := strconv.ParseFloat(last[4], 64)
+	if opt > 20 {
+		t.Errorf("optimal 8-hop delay %g ms exceeds one frame", opt)
+	}
+	if naive < 100 {
+		t.Errorf("naive 8-hop delay %g ms implausibly low", naive)
+	}
+}
+
+func TestR5ShapeNativeBeatsEmulation(t *testing.T) {
+	tab, err := R5EmulationOverhead()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		voice, err1 := strconv.ParseFloat(row[1], 64)
+		agg, err2 := strconv.ParseFloat(row[4], 64)
+		native, err3 := strconv.ParseFloat(row[6], 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			t.Fatalf("bad row %v", row)
+		}
+		if native <= voice {
+			t.Errorf("slot %s: native %g not above emulated %g", row[0], native, voice)
+		}
+		if native < 0.9 {
+			t.Errorf("native efficiency %g implausibly low", native)
+		}
+		if agg < voice {
+			t.Errorf("slot %s: aggregation %g below plain voice %g", row[0], agg, voice)
+		}
+	}
+}
+
+func TestR6ShapeGuardHelps(t *testing.T) {
+	tab, err := R6SyncTolerance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First row (zero error): all zero.
+	for _, cell := range tab.Rows[0][1:] {
+		v, err := strconv.ParseFloat(cell, 64)
+		if err != nil || v != 0 {
+			t.Errorf("zero-error violation %q, want 0", cell)
+		}
+	}
+	// Last row (200 us error): small guard worse than big guard.
+	last := tab.Rows[len(tab.Rows)-1]
+	small, _ := strconv.ParseFloat(last[1], 64)
+	big, _ := strconv.ParseFloat(last[3], 64)
+	if small <= big {
+		t.Errorf("200us error: g=25us rate %g not above g=250us rate %g", small, big)
+	}
+	if small == 0 {
+		t.Error("200us error with 25us guard produced no violations")
+	}
+}
+
+func TestR8ShapeBianchi(t *testing.T) {
+	tab, err := R8DCFSaturation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := tab.Rows[0]
+	last := tab.Rows[len(tab.Rows)-1]
+	t1, _ := strconv.ParseFloat(first[1], 64)
+	tn, _ := strconv.ParseFloat(last[1], 64)
+	c1, _ := strconv.ParseFloat(first[2], 64)
+	cn, _ := strconv.ParseFloat(last[2], 64)
+	if tn >= t1 {
+		t.Errorf("throughput did not decay: %g -> %g", t1, tn)
+	}
+	if cn <= c1 {
+		t.Errorf("collision rate did not grow: %g -> %g", c1, cn)
+	}
+	// 802.11b with 1500-byte frames: 4-8 Mb/s plausible band.
+	if t1 < 4 || t1 > 8.5 {
+		t.Errorf("single-sender throughput %g Mb/s implausible", t1)
+	}
+}
+
+func TestFillBytesFitsWindow(t *testing.T) {
+	for _, guard := range []time.Duration{0, 25 * time.Microsecond, 250 * time.Microsecond} {
+		b := fillBytes(time.Millisecond, guard)
+		if b < 1 {
+			t.Errorf("guard %v: bytes %d", guard, b)
+		}
+	}
+	// Degenerate: guard swallows the slot.
+	if b := fillBytes(100*time.Microsecond, 99*time.Microsecond); b != 1 {
+		t.Errorf("swallowed slot bytes = %d, want 1", b)
+	}
+}
+
+func TestR9ShapeBEDecaysWithVoice(t *testing.T) {
+	tab, err := R9MultiService()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(tab.Rows))
+	}
+	prevWin, prevBE := -1, 1e18
+	for _, row := range tab.Rows {
+		win, err1 := strconv.Atoi(row[1])
+		be, err2 := strconv.ParseFloat(row[3], 64)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("bad row %v", row)
+		}
+		if win < prevWin {
+			t.Errorf("voice window shrank with more calls: %v", tab.Rows)
+		}
+		if be > prevBE+1e-9 {
+			t.Errorf("BE capacity grew with more voice: %v", tab.Rows)
+		}
+		prevWin, prevBE = win, be
+	}
+	// BE capacity is substantial at zero calls and still positive at five.
+	be0, _ := strconv.ParseFloat(tab.Rows[0][3], 64)
+	be5, _ := strconv.ParseFloat(tab.Rows[5][3], 64)
+	if be0 < 1 {
+		t.Errorf("BE capacity at 0 calls = %g Mb/s", be0)
+	}
+	if be5 <= 0 || be5 >= be0 {
+		t.Errorf("BE trade-off wrong: %g then %g", be0, be5)
+	}
+}
+
+func TestR10ShapeTDMABeatsRTSCTSBeatsDCF(t *testing.T) {
+	tab, err := R10HiddenTerminal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(tab.Rows))
+	}
+	rate := func(i int) float64 {
+		v, err := strconv.ParseFloat(tab.Rows[i][4], 64)
+		if err != nil {
+			t.Fatalf("bad rate cell %q", tab.Rows[i][4])
+		}
+		return v
+	}
+	dcfRate, rtsRate, tdmaRate := rate(0), rate(1), rate(2)
+	if !(tdmaRate <= rtsRate && rtsRate < dcfRate) {
+		t.Errorf("collision ordering wrong: dcf=%g rts=%g tdma=%g", dcfRate, rtsRate, tdmaRate)
+	}
+	if tdmaRate != 0 {
+		t.Errorf("TDMA collision rate = %g, want 0", tdmaRate)
+	}
+	if dcfRate < 0.1 {
+		t.Errorf("plain DCF collision rate %g implausibly low for hidden terminals", dcfRate)
+	}
+}
+
+func TestR11ShapeCostsGrowWithSize(t *testing.T) {
+	tab, err := R11ControlPlane()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevOpp, prevMsgs := 0, 0
+	for _, row := range tab.Rows {
+		opp, err1 := strconv.Atoi(row[1])
+		msgs, err2 := strconv.Atoi(row[4])
+		failed, err3 := strconv.Atoi(row[5])
+		if err1 != nil || err2 != nil || err3 != nil {
+			t.Fatalf("bad row %v", row)
+		}
+		if opp < prevOpp || msgs < prevMsgs {
+			t.Errorf("costs not monotone: %v", tab.Rows)
+		}
+		if failed != 0 {
+			t.Errorf("distributed handshakes failed on a chain: %v", row)
+		}
+		prevOpp, prevMsgs = opp, msgs
+	}
+	// Distributed needs ~3 messages per link; chains of n nodes have n-1
+	// demanding links.
+	last := tab.Rows[len(tab.Rows)-1]
+	msgs, _ := strconv.Atoi(last[4])
+	if msgs < 2*15 || msgs > 5*15 {
+		t.Errorf("distributed messages = %d for 15 links, want ~3/link", msgs)
+	}
+}
+
+func TestR12ShapeOutageConfinedAndDropsScale(t *testing.T) {
+	tab, err := R12Failover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(tab.Rows))
+	}
+	prevDrops := -1
+	for _, row := range tab.Rows {
+		before, err1 := strconv.ParseFloat(row[1], 64)
+		outage, err2 := strconv.ParseFloat(row[2], 64)
+		after, err3 := strconv.ParseFloat(row[3], 64)
+		drops, err4 := strconv.Atoi(row[5])
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+			t.Fatalf("bad row %v", row)
+		}
+		if before > 2 || after > 2 {
+			t.Errorf("loss outside the outage: before=%g after=%g", before, after)
+		}
+		if outage < 50 {
+			t.Errorf("outage loss = %g%%, want near total", outage)
+		}
+		if row[4] != "true" {
+			t.Errorf("victim not rerouted: %v", row)
+		}
+		if drops <= prevDrops {
+			t.Errorf("failure drops not growing with detect delay: %v", tab.Rows)
+		}
+		prevDrops = drops
+	}
+}
+
+func TestR13ShapePriorityProtectsVoice(t *testing.T) {
+	tab, err := R13MixedService()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	r := func(i int) float64 {
+		v, err := strconv.ParseFloat(tab.Rows[i][1], 64)
+		if err != nil {
+			t.Fatalf("bad R cell %q", tab.Rows[i][1])
+		}
+		return v
+	}
+	p95 := func(i int) time.Duration {
+		d, err := time.ParseDuration(tab.Rows[i][2])
+		if err != nil {
+			t.Fatalf("bad p95 cell %q", tab.Rows[i][2])
+		}
+		return d
+	}
+	be := func(i int) float64 {
+		v, err := strconv.ParseFloat(tab.Rows[i][4], 64)
+		if err != nil {
+			t.Fatalf("bad BE cell %q", tab.Rows[i][4])
+		}
+		return v
+	}
+	// With priority, the BE flood leaves voice untouched.
+	if r(1) < r(0)-0.5 {
+		t.Errorf("priority did not protect voice: R %g -> %g", r(0), r(1))
+	}
+	if p95(1) > 2*p95(0) {
+		t.Errorf("priority voice p95 doubled under flood: %v -> %v", p95(0), p95(1))
+	}
+	// Without priority, voice delay inflates.
+	if p95(2) <= 2*p95(1) {
+		t.Errorf("no-priority p95 %v not clearly worse than priority %v", p95(2), p95(1))
+	}
+	// The flood actually moves best-effort bits.
+	if be(1) <= 0.5 {
+		t.Errorf("BE throughput = %g Mb/s", be(1))
+	}
+	if be(0) != 0 {
+		t.Errorf("voice-only scenario carried BE traffic: %g", be(0))
+	}
+}
+
+func TestR14ShapeNativeOutcarriesEmulation(t *testing.T) {
+	tab, err := R14NativeVsEmulated()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	mbps := func(i int) float64 {
+		v, err := strconv.ParseFloat(tab.Rows[i][2], 64)
+		if err != nil {
+			t.Fatalf("bad cell %q", tab.Rows[i][2])
+		}
+		return v
+	}
+	emu, agg, qpsk, qam := mbps(0), mbps(1), mbps(2), mbps(3)
+	if !(emu < agg && agg < qpsk && qpsk < qam) {
+		t.Errorf("ordering wrong: %g %g %g %g", emu, agg, qpsk, qam)
+	}
+	// Native QPSK carries ~2.5x the plain emulation (1.0 vs 0.4 Mb/s).
+	if qpsk/emu < 2 {
+		t.Errorf("native/emulated ratio = %g, want >= 2", qpsk/emu)
+	}
+	// Throughput matches pkts/slot x 200 B / 8 ms within 10%.
+	for i := range tab.Rows {
+		pps, err := strconv.Atoi(tab.Rows[i][1])
+		if err != nil {
+			t.Fatalf("bad pkts cell %q", tab.Rows[i][1])
+		}
+		predicted := float64(pps) * 200 * 8 / 0.008 / 1e6
+		if m := mbps(i); m < predicted*0.9 || m > predicted*1.1 {
+			t.Errorf("row %d: measured %g vs predicted %g Mb/s", i, m, predicted)
+		}
+		if tab.Rows[i][3] != "0" {
+			t.Errorf("row %d lost frames: %v", i, tab.Rows[i])
+		}
+	}
+}
+
+func TestR15ShapeETXWins(t *testing.T) {
+	tab, err := R15RoutingMetric()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	cell := func(i, j int) float64 {
+		v, err := strconv.ParseFloat(tab.Rows[i][j], 64)
+		if err != nil {
+			t.Fatalf("bad cell %q", tab.Rows[i][j])
+		}
+		return v
+	}
+	// Row order: hop/0, hop/3, etx/0, etx/3.
+	hop0, hop3, etx0 := cell(0, 3), cell(1, 3), cell(2, 3)
+	if hop0 > 40 {
+		t.Errorf("hop-count delivery %g%%, want ~25%% (two 50%% hops)", hop0)
+	}
+	if hop3 <= hop0+20 {
+		t.Errorf("ARQ did not rescue hop-count route: %g -> %g", hop0, hop3)
+	}
+	if etx0 < 95 {
+		t.Errorf("ETX delivery = %g%%, want ~100%%", etx0)
+	}
+	// ETX route needs one more hop but scores toll quality; hop-count never does.
+	if r := cell(2, 4); r < voipTollR {
+		t.Errorf("ETX voice R = %g, want toll quality", r)
+	}
+	if r := cell(1, 4); r >= voipTollR {
+		t.Errorf("ARQ'd lossy route reached toll quality R=%g, unexpected", r)
+	}
+	// Retransmissions only on the lossy route with ARQ.
+	if tab.Rows[1][5] == "0" {
+		t.Error("no retransmissions on lossy ARQ route")
+	}
+	if tab.Rows[3][5] != "0" {
+		t.Errorf("clean ETX route retransmitted: %v", tab.Rows[3])
+	}
+}
+
+const voipTollR = 70.0
+
+func TestR16ShapeStricterModelsCostSlotsButWork(t *testing.T) {
+	tab, err := R16ConflictModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	win := func(i int) int {
+		v, err := strconv.Atoi(tab.Rows[i][1])
+		if err != nil {
+			t.Fatalf("bad window %q", tab.Rows[i][1])
+		}
+		return v
+	}
+	viol := func(i int) int {
+		v, err := strconv.Atoi(tab.Rows[i][2])
+		if err != nil {
+			t.Fatalf("bad violations %q", tab.Rows[i][2])
+		}
+		return v
+	}
+	// Stricter models need more slots.
+	if !(win(0) <= win(1) && win(1) <= win(2)) {
+		t.Errorf("windows not monotone: %d %d %d", win(0), win(1), win(2))
+	}
+	// Weaker-than-radio models collide; the matching model is clean.
+	if viol(0) == 0 {
+		t.Error("primary model produced no violations on the grid")
+	}
+	if viol(2) != 0 {
+		t.Errorf("geometric model violated %d times", viol(2))
+	}
+	r, err := strconv.ParseFloat(tab.Rows[2][4], 64)
+	if err != nil || r < voipTollR {
+		t.Errorf("geometric model min R = %g, want toll quality", r)
+	}
+}
+
+func TestR17ShapeCapacityDelayTradeoff(t *testing.T) {
+	tab, err := R17FrameDuration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	prevPps, prevCap := 0, 0
+	var prevP95 time.Duration
+	for _, row := range tab.Rows {
+		pps, err1 := strconv.Atoi(row[2])
+		capCalls, err2 := strconv.Atoi(row[3])
+		p95, err3 := time.ParseDuration(row[4])
+		if err1 != nil || err2 != nil || err3 != nil {
+			t.Fatalf("bad row %v", row)
+		}
+		if pps < prevPps {
+			t.Errorf("pkts/slot shrank with longer frames: %v", tab.Rows)
+		}
+		if capCalls < prevCap {
+			t.Errorf("capacity shrank with longer frames: %v", tab.Rows)
+		}
+		if p95 < prevP95 {
+			t.Errorf("p95 shrank with longer frames: %v", tab.Rows)
+		}
+		prevPps, prevCap, prevP95 = pps, capCalls, p95
+	}
+	// The sweep actually moves both axes.
+	first, last := tab.Rows[0], tab.Rows[len(tab.Rows)-1]
+	c0, _ := strconv.Atoi(first[3])
+	cN, _ := strconv.Atoi(last[3])
+	if cN <= c0 {
+		t.Errorf("no capacity gain across the sweep: %d -> %d", c0, cN)
+	}
+	p0, _ := time.ParseDuration(first[4])
+	pN, _ := time.ParseDuration(last[4])
+	if pN <= 2*p0 {
+		t.Errorf("no delay cost across the sweep: %v -> %v", p0, pN)
+	}
+}

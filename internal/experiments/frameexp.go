@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"wimesh/internal/core"
+	"wimesh/internal/tdma"
+	"wimesh/internal/topology"
+	"wimesh/internal/voip"
+)
+
+// R17FrameDuration sweeps the TDMA frame length: short frames serve packets
+// sooner (lower delay) but pay the per-slot guard and preamble overheads
+// more often (fewer voice packets per slot, lower capacity); long frames
+// amortize overheads but add queueing delay — the frame-sizing trade-off of
+// every 802.16 mesh deployment.
+func R17FrameDuration() (*Table, error) {
+	t := &Table{
+		ID:     "R17",
+		Title:  "Frame-duration trade-off: capacity vs. delay",
+		Header: []string{"frame", "slot", "pkts/slot", "capacity calls", "worst p95", "min R"},
+		Notes:  "6-node chain, 16 slots/frame, G.711 calls to the gateway; capacity = max calls at toll quality (path-major planner)",
+	}
+	for _, frameDur := range []time.Duration{8 * time.Millisecond, 16 * time.Millisecond,
+		32 * time.Millisecond, 64 * time.Millisecond} {
+		frame := tdma.FrameConfig{FrameDuration: frameDur, DataSlots: 16}
+		topo, err := topology.Chain(6, 100)
+		if err != nil {
+			return nil, err
+		}
+		sys, err := core.NewSystem(topo, core.WithFrame(frame))
+		if err != nil {
+			return nil, err
+		}
+		pps, err := sys.BytesPerSlot(voip.G711().PacketBytes())
+		if err != nil {
+			return nil, err
+		}
+		pps /= voip.G711().PacketBytes()
+
+		capRes, err := sys.VoIPCapacityTDMA(core.CapacityConfig{
+			MaxCalls: 40,
+			Run:      core.RunConfig{Duration: 3 * time.Second, Seed: 61},
+		})
+		if err != nil {
+			return nil, err
+		}
+		worstP95 := time.Duration(0)
+		minR := 0.0
+		if capRes.LastGood != nil {
+			minR = capRes.LastGood.MinR
+			for _, f := range capRes.LastGood.Flows {
+				if f.P95Delay > worstP95 {
+					worstP95 = f.P95Delay
+				}
+			}
+		}
+		t.AddRow(frameDur.String(), frame.SlotDuration().Round(time.Microsecond).String(),
+			pps, capRes.Calls, worstP95.Round(100*time.Microsecond).String(),
+			fmt.Sprintf("%.1f", minR))
+	}
+	return t, nil
+}

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"wimesh/internal/core"
+	"wimesh/internal/topology"
+	"wimesh/internal/voip"
+)
+
+// R3VoIPCapacity reproduces the headline capacity comparison: the number of
+// G.711 calls to the gateway served at toll quality (E-model R >= 70) by the
+// TDMA-over-WiFi emulation versus plain 802.11 DCF, across topologies.
+func R3VoIPCapacity() (*Table, error) {
+	t := &Table{
+		ID:     "R3",
+		Title:  "VoIP call capacity at toll quality: TDMA emulation vs. 802.11 DCF",
+		Header: []string{"topology", "TDMA calls", "TDMA stop", "DCF calls", "DCF stop"},
+		Notes:  "G.711 CBR calls to the gateway, 150 ms budget, 3 s runs; TDMA planned with the path-major order",
+	}
+	type topoCase struct {
+		name  string
+		build func() (*topology.Network, error)
+	}
+	cases := []topoCase{
+		{"chain4", func() (*topology.Network, error) { return topology.Chain(4, 100) }},
+		{"chain6", func() (*topology.Network, error) { return topology.Chain(6, 100) }},
+		{"grid9", func() (*topology.Network, error) { return topology.Grid(3, 3, 100) }},
+		{"random12", func() (*topology.Network, error) { return topology.RandomDisk(12, 600, 250, 5) }},
+	}
+	for _, tc := range cases {
+		topo, err := tc.build()
+		if err != nil {
+			return nil, err
+		}
+		sys, err := core.NewSystem(topo)
+		if err != nil {
+			return nil, err
+		}
+		capCfg := core.CapacityConfig{
+			MaxCalls: 40,
+			Run:      core.RunConfig{Duration: 3 * time.Second, Seed: 11},
+		}
+		tdmaRes, err := sys.VoIPCapacityTDMA(capCfg)
+		if err != nil {
+			return nil, err
+		}
+		dcfRes, err := sys.VoIPCapacityDCF(capCfg)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(tc.name, tdmaRes.Calls, string(tdmaRes.StoppedBy), dcfRes.Calls, string(dcfRes.StoppedBy))
+	}
+	return t, nil
+}
+
+// R4DelayDistribution reproduces the per-packet delay comparison at a fixed
+// VoIP load: worst-flow mean/p95/max delay, loss and E-model quality for the
+// TDMA emulation vs. DCF on a 5-node chain.
+func R4DelayDistribution() (*Table, error) {
+	t := &Table{
+		ID:     "R4",
+		Title:  "Worst-flow delay and quality at fixed load: TDMA emulation vs. DCF",
+		Header: []string{"mac", "calls", "mean", "p95", "max", "loss%", "min R", "MOS"},
+		Notes:  "5-node chain, G.711 calls to the gateway, 5 s runs; worst flow per run",
+	}
+	topo, err := topology.Chain(5, 100)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := core.NewSystem(topo)
+	if err != nil {
+		return nil, err
+	}
+	codec := voip.G711()
+	for _, calls := range []int{2, 4} {
+		fs, err := core.GatewayCalls(topo, calls, codec, 150*time.Millisecond, false)
+		if err != nil {
+			return nil, err
+		}
+		runCfg := core.RunConfig{Duration: 5 * time.Second, Seed: 13, Codec: codec}
+
+		plan, err := sys.PlanVoIP(fs, core.MethodPathMajor, codec)
+		if err != nil {
+			return nil, err
+		}
+		tdmaRes, err := sys.RunTDMA(plan, fs, runCfg)
+		if err != nil {
+			return nil, err
+		}
+		addWorstRow(t, "tdma", calls, tdmaRes)
+
+		dcfRes, err := sys.RunDCF(fs, runCfg)
+		if err != nil {
+			return nil, err
+		}
+		addWorstRow(t, "dcf", calls, dcfRes)
+	}
+	return t, nil
+}
+
+func addWorstRow(t *Table, mac string, calls int, res *core.RunResult) {
+	var worst core.FlowResult
+	first := true
+	for _, f := range res.Flows {
+		if first || f.P95Delay > worst.P95Delay {
+			worst = f
+			first = false
+		}
+	}
+	t.AddRow(mac, calls,
+		worst.MeanDelay.Round(10*time.Microsecond).String(),
+		worst.P95Delay.Round(10*time.Microsecond).String(),
+		worst.MaxDelay.Round(10*time.Microsecond).String(),
+		fmt.Sprintf("%.2f", worst.Loss*100),
+		fmt.Sprintf("%.1f", res.MinR),
+		fmt.Sprintf("%.2f", worst.Quality.MOS))
+}

@@ -1,0 +1,385 @@
+// Package dcf simulates the IEEE 802.11 Distributed Coordination Function
+// (CSMA/CA) over the shared medium model: DIFS sensing, binary exponential
+// backoff with slot-by-slot countdown and freezing, acknowledged exchanges,
+// retry limits, and FIFO interface queues.
+//
+// DCF is the baseline the TDMA emulation is compared against: it offers no
+// delay guarantees, collapses under hidden terminals and saturation, and its
+// per-packet delay spreads with contention (experiments R3, R4, R8).
+package dcf
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"wimesh/internal/mac"
+	"wimesh/internal/phy"
+	"wimesh/internal/sim"
+	"wimesh/internal/topology"
+)
+
+// Packet is a network-layer packet routed hop by hop over the mesh.
+type Packet struct {
+	// FlowID tags the packet's flow for accounting.
+	FlowID int
+	// Seq is the flow-local sequence number.
+	Seq int
+	// Route is the node sequence from source to destination.
+	Route []topology.NodeID
+	// Hop indexes the current transmitter in Route.
+	Hop int
+	// Bytes is the IP packet size.
+	Bytes int
+	// Created is the time the packet entered the source queue.
+	Created time.Duration
+}
+
+// Dst returns the final destination.
+func (p *Packet) Dst() topology.NodeID { return p.Route[len(p.Route)-1] }
+
+// Config parameterizes the DCF network.
+type Config struct {
+	// PHY supplies MAC/PHY timing (default IEEE80211b).
+	PHY phy.WiFiPHY
+	// DataRateBps is the data frame rate (default 11 Mb/s).
+	DataRateBps float64
+	// RetryLimit is the maximum retransmissions before a drop (default 7).
+	RetryLimit int
+	// QueueCap bounds each node's interface queue (default 64).
+	QueueCap int
+	// Seed drives the backoff randomness.
+	Seed int64
+	// RTSCTS protects data exchanges with an RTS/CTS handshake: virtual
+	// carrier sense reserves the medium around the receiver, mitigating
+	// hidden terminals at the cost of the handshake overhead.
+	RTSCTS bool
+}
+
+func (c *Config) applyDefaults() {
+	if c.PHY.Name == "" {
+		c.PHY = phy.IEEE80211b()
+	}
+	if c.DataRateBps == 0 {
+		c.DataRateBps = 11e6
+	}
+	if c.RetryLimit == 0 {
+		c.RetryLimit = 7
+	}
+	if c.QueueCap == 0 {
+		c.QueueCap = 64
+	}
+}
+
+// DeliveredFunc receives packets that reach their final destination.
+type DeliveredFunc func(p *Packet, at time.Duration)
+
+// Stats aggregates network-wide counters.
+type Stats struct {
+	Injected       uint64
+	Delivered      uint64
+	DroppedQueue   uint64
+	DroppedRetries uint64
+	Transmissions  uint64
+	Collisions     uint64
+	// ChannelLosses counts exchanges destroyed by the medium's loss model
+	// (retransmitted like collisions).
+	ChannelLosses uint64
+}
+
+// Network is a mesh running DCF on every node.
+type Network struct {
+	cfg    Config
+	topo   *topology.Network
+	kernel *sim.Kernel
+	medium *mac.Medium
+	nodes  map[topology.NodeID]*node
+
+	onDelivered DeliveredFunc
+	stats       Stats
+}
+
+type node struct {
+	nw  *Network
+	id  topology.NodeID
+	rng *rand.Rand
+
+	queue []*Packet
+	cw    int
+	// retries counts transmissions of the head-of-line packet.
+	retries int
+	// backoff is the remaining backoff slots; -1 means "draw a new value".
+	backoff int
+	// accessing marks an in-flight channel-access procedure, transmitting
+	// an in-flight exchange.
+	accessing    bool
+	transmitting bool
+}
+
+// txContext links a transmission outcome back to the sender.
+type txContext struct {
+	pkt    *Packet
+	sender *node
+}
+
+// New creates a DCF network over the topology. interferenceRange sets the
+// carrier-sense/interference radius of the medium. The delivered callback
+// may be nil.
+func New(cfg Config, topo *topology.Network, kernel *sim.Kernel, interferenceRange float64, delivered DeliveredFunc) (*Network, error) {
+	if topo == nil || kernel == nil {
+		return nil, errors.New("dcf: nil topology or kernel")
+	}
+	cfg.applyDefaults()
+	if !cfg.PHY.SupportsRate(cfg.DataRateBps) {
+		return nil, fmt.Errorf("dcf: %s does not support %g b/s", cfg.PHY.Name, cfg.DataRateBps)
+	}
+	medium, err := mac.NewMedium(topo, kernel, interferenceRange)
+	if err != nil {
+		return nil, err
+	}
+	nw := &Network{
+		cfg:         cfg,
+		topo:        topo,
+		kernel:      kernel,
+		medium:      medium,
+		nodes:       make(map[topology.NodeID]*node, topo.NumNodes()),
+		onDelivered: delivered,
+	}
+	for _, nd := range topo.Nodes() {
+		n := &node{
+			nw:      nw,
+			id:      nd.ID,
+			rng:     sim.NewRNG(cfg.Seed, int64(nd.ID)+1000),
+			cw:      cfg.PHY.CWMin,
+			backoff: -1,
+		}
+		nw.nodes[nd.ID] = n
+		id := nd.ID
+		if err := medium.SetReceiver(id, nw.onDelivery); err != nil {
+			return nil, err
+		}
+	}
+	return nw, nil
+}
+
+// Medium exposes the underlying medium (stats, tests).
+func (nw *Network) Medium() *mac.Medium { return nw.medium }
+
+// Stats returns a copy of the counters.
+func (nw *Network) Stats() Stats { return nw.stats }
+
+// Inject enqueues a packet at the first node of its route. The route must
+// have at least two nodes and exist in the topology.
+func (nw *Network) Inject(p *Packet) error {
+	if p == nil || len(p.Route) < 2 {
+		return errors.New("dcf: packet needs a route of >= 2 nodes")
+	}
+	if p.Hop != 0 {
+		return fmt.Errorf("dcf: inject with hop %d", p.Hop)
+	}
+	src, ok := nw.nodes[p.Route[0]]
+	if !ok {
+		return fmt.Errorf("dcf: unknown source %d", p.Route[0])
+	}
+	p.Created = nw.kernel.Now()
+	nw.stats.Injected++
+	nw.enqueue(src, p)
+	return nil
+}
+
+func (nw *Network) enqueue(n *node, p *Packet) {
+	if len(n.queue) >= nw.cfg.QueueCap {
+		nw.stats.DroppedQueue++
+		return
+	}
+	n.queue = append(n.queue, p)
+	n.kick()
+}
+
+// kick starts the channel-access procedure if the node has work and is not
+// already contending or transmitting.
+func (n *node) kick() {
+	if n.accessing || n.transmitting || len(n.queue) == 0 {
+		return
+	}
+	n.accessing = true
+	n.access()
+}
+
+// access waits for an idle channel, then a full DIFS, then runs backoff.
+func (n *node) access() {
+	m := n.nw.medium
+	if m.Busy(n.id) {
+		if err := m.WhenIdle(n.id, n.access); err != nil {
+			n.accessing = false
+		}
+		return
+	}
+	epoch := m.BusyEpoch(n.id)
+	if _, err := n.nw.kernel.After(n.nw.cfg.PHY.DIFS(), func() { n.difsEnd(epoch) }); err != nil {
+		n.accessing = false
+	}
+}
+
+func (n *node) difsEnd(epoch uint64) {
+	m := n.nw.medium
+	if m.Busy(n.id) || m.BusyEpoch(n.id) != epoch {
+		n.access() // interrupted: wait for idle again
+		return
+	}
+	if n.backoff < 0 {
+		n.backoff = n.rng.Intn(n.cw + 1)
+	}
+	n.slot()
+}
+
+// slot counts one backoff slot down per idle slot; interruptions restart the
+// DIFS wait with the remaining count frozen.
+func (n *node) slot() {
+	if n.backoff == 0 {
+		// Action phase: transmit after all same-instant decisions settle.
+		if _, err := n.nw.kernel.After(0, n.transmit); err != nil {
+			n.accessing = false
+		}
+		return
+	}
+	m := n.nw.medium
+	epoch := m.BusyEpoch(n.id)
+	if _, err := n.nw.kernel.After(n.nw.cfg.PHY.SlotTime, func() {
+		if m.Busy(n.id) || m.BusyEpoch(n.id) != epoch {
+			n.access()
+			return
+		}
+		n.backoff--
+		n.slot()
+	}); err != nil {
+		n.accessing = false
+	}
+}
+
+// transmit sends the head-of-line packet as an acknowledged exchange.
+func (n *node) transmit() {
+	if len(n.queue) == 0 {
+		n.accessing = false
+		return
+	}
+	p := n.queue[0]
+	rate := n.nw.linkRate(n.id, p.Route[p.Hop+1])
+	var (
+		airtime time.Duration
+		err     error
+	)
+	if n.nw.cfg.RTSCTS {
+		airtime, err = n.nw.cfg.PHY.ProtectedExchangeTime(p.Bytes, rate)
+	} else {
+		airtime, err = n.nw.cfg.PHY.DataExchangeTime(p.Bytes, rate)
+	}
+	if err != nil {
+		// Unreachable with a validated config; drop the packet defensively.
+		n.queue = n.queue[1:]
+		n.accessing = false
+		n.kick()
+		return
+	}
+	n.accessing = false
+	n.transmitting = true
+	n.retries++
+	n.nw.stats.Transmissions++
+	frame := mac.Frame{
+		From:    n.id,
+		To:      p.Route[p.Hop+1],
+		Bytes:   p.Bytes,
+		Payload: &txContext{pkt: p, sender: n},
+	}
+	if n.nw.cfg.RTSCTS {
+		err = n.nw.medium.TransmitProtected(frame, airtime)
+	} else {
+		err = n.nw.medium.Transmit(frame, airtime)
+	}
+	if err != nil {
+		n.transmitting = false
+		n.kick()
+	}
+}
+
+// onDelivery handles the end of every exchange: outcome for the sender,
+// forwarding or final delivery for the receiver.
+func (nw *Network) onDelivery(d mac.Delivery) {
+	ctx, ok := d.Frame.Payload.(*txContext)
+	if !ok {
+		return
+	}
+	sender := ctx.sender
+	sender.transmitting = false
+	if d.Collided || d.Lost {
+		if d.Collided {
+			nw.stats.Collisions++
+		} else {
+			nw.stats.ChannelLosses++
+		}
+		sender.onFail()
+		return
+	}
+	sender.onSuccess()
+	nw.receive(d.Frame.To, ctx.pkt)
+}
+
+func (n *node) onSuccess() {
+	n.queue = n.queue[1:]
+	n.retries = 0
+	n.cw = n.nw.cfg.PHY.CWMin
+	n.backoff = -1
+	n.kick()
+}
+
+func (n *node) onFail() {
+	if n.retries > n.nw.cfg.RetryLimit {
+		n.queue = n.queue[1:]
+		n.nw.stats.DroppedRetries++
+		n.retries = 0
+		n.cw = n.nw.cfg.PHY.CWMin
+	} else if n.cw*2+1 <= n.nw.cfg.PHY.CWMax {
+		n.cw = n.cw*2 + 1
+	} else {
+		n.cw = n.nw.cfg.PHY.CWMax
+	}
+	n.backoff = -1
+	n.kick()
+}
+
+func (nw *Network) receive(at topology.NodeID, p *Packet) {
+	if at == p.Dst() {
+		nw.stats.Delivered++
+		if nw.onDelivered != nil {
+			nw.onDelivered(p, nw.kernel.Now())
+		}
+		return
+	}
+	p.Hop++
+	if next, ok := nw.nodes[at]; ok {
+		nw.enqueue(next, p)
+	}
+}
+
+// QueueLen reports the interface queue length of a node (tests).
+func (nw *Network) QueueLen(id topology.NodeID) int {
+	if n, ok := nw.nodes[id]; ok {
+		return len(n.queue)
+	}
+	return 0
+}
+
+// linkRate returns the PHY rate for the hop from -> to: the topology link's
+// rate when the PHY supports it (adaptive modulation), the MAC default
+// otherwise (including routes over non-links, which still transmit and
+// collide realistically).
+func (nw *Network) linkRate(from, to topology.NodeID) float64 {
+	if l, err := nw.topo.FindLink(from, to); err == nil {
+		if lk, err := nw.topo.Link(l); err == nil &&
+			lk.RateBps > 0 && nw.cfg.PHY.SupportsRate(lk.RateBps) {
+			return lk.RateBps
+		}
+	}
+	return nw.cfg.DataRateBps
+}

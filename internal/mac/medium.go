@@ -1,0 +1,341 @@
+// Package mac models the shared radio medium that both MAC implementations
+// (internal/mac/dcf and internal/mac/tdmaemu) transmit over.
+//
+// The medium uses the protocol interference model on the mesh geometry: a
+// transmission is audible at every node within the interference range of the
+// transmitter; a reception fails (collides) when any other transmission
+// audible at the receiver overlaps it in time. Carrier sense and collision
+// detection both derive from audibility, so hidden-terminal effects arise
+// naturally.
+package mac
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"wimesh/internal/sim"
+	"wimesh/internal/topology"
+)
+
+// Frame is one MAC-layer transmission unit.
+type Frame struct {
+	From topology.NodeID
+	To   topology.NodeID
+	// Bytes is the MAC payload size (the medium does not interpret it;
+	// airtime is supplied by the caller).
+	Bytes int
+	// Payload carries caller metadata (e.g. a routed packet) end to end.
+	Payload any
+}
+
+// Delivery reports the outcome of one transmission.
+type Delivery struct {
+	Frame Frame
+	// At is the virtual time the transmission ended.
+	At time.Duration
+	// Collided reports that another audible transmission overlapped at the
+	// receiver, destroying the frame.
+	Collided bool
+	// Lost reports a channel loss (frame error) drawn from the medium's
+	// loss model; the receiver gets nothing, like a collision.
+	Lost bool
+}
+
+// DeliverFunc receives the outcome of each transmission addressed to a node.
+type DeliverFunc func(Delivery)
+
+type transmission struct {
+	frame      Frame
+	start, end time.Duration
+	// hit is set when an overlapping audible transmission is detected at
+	// the receiver.
+	hit bool
+}
+
+// Medium is the shared channel. Create with NewMedium.
+type Medium struct {
+	net    *topology.Network
+	kernel *sim.Kernel
+	// rangeM is the interference (and carrier-sense) range in meters.
+	rangeM float64
+
+	active map[*transmission]struct{}
+	// busyCount[n] is the number of active transmissions audible at n.
+	busyCount map[topology.NodeID]int
+	// busyEpoch[n] increments whenever the channel at n turns busy; DCF
+	// uses it to detect interrupted interframe waits.
+	busyEpoch map[topology.NodeID]uint64
+	// idleWaiters[n] run when the channel at n turns idle.
+	idleWaiters map[topology.NodeID][]func()
+	// audible caches pairwise audibility.
+	audible map[[2]topology.NodeID]bool
+
+	deliver map[topology.NodeID]DeliverFunc
+
+	// lossModel, when set, draws per-frame channel losses.
+	lossModel func(from, to topology.NodeID) float64
+	lossRNG   *rand.Rand
+
+	// Stats.
+	sent      uint64
+	collided  uint64
+	delivered uint64
+	lost      uint64
+	// airtime accumulates transmission durations network-wide; busyTime
+	// accumulates per-node channel-busy time (overlaps merged by the
+	// busyCount bookkeeping: a node's clock runs while busyCount > 0).
+	airtime   time.Duration
+	busyTime  map[topology.NodeID]time.Duration
+	busySince map[topology.NodeID]time.Duration
+}
+
+// NewMedium creates a medium over the network with the given interference
+// range.
+func NewMedium(net *topology.Network, kernel *sim.Kernel, interferenceRange float64) (*Medium, error) {
+	if net == nil || kernel == nil {
+		return nil, errors.New("mac: nil network or kernel")
+	}
+	if interferenceRange <= 0 {
+		return nil, fmt.Errorf("mac: non-positive interference range %g", interferenceRange)
+	}
+	return &Medium{
+		net:         net,
+		kernel:      kernel,
+		rangeM:      interferenceRange,
+		active:      make(map[*transmission]struct{}),
+		busyCount:   make(map[topology.NodeID]int),
+		busyEpoch:   make(map[topology.NodeID]uint64),
+		idleWaiters: make(map[topology.NodeID][]func()),
+		audible:     make(map[[2]topology.NodeID]bool),
+		deliver:     make(map[topology.NodeID]DeliverFunc),
+		busyTime:    make(map[topology.NodeID]time.Duration),
+		busySince:   make(map[topology.NodeID]time.Duration),
+	}, nil
+}
+
+// SetLossModel installs a per-frame channel-loss model: fn returns the
+// frame error rate of the (from, to) pair, and each otherwise-successful
+// delivery is lost with that probability (deterministic for a seed).
+func (m *Medium) SetLossModel(fn func(from, to topology.NodeID) float64, seed int64) error {
+	if fn == nil {
+		return errors.New("mac: nil loss model")
+	}
+	m.lossModel = fn
+	m.lossRNG = sim.NewRNG(seed, 771)
+	return nil
+}
+
+// SetReceiver registers the delivery callback of a node (one per node).
+func (m *Medium) SetReceiver(n topology.NodeID, fn DeliverFunc) error {
+	if fn == nil {
+		return errors.New("mac: nil receiver")
+	}
+	if _, dup := m.deliver[n]; dup {
+		return fmt.Errorf("mac: receiver for node %d already set", n)
+	}
+	m.deliver[n] = fn
+	return nil
+}
+
+// Audible reports whether a transmission by from is audible at at.
+func (m *Medium) Audible(from, at topology.NodeID) (bool, error) {
+	if from == at {
+		return true, nil
+	}
+	key := [2]topology.NodeID{from, at}
+	if v, ok := m.audible[key]; ok {
+		return v, nil
+	}
+	d, err := m.net.Distance(from, at)
+	if err != nil {
+		return false, err
+	}
+	v := d <= m.rangeM
+	m.audible[key] = v
+	return v, nil
+}
+
+// Busy reports whether the channel is busy at node n (any audible active
+// transmission, including n's own).
+func (m *Medium) Busy(n topology.NodeID) bool { return m.busyCount[n] > 0 }
+
+// BusyEpoch returns a counter that increments whenever the channel at n
+// turns busy.
+func (m *Medium) BusyEpoch(n topology.NodeID) uint64 { return m.busyEpoch[n] }
+
+// WhenIdle runs fn as soon as the channel at n is idle (immediately, via a
+// zero-delay event, if it already is).
+func (m *Medium) WhenIdle(n topology.NodeID, fn func()) error {
+	if !m.Busy(n) {
+		_, err := m.kernel.After(0, fn)
+		return err
+	}
+	m.idleWaiters[n] = append(m.idleWaiters[n], fn)
+	return nil
+}
+
+// Transmit starts a transmission of frame lasting airtime. The outcome is
+// delivered to the destination's receiver callback at the end time; the
+// frame is marked collided if any other audible transmission overlaps it at
+// the receiver. Errors are returned for unknown nodes or non-positive
+// airtime.
+func (m *Medium) Transmit(frame Frame, airtime time.Duration) error {
+	return m.transmit(frame, airtime, false)
+}
+
+// TransmitProtected is Transmit with an RTS/CTS-style reservation: the
+// channel is additionally marked busy around the *receiver* for the whole
+// exchange, so nodes hidden from the transmitter but audible at the
+// receiver defer (virtual carrier sense). Collision detection is unchanged,
+// so simultaneous exchange starts (RTS collisions) still destroy both.
+func (m *Medium) TransmitProtected(frame Frame, airtime time.Duration) error {
+	return m.transmit(frame, airtime, true)
+}
+
+func (m *Medium) transmit(frame Frame, airtime time.Duration, protect bool) error {
+	if airtime <= 0 {
+		return fmt.Errorf("mac: non-positive airtime %v", airtime)
+	}
+	if _, err := m.net.Node(frame.From); err != nil {
+		return err
+	}
+	if _, err := m.net.Node(frame.To); err != nil {
+		return err
+	}
+	now := m.kernel.Now()
+	tx := &transmission{frame: frame, start: now, end: now + airtime}
+
+	// Mutual collision marking against all overlapping transmissions.
+	for other := range m.active {
+		// other collides if tx is audible at other's receiver.
+		if aud, err := m.Audible(frame.From, other.frame.To); err == nil && aud {
+			other.hit = true
+		}
+		// tx collides if other is audible at tx's receiver.
+		if aud, err := m.Audible(other.frame.From, frame.To); err == nil && aud {
+			tx.hit = true
+		}
+	}
+	m.active[tx] = struct{}{}
+	m.sent++
+
+	// Raise busy at every node that hears the transmitter (and, for a
+	// protected exchange, the receiver).
+	heard, err := m.audienceOf(frame.From)
+	if err != nil {
+		return err
+	}
+	if protect {
+		rxHeard, err := m.audienceOf(frame.To)
+		if err != nil {
+			return err
+		}
+		heard = unionNodes(heard, rxHeard)
+	}
+	for _, n := range heard {
+		if m.busyCount[n] == 0 {
+			m.busyEpoch[n]++
+			m.busySince[n] = now
+		}
+		m.busyCount[n]++
+	}
+	m.airtime += airtime
+
+	_, err = m.kernel.After(airtime, func() { m.finish(tx, heard) })
+	return err
+}
+
+// unionNodes merges two node lists without duplicates.
+func unionNodes(a, b []topology.NodeID) []topology.NodeID {
+	seen := make(map[topology.NodeID]bool, len(a)+len(b))
+	out := make([]topology.NodeID, 0, len(a)+len(b))
+	for _, n := range a {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	for _, n := range b {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func (m *Medium) finish(tx *transmission, heard []topology.NodeID) {
+	delete(m.active, tx)
+	for _, n := range heard {
+		m.busyCount[n]--
+		if m.busyCount[n] == 0 {
+			m.busyTime[n] += m.kernel.Now() - m.busySince[n]
+			waiters := m.idleWaiters[n]
+			m.idleWaiters[n] = nil
+			for _, fn := range waiters {
+				fn()
+			}
+		}
+	}
+	lost := false
+	if !tx.hit && m.lossModel != nil {
+		per := m.lossModel(tx.frame.From, tx.frame.To)
+		if per > 0 && m.lossRNG.Float64() < per {
+			lost = true
+		}
+	}
+	switch {
+	case tx.hit:
+		m.collided++
+	case lost:
+		m.lost++
+	default:
+		m.delivered++
+	}
+	if fn, ok := m.deliver[tx.frame.To]; ok {
+		fn(Delivery{Frame: tx.frame, At: m.kernel.Now(), Collided: tx.hit, Lost: lost})
+	}
+}
+
+// audienceOf lists every node within interference range of from (including
+// from itself).
+func (m *Medium) audienceOf(from topology.NodeID) ([]topology.NodeID, error) {
+	var out []topology.NodeID
+	for _, nd := range m.net.Nodes() {
+		aud, err := m.Audible(from, nd.ID)
+		if err != nil {
+			return nil, err
+		}
+		if aud {
+			out = append(out, nd.ID)
+		}
+	}
+	return out, nil
+}
+
+// Stats returns (sent, delivered, collided) transmission counts.
+func (m *Medium) Stats() (sent, delivered, collided uint64) {
+	return m.sent, m.delivered, m.collided
+}
+
+// LostFrames returns the number of deliveries destroyed by the channel-loss
+// model.
+func (m *Medium) LostFrames() uint64 { return m.lost }
+
+// Airtime returns the total transmission time placed on the medium.
+func (m *Medium) Airtime() time.Duration { return m.airtime }
+
+// BusyTime returns how long the channel has been busy at node n (concurrent
+// audible transmissions merged, an in-progress busy period excluded).
+func (m *Medium) BusyTime(n topology.NodeID) time.Duration { return m.busyTime[n] }
+
+// Utilization returns BusyTime over the elapsed virtual time, in [0, 1].
+func (m *Medium) Utilization(n topology.NodeID) float64 {
+	now := m.kernel.Now()
+	if now == 0 {
+		return 0
+	}
+	return float64(m.busyTime[n]) / float64(now)
+}

@@ -1,0 +1,609 @@
+// Package tdmaemu implements the system of the reproduced paper: a software
+// TDMA MAC that emulates the IEEE 802.16 mesh frame structure over
+// commodity 802.11 (WiFi) hardware.
+//
+// Every node holds the network-wide conflict-free schedule
+// (internal/schedule) and transmits on each of its outgoing links only
+// inside that link's data-slot windows. Because WiFi hardware has no PHY
+// slot timing, windows are located with the node's local clock
+// (internal/timesync); a guard interval at the start of each window absorbs
+// clock error. When the error exceeds the guard, transmissions leak into
+// neighbouring slots and collide at receivers — the schedule-violation
+// metric of experiment R6. Within a window, packets are sent back to back as
+// ordinary 802.11 frames, paying preamble + PLCP per packet (the emulation
+// overhead of experiment R5); there is no contention, so a correct schedule
+// gives collision-free, bounded-delay service (experiments R3, R4).
+package tdmaemu
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"wimesh/internal/mac"
+	"wimesh/internal/phy"
+	"wimesh/internal/sim"
+	"wimesh/internal/tdma"
+	"wimesh/internal/timesync"
+	"wimesh/internal/topology"
+)
+
+// Packet is a network-layer packet routed over a fixed link path.
+type Packet struct {
+	FlowID int
+	Seq    int
+	// Path is the link sequence from source to destination.
+	Path topology.Path
+	// Hop indexes the current link in Path.
+	Hop int
+	// Bytes is the IP packet size.
+	Bytes int
+	// BestEffort marks background traffic: within each link queue,
+	// guaranteed (voice) packets are served strictly first, and when a full
+	// queue receives a guaranteed packet a best-effort packet is evicted to
+	// make room.
+	BestEffort bool
+	// Created is the time the packet entered the source queue.
+	Created time.Duration
+
+	// arq counts link-layer retransmissions consumed.
+	arq int
+}
+
+// AggregateSubheaderBytes is the per-subframe overhead of packet
+// aggregation (A-MSDU-style subframe header plus padding).
+const AggregateSubheaderBytes = 14
+
+// Config parameterizes the emulation MAC.
+type Config struct {
+	// PHY supplies 802.11 timing (default IEEE80211b).
+	PHY phy.WiFiPHY
+	// DataRateBps is the data frame rate (default 11 Mb/s).
+	DataRateBps float64
+	// Guard is the guard interval at the start of each slot window
+	// (default 100 us).
+	Guard time.Duration
+	// QueueCap bounds each link queue (default 64).
+	QueueCap int
+	// AggregateLimit packs up to this many queued packets into one 802.11
+	// frame (A-MSDU style), amortizing the preamble over small voice
+	// packets. 0 or 1 disables aggregation.
+	AggregateLimit int
+	// ARQRetries enables link-layer ARQ against channel losses: a lost
+	// frame's packets are requeued at the head of their link queue up to
+	// this many times each (0 disables ARQ). Feedback is modeled as
+	// immediate (the 802.16 ARQ feedback IE arrives well before the next
+	// frame's window).
+	ARQRetries int
+}
+
+// Defaulted returns the configuration with all defaults filled in, so
+// callers can inspect the effective PHY and rate.
+func (c Config) Defaulted() Config {
+	c.applyDefaults()
+	return c
+}
+
+func (c *Config) applyDefaults() {
+	if c.PHY.Name == "" {
+		c.PHY = phy.IEEE80211b()
+	}
+	if c.DataRateBps == 0 {
+		c.DataRateBps = 11e6
+	}
+	if c.Guard == 0 {
+		c.Guard = 100 * time.Microsecond
+	}
+	if c.QueueCap == 0 {
+		c.QueueCap = 64
+	}
+}
+
+// Validate checks the configuration against the frame layout: a slot must
+// fit at least one maximum-size voice frame after the guard.
+func (c Config) validate(frame tdma.FrameConfig) error {
+	if !c.PHY.SupportsRate(c.DataRateBps) {
+		return fmt.Errorf("tdmaemu: %s does not support %g b/s", c.PHY.Name, c.DataRateBps)
+	}
+	if c.Guard < 0 {
+		return errors.New("tdmaemu: negative guard")
+	}
+	if c.Guard >= frame.SlotDuration() {
+		return fmt.Errorf("tdmaemu: guard %v swallows the %v slot", c.Guard, frame.SlotDuration())
+	}
+	return nil
+}
+
+// DeliveredFunc receives packets that complete their path.
+type DeliveredFunc func(p *Packet, at time.Duration)
+
+// Stats aggregates counters.
+type Stats struct {
+	Injected      uint64
+	Delivered     uint64
+	DroppedQueue  uint64
+	Transmissions uint64
+	// Violations counts receptions destroyed by overlapping transmissions
+	// (sync error exceeding the guard, or an invalid schedule).
+	Violations uint64
+	// FailureDrops counts frames lost on failed links.
+	FailureDrops uint64
+	// ChannelLosses counts frames destroyed by the medium's loss model.
+	ChannelLosses uint64
+	// ARQRetransmissions counts packets requeued by link-layer ARQ.
+	ARQRetransmissions uint64
+}
+
+// Network runs the TDMA emulation over a mesh.
+type Network struct {
+	cfg      Config
+	topo     *topology.Network
+	kernel   *sim.Kernel
+	medium   *mac.Medium
+	schedule *tdma.Schedule
+	// sync supplies per-node clock errors; nil means perfect clocks.
+	sync *timesync.Sync
+
+	queues      map[topology.LinkID][]*Packet
+	onDelivered DeliveredFunc
+	stats       Stats
+	started     bool
+	// gen invalidates armed window events when the schedule is swapped.
+	gen uint64
+	// failed links lose every frame transmitted over them.
+	failed map[topology.LinkID]bool
+}
+
+// New creates the emulation network. sync may be nil for ideal clocks;
+// delivered may be nil.
+func New(cfg Config, topo *topology.Network, kernel *sim.Kernel, sched *tdma.Schedule,
+	sync *timesync.Sync, interferenceRange float64, delivered DeliveredFunc) (*Network, error) {
+	if topo == nil || kernel == nil || sched == nil {
+		return nil, errors.New("tdmaemu: nil topology, kernel or schedule")
+	}
+	cfg.applyDefaults()
+	if err := cfg.validate(sched.Config); err != nil {
+		return nil, err
+	}
+	medium, err := mac.NewMedium(topo, kernel, interferenceRange)
+	if err != nil {
+		return nil, err
+	}
+	nw := &Network{
+		cfg:         cfg,
+		topo:        topo,
+		kernel:      kernel,
+		medium:      medium,
+		schedule:    sched,
+		sync:        sync,
+		queues:      make(map[topology.LinkID][]*Packet),
+		onDelivered: delivered,
+		failed:      make(map[topology.LinkID]bool),
+	}
+	for _, nd := range topo.Nodes() {
+		if err := medium.SetReceiver(nd.ID, nw.onDelivery); err != nil {
+			return nil, err
+		}
+	}
+	return nw, nil
+}
+
+// Medium exposes the underlying medium (tests, stats).
+func (nw *Network) Medium() *mac.Medium { return nw.medium }
+
+// Stats returns a copy of the counters.
+func (nw *Network) Stats() Stats { return nw.stats }
+
+// Start schedules the per-frame slot service for every assignment,
+// beginning with frame 0 at virtual time 0.
+func (nw *Network) Start() error {
+	if nw.started {
+		return errors.New("tdmaemu: already started")
+	}
+	nw.started = true
+	nw.gen++
+	return nw.armAll(0)
+}
+
+// SetSchedule hot-swaps the schedule: armed windows of the old schedule are
+// invalidated (they check the generation when firing) and the new
+// schedule's windows take over from the next frame boundary. The new
+// schedule must use the same frame layout.
+func (nw *Network) SetSchedule(sched *tdma.Schedule) error {
+	if sched == nil {
+		return errors.New("tdmaemu: nil schedule")
+	}
+	if sched.Config != nw.schedule.Config {
+		return errors.New("tdmaemu: schedule swap must keep the frame layout")
+	}
+	nw.schedule = sched
+	nw.gen++
+	if !nw.started {
+		return nil
+	}
+	nextFrame, _ := nw.schedule.Config.FrameOfTime(nw.kernel.Now())
+	return nw.armAll(nextFrame + 1)
+}
+
+func (nw *Network) armAll(frame int64) error {
+	for _, a := range nw.schedule.Assignments {
+		lk, err := nw.topo.Link(a.Link)
+		if err != nil {
+			return fmt.Errorf("tdmaemu: schedule references %w", err)
+		}
+		if err := nw.scheduleWindow(a, lk, frame, nw.gen); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FailLink marks a link as failed: frames transmitted over it still burn
+// airtime but never arrive. Returns an error for unknown links.
+func (nw *Network) FailLink(l topology.LinkID) error {
+	if _, err := nw.topo.Link(l); err != nil {
+		return fmt.Errorf("tdmaemu: %w", err)
+	}
+	nw.failed[l] = true
+	return nil
+}
+
+// RestoreLink clears a link failure.
+func (nw *Network) RestoreLink(l topology.LinkID) { delete(nw.failed, l) }
+
+// scheduleWindow arms the service event of one assignment in the given
+// frame, then re-arms itself for the next frame while the generation
+// matches.
+func (nw *Network) scheduleWindow(a tdma.Assignment, lk topology.Link, frame int64, gen uint64) error {
+	offset, err := nw.schedule.Config.SlotStart(a.Start)
+	if err != nil {
+		return err
+	}
+	frameStart := time.Duration(frame) * nw.schedule.Config.FrameDuration
+	localTarget := frameStart + offset + nw.cfg.Guard
+	trueAt := nw.localToTrue(lk.From, localTarget)
+	windowEndLocal := frameStart + offset + time.Duration(a.Length)*nw.schedule.Config.SlotDuration()
+	if trueAt < nw.kernel.Now() {
+		// Clock error moved the window into the past (startup transient):
+		// skip this frame.
+		return nw.armNext(a, lk, frame, gen)
+	}
+	_, err = nw.kernel.At(trueAt, func() {
+		if nw.gen != gen {
+			return // schedule swapped: this window chain is dead
+		}
+		nw.serveWindow(a, lk, windowEndLocal)
+		if err := nw.armNext(a, lk, frame, gen); err != nil {
+			// Kernel time only moves forward; scheduling the next frame
+			// cannot fail except at shutdown. Stop servicing this link.
+			nw.started = false
+		}
+	})
+	return err
+}
+
+func (nw *Network) armNext(a tdma.Assignment, lk topology.Link, frame int64, gen uint64) error {
+	return nw.scheduleWindow(a, lk, frame+1, gen)
+}
+
+// localToTrue converts a node-local clock reading into true time using the
+// current clock error (first-order inversion).
+func (nw *Network) localToTrue(n topology.NodeID, local time.Duration) time.Duration {
+	if nw.sync == nil {
+		return local
+	}
+	errAt, err := nw.sync.ErrorAt(n, local)
+	if err != nil {
+		return local
+	}
+	return local - errAt
+}
+
+// serveWindow transmits queued packets of the assignment's link back to back
+// until the window (in the transmitter's local clock) cannot fit another
+// frame. With aggregation enabled, several queued packets share one 802.11
+// frame.
+func (nw *Network) serveWindow(a tdma.Assignment, lk topology.Link, windowEndLocal time.Duration) {
+	q := nw.queues[a.Link]
+	if len(q) == 0 {
+		return
+	}
+	nowLocal := nw.trueToLocal(lk.From, nw.kernel.Now())
+	budget := windowEndLocal - nowLocal
+	batch, frameBytes, airtime := nw.buildBatch(q, budget, nw.rateFor(lk))
+	if len(batch) == 0 {
+		return
+	}
+	nw.queues[a.Link] = q[len(batch):]
+	nw.stats.Transmissions++
+	frame := mac.Frame{From: lk.From, To: lk.To, Bytes: frameBytes, Payload: batch}
+	if err := nw.medium.Transmit(frame, airtime); err != nil {
+		return
+	}
+	// Next frame after this one plus SIFS spacing.
+	if _, err := nw.kernel.After(airtime+nw.cfg.PHY.SIFS, func() {
+		nw.serveWindow(a, lk, windowEndLocal)
+	}); err != nil {
+		return
+	}
+}
+
+// rateFor returns the PHY rate used on a link: the link's own rate when the
+// configured PHY supports it (adaptive modulation), the MAC default
+// otherwise.
+func (nw *Network) rateFor(lk topology.Link) float64 {
+	if lk.RateBps > 0 && nw.cfg.PHY.SupportsRate(lk.RateBps) {
+		return lk.RateBps
+	}
+	return nw.cfg.DataRateBps
+}
+
+// buildBatch selects the head-of-line packets (up to the aggregation limit)
+// whose combined frame fits in the remaining local window budget at the
+// given rate, returning the batch, its MAC payload size and airtime. An
+// empty batch means even one packet does not fit.
+func (nw *Network) buildBatch(q []*Packet, budget time.Duration, rateBps float64) ([]*Packet, int, time.Duration) {
+	limit := nw.cfg.AggregateLimit
+	if limit < 1 {
+		limit = 1
+	}
+	if limit > len(q) {
+		limit = len(q)
+	}
+	var (
+		batch   []*Packet
+		bytes   int
+		airtime time.Duration
+	)
+	for k := 0; k < limit; k++ {
+		nextBytes := bytes + q[k].Bytes
+		if limit > 1 {
+			nextBytes += AggregateSubheaderBytes
+		}
+		at, err := nw.cfg.PHY.DataFrameTime(nextBytes, rateBps)
+		if err != nil || at > budget {
+			break
+		}
+		batch = q[:k+1]
+		bytes = nextBytes
+		airtime = at
+	}
+	return batch, bytes, airtime
+}
+
+func (nw *Network) trueToLocal(n topology.NodeID, t time.Duration) time.Duration {
+	if nw.sync == nil {
+		return t
+	}
+	errAt, err := nw.sync.ErrorAt(n, t)
+	if err != nil {
+		return t
+	}
+	return t + errAt
+}
+
+// Inject enqueues a packet on the first link of its path.
+func (nw *Network) Inject(p *Packet) error {
+	if p == nil || len(p.Path) == 0 {
+		return errors.New("tdmaemu: packet needs a non-empty path")
+	}
+	if p.Hop != 0 {
+		return fmt.Errorf("tdmaemu: inject with hop %d", p.Hop)
+	}
+	if _, err := nw.topo.Link(p.Path[0]); err != nil {
+		return fmt.Errorf("tdmaemu: %w", err)
+	}
+	p.Created = nw.kernel.Now()
+	nw.stats.Injected++
+	nw.enqueue(p.Path[0], p)
+	return nil
+}
+
+// requeueHead puts an ARQ-retransmitted packet at the very front of its
+// class within the link queue.
+func (nw *Network) requeueHead(l topology.LinkID, p *Packet) {
+	q := nw.queues[l]
+	if len(q) >= nw.cfg.QueueCap {
+		nw.stats.DroppedQueue++
+		return
+	}
+	pos := 0
+	if p.BestEffort {
+		// First best-effort position.
+		pos = len(q)
+		for i, existing := range q {
+			if existing.BestEffort {
+				pos = i
+				break
+			}
+		}
+	}
+	q = append(q, nil)
+	copy(q[pos+1:], q[pos:])
+	q[pos] = p
+	nw.queues[l] = q
+}
+
+// enqueue inserts a packet with strict two-class priority: guaranteed
+// packets go before every best-effort packet (FIFO within a class). A full
+// queue drops the incoming best-effort packet, or evicts the last
+// best-effort packet to admit a guaranteed one.
+func (nw *Network) enqueue(l topology.LinkID, p *Packet) {
+	q := nw.queues[l]
+	if len(q) >= nw.cfg.QueueCap {
+		if p.BestEffort {
+			nw.stats.DroppedQueue++
+			return
+		}
+		evict := -1
+		for i := len(q) - 1; i >= 0; i-- {
+			if q[i].BestEffort {
+				evict = i
+				break
+			}
+		}
+		if evict == -1 {
+			nw.stats.DroppedQueue++
+			return
+		}
+		q = append(q[:evict], q[evict+1:]...)
+		nw.stats.DroppedQueue++
+	}
+	if p.BestEffort {
+		nw.queues[l] = append(q, p)
+		return
+	}
+	// Insert before the first best-effort packet.
+	pos := len(q)
+	for i, existing := range q {
+		if existing.BestEffort {
+			pos = i
+			break
+		}
+	}
+	q = append(q, nil)
+	copy(q[pos+1:], q[pos:])
+	q[pos] = p
+	nw.queues[l] = q
+}
+
+// onDelivery forwards or completes packets; collided receptions lose the
+// whole (possibly aggregated) frame.
+func (nw *Network) onDelivery(d mac.Delivery) {
+	batch, ok := d.Frame.Payload.([]*Packet)
+	if !ok {
+		return
+	}
+	if d.Collided {
+		nw.stats.Violations++
+		return
+	}
+	if len(batch) > 0 && nw.failed[batch[0].Path[batch[0].Hop]] {
+		nw.stats.FailureDrops++
+		return
+	}
+	if d.Lost {
+		nw.stats.ChannelLosses++
+		if nw.cfg.ARQRetries > 0 && len(batch) > 0 {
+			l := batch[0].Path[batch[0].Hop]
+			// Requeue in reverse so the original order survives the head
+			// inserts.
+			for i := len(batch) - 1; i >= 0; i-- {
+				p := batch[i]
+				if p.arq >= nw.cfg.ARQRetries {
+					continue
+				}
+				p.arq++
+				nw.stats.ARQRetransmissions++
+				nw.requeueHead(l, p)
+			}
+		}
+		return
+	}
+	for _, p := range batch {
+		if p.Hop == len(p.Path)-1 {
+			nw.stats.Delivered++
+			if nw.onDelivered != nil {
+				nw.onDelivered(p, d.At)
+			}
+			continue
+		}
+		p.Hop++
+		nw.enqueue(p.Path[p.Hop], p)
+	}
+}
+
+// QueueLen reports the queue length of a link (tests).
+func (nw *Network) QueueLen(l topology.LinkID) int { return len(nw.queues[l]) }
+
+// PacketsPerSlot returns how many packets of the given IP size fit in one
+// data slot after the guard, with SIFS spacing between 802.11 frames and up
+// to AggregateLimit packets aggregated per frame, at the MAC default rate.
+func PacketsPerSlot(cfg Config, frame tdma.FrameConfig, packetBytes int) (int, error) {
+	cfg.applyDefaults()
+	return PacketsPerSlotAtRate(cfg, frame, packetBytes, cfg.DataRateBps)
+}
+
+// PacketsPerSlotAtRate is PacketsPerSlot at an explicit PHY rate (per-link
+// adaptive modulation).
+func PacketsPerSlotAtRate(cfg Config, frame tdma.FrameConfig, packetBytes int, rateBps float64) (int, error) {
+	cfg.applyDefaults()
+	if err := cfg.validate(frame); err != nil {
+		return 0, err
+	}
+	if !cfg.PHY.SupportsRate(rateBps) {
+		return 0, fmt.Errorf("tdmaemu: %s does not support %g b/s", cfg.PHY.Name, rateBps)
+	}
+	limit := cfg.AggregateLimit
+	if limit < 1 {
+		limit = 1
+	}
+	frameTime := func(k int) (time.Duration, error) {
+		bytes := k * packetBytes
+		if limit > 1 {
+			bytes += k * AggregateSubheaderBytes
+		}
+		return cfg.PHY.DataFrameTime(bytes, rateBps)
+	}
+	budget := frame.SlotDuration() - cfg.Guard
+	total := 0
+	first := true
+	for {
+		gap := cfg.PHY.SIFS
+		if first {
+			gap = 0
+		}
+		// Largest k <= limit whose frame fits the remaining budget.
+		k := 0
+		var kTime time.Duration
+		for try := 1; try <= limit; try++ {
+			at, err := frameTime(try)
+			if err != nil {
+				return 0, err
+			}
+			if gap+at > budget {
+				break
+			}
+			k, kTime = try, at
+		}
+		if k == 0 {
+			return total, nil
+		}
+		total += k
+		budget -= gap + kTime
+		first = false
+	}
+}
+
+// BytesPerSlot returns the IP payload bytes one slot carries for packets of
+// the given size (PacketsPerSlot * packetBytes), for demand conversion.
+func BytesPerSlot(cfg Config, frame tdma.FrameConfig, packetBytes int) (int, error) {
+	n, err := PacketsPerSlot(cfg, frame, packetBytes)
+	if err != nil {
+		return 0, err
+	}
+	return n * packetBytes, nil
+}
+
+// BytesPerSlotAtRate is BytesPerSlot at an explicit PHY rate.
+func BytesPerSlotAtRate(cfg Config, frame tdma.FrameConfig, packetBytes int, rateBps float64) (int, error) {
+	n, err := PacketsPerSlotAtRate(cfg, frame, packetBytes, rateBps)
+	if err != nil {
+		return 0, err
+	}
+	return n * packetBytes, nil
+}
+
+// SlotEfficiency returns the fraction of a slot's airtime spent on IP
+// payload bits when carrying back-to-back packets of the given size: the
+// emulation-overhead metric of experiment R5 (guard + preamble + PLCP +
+// MAC framing are all losses).
+func SlotEfficiency(cfg Config, frame tdma.FrameConfig, packetBytes int) (float64, error) {
+	n, err := PacketsPerSlot(cfg, frame, packetBytes)
+	if err != nil {
+		return 0, err
+	}
+	cfg.applyDefaults()
+	payload := float64(n) * float64(8*packetBytes) / cfg.DataRateBps
+	return payload / frame.SlotDuration().Seconds(), nil
+}

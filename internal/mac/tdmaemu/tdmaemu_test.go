@@ -1,0 +1,676 @@
+package tdmaemu
+
+import (
+	"testing"
+	"time"
+
+	"wimesh/internal/conflict"
+	"wimesh/internal/schedule"
+	"wimesh/internal/sim"
+	"wimesh/internal/tdma"
+	"wimesh/internal/timesync"
+	"wimesh/internal/topology"
+)
+
+// testFrame: control-free frame, 8 slots of 1 ms.
+func testFrame() tdma.FrameConfig {
+	return tdma.FrameConfig{FrameDuration: 8 * time.Millisecond, DataSlots: 8}
+}
+
+// chainSetup builds an n-node chain with a path-major schedule (1 slot per
+// forward link) and returns the pieces.
+func chainSetup(t *testing.T, n int, cfg tdma.FrameConfig) (*topology.Network, *tdma.Schedule, topology.Path) {
+	t.Helper()
+	net, err := topology.Chain(n, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := conflict.Build(net, conflict.Options{Model: conflict.ModelTwoHop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	demand := make(map[topology.LinkID]int)
+	var path topology.Path
+	for i := 0; i < n-1; i++ {
+		l, err := net.FindLink(topology.NodeID(i), topology.NodeID(i+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		demand[l] = 1
+		path = append(path, l)
+	}
+	p := &schedule.Problem{Graph: g, Demand: demand, FrameSlots: cfg.DataSlots,
+		Flows: []schedule.FlowRequirement{{Path: path}}}
+	s, err := schedule.OrderToSchedule(p, schedule.PathMajorOrder(p), cfg.DataSlots, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, s, path
+}
+
+func TestPerfectClocksDeliverWithoutViolations(t *testing.T) {
+	cfg := testFrame()
+	net, sched, path := chainSetup(t, 4, cfg)
+	k := sim.NewKernel()
+	var delays []time.Duration
+	nw, err := New(Config{}, net, k, sched, nil, 250, func(p *Packet, at time.Duration) {
+		delays = append(delays, at-p.Created)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 10; j++ {
+		j := j
+		if _, err := k.At(time.Duration(j)*cfg.FrameDuration, func() {
+			if err := nw.Inject(&Packet{Seq: j, Path: path, Bytes: 200}); err != nil {
+				t.Errorf("inject: %v", err)
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	k.RunUntil(20 * cfg.FrameDuration)
+	s := nw.Stats()
+	if s.Violations != 0 {
+		t.Errorf("violations = %d with perfect clocks", s.Violations)
+	}
+	if s.Delivered != 10 {
+		t.Errorf("delivered = %d, want 10 (stats %+v)", s.Delivered, s)
+	}
+	// Path-major schedule: injected at frame start, a packet crosses all 3
+	// hops within about one frame.
+	for i, d := range delays {
+		if d > 2*cfg.FrameDuration {
+			t.Errorf("packet %d delay %v, want <= 2 frames", i, d)
+		}
+	}
+}
+
+func TestInFrameChainingDelay(t *testing.T) {
+	cfg := testFrame()
+	net, sched, path := chainSetup(t, 4, cfg)
+	k := sim.NewKernel()
+	var delay time.Duration
+	nw, err := New(Config{}, net, k, sched, nil, 250, func(p *Packet, at time.Duration) {
+		delay = at - p.Created
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Inject(&Packet{Path: path, Bytes: 200}); err != nil {
+		t.Fatal(err)
+	}
+	k.RunUntil(4 * cfg.FrameDuration)
+	if nw.Stats().Delivered != 1 {
+		t.Fatalf("not delivered: %+v", nw.Stats())
+	}
+	// Slots 0,1,2 chain within the first frame: total under 4 slots.
+	if delay > 4*cfg.SlotDuration() {
+		t.Errorf("chained delay = %v, want <= 4 slots", delay)
+	}
+}
+
+func TestConflictingScheduleViolates(t *testing.T) {
+	cfg := testFrame()
+	net, err := topology.Chain(3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l01, err := net.FindLink(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l12, err := net.FindLink(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deliberately overlap two conflicting links in slot 0.
+	bad, err := tdma.NewSchedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bad.Add(tdma.Assignment{Link: l01, Start: 0, Length: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := bad.Add(tdma.Assignment{Link: l12, Start: 0, Length: 1}); err != nil {
+		t.Fatal(err)
+	}
+	k := sim.NewKernel()
+	nw, err := New(Config{}, net, k, bad, nil, 250, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Inject(&Packet{Path: topology.Path{l01}, Bytes: 500}); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Inject(&Packet{FlowID: 1, Path: topology.Path{l12}, Bytes: 500}); err != nil {
+		t.Fatal(err)
+	}
+	k.RunUntil(2 * cfg.FrameDuration)
+	if nw.Stats().Violations == 0 {
+		t.Error("overlapping conflicting slots produced no violations")
+	}
+}
+
+func TestSyncErrorBeyondGuardViolates(t *testing.T) {
+	cfg := testFrame()
+	net, sched, path := chainSetup(t, 4, cfg)
+	rt, err := net.BuildRoutingTree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-hop error far above the 10 us guard; resync every frame keeps
+	// drawing fresh errors. Packets nearly fill their 1 ms slots.
+	syncCfg := timesync.Config{
+		PerHopError:      400 * time.Microsecond,
+		ResyncInterval:   cfg.FrameDuration,
+		MaxDriftPPM:      0,
+		InitialOffsetStd: 0,
+	}
+	ts, err := timesync.New(syncCfg, rt.Depth, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := sim.NewKernel()
+	if _, err := ts.Start(k); err != nil {
+		t.Fatal(err)
+	}
+	nw, err := New(Config{Guard: 10 * time.Microsecond, QueueCap: 1000}, net, k, sched, ts, 250, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 60; j++ {
+		j := j
+		if _, err := k.At(time.Duration(j)*cfg.FrameDuration, func() {
+			for _, l := range path {
+				if err := nw.Inject(&Packet{Seq: j, Path: topology.Path{l}, Bytes: 1000}); err != nil {
+					t.Errorf("inject: %v", err)
+				}
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	k.RunUntil(70 * cfg.FrameDuration)
+	if nw.Stats().Violations == 0 {
+		t.Errorf("no violations with 400 us error vs 10 us guard (stats %+v)", nw.Stats())
+	}
+}
+
+func TestLargeGuardAbsorbsSyncError(t *testing.T) {
+	cfg := testFrame()
+	net, sched, path := chainSetup(t, 4, cfg)
+	rt, err := net.BuildRoutingTree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	syncCfg := timesync.Config{
+		PerHopError:      20 * time.Microsecond,
+		ResyncInterval:   cfg.FrameDuration,
+		MaxDriftPPM:      0,
+		InitialOffsetStd: 0,
+	}
+	ts, err := timesync.New(syncCfg, rt.Depth, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := sim.NewKernel()
+	if _, err := ts.Start(k); err != nil {
+		t.Fatal(err)
+	}
+	// 300 us guard vs ~30-60 us total error: no violations expected.
+	nw, err := New(Config{Guard: 300 * time.Microsecond, QueueCap: 1000}, net, k, sched, ts, 250, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 40; j++ {
+		j := j
+		if _, err := k.At(time.Duration(j)*cfg.FrameDuration, func() {
+			for _, l := range path {
+				if err := nw.Inject(&Packet{Seq: j, Path: topology.Path{l}, Bytes: 500}); err != nil {
+					t.Errorf("inject: %v", err)
+				}
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	k.RunUntil(50 * cfg.FrameDuration)
+	s := nw.Stats()
+	if s.Violations != 0 {
+		t.Errorf("violations = %d with ample guard (stats %+v)", s.Violations, s)
+	}
+	if s.Delivered == 0 {
+		t.Error("nothing delivered")
+	}
+}
+
+func TestQueueOverflow(t *testing.T) {
+	cfg := testFrame()
+	net, sched, path := chainSetup(t, 3, cfg)
+	k := sim.NewKernel()
+	nw, err := New(Config{QueueCap: 2}, net, k, sched, nil, 250, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 5; j++ {
+		if err := nw.Inject(&Packet{Seq: j, Path: path, Bytes: 200}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if nw.Stats().DroppedQueue != 3 {
+		t.Errorf("queue drops = %d, want 3", nw.Stats().DroppedQueue)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	cfg := testFrame()
+	net, sched, path := chainSetup(t, 3, cfg)
+	k := sim.NewKernel()
+	if _, err := New(Config{}, nil, k, sched, nil, 250, nil); err == nil {
+		t.Error("nil topology accepted")
+	}
+	if _, err := New(Config{Guard: time.Second}, net, k, sched, nil, 250, nil); err == nil {
+		t.Error("guard larger than slot accepted")
+	}
+	if _, err := New(Config{DataRateBps: 54e6}, net, k, sched, nil, 250, nil); err == nil {
+		t.Error("unsupported rate accepted")
+	}
+	nw, err := New(Config{}, net, k, sched, nil, 250, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Inject(nil); err == nil {
+		t.Error("nil packet accepted")
+	}
+	if err := nw.Inject(&Packet{}); err == nil {
+		t.Error("empty path accepted")
+	}
+	if err := nw.Inject(&Packet{Path: path, Hop: 1}); err == nil {
+		t.Error("non-zero hop accepted")
+	}
+	if err := nw.Inject(&Packet{Path: topology.Path{999}}); err == nil {
+		t.Error("unknown link accepted")
+	}
+	if err := nw.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Start(); err == nil {
+		t.Error("double start accepted")
+	}
+}
+
+func TestPacketsPerSlotArithmetic(t *testing.T) {
+	frame := testFrame() // 1 ms slots
+	cfg := Config{Guard: 100 * time.Microsecond}
+	// G.711 packet: 200 bytes + 36 framing = 236 bytes -> 171.6 us + 192 us
+	// preamble = 363.6 us airtime. Usable 900 us: 1 + (900-363.6)/(373.6) =
+	// 1 + 1 = 2 packets.
+	n, err := PacketsPerSlot(cfg, frame, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("PacketsPerSlot = %d, want 2", n)
+	}
+	b, err := BytesPerSlot(cfg, frame, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != 400 {
+		t.Errorf("BytesPerSlot = %d, want 400", b)
+	}
+	// A giant packet that cannot fit yields zero.
+	big := Config{Guard: 900 * time.Microsecond}
+	n, err = PacketsPerSlot(big, frame, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("PacketsPerSlot(huge guard) = %d, want 0", n)
+	}
+}
+
+func TestSlotEfficiencyShape(t *testing.T) {
+	// 4 ms slots so 1500-byte frames (1.3 ms airtime at 11 Mb/s) fit.
+	frame := tdma.FrameConfig{FrameDuration: 16 * time.Millisecond, DataSlots: 4}
+	small := Config{Guard: 50 * time.Microsecond}
+	bigGuard := Config{Guard: 1500 * time.Microsecond}
+	effSmall, err := SlotEfficiency(small, frame, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	effBig, err := SlotEfficiency(bigGuard, frame, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if effSmall <= effBig {
+		t.Errorf("efficiency with small guard %g <= big guard %g", effSmall, effBig)
+	}
+	if effSmall <= 0 || effSmall > 1 {
+		t.Errorf("efficiency %g outside (0,1]", effSmall)
+	}
+	// Larger packets amortize the preamble: higher efficiency.
+	effSmallPkts, err := SlotEfficiency(small, frame, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if effSmallPkts >= effSmall {
+		t.Errorf("small packets %g not less efficient than large %g", effSmallPkts, effSmall)
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	run := func() Stats {
+		cfg := testFrame()
+		net, sched, path := chainSetup(t, 4, cfg)
+		rt, err := net.BuildRoutingTree()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts, err := timesync.New(timesync.DefaultConfig(), rt.Depth, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := sim.NewKernel()
+		if _, err := ts.Start(k); err != nil {
+			t.Fatal(err)
+		}
+		nw, err := New(Config{}, net, k, sched, ts, 250, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := nw.Start(); err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < 10; j++ {
+			if err := nw.Inject(&Packet{Seq: j, Path: path, Bytes: 300}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		k.RunUntil(20 * cfg.FrameDuration)
+		return nw.Stats()
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("same seed produced different stats: %+v vs %+v", a, b)
+	}
+}
+
+func TestAggregationPacketsPerSlot(t *testing.T) {
+	frame := testFrame() // 1 ms slots
+	noAgg := Config{Guard: 100 * time.Microsecond}
+	agg := Config{Guard: 100 * time.Microsecond, AggregateLimit: 8}
+	n0, err := PacketsPerSlot(noAgg, frame, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n8, err := PacketsPerSlot(agg, frame, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n8 <= n0 {
+		t.Errorf("aggregation did not help: %d vs %d packets/slot", n8, n0)
+	}
+	// Sanity: aggregated frame of 4 voice packets = 4*(200+14)+36 = 892
+	// bytes -> 192us + 648.7us = 841us < 900us usable: at least 4 packets.
+	if n8 < 4 {
+		t.Errorf("aggregated packets/slot = %d, want >= 4", n8)
+	}
+}
+
+func TestAggregationEndToEnd(t *testing.T) {
+	cfg := testFrame()
+	net, sched, path := chainSetup(t, 4, cfg)
+	k := sim.NewKernel()
+	delivered := 0
+	nw, err := New(Config{AggregateLimit: 4, QueueCap: 64}, net, k, sched, nil, 250,
+		func(*Packet, time.Duration) { delivered++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// 6 packets queued at once: aggregation carries them in fewer frames.
+	for j := 0; j < 6; j++ {
+		if err := nw.Inject(&Packet{Seq: j, Path: path, Bytes: 200}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	k.RunUntil(6 * cfg.FrameDuration)
+	st := nw.Stats()
+	if delivered != 6 {
+		t.Fatalf("delivered = %d, want 6 (stats %+v)", delivered, st)
+	}
+	// 6 packets over 3 hops without aggregation would need 18 frames;
+	// with 4-packet aggregation far fewer.
+	if st.Transmissions >= 18 {
+		t.Errorf("transmissions = %d, want < 18 with aggregation", st.Transmissions)
+	}
+	if st.Violations != 0 {
+		t.Errorf("violations = %d", st.Violations)
+	}
+}
+
+func TestAggregationEfficiencyGain(t *testing.T) {
+	frame := testFrame()
+	base := Config{Guard: 100 * time.Microsecond}
+	agg := Config{Guard: 100 * time.Microsecond, AggregateLimit: 8}
+	e0, err := SlotEfficiency(base, frame, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e8, err := SlotEfficiency(agg, frame, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e8 <= e0 {
+		t.Errorf("aggregated efficiency %g <= plain %g", e8, e0)
+	}
+}
+
+func TestPriorityEnqueueOrder(t *testing.T) {
+	cfg := testFrame()
+	net, sched, path := chainSetup(t, 3, cfg)
+	_ = net
+	k := sim.NewKernel()
+	nw, err := New(Config{QueueCap: 8}, nil, k, sched, nil, 250, nil)
+	if err == nil {
+		t.Fatal("nil topo accepted")
+	}
+	topo, err := topology.Chain(3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err = New(Config{QueueCap: 8}, topo, k, sched, nil, 250, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := path[0]
+	// BE, BE, voice, BE, voice -> queue: voice, voice, BE, BE, BE.
+	nw.enqueue(l, &Packet{Seq: 0, BestEffort: true, Path: path})
+	nw.enqueue(l, &Packet{Seq: 1, BestEffort: true, Path: path})
+	nw.enqueue(l, &Packet{Seq: 2, Path: path})
+	nw.enqueue(l, &Packet{Seq: 3, BestEffort: true, Path: path})
+	nw.enqueue(l, &Packet{Seq: 4, Path: path})
+	q := nw.queues[l]
+	wantSeq := []int{2, 4, 0, 1, 3}
+	if len(q) != len(wantSeq) {
+		t.Fatalf("queue len = %d", len(q))
+	}
+	for i, w := range wantSeq {
+		if q[i].Seq != w {
+			t.Errorf("queue[%d].Seq = %d, want %d", i, q[i].Seq, w)
+		}
+	}
+}
+
+func TestPriorityEviction(t *testing.T) {
+	cfg := testFrame()
+	topo, sched, path := chainSetup(t, 3, cfg)
+	k := sim.NewKernel()
+	nw, err := New(Config{QueueCap: 3}, topo, k, sched, nil, 250, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := path[0]
+	nw.enqueue(l, &Packet{Seq: 0, Path: path})
+	nw.enqueue(l, &Packet{Seq: 1, BestEffort: true, Path: path})
+	nw.enqueue(l, &Packet{Seq: 2, BestEffort: true, Path: path})
+	// Full. Incoming BE drops; incoming voice evicts the last BE.
+	nw.enqueue(l, &Packet{Seq: 3, BestEffort: true, Path: path})
+	if nw.Stats().DroppedQueue != 1 {
+		t.Errorf("drops = %d, want 1", nw.Stats().DroppedQueue)
+	}
+	nw.enqueue(l, &Packet{Seq: 4, Path: path})
+	q := nw.queues[l]
+	if len(q) != 3 {
+		t.Fatalf("queue len = %d, want 3", len(q))
+	}
+	if q[0].Seq != 0 || q[1].Seq != 4 || q[2].Seq != 1 {
+		t.Errorf("queue after eviction: %d %d %d, want 0 4 1", q[0].Seq, q[1].Seq, q[2].Seq)
+	}
+	// All-voice full queue drops incoming voice too.
+	nw.enqueue(l, &Packet{Seq: 5, Path: path})
+	nw.enqueue(l, &Packet{Seq: 6, Path: path}) // queue: 0,4,5? no: 0,4,5 after evicting BE seq1
+	if got := nw.Stats().DroppedQueue; got < 2 {
+		t.Errorf("drops = %d, want >= 2", got)
+	}
+}
+
+func TestVoiceUnharmedByBestEffortFlood(t *testing.T) {
+	cfg := testFrame()
+	topo, sched, path := chainSetup(t, 4, cfg)
+	k := sim.NewKernel()
+	var voiceDelays []time.Duration
+	nw, err := New(Config{QueueCap: 64}, topo, k, sched, nil, 250,
+		func(p *Packet, at time.Duration) {
+			if !p.BestEffort {
+				voiceDelays = append(voiceDelays, at-p.Created)
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Saturating BE on the first link + one voice packet per frame over
+	// the whole path.
+	for j := 0; j < 40; j++ {
+		j := j
+		if _, err := k.At(time.Duration(j)*cfg.FrameDuration, func() {
+			for b := 0; b < 4; b++ {
+				_ = nw.Inject(&Packet{Seq: 1000 + j*4 + b, BestEffort: true,
+					Path: topology.Path{path[0]}, Bytes: 700})
+			}
+			if err := nw.Inject(&Packet{Seq: j, Path: path, Bytes: 200}); err != nil {
+				t.Errorf("inject: %v", err)
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	k.RunUntil(50 * cfg.FrameDuration)
+	if len(voiceDelays) < 35 {
+		t.Fatalf("voice delivered = %d, want >= 35 (stats %+v)", len(voiceDelays), nw.Stats())
+	}
+	for i, d := range voiceDelays {
+		if d > 2*cfg.FrameDuration {
+			t.Errorf("voice packet %d delay %v under BE flood", i, d)
+		}
+	}
+}
+
+func TestChannelLossWithoutARQLosesPackets(t *testing.T) {
+	cfg := testFrame()
+	topo, sched, path := chainSetup(t, 3, cfg)
+	k := sim.NewKernel()
+	delivered := 0
+	nw, err := New(Config{QueueCap: 4096}, topo, k, sched, nil, 250,
+		func(*Packet, time.Duration) { delivered++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 30% loss on every link.
+	if err := nw.Medium().SetLossModel(func(_, _ topology.NodeID) float64 { return 0.3 }, 11); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Start(); err != nil {
+		t.Fatal(err)
+	}
+	const pkts = 200
+	for j := 0; j < pkts; j++ {
+		j := j
+		if _, err := k.At(time.Duration(j)*cfg.FrameDuration, func() {
+			_ = nw.Inject(&Packet{Seq: j, Path: path, Bytes: 200})
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	k.RunUntil((pkts + 5) * cfg.FrameDuration)
+	st := nw.Stats()
+	if st.ChannelLosses == 0 {
+		t.Fatal("no channel losses at 30% PER")
+	}
+	// Two hops at 30% each: expect ~49% end-to-end delivery.
+	ratio := float64(delivered) / pkts
+	if ratio < 0.3 || ratio > 0.65 {
+		t.Errorf("delivery ratio = %g, want ~0.49", ratio)
+	}
+}
+
+func TestARQRecoversChannelLosses(t *testing.T) {
+	cfg := testFrame()
+	topo, sched, path := chainSetup(t, 3, cfg)
+	k := sim.NewKernel()
+	delivered := 0
+	nw, err := New(Config{QueueCap: 4096, ARQRetries: 4}, topo, k, sched, nil, 250,
+		func(*Packet, time.Duration) { delivered++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Medium().SetLossModel(func(_, _ topology.NodeID) float64 { return 0.3 }, 12); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Start(); err != nil {
+		t.Fatal(err)
+	}
+	const pkts = 200
+	for j := 0; j < pkts; j++ {
+		j := j
+		if _, err := k.At(time.Duration(j)*cfg.FrameDuration, func() {
+			_ = nw.Inject(&Packet{Seq: j, Path: path, Bytes: 200})
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	k.RunUntil((pkts + 20) * cfg.FrameDuration)
+	st := nw.Stats()
+	if st.ARQRetransmissions == 0 {
+		t.Fatal("ARQ never retransmitted")
+	}
+	// With 4 retries per hop, residual loss ~ 2 * 0.3^5 < 1%.
+	ratio := float64(delivered) / pkts
+	if ratio < 0.95 {
+		t.Errorf("delivery ratio with ARQ = %g, want >= 0.95 (stats %+v)", ratio, st)
+	}
+}

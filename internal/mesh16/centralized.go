@@ -1,0 +1,228 @@
+package mesh16
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"wimesh/internal/topology"
+)
+
+// Centralized scheduling (802.16 mesh coordinated mode): bandwidth requests
+// flow up the gateway-rooted routing tree in MSH-CSCH Request messages —
+// each node aggregates its subtree before transmitting — the gateway
+// computes the network-wide schedule (internal/schedule in this repository),
+// and the resulting grants flood back down in MSH-CSCH Grant messages. The
+// interesting costs are the round-trip latency, which grows with tree depth
+// because each level needs its own control transmit opportunity, and the
+// message volume.
+
+// CSCHType distinguishes request and grant messages.
+type CSCHType uint8
+
+// CSCH message types.
+const (
+	CSCHRequest CSCHType = iota + 1
+	CSCHGrant
+)
+
+// CSCHFlowEntry is one per-link demand (request) or slot range (grant).
+type CSCHFlowEntry struct {
+	// Link identifies the mesh link the entry refers to.
+	Link uint16
+	// Demand is the requested minislots per frame (requests).
+	Demand uint8
+	// Start and Length delimit the granted range (grants).
+	Start  uint8
+	Length uint8
+}
+
+// CSCH is an MSH-CSCH message.
+type CSCH struct {
+	Sender  NodeID16
+	Type    CSCHType
+	Entries []CSCHFlowEntry
+}
+
+// Marshal encodes the CSCH.
+func (m *CSCH) Marshal() ([]byte, error) {
+	if m.Type != CSCHRequest && m.Type != CSCHGrant {
+		return nil, fmt.Errorf("%w: CSCH type %d", ErrBadField, m.Type)
+	}
+	if len(m.Entries) > 255 {
+		return nil, fmt.Errorf("%w: %d CSCH entries", ErrBadField, len(m.Entries))
+	}
+	buf := make([]byte, 0, 4+5*len(m.Entries))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(m.Sender))
+	buf = append(buf, uint8(m.Type), uint8(len(m.Entries)))
+	for _, e := range m.Entries {
+		buf = binary.BigEndian.AppendUint16(buf, e.Link)
+		buf = append(buf, e.Demand, e.Start, e.Length)
+	}
+	return buf, nil
+}
+
+// UnmarshalCSCH decodes a CSCH.
+func UnmarshalCSCH(b []byte) (*CSCH, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("%w: CSCH header (%d bytes)", ErrTruncated, len(b))
+	}
+	m := &CSCH{
+		Sender: NodeID16(binary.BigEndian.Uint16(b[0:2])),
+		Type:   CSCHType(b[2]),
+	}
+	if m.Type != CSCHRequest && m.Type != CSCHGrant {
+		return nil, fmt.Errorf("%w: CSCH type %d", ErrBadField, m.Type)
+	}
+	n := int(b[3])
+	b = b[4:]
+	if len(b) < 5*n {
+		return nil, fmt.Errorf("%w: CSCH entries (%d of %d)", ErrTruncated, len(b)/5, n)
+	}
+	for i := 0; i < n; i++ {
+		m.Entries = append(m.Entries, CSCHFlowEntry{
+			Link:   binary.BigEndian.Uint16(b[5*i : 5*i+2]),
+			Demand: b[5*i+2],
+			Start:  b[5*i+3],
+			Length: b[5*i+4],
+		})
+	}
+	return m, nil
+}
+
+// CentralizedCost is the control-plane cost of one centralized scheduling
+// round trip.
+type CentralizedCost struct {
+	// UpOpportunities is the number of control transmit opportunities
+	// consumed collecting requests (deepest level first; one opportunity
+	// per transmitting node, levels strictly in sequence).
+	UpOpportunities int
+	// DownOpportunities is the number consumed flooding grants.
+	DownOpportunities int
+	// UpBytes and DownBytes are the total message volumes on the air.
+	UpBytes   int
+	DownBytes int
+	// Rounds is the number of sequential control phases (2 x tree depth):
+	// with one opportunity per phase per node, latency in frames is
+	// Rounds / opportunities-per-frame.
+	Rounds int
+}
+
+// Opportunities returns the total control transmit opportunities consumed.
+func (c CentralizedCost) Opportunities() int {
+	return c.UpOpportunities + c.DownOpportunities
+}
+
+// CentralizedRoundTrip simulates the MSH-CSCH collection and distribution
+// for the given per-link demands over the routing tree of topo, verifying
+// every message encodes and decodes, and returns the cost. Demands are
+// attributed to the link's transmitter; a node with no demand and no
+// descendants with demand stays silent.
+func CentralizedRoundTrip(topo *topology.Network, rt *topology.RoutingTree, demands map[topology.LinkID]int) (*CentralizedCost, error) {
+	if topo == nil || rt == nil {
+		return nil, errors.New("mesh16: nil topology or routing tree")
+	}
+	// Group nodes by depth.
+	maxDepth := 0
+	byDepth := make(map[int][]topology.NodeID)
+	for n, d := range rt.Depth {
+		byDepth[d] = append(byDepth[d], n)
+		if d > maxDepth {
+			maxDepth = d
+		}
+	}
+	for d := range byDepth {
+		ns := byDepth[d]
+		sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+	}
+
+	// pending[n] accumulates the entries node n must forward upward: its
+	// own link demands plus everything received from children.
+	pending := make(map[topology.NodeID][]CSCHFlowEntry)
+	for l, d := range demands {
+		if d <= 0 {
+			continue
+		}
+		lk, err := topo.Link(l)
+		if err != nil {
+			return nil, fmt.Errorf("mesh16: demand on %w", err)
+		}
+		if d > 255 {
+			return nil, fmt.Errorf("%w: demand %d on link %d", ErrBadField, d, l)
+		}
+		pending[lk.From] = append(pending[lk.From], CSCHFlowEntry{Link: uint16(l), Demand: uint8(d)})
+	}
+
+	cost := &CentralizedCost{}
+	// Upward phase: deepest level first; each transmitting node sends one
+	// CSCH Request to its parent.
+	for d := maxDepth; d >= 1; d-- {
+		levelActive := false
+		for _, n := range byDepth[d] {
+			entries := pending[n]
+			if len(entries) == 0 {
+				continue
+			}
+			levelActive = true
+			sort.Slice(entries, func(i, j int) bool { return entries[i].Link < entries[j].Link })
+			msg := &CSCH{Sender: NodeID16(n), Type: CSCHRequest, Entries: entries}
+			wire, err := msg.Marshal()
+			if err != nil {
+				return nil, err
+			}
+			decoded, err := UnmarshalCSCH(wire)
+			if err != nil {
+				return nil, fmt.Errorf("mesh16: request round trip: %w", err)
+			}
+			parent := rt.Parent[n]
+			pending[parent] = append(pending[parent], decoded.Entries...)
+			pending[n] = nil
+			cost.UpOpportunities++
+			cost.UpBytes += len(wire)
+		}
+		if levelActive {
+			cost.Rounds++
+		}
+	}
+
+	// The gateway now holds every demand; the operator computes the
+	// schedule out of band (internal/schedule). Grants flood downward: one
+	// broadcast per interior node per level that has subtree members.
+	grant := &CSCH{Sender: NodeID16(rt.Gateway), Type: CSCHGrant}
+	for l, d := range demands {
+		if d > 0 {
+			grant.Entries = append(grant.Entries, CSCHFlowEntry{Link: uint16(l), Demand: uint8(d)})
+		}
+	}
+	sort.Slice(grant.Entries, func(i, j int) bool { return grant.Entries[i].Link < grant.Entries[j].Link })
+	wire, err := grant.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := UnmarshalCSCH(wire); err != nil {
+		return nil, fmt.Errorf("mesh16: grant round trip: %w", err)
+	}
+	// Downward phase: every level 0..maxDepth-1 rebroadcasts once per node
+	// that has children.
+	hasChildren := make(map[topology.NodeID]bool)
+	for n, p := range rt.Parent {
+		_ = n
+		hasChildren[p] = true
+	}
+	for d := 0; d < maxDepth; d++ {
+		levelActive := false
+		for _, n := range byDepth[d] {
+			if !hasChildren[n] {
+				continue
+			}
+			levelActive = true
+			cost.DownOpportunities++
+			cost.DownBytes += len(wire)
+		}
+		if levelActive {
+			cost.Rounds++
+		}
+	}
+	return cost, nil
+}

@@ -1,0 +1,175 @@
+package mesh16
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"wimesh/internal/topology"
+)
+
+func TestCSCHRoundTrip(t *testing.T) {
+	in := &CSCH{
+		Sender: 3,
+		Type:   CSCHGrant,
+		Entries: []CSCHFlowEntry{
+			{Link: 10, Demand: 2, Start: 4, Length: 2},
+			{Link: 11, Demand: 1, Start: 6, Length: 1},
+		},
+	}
+	wire, err := in.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := UnmarshalCSCH(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip mismatch:\n in %+v\nout %+v", in, out)
+	}
+}
+
+func TestCSCHValidation(t *testing.T) {
+	bad := &CSCH{Sender: 1, Type: CSCHType(9)}
+	if _, err := bad.Marshal(); !errors.Is(err, ErrBadField) {
+		t.Errorf("bad type: got %v", err)
+	}
+	if _, err := UnmarshalCSCH([]byte{0, 1}); !errors.Is(err, ErrTruncated) {
+		t.Errorf("short header: got %v", err)
+	}
+	if _, err := UnmarshalCSCH([]byte{0, 1, 1, 2, 0}); !errors.Is(err, ErrTruncated) {
+		t.Errorf("short entries: got %v", err)
+	}
+	if _, err := UnmarshalCSCH([]byte{0, 1, 9, 0}); !errors.Is(err, ErrBadField) {
+		t.Errorf("decoded bad type: got %v", err)
+	}
+}
+
+func TestCentralizedRoundTripChain(t *testing.T) {
+	topo, err := topology.Chain(5, 100) // gateway at 0, depth up to 4
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := topo.BuildRoutingTree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Uplink demand on every forward-to-gateway link.
+	demands := make(map[topology.LinkID]int)
+	for i := 1; i <= 4; i++ {
+		l, err := topo.FindLink(topology.NodeID(i), topology.NodeID(i-1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		demands[l] = 1
+	}
+	cost, err := CentralizedRoundTrip(topo, rt, demands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Upward: nodes 4,3,2,1 each transmit once = 4 opportunities over 4
+	// sequential levels. Downward: interior nodes 0,1,2,3 rebroadcast = 4.
+	if cost.UpOpportunities != 4 {
+		t.Errorf("up opportunities = %d, want 4", cost.UpOpportunities)
+	}
+	if cost.DownOpportunities != 4 {
+		t.Errorf("down opportunities = %d, want 4", cost.DownOpportunities)
+	}
+	if cost.Rounds != 8 {
+		t.Errorf("rounds = %d, want 8 (4 up + 4 down)", cost.Rounds)
+	}
+	if cost.UpBytes == 0 || cost.DownBytes == 0 {
+		t.Error("zero message volume")
+	}
+	if cost.Opportunities() != 8 {
+		t.Errorf("total opportunities = %d", cost.Opportunities())
+	}
+	// Aggregation: the node-1 request carries all 4 entries; up volume
+	// grows toward the gateway. Total up bytes = sum over nodes of
+	// header(4) + 5*entries = (4+5) + (4+10) + (4+15) + (4+20) = 66.
+	if cost.UpBytes != 66 {
+		t.Errorf("up bytes = %d, want 66", cost.UpBytes)
+	}
+}
+
+func TestCentralizedRoundTripTree(t *testing.T) {
+	topo, err := topology.Tree(2, 3) // 15 nodes, depth 3
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := topo.BuildRoutingTree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	demands := make(map[topology.LinkID]int)
+	// One uplink demand per non-gateway node.
+	for _, nd := range topo.Nodes() {
+		if nd.ID == rt.Gateway {
+			continue
+		}
+		up := rt.Up[nd.ID]
+		demands[up[0]] = 1
+	}
+	cost, err := CentralizedRoundTrip(topo, rt, demands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Upward: 14 transmitting nodes over 3 levels; downward: 7 interior
+	// nodes over 3 levels.
+	if cost.UpOpportunities != 14 {
+		t.Errorf("up opportunities = %d, want 14", cost.UpOpportunities)
+	}
+	if cost.DownOpportunities != 7 {
+		t.Errorf("down opportunities = %d, want 7", cost.DownOpportunities)
+	}
+	if cost.Rounds != 6 {
+		t.Errorf("rounds = %d, want 6 (3 up + 3 down)", cost.Rounds)
+	}
+}
+
+func TestCentralizedNoDemands(t *testing.T) {
+	topo, err := topology.Chain(4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := topo.BuildRoutingTree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost, err := CentralizedRoundTrip(topo, rt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost.UpOpportunities != 0 {
+		t.Errorf("up opportunities = %d with no demands", cost.UpOpportunities)
+	}
+	// The (empty) grant still floods down.
+	if cost.DownOpportunities == 0 {
+		t.Error("no downward flood")
+	}
+}
+
+func TestCentralizedValidation(t *testing.T) {
+	topo, err := topology.Chain(3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := topo.BuildRoutingTree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CentralizedRoundTrip(nil, rt, nil); err == nil {
+		t.Error("nil topology accepted")
+	}
+	l, err := topo.FindLink(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CentralizedRoundTrip(topo, rt, map[topology.LinkID]int{l: 500}); err == nil {
+		t.Error("oversized demand accepted")
+	}
+	if _, err := CentralizedRoundTrip(topo, rt, map[topology.LinkID]int{999: 1}); err == nil {
+		t.Error("unknown link accepted")
+	}
+}

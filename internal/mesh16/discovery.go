@@ -1,0 +1,210 @@
+package mesh16
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"wimesh/internal/sim"
+	"wimesh/internal/topology"
+)
+
+// Neighbor discovery and synchronization-tree formation over MSH-NCFG: each
+// node periodically broadcasts its network-configuration message carrying
+// its neighbor table and its current hop distance to the gateway. Receivers
+// learn their one-hop neighborhood directly and relax their gateway
+// distance (distance-vector over the broadcasts), converging to BFS depths
+// in one broadcast round per tree level. The discovered depths are exactly
+// what internal/timesync needs to model beacon error accumulation.
+
+// DiscoveryConfig parameterizes the NCFG process.
+type DiscoveryConfig struct {
+	// Interval is the NCFG broadcast period per node (default 200 ms).
+	Interval time.Duration
+	// HoldoffExp is advertised in every NCFG (cosmetic here).
+	HoldoffExp uint8
+}
+
+func (c *DiscoveryConfig) applyDefaults() {
+	if c.Interval == 0 {
+		c.Interval = 200 * time.Millisecond
+	}
+}
+
+// unknownHops marks a node that has not yet heard a gateway distance.
+const unknownHops = 255
+
+type dstate struct {
+	id topology.NodeID
+	// hops is the current believed distance to the gateway.
+	hops uint8
+	// neighbors maps discovered one-hop neighbors to their last
+	// advertised state.
+	neighbors map[NodeID16]NeighborEntry
+}
+
+// Discovery runs the NCFG process on a simulation kernel.
+type Discovery struct {
+	cfg    DiscoveryConfig
+	topo   *topology.Network
+	kernel *sim.Kernel
+	nodes  map[topology.NodeID]*dstate
+	ids    []topology.NodeID
+
+	messages int
+	stopped  bool
+}
+
+// NewDiscovery creates the process. The topology must have a gateway.
+func NewDiscovery(cfg DiscoveryConfig, topo *topology.Network, kernel *sim.Kernel) (*Discovery, error) {
+	if topo == nil || kernel == nil {
+		return nil, errors.New("mesh16: nil topology or kernel")
+	}
+	gw, ok := topo.Gateway()
+	if !ok {
+		return nil, errors.New("mesh16: discovery needs a gateway")
+	}
+	cfg.applyDefaults()
+	d := &Discovery{
+		cfg:    cfg,
+		topo:   topo,
+		kernel: kernel,
+		nodes:  make(map[topology.NodeID]*dstate, topo.NumNodes()),
+	}
+	for _, nd := range topo.Nodes() {
+		st := &dstate{
+			id:        nd.ID,
+			hops:      unknownHops,
+			neighbors: make(map[NodeID16]NeighborEntry),
+		}
+		if nd.ID == gw {
+			st.hops = 0
+		}
+		d.nodes[nd.ID] = st
+		d.ids = append(d.ids, nd.ID)
+	}
+	sort.Slice(d.ids, func(i, j int) bool { return d.ids[i] < d.ids[j] })
+	return d, nil
+}
+
+// Start schedules periodic NCFG broadcasts, staggered by node ID within the
+// interval so transmissions do not pile onto one instant. The returned stop
+// function cancels future rounds.
+func (d *Discovery) Start() (stop func(), err error) {
+	for i, id := range d.ids {
+		id := id
+		offset := d.cfg.Interval * time.Duration(i) / time.Duration(len(d.ids)+1)
+		var tick func()
+		tick = func() {
+			if d.stopped {
+				return
+			}
+			d.broadcast(id)
+			if _, err := d.kernel.After(d.cfg.Interval, tick); err != nil {
+				d.stopped = true
+			}
+		}
+		if _, err := d.kernel.After(offset, tick); err != nil {
+			return nil, err
+		}
+	}
+	return func() { d.stopped = true }, nil
+}
+
+// broadcast sends one NCFG from node id to its radio neighbors, round-
+// tripping the wire encoding.
+func (d *Discovery) broadcast(id topology.NodeID) {
+	st := d.nodes[id]
+	msg := &NCFG{
+		Sender:      NodeID16(id),
+		FrameNumber: uint32(d.kernel.Now() / time.Millisecond),
+		HoldoffExp:  d.cfg.HoldoffExp,
+	}
+	msg.Neighbors = append(msg.Neighbors, NeighborEntry{
+		ID:   NodeID16(id),
+		Hops: st.hops,
+	})
+	for nid, ne := range st.neighbors {
+		if len(msg.Neighbors) == maxEntries {
+			break
+		}
+		msg.Neighbors = append(msg.Neighbors, NeighborEntry{ID: nid, Hops: ne.Hops})
+	}
+	sort.Slice(msg.Neighbors, func(i, j int) bool { return msg.Neighbors[i].ID < msg.Neighbors[j].ID })
+	wire, err := msg.Marshal()
+	if err != nil {
+		return
+	}
+	d.messages++
+	for _, nb := range d.topo.Neighbors(id) {
+		decoded, err := UnmarshalNCFG(wire)
+		if err != nil {
+			continue
+		}
+		d.receive(nb, decoded)
+	}
+}
+
+func (d *Discovery) receive(at topology.NodeID, msg *NCFG) {
+	st := d.nodes[at]
+	// The first entry is the sender's own state.
+	var senderHops uint8 = unknownHops
+	for _, ne := range msg.Neighbors {
+		if ne.ID == msg.Sender {
+			senderHops = ne.Hops
+			break
+		}
+	}
+	st.neighbors[msg.Sender] = NeighborEntry{
+		ID:         msg.Sender,
+		Hops:       senderHops,
+		HoldoffExp: msg.HoldoffExp,
+	}
+	// Distance-vector relaxation.
+	if senderHops != unknownHops && senderHops+1 < st.hops {
+		st.hops = senderHops + 1
+	}
+}
+
+// Converged reports whether every node has a gateway distance.
+func (d *Discovery) Converged() bool {
+	for _, id := range d.ids {
+		if d.nodes[id].hops == unknownHops {
+			return false
+		}
+	}
+	return true
+}
+
+// Depths returns the discovered per-node hop counts to the gateway
+// (timesync.New input). It errors until Converged.
+func (d *Discovery) Depths() (map[topology.NodeID]int, error) {
+	out := make(map[topology.NodeID]int, len(d.ids))
+	for _, id := range d.ids {
+		h := d.nodes[id].hops
+		if h == unknownHops {
+			return nil, fmt.Errorf("mesh16: node %d has no gateway distance yet", id)
+		}
+		out[id] = int(h)
+	}
+	return out, nil
+}
+
+// NeighborsOf returns the discovered one-hop neighbor IDs of a node,
+// sorted.
+func (d *Discovery) NeighborsOf(id topology.NodeID) []topology.NodeID {
+	st, ok := d.nodes[id]
+	if !ok {
+		return nil
+	}
+	out := make([]topology.NodeID, 0, len(st.neighbors))
+	for nid := range st.neighbors {
+		out = append(out, topology.NodeID(nid))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Messages returns the number of NCFG broadcasts sent.
+func (d *Discovery) Messages() int { return d.messages }

@@ -1,0 +1,155 @@
+package mesh16
+
+import (
+	"testing"
+	"time"
+
+	"wimesh/internal/sim"
+	"wimesh/internal/timesync"
+	"wimesh/internal/topology"
+)
+
+func TestDiscoveryConvergesToBFSDepths(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		build func() (*topology.Network, error)
+	}{
+		{"chain6", func() (*topology.Network, error) { return topology.Chain(6, 100) }},
+		{"grid9", func() (*topology.Network, error) { return topology.Grid(3, 3, 100) }},
+		{"random12", func() (*topology.Network, error) { return topology.RandomDisk(12, 600, 250, 9) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			topo, err := tc.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			rt, err := topo.BuildRoutingTree()
+			if err != nil {
+				t.Fatal(err)
+			}
+			kernel := sim.NewKernel()
+			d, err := NewDiscovery(DiscoveryConfig{Interval: 100 * time.Millisecond}, topo, kernel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stop, err := d.Start()
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Depth+2 rounds suffice (staggered broadcasts can relax a whole
+			// level per round).
+			maxDepth := 0
+			for _, dd := range rt.Depth {
+				if dd > maxDepth {
+					maxDepth = dd
+				}
+			}
+			kernel.RunUntil(time.Duration(maxDepth+2) * 100 * time.Millisecond)
+			stop()
+			if !d.Converged() {
+				t.Fatalf("not converged after %d rounds", maxDepth+2)
+			}
+			depths, err := d.Depths()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for n, want := range rt.Depth {
+				if depths[n] != want {
+					t.Errorf("node %d depth = %d, want %d (BFS)", n, depths[n], want)
+				}
+			}
+			// Discovered neighborhoods match the topology.
+			for _, nd := range topo.Nodes() {
+				want := topo.Neighbors(nd.ID)
+				got := d.NeighborsOf(nd.ID)
+				if len(got) != len(want) {
+					t.Errorf("node %d discovered %d neighbors, want %d", nd.ID, len(got), len(want))
+				}
+			}
+		})
+	}
+}
+
+func TestDiscoveryFeedsTimesync(t *testing.T) {
+	topo, err := topology.Chain(5, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kernel := sim.NewKernel()
+	d, err := NewDiscovery(DiscoveryConfig{Interval: 50 * time.Millisecond}, topo, kernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop, err := d.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kernel.RunUntil(time.Second)
+	stop()
+	depths, err := d.Depths()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := timesync.New(timesync.DefaultConfig(), depths, 4)
+	if err != nil {
+		t.Fatalf("timesync over discovered depths: %v", err)
+	}
+	ts.Resync(kernel.Now())
+	e, err := ts.ErrorAt(4, kernel.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e < -time.Millisecond || e > time.Millisecond {
+		t.Errorf("post-resync error %v implausible", e)
+	}
+}
+
+func TestDiscoveryValidation(t *testing.T) {
+	kernel := sim.NewKernel()
+	if _, err := NewDiscovery(DiscoveryConfig{}, nil, kernel); err == nil {
+		t.Error("nil topology accepted")
+	}
+	noGW := topology.NewNetwork()
+	noGW.AddNode(0, 0)
+	if _, err := NewDiscovery(DiscoveryConfig{}, noGW, kernel); err == nil {
+		t.Error("gateway-less topology accepted")
+	}
+	topo, err := topology.Chain(3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDiscovery(DiscoveryConfig{}, topo, kernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Depths before convergence error out.
+	if _, err := d.Depths(); err == nil {
+		t.Error("Depths before convergence accepted")
+	}
+	if d.Converged() {
+		t.Error("fresh discovery claims convergence")
+	}
+}
+
+func TestDiscoveryStopHaltsBroadcasts(t *testing.T) {
+	topo, err := topology.Chain(3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kernel := sim.NewKernel()
+	d, err := NewDiscovery(DiscoveryConfig{Interval: 10 * time.Millisecond}, topo, kernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop, err := d.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kernel.RunUntil(100 * time.Millisecond)
+	stop()
+	before := d.Messages()
+	kernel.RunUntil(300 * time.Millisecond)
+	if d.Messages() != before {
+		t.Errorf("broadcasts continued after stop: %d -> %d", before, d.Messages())
+	}
+}

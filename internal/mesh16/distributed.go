@@ -1,0 +1,492 @@
+package mesh16
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"wimesh/internal/topology"
+)
+
+// Distributed scheduling (802.16 mesh uncoordinated mode): nodes win control
+// transmit opportunities via the mesh election and negotiate minislot ranges
+// with the three-way request/grant/confirm handshake carried in MSH-DSCH
+// messages. Every node tracks three occupancy maps:
+//
+//   - tx: minislots it transmits in (confirmed);
+//   - rx: minislots it receives in (granted, held from grant time);
+//   - nbr: minislots any neighbor reserved (overheard grants/confirms),
+//     which it must not reuse.
+//
+// Requests travel with the sender's availability IEs, so a granter chooses
+// ranges free at *both* ends of the link — without this, concurrent
+// handshakes two hops apart pick the same minislots and the negotiation
+// livelocks (the reason the standard's MSH-DSCH carries availabilities).
+// A zero-length grant is an explicit denial; a zero-length confirm cancels
+// a tentative grant.
+
+// SchedulerConfig parameterizes the distributed scheduler.
+type SchedulerConfig struct {
+	// Minislots is the data-subframe size negotiated over (default 64).
+	Minislots int
+	// MaxRetries bounds re-requests after a failed handshake (default 3).
+	MaxRetries int
+}
+
+func (c *SchedulerConfig) applyDefaults() {
+	if c.Minislots == 0 {
+		c.Minislots = 64
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 3
+	}
+}
+
+// Reservation is a completed three-way handshake.
+type Reservation struct {
+	From, To topology.NodeID
+	Start    int
+	Length   int
+}
+
+// reqState tracks one outstanding demand at the requester.
+type reqState struct {
+	peer    topology.NodeID
+	demand  int
+	retries int
+	// settled is set when the handshake completed or gave up; length 0
+	// marks failure.
+	settled bool
+	start   int
+	length  int
+}
+
+type dnode struct {
+	id   topology.NodeID
+	mesh NodeID16
+	// tx/rx/nbr occupancy (see package comment).
+	tx, rx, nbr *SlotMap
+	// requests this node originated.
+	requests []*reqState
+	// pendingGrants: grants this node issued, awaiting confirm, keyed by
+	// requester.
+	pendingGrants map[topology.NodeID]Grant
+	// confirmedGrants: completed handshakes this node granted, keyed by
+	// requester; revocable when a conflicting reservation is overheard.
+	confirmedGrants map[topology.NodeID]Grant
+	// outbox accumulates DSCH elements for the next won opportunity.
+	outRequests []Request
+	outGrants   []Grant
+}
+
+// freeRanges returns the node's availability IEs: maximal runs free in all
+// three maps.
+func (n *dnode) freeRanges() []Availability {
+	var out []Availability
+	limit := n.tx.Limit()
+	i := 0
+	for i < limit {
+		if n.tx.Busy(i) || n.rx.Busy(i) || n.nbr.Busy(i) {
+			i++
+			continue
+		}
+		j := i
+		for j < limit && !n.tx.Busy(j) && !n.rx.Busy(j) && !n.nbr.Busy(j) {
+			j++
+		}
+		out = append(out, Availability{Start: uint8(i), Length: uint8(j - i), Direction: DirTx})
+		i = j
+		if len(out) == maxEntries {
+			break
+		}
+	}
+	return out
+}
+
+// Scheduler runs distributed minislot negotiation over a mesh topology.
+// Negotiation advances in control transmit opportunities (one election and
+// at most one DSCH broadcast each); map opportunities to wall time with the
+// frame's control-subframe cadence.
+type Scheduler struct {
+	cfg   SchedulerConfig
+	topo  *topology.Network
+	nodes map[topology.NodeID]*dnode
+	// order of node iteration for determinism.
+	ids []topology.NodeID
+
+	reservations []Reservation
+	messages     int
+	opportunity  uint32
+}
+
+// NewScheduler creates the distributed scheduler over the topology.
+func NewScheduler(cfg SchedulerConfig, topo *topology.Network) (*Scheduler, error) {
+	if topo == nil {
+		return nil, errors.New("mesh16: nil topology")
+	}
+	cfg.applyDefaults()
+	if cfg.Minislots > MaxMinislots {
+		return nil, fmt.Errorf("%w: %d minislots", ErrBadField, cfg.Minislots)
+	}
+	s := &Scheduler{
+		cfg:   cfg,
+		topo:  topo,
+		nodes: make(map[topology.NodeID]*dnode, topo.NumNodes()),
+	}
+	for _, nd := range topo.Nodes() {
+		tx, err := NewSlotMap(cfg.Minislots)
+		if err != nil {
+			return nil, err
+		}
+		rx, err := NewSlotMap(cfg.Minislots)
+		if err != nil {
+			return nil, err
+		}
+		nbr, err := NewSlotMap(cfg.Minislots)
+		if err != nil {
+			return nil, err
+		}
+		s.nodes[nd.ID] = &dnode{
+			id:              nd.ID,
+			mesh:            NodeID16(nd.ID),
+			tx:              tx,
+			rx:              rx,
+			nbr:             nbr,
+			pendingGrants:   make(map[topology.NodeID]Grant),
+			confirmedGrants: make(map[topology.NodeID]Grant),
+		}
+		s.ids = append(s.ids, nd.ID)
+	}
+	sort.Slice(s.ids, func(i, j int) bool { return s.ids[i] < s.ids[j] })
+	return s, nil
+}
+
+// RequestLink queues a demand of n minislots on the directed link from->to.
+func (s *Scheduler) RequestLink(from, to topology.NodeID, n int) error {
+	if n <= 0 || n > s.cfg.Minislots {
+		return fmt.Errorf("%w: demand %d of %d minislots", ErrBadField, n, s.cfg.Minislots)
+	}
+	if _, err := s.topo.FindLink(from, to); err != nil {
+		return fmt.Errorf("mesh16: request over missing link: %w", err)
+	}
+	u := s.nodes[from]
+	for _, r := range u.requests {
+		if r.peer == to {
+			return fmt.Errorf("%w: duplicate request %d->%d (one handshake per link)", ErrBadField, from, to)
+		}
+	}
+	u.requests = append(u.requests, &reqState{peer: to, demand: n})
+	u.outRequests = append(u.outRequests, Request{Peer: NodeID16(to), Demand: uint8(n)})
+	return nil
+}
+
+// Run executes control opportunities until every handshake settles or the
+// opportunity budget is exhausted; it returns the completed reservations.
+func (s *Scheduler) Run(maxOpportunities int) ([]Reservation, error) {
+	for i := 0; i < maxOpportunities; i++ {
+		if s.settled() {
+			break
+		}
+		s.step()
+	}
+	if !s.settled() {
+		return s.reservations, fmt.Errorf("mesh16: %d handshakes unsettled after %d opportunities",
+			s.unsettled(), maxOpportunities)
+	}
+	out := make([]Reservation, len(s.reservations))
+	copy(out, s.reservations)
+	return out, nil
+}
+
+// step runs one control transmit opportunity: the election picks the winner
+// among nodes with traffic to send; the winner broadcasts its DSCH.
+func (s *Scheduler) step() {
+	s.opportunity++
+	var contenders []NodeID16
+	byMesh := make(map[NodeID16]*dnode)
+	for _, id := range s.ids {
+		n := s.nodes[id]
+		if len(n.outRequests) > 0 || len(n.outGrants) > 0 {
+			contenders = append(contenders, n.mesh)
+			byMesh[n.mesh] = n
+		}
+	}
+	if len(contenders) == 0 {
+		return
+	}
+	winner := byMesh[Winner(s.opportunity, contenders)]
+	msg := &DSCH{
+		Sender:   winner.mesh,
+		Requests: winner.outRequests,
+		Grants:   winner.outGrants,
+	}
+	if len(msg.Requests) > 0 {
+		// Requests travel with the sender's current availabilities.
+		msg.Availabilities = winner.freeRanges()
+	}
+	winner.outRequests, winner.outGrants = nil, nil
+	s.broadcast(winner, msg)
+}
+
+// broadcast marshals the DSCH and delivers it to every one-hop neighbor
+// (the control subframe is election-protected, so delivery is reliable).
+func (s *Scheduler) broadcast(from *dnode, msg *DSCH) {
+	wire, err := msg.Marshal()
+	if err != nil {
+		return
+	}
+	s.messages++
+	for _, nb := range s.topo.Neighbors(from.id) {
+		decoded, err := UnmarshalDSCH(wire)
+		if err != nil {
+			continue
+		}
+		s.receive(s.nodes[nb], from, decoded)
+	}
+}
+
+func (s *Scheduler) receive(at, from *dnode, msg *DSCH) {
+	for _, r := range msg.Requests {
+		if topology.NodeID(r.Peer) == at.id {
+			s.handleRequest(at, from, r, msg.Availabilities)
+		}
+	}
+	for _, g := range msg.Grants {
+		switch {
+		case topology.NodeID(g.Peer) != at.id:
+			// Overheard reservation: mark real (non-revoke) ranges and
+			// back off any of our own grants the new knowledge conflicts
+			// with. Revoked ranges stay marked — conservative but safe.
+			if g.Length > 0 && !g.Revoke {
+				_ = at.nbr.Mark(int(g.Start), int(g.Length))
+				s.revokeConflicting(at, int(g.Start), int(g.Length))
+			}
+		case g.Revoke:
+			s.handleRevoke(at, from, g)
+		case g.Confirm:
+			s.handleConfirm(at, from, g)
+		default:
+			s.handleGrant(at, from, g)
+		}
+	}
+}
+
+// revokeConflicting backs off every grant node at issued (pending or
+// confirmed) that overlaps the newly learned range [start, start+length):
+// the rx hold is released and a Revoke is queued so the requester releases
+// its tx reservation and renegotiates against fresher availabilities.
+func (s *Scheduler) revokeConflicting(at *dnode, start, length int) {
+	overlaps := func(g Grant) bool {
+		return int(g.Start) < start+length && start < int(g.Start)+int(g.Length)
+	}
+	for peer, g := range at.pendingGrants {
+		if !overlaps(g) {
+			continue
+		}
+		_ = at.rx.Clear(int(g.Start), int(g.Length))
+		delete(at.pendingGrants, peer)
+		at.outGrants = append(at.outGrants, Grant{
+			Peer: NodeID16(peer), Start: g.Start, Length: g.Length,
+			Direction: DirRx, Revoke: true,
+		})
+	}
+	for peer, g := range at.confirmedGrants {
+		if !overlaps(g) {
+			continue
+		}
+		_ = at.rx.Clear(int(g.Start), int(g.Length))
+		delete(at.confirmedGrants, peer)
+		at.outGrants = append(at.outGrants, Grant{
+			Peer: NodeID16(peer), Start: g.Start, Length: g.Length,
+			Direction: DirRx, Revoke: true,
+		})
+	}
+}
+
+// handleRevoke releases the requester's side of a revoked reservation and
+// renegotiates (bounded by MaxRetries).
+func (s *Scheduler) handleRevoke(at, from *dnode, g Grant) {
+	for _, r := range at.requests {
+		if r.peer != from.id || !r.settled || r.length == 0 {
+			continue
+		}
+		if r.start != int(g.Start) || r.length != int(g.Length) {
+			continue
+		}
+		_ = at.tx.Clear(r.start, r.length)
+		s.removeReservation(at.id, from.id, r.start)
+		r.settled = false
+		r.start, r.length = 0, 0
+		r.retries++
+		if r.retries <= s.cfg.MaxRetries {
+			at.outRequests = append(at.outRequests, Request{Peer: NodeID16(from.id), Demand: uint8(r.demand)})
+		} else {
+			r.settled, r.length = true, 0
+		}
+		return
+	}
+}
+
+func (s *Scheduler) removeReservation(from, to topology.NodeID, start int) {
+	for i, r := range s.reservations {
+		if r.From == from && r.To == to && r.Start == start {
+			s.reservations = append(s.reservations[:i], s.reservations[i+1:]...)
+			return
+		}
+	}
+}
+
+// handleRequest (leg 2): the receiver picks a range free at both ends —
+// free in its rx/tx/nbr maps and inside the requester's advertised
+// availabilities — and grants it; a zero-length grant denies the request.
+func (s *Scheduler) handleRequest(at, from *dnode, r Request, avail []Availability) {
+	// A repeated request from the same peer means the previous grant failed
+	// at the requester: release the tentative hold before regranting.
+	if prev, ok := at.pendingGrants[from.id]; ok {
+		_ = at.rx.Clear(int(prev.Start), int(prev.Length))
+		delete(at.pendingGrants, from.id)
+	}
+	start, ok := at.findGrantRange(int(r.Demand), avail)
+	g := Grant{Peer: NodeID16(from.id), Direction: DirRx}
+	if ok {
+		g.Start, g.Length = uint8(start), r.Demand
+		// Tentatively hold the range until the confirm arrives.
+		_ = at.rx.Mark(start, int(r.Demand))
+		at.pendingGrants[from.id] = g
+	}
+	at.outGrants = append(at.outGrants, g)
+}
+
+// findGrantRange searches for a run of length free in the node's maps and
+// contained in one of the requester's availability ranges.
+func (n *dnode) findGrantRange(length int, avail []Availability) (int, bool) {
+	limit := n.tx.Limit()
+	ok := func(i int) bool {
+		if i >= limit || n.tx.Busy(i) || n.rx.Busy(i) || n.nbr.Busy(i) {
+			return false
+		}
+		for _, a := range avail {
+			if i >= int(a.Start) && i < int(a.Start)+int(a.Length) {
+				return true
+			}
+		}
+		return len(avail) == 0 // no availabilities advertised: trust local view
+	}
+	run := 0
+	for i := 0; i < limit; i++ {
+		if ok(i) {
+			run++
+			if run == length {
+				return i - length + 1, true
+			}
+		} else {
+			run = 0
+		}
+	}
+	return 0, false
+}
+
+// handleGrant (leg 3): the original requester validates the range against
+// its own maps, confirms, and reserves. A zero-length grant is a denial.
+func (s *Scheduler) handleGrant(at, from *dnode, g Grant) {
+	var req *reqState
+	for _, r := range at.requests {
+		if r.peer == from.id && !r.settled {
+			req = r
+			break
+		}
+	}
+	if req == nil {
+		return
+	}
+	start, length := int(g.Start), int(g.Length)
+	granted := length > 0 &&
+		at.tx.RangeFree(start, length) &&
+		at.rx.RangeFree(start, length) &&
+		at.nbr.RangeFree(start, length)
+	if !granted {
+		req.retries++
+		if req.retries <= s.cfg.MaxRetries {
+			at.outRequests = append(at.outRequests, Request{Peer: NodeID16(from.id), Demand: uint8(req.demand)})
+		} else {
+			// Give up; cancel any tentative hold at the granter.
+			req.settled, req.length = true, 0
+			at.outGrants = append(at.outGrants, Grant{
+				Peer: NodeID16(from.id), Direction: DirTx, Confirm: true,
+			})
+		}
+		return
+	}
+	req.settled = true
+	req.start, req.length = start, length
+	_ = at.tx.Mark(start, length)
+	at.outGrants = append(at.outGrants, Grant{
+		Peer:      NodeID16(from.id),
+		Start:     g.Start,
+		Length:    g.Length,
+		Direction: DirTx,
+		Confirm:   true,
+	})
+	s.reservations = append(s.reservations, Reservation{
+		From: at.id, To: from.id, Start: start, Length: length,
+	})
+}
+
+// handleConfirm completes (length > 0) or cancels (length 0) the granter's
+// side of a handshake.
+func (s *Scheduler) handleConfirm(at, from *dnode, g Grant) {
+	prev, ok := at.pendingGrants[from.id]
+	if !ok {
+		return
+	}
+	delete(at.pendingGrants, from.id)
+	if g.Length == 0 && prev.Length > 0 {
+		// Canceled: release the tentative rx hold.
+		_ = at.rx.Clear(int(prev.Start), int(prev.Length))
+		return
+	}
+	at.confirmedGrants[from.id] = prev
+}
+
+// settled reports that every handshake completed (or gave up) and every
+// outbox drained, so the schedule state is globally consistent.
+func (s *Scheduler) settled() bool {
+	if s.unsettled() > 0 {
+		return false
+	}
+	for _, id := range s.ids {
+		n := s.nodes[id]
+		if len(n.outRequests) > 0 || len(n.outGrants) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Scheduler) unsettled() int {
+	n := 0
+	for _, id := range s.ids {
+		for _, r := range s.nodes[id].requests {
+			if !r.settled {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Messages returns the number of DSCH broadcasts sent.
+func (s *Scheduler) Messages() int { return s.messages }
+
+// FailedRequests returns the demands that gave up after MaxRetries.
+func (s *Scheduler) FailedRequests() int {
+	n := 0
+	for _, id := range s.ids {
+		for _, r := range s.nodes[id].requests {
+			if r.settled && r.length == 0 {
+				n++
+			}
+		}
+	}
+	return n
+}

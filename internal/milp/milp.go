@@ -1,0 +1,365 @@
+// Package milp implements a mixed-integer linear program solver:
+// branch-and-bound over the LP relaxation provided by internal/lp.
+//
+// It targets the binary programs of TDMA schedule optimization
+// (transmission-order variables, slot-feasibility tests), which are small but
+// need exact answers. All variables have lower bound 0; integer variables
+// branch by adding bound rows.
+package milp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"wimesh/internal/lp"
+)
+
+// VarType classifies a model variable.
+type VarType int
+
+// Variable types.
+const (
+	Continuous VarType = iota + 1
+	Integer
+	Binary
+)
+
+// Sense re-exports the optimization direction.
+type Sense = lp.Sense
+
+// Optimization directions.
+const (
+	Minimize = lp.Minimize
+	Maximize = lp.Maximize
+)
+
+// Rel re-exports constraint relations.
+type Rel = lp.Rel
+
+// Constraint relations.
+const (
+	LE = lp.LE
+	GE = lp.GE
+	EQ = lp.EQ
+)
+
+// Solver failure modes.
+var (
+	ErrInfeasible = errors.New("milp: infeasible")
+	ErrLimit      = errors.New("milp: search limit reached without a feasible solution")
+)
+
+// VarID identifies a model variable.
+type VarID int
+
+type variable struct {
+	name    string
+	typ     VarType
+	upper   float64
+	objCoef float64
+}
+
+type row struct {
+	coef map[VarID]float64
+	rel  Rel
+	rhs  float64
+}
+
+// Model is a MILP under construction.
+type Model struct {
+	sense Sense
+	vars  []variable
+	rows  []row
+}
+
+// NewModel returns an empty model with the given optimization direction.
+func NewModel(sense Sense) *Model {
+	return &Model{sense: sense}
+}
+
+// AddVar adds a variable with bounds [0, upper] (upper may be +Inf for
+// continuous/integer; Binary forces [0,1]) and the given objective
+// coefficient. The name is used in diagnostics only.
+func (m *Model) AddVar(name string, typ VarType, upper, objCoef float64) (VarID, error) {
+	switch typ {
+	case Binary:
+		upper = 1
+	case Continuous, Integer:
+		if upper < 0 {
+			return 0, fmt.Errorf("milp: negative upper bound %g for %q", upper, name)
+		}
+	default:
+		return 0, fmt.Errorf("milp: bad variable type %d for %q", int(typ), name)
+	}
+	id := VarID(len(m.vars))
+	m.vars = append(m.vars, variable{name: name, typ: typ, upper: upper, objCoef: objCoef})
+	return id, nil
+}
+
+// NumVars returns the number of variables.
+func (m *Model) NumVars() int { return len(m.vars) }
+
+// NumConstraints returns the number of constraint rows.
+func (m *Model) NumConstraints() int { return len(m.rows) }
+
+// AddConstraint adds the row coef . x rel rhs.
+func (m *Model) AddConstraint(coef map[VarID]float64, rel Rel, rhs float64) error {
+	cp := make(map[VarID]float64, len(coef))
+	for v, c := range coef {
+		if v < 0 || int(v) >= len(m.vars) {
+			return fmt.Errorf("milp: constraint variable %d out of range", v)
+		}
+		if c != 0 {
+			cp[v] = c
+		}
+	}
+	m.rows = append(m.rows, row{coef: cp, rel: rel, rhs: rhs})
+	return nil
+}
+
+// Options bounds the branch-and-bound search.
+type Options struct {
+	// MaxNodes limits explored nodes (0 = 1e6 default).
+	MaxNodes int
+	// TimeLimit bounds wall-clock time (0 = none).
+	TimeLimit time.Duration
+	// FirstFeasible stops at the first integral solution (feasibility
+	// problems).
+	FirstFeasible bool
+	// IntTol is the integrality tolerance (0 = 1e-6 default).
+	IntTol float64
+}
+
+// Solution is the result of a Solve call.
+type Solution struct {
+	X         []float64
+	Objective float64
+	// Optimal reports that the search proved optimality (or, with
+	// FirstFeasible, found an integral solution).
+	Optimal bool
+	// Nodes is the number of branch-and-bound nodes explored.
+	Nodes int
+}
+
+// branch is one bound added on the path to a node: variable v rel value.
+type branch struct {
+	v   VarID
+	rel Rel
+	val float64
+}
+
+type node struct {
+	branches []branch
+	bound    float64 // LP relaxation objective, in minimization form
+}
+
+// Solve runs branch-and-bound and returns the best integral solution. It
+// returns ErrInfeasible if no integral solution exists, or ErrLimit if
+// limits were exhausted before one was found.
+func (m *Model) Solve(opts Options) (*Solution, error) {
+	maxNodes := opts.MaxNodes
+	if maxNodes == 0 {
+		maxNodes = 1_000_000
+	}
+	intTol := opts.IntTol
+	if intTol == 0 {
+		intTol = 1e-6
+	}
+	deadline := time.Time{}
+	if opts.TimeLimit > 0 {
+		deadline = time.Now().Add(opts.TimeLimit)
+	}
+
+	// Minimization form multiplier for bounds comparisons.
+	sign := 1.0
+	if m.sense == Maximize {
+		sign = -1
+	}
+
+	var (
+		incumbent    []float64
+		incumbentObj = math.Inf(1) // minimization form
+		nodes        int
+		provedOpt    = true
+	)
+
+	// DFS stack seeded with the root; DFS keeps memory bounded and finds
+	// incumbents quickly, which matters for feasibility-style problems.
+	stack := []node{{}}
+	for len(stack) > 0 {
+		if nodes >= maxNodes || (!deadline.IsZero() && time.Now().After(deadline)) {
+			provedOpt = false
+			break
+		}
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		nodes++
+
+		sol, err := m.solveRelaxation(cur.branches)
+		if errors.Is(err, lp.ErrInfeasible) {
+			continue
+		}
+		if errors.Is(err, lp.ErrUnbounded) {
+			// An unbounded relaxation at the root of an integer problem:
+			// treat as an error since our scheduling models are bounded.
+			return nil, fmt.Errorf("milp: relaxation unbounded: %w", err)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("milp: relaxation: %w", err)
+		}
+		bound := sign * sol.Objective
+		if bound >= incumbentObj-1e-9 {
+			continue // pruned by bound
+		}
+		fracVar, fracVal := m.mostFractional(sol.X, intTol)
+		if fracVar == -1 {
+			// Integral: new incumbent.
+			incumbent = roundIntegral(m, sol.X, intTol)
+			incumbentObj = bound
+			if opts.FirstFeasible {
+				break
+			}
+			continue
+		}
+		// Branch: explore the "round toward incumbent-friendly" side last so
+		// it pops first (DFS). floor branch: x <= floor(v); ceil branch:
+		// x >= ceil(v).
+		floorB := append(append([]branch(nil), cur.branches...), branch{v: fracVar, rel: LE, val: math.Floor(fracVal)})
+		ceilB := append(append([]branch(nil), cur.branches...), branch{v: fracVar, rel: GE, val: math.Ceil(fracVal)})
+		if fracVal-math.Floor(fracVal) < 0.5 {
+			stack = append(stack, node{branches: ceilB}, node{branches: floorB})
+		} else {
+			stack = append(stack, node{branches: floorB}, node{branches: ceilB})
+		}
+	}
+
+	if incumbent == nil {
+		if provedOpt {
+			return nil, ErrInfeasible
+		}
+		return nil, fmt.Errorf("%w (nodes=%d)", ErrLimit, nodes)
+	}
+	obj := 0.0
+	for j, v := range m.vars {
+		obj += v.objCoef * incumbent[j]
+	}
+	return &Solution{X: incumbent, Objective: obj, Optimal: provedOpt, Nodes: nodes}, nil
+}
+
+// solveRelaxation builds and solves the LP relaxation with the node's branch
+// bounds applied.
+func (m *Model) solveRelaxation(branches []branch) (*lp.Solution, error) {
+	p := lp.NewProblem(m.sense, len(m.vars))
+	for j, v := range m.vars {
+		if v.objCoef != 0 {
+			if err := p.SetObjCoef(j, v.objCoef); err != nil {
+				return nil, err
+			}
+		}
+		if !math.IsInf(v.upper, 1) {
+			if err := p.SetUpper(j, v.upper); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, r := range m.rows {
+		coef := make(map[int]float64, len(r.coef))
+		for v, c := range r.coef {
+			coef[int(v)] = c
+		}
+		if err := p.AddConstraint(coef, r.rel, r.rhs); err != nil {
+			return nil, err
+		}
+	}
+	// Branch bounds. Tighten upper bounds directly; lower bounds become GE
+	// rows.
+	for _, b := range branches {
+		switch b.rel {
+		case LE:
+			u := p.Upper(int(b.v))
+			if b.val < u {
+				if b.val < 0 {
+					return nil, lp.ErrInfeasible
+				}
+				if err := p.SetUpper(int(b.v), b.val); err != nil {
+					return nil, err
+				}
+			}
+		case GE:
+			if err := p.AddConstraint(map[int]float64{int(b.v): 1}, lp.GE, b.val); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("milp: bad branch relation %v", b.rel)
+		}
+	}
+	return p.Solve()
+}
+
+// mostFractional returns the integer variable with value farthest from an
+// integer, or -1 if all integer variables are integral within tol.
+func (m *Model) mostFractional(x []float64, tol float64) (VarID, float64) {
+	best, bestDist := VarID(-1), tol
+	for j, v := range m.vars {
+		if v.typ == Continuous {
+			continue
+		}
+		f := x[j] - math.Floor(x[j])
+		dist := math.Min(f, 1-f)
+		if dist > bestDist {
+			best, bestDist = VarID(j), dist
+		}
+	}
+	if best == -1 {
+		return -1, 0
+	}
+	return best, x[best]
+}
+
+func roundIntegral(m *Model, x []float64, tol float64) []float64 {
+	out := make([]float64, len(x))
+	copy(out, x)
+	for j, v := range m.vars {
+		if v.typ != Continuous {
+			out[j] = math.Round(out[j])
+		}
+	}
+	_ = tol
+	return out
+}
+
+// VarName returns the name of a variable (diagnostics).
+func (m *Model) VarName(v VarID) string {
+	if v < 0 || int(v) >= len(m.vars) {
+		return fmt.Sprintf("var(%d)", int(v))
+	}
+	return m.vars[v].name
+}
+
+// Describe returns a human-readable summary of the model size.
+func (m *Model) Describe() string {
+	nBin, nInt := 0, 0
+	for _, v := range m.vars {
+		switch v.typ {
+		case Binary:
+			nBin++
+		case Integer:
+			nInt++
+		}
+	}
+	return fmt.Sprintf("milp: %d vars (%d binary, %d integer), %d constraints",
+		len(m.vars), nBin, nInt, len(m.rows))
+}
+
+// SortedVarIDs returns all variable IDs ascending (test helper convenience).
+func (m *Model) SortedVarIDs() []VarID {
+	out := make([]VarID, len(m.vars))
+	for i := range out {
+		out[i] = VarID(i)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,145 @@
+package scenario
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"wimesh/internal/core"
+	"wimesh/internal/tdma"
+	"wimesh/internal/voip"
+)
+
+func specChain() Spec {
+	return Spec{Topology: "chain", Nodes: 5, Calls: 2, Codec: "g711",
+		DelayBound: "150ms", Method: "path-major"}
+}
+
+func TestBuildTopologyAllKinds(t *testing.T) {
+	for _, name := range []string{"chain", "ring", "grid", "tree", "random"} {
+		s := Spec{Topology: name, Nodes: 6, Seed: 3}
+		topo, err := s.BuildTopology()
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if topo.NumNodes() < 6 && name != "tree" {
+			t.Errorf("%s: %d nodes", name, topo.NumNodes())
+		}
+	}
+	if _, err := (Spec{Topology: "donut"}).BuildTopology(); err == nil {
+		t.Error("unknown topology accepted")
+	}
+}
+
+func TestBuildCodecAndMethodAndBound(t *testing.T) {
+	s := specChain()
+	c, err := s.BuildCodec()
+	if err != nil || c.Name != "G.711" {
+		t.Errorf("codec = %v, %v", c.Name, err)
+	}
+	if _, err := (Spec{Codec: "mp3"}).BuildCodec(); err == nil {
+		t.Error("unknown codec accepted")
+	}
+	m, err := s.BuildMethod()
+	if err != nil || m != core.MethodPathMajor {
+		t.Errorf("method = %v, %v", m, err)
+	}
+	if _, err := (Spec{Method: "magic"}).BuildMethod(); err == nil {
+		t.Error("unknown method accepted")
+	}
+	d, err := s.Bound()
+	if err != nil || d != 150*time.Millisecond {
+		t.Errorf("bound = %v, %v", d, err)
+	}
+	if _, err := (Spec{DelayBound: "soon"}).Bound(); err == nil {
+		t.Error("bad bound accepted")
+	}
+	// Defaults: empty codec and method resolve.
+	if _, err := (Spec{}).BuildCodec(); err != nil {
+		t.Errorf("default codec: %v", err)
+	}
+	if _, err := (Spec{}).BuildMethod(); err != nil {
+		t.Errorf("default method: %v", err)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	spec := specChain()
+	topo, err := spec.BuildTopology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.NewSystem(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows, err := spec.BuildFlows(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := sys.PlanVoIP(flows, core.MethodPathMajor, voip.G711())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := Save(&buf, spec, sys.Frame, plan); err != nil {
+		t.Fatal(err)
+	}
+	sp, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Spec != spec {
+		t.Errorf("spec round trip: %+v vs %+v", sp.Spec, spec)
+	}
+	frame, err := sp.FrameConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frame != sys.Frame {
+		t.Errorf("frame round trip: %+v vs %+v", frame, sys.Frame)
+	}
+	sched, err := sp.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched.Assignments) != len(plan.Schedule.Assignments) {
+		t.Fatalf("assignments = %d, want %d", len(sched.Assignments), len(plan.Schedule.Assignments))
+	}
+	for i, a := range sched.Assignments {
+		if a != plan.Schedule.Assignments[i] {
+			t.Errorf("assignment %d: %+v vs %+v", i, a, plan.Schedule.Assignments[i])
+		}
+	}
+	// The loaded schedule still validates against the rebuilt topology.
+	if err := sched.Validate(sys.Graph); err != nil {
+		t.Errorf("loaded schedule invalid: %v", err)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Load(strings.NewReader(`{"unknown": 1}`)); err == nil {
+		t.Error("unknown fields accepted")
+	}
+	// Bad frame duration is caught at FrameConfig time.
+	sp, err := Load(strings.NewReader(`{"spec":{"topology":"chain","nodes":3,"seed":0,"calls":1,"codec":"g711","method":"greedy"},"frame":{"frameDuration":"never","controlSlots":0,"dataSlots":4},"windowSlots":1,"assignments":[]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sp.FrameConfig(); err == nil {
+		t.Error("bad frame duration accepted")
+	}
+}
+
+func TestSaveNilPlan(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Save(&buf, specChain(), tdma.DefaultEmulationFrame(), nil); err == nil {
+		t.Error("nil plan accepted")
+	}
+}

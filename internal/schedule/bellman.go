@@ -1,0 +1,130 @@
+package schedule
+
+import (
+	"fmt"
+	"math"
+
+	"wimesh/internal/conflict"
+	"wimesh/internal/tdma"
+	"wimesh/internal/topology"
+)
+
+// OrderToSchedule converts a complete transmission order into a concrete
+// conflict-free schedule within a window of winSlots slots, by solving the
+// difference-constraint system
+//
+//	s_b - s_a >= d_a            for every ordered conflicting pair a before b
+//	0 <= s_l <= winSlots - d_l  for every active link l
+//
+// with Bellman-Ford (internal/conflict.ConstraintSystem). If the system has
+// a negative cycle — the order's cycle cost exceeds the window, the
+// "scheduling delay as cycle cost" view of the Djukic-Valaee papers — it
+// returns ErrInfeasible.
+//
+// The produced schedule occupies slots [0, winSlots) of the frame described
+// by cfg; winSlots must not exceed cfg.DataSlots.
+func OrderToSchedule(p *Problem, o *Order, winSlots int, cfg tdma.FrameConfig) (*tdma.Schedule, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if winSlots <= 0 || winSlots > cfg.DataSlots {
+		return nil, fmt.Errorf("%w: window %d outside frame of %d slots",
+			ErrBadDemand, winSlots, cfg.DataSlots)
+	}
+	if !o.Complete(p) {
+		return nil, fmt.Errorf("%w: order does not cover all conflicting pairs", ErrBadDemand)
+	}
+	active := p.ActiveLinks()
+	idx := make(map[topology.LinkID]int, len(active))
+	for i, l := range active {
+		idx[l] = i
+	}
+	// Variable layout: 0..n-1 = link start slots, n = zero reference.
+	n := len(active)
+	cs := conflict.NewConstraintSystem(n + 1)
+	zero := n
+	for i, l := range active {
+		d := p.Demand[l]
+		// 0 <= s_l: s_l - zero >= 0.
+		if err := cs.AddGE(i, zero, 0); err != nil {
+			return nil, err
+		}
+		// s_l <= win - d_l: s_l - zero <= win - d.
+		if err := cs.AddLE(i, zero, float64(winSlots-d)); err != nil {
+			return nil, err
+		}
+	}
+	for _, pair := range p.ConflictingPairs() {
+		a, b := pair[0], pair[1]
+		aFirst, _ := o.Before(a, b)
+		if !aFirst {
+			a, b = b, a
+		}
+		// s_b >= s_a + d_a.
+		if err := cs.AddGE(idx[b], idx[a], float64(p.Demand[a])); err != nil {
+			return nil, err
+		}
+	}
+	x, err := cs.Solve()
+	if err != nil {
+		return nil, fmt.Errorf("%w: order needs more than %d slots: %v", ErrInfeasible, winSlots, err)
+	}
+	s, err := NewScheduleFromStarts(p, active, x, x[zero], cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.checkSchedule(s); err != nil {
+		return nil, fmt.Errorf("order to schedule: %w", err)
+	}
+	return s, nil
+}
+
+// NewScheduleFromStarts builds a schedule from per-link fractional start
+// values relative to a zero reference, rounding to integral slots. The
+// constraint systems built by this package have integral data, so the
+// Bellman-Ford and simplex solutions are integral up to floating-point
+// noise.
+func NewScheduleFromStarts(p *Problem, links []topology.LinkID, starts []float64, zeroRef float64, cfg tdma.FrameConfig) (*tdma.Schedule, error) {
+	s, err := tdma.NewSchedule(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for i, l := range links {
+		d := p.Demand[l]
+		if d == 0 {
+			continue
+		}
+		start := int(math.Round(starts[i] - zeroRef))
+		if err := s.Add(tdma.Assignment{Link: l, Start: start, Length: d}); err != nil {
+			return nil, fmt.Errorf("link %d start %g: %w", l, starts[i]-zeroRef, err)
+		}
+	}
+	return s, nil
+}
+
+// MinWindowForOrder finds the smallest window (binary search between the
+// clique lower bound and the frame size) for which the order is feasible,
+// and returns the window and its schedule. It returns ErrInfeasible when
+// even the full frame cannot host the order.
+func MinWindowForOrder(p *Problem, o *Order, cfg tdma.FrameConfig) (int, *tdma.Schedule, error) {
+	lo, hi := p.CliqueLowerBound(), cfg.DataSlots
+	if lo < 1 {
+		lo = 1
+	}
+	if _, err := OrderToSchedule(p, o, hi, cfg); err != nil {
+		return 0, nil, err
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if _, err := OrderToSchedule(p, o, mid, cfg); err == nil {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	s, err := OrderToSchedule(p, o, lo, cfg)
+	if err != nil {
+		return 0, nil, err
+	}
+	return lo, s, nil
+}

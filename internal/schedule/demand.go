@@ -1,0 +1,76 @@
+package schedule
+
+import (
+	"fmt"
+	"math"
+
+	"wimesh/internal/tdma"
+	"wimesh/internal/topology"
+)
+
+// SlotDemand converts per-flow bandwidth demands into per-link slot demands
+// for the given frame layout. bytesPerSlot(l) is the MAC payload one data
+// slot carries on link l (PHY- and slot-length dependent; see internal/phy
+// and internal/mac/tdmaemu).
+//
+// The demand of link l is ceil(aggregate bits per frame / bits per slot).
+func SlotDemand(fs *topology.FlowSet, cfg tdma.FrameConfig, bytesPerSlot func(topology.LinkID) int) (map[topology.LinkID]int, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	out := make(map[topology.LinkID]int)
+	for l, bps := range fs.LinkDemandBps() {
+		if bps <= 0 {
+			continue
+		}
+		slotBytes := bytesPerSlot(l)
+		if slotBytes <= 0 {
+			return nil, fmt.Errorf("%w: link %d carries %d bytes per slot", ErrBadDemand, l, slotBytes)
+		}
+		bitsPerFrame := bps * cfg.FrameDuration.Seconds()
+		slots := int(math.Ceil(bitsPerFrame / float64(8*slotBytes)))
+		if slots < 1 {
+			slots = 1
+		}
+		out[l] = slots
+	}
+	return out, nil
+}
+
+// DelayBoundSlots converts a flow's time delay bound into a slot budget for
+// the scheduling-delay optimizers. The budget excludes the (constant)
+// worst-case wait for the first transmission window, which is one frame:
+// budget = floor(bound/slot) - frameSlots. A non-positive result means the
+// bound cannot be met and is reported as an error.
+func DelayBoundSlots(f topology.Flow, cfg tdma.FrameConfig) (int, error) {
+	if f.DelayBound == 0 {
+		return 0, nil // unconstrained
+	}
+	if err := cfg.Validate(); err != nil {
+		return 0, err
+	}
+	slots := int(f.DelayBound / cfg.SlotDuration())
+	budget := slots - cfg.DataSlots
+	if budget <= 0 {
+		return 0, fmt.Errorf("%w: delay bound %v leaves no scheduling budget (frame %v)",
+			ErrInfeasible, f.DelayBound, cfg.FrameDuration)
+	}
+	return budget, nil
+}
+
+// Requirements builds the FlowRequirement list for a flow set under the
+// given frame layout.
+func Requirements(fs *topology.FlowSet, cfg tdma.FrameConfig) ([]FlowRequirement, error) {
+	var out []FlowRequirement
+	for _, f := range fs.Flows {
+		if len(f.Path) == 0 {
+			continue
+		}
+		bound, err := DelayBoundSlots(f, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("flow %d: %w", f.ID, err)
+		}
+		out = append(out, FlowRequirement{Path: f.Path, BoundSlots: bound})
+	}
+	return out, nil
+}

@@ -1,0 +1,96 @@
+package schedule
+
+import (
+	"fmt"
+	"sort"
+
+	"wimesh/internal/tdma"
+	"wimesh/internal/topology"
+)
+
+// Greedy assigns slots by first-fit decreasing-demand interval coloring on
+// the conflict graph: links are taken in order of decreasing demand (ties by
+// ID) and placed at the earliest start where they overlap no conflicting,
+// already-placed link. It is the delay-oblivious baseline of the
+// evaluations: fast, near-minimal in schedule length, but with no control
+// over end-to-end scheduling delay.
+func Greedy(p *Problem, cfg tdma.FrameConfig) (*tdma.Schedule, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.DataSlots != p.FrameSlots {
+		return nil, fmt.Errorf("%w: frame config has %d slots, problem says %d",
+			ErrBadDemand, cfg.DataSlots, p.FrameSlots)
+	}
+	links := p.ActiveLinks()
+	sort.Slice(links, func(i, j int) bool {
+		di, dj := p.Demand[links[i]], p.Demand[links[j]]
+		if di != dj {
+			return di > dj
+		}
+		return links[i] < links[j]
+	})
+
+	placedBy := make(map[topology.LinkID]placedInterval, len(links))
+	s, err := tdma.NewSchedule(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, l := range links {
+		d := p.Demand[l]
+		start, ok := firstFit(p, l, d, placedBy)
+		if !ok {
+			return nil, fmt.Errorf("%w: greedy could not place link %d (demand %d) in %d slots",
+				ErrInfeasible, l, d, p.FrameSlots)
+		}
+		placedBy[l] = placedInterval{start: start, end: start + d}
+		if err := s.Add(tdma.Assignment{Link: l, Start: start, Length: d}); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.checkSchedule(s); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// firstFit returns the earliest start slot where link l's interval of d
+// slots avoids every conflicting placed interval.
+func firstFit(p *Problem, l topology.LinkID, d int, placedBy map[topology.LinkID]placedInterval) (int, bool) {
+	start := 0
+	for start+d <= p.FrameSlots {
+		conflictEnd := -1
+		for other, iv := range placedBy {
+			if !p.Graph.Conflicts(l, other) {
+				continue
+			}
+			if start < iv.end && other != l && iv.start < start+d {
+				if iv.end > conflictEnd {
+					conflictEnd = iv.end
+				}
+			}
+		}
+		if conflictEnd < 0 {
+			return start, true
+		}
+		start = conflictEnd
+	}
+	return 0, false
+}
+
+// placedInterval is a half-open slot interval [start, end) occupied by a
+// placed link.
+type placedInterval struct {
+	start, end int
+}
+
+// GreedyLength returns the makespan (last used slot + 1) of a schedule.
+func GreedyLength(s *tdma.Schedule) int {
+	end := 0
+	for _, a := range s.Assignments {
+		if a.End() > end {
+			end = a.End()
+		}
+	}
+	return end
+}

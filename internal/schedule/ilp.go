@@ -1,0 +1,284 @@
+package schedule
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"wimesh/internal/milp"
+	"wimesh/internal/tdma"
+	"wimesh/internal/topology"
+)
+
+// ilpModel carries the MILP formulation of the scheduling problem plus the
+// variable handles needed to decode solutions.
+type ilpModel struct {
+	model    *milp.Model
+	links    []topology.LinkID
+	startVar map[topology.LinkID]milp.VarID
+	pairVar  map[[2]topology.LinkID]milp.VarID // a<b: 1 means a before b
+	delayVar milp.VarID                        // valid when minimizeDelay
+}
+
+// buildILP constructs the integer program of the Djukic-Valaee optimization
+// at window winSlots:
+//
+//	s_l in [0, win-d_l]                         (start slots, integer)
+//	o_ab in {0,1}                               (transmission order)
+//	s_b - s_a >= d_a - win*(1-o_ab)             (a before b when o_ab=1)
+//	s_a - s_b >= d_b - win*o_ab                 (b before a when o_ab=0)
+//	g_fk = s_(k+1) - s_k - d_k + F*w_fk         (per-flow hop gaps)
+//	0 <= g_fk <= F-1,  w_fk in {0,1}            (F = frame slots: wrap cost)
+//	sum_k g_fk <= bound_f - sum_k d_k           (delay bounds, if any)
+//	D >= sum_k g_fk + sum_k d_k                 (when minimizing max delay)
+func buildILP(p *Problem, winSlots int, minimizeDelay bool) (*ilpModel, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if winSlots <= 0 || winSlots > p.FrameSlots {
+		return nil, fmt.Errorf("%w: window %d outside frame of %d slots",
+			ErrBadDemand, winSlots, p.FrameSlots)
+	}
+	m := milp.NewModel(milp.Minimize)
+	im := &ilpModel{
+		model:    m,
+		links:    p.ActiveLinks(),
+		startVar: make(map[topology.LinkID]milp.VarID),
+		pairVar:  make(map[[2]topology.LinkID]milp.VarID),
+	}
+	for _, l := range im.links {
+		v, err := m.AddVar(fmt.Sprintf("s_%d", l), milp.Integer, float64(winSlots-p.Demand[l]), 0)
+		if err != nil {
+			return nil, err
+		}
+		im.startVar[l] = v
+	}
+	win := float64(winSlots)
+	for _, pair := range p.ConflictingPairs() {
+		a, b := pair[0], pair[1]
+		o, err := m.AddVar(fmt.Sprintf("o_%d_%d", a, b), milp.Binary, 1, 0)
+		if err != nil {
+			return nil, err
+		}
+		im.pairVar[pair] = o
+		sa, sb := im.startVar[a], im.startVar[b]
+		da, db := float64(p.Demand[a]), float64(p.Demand[b])
+		// s_b - s_a + win*(1-o) >= d_a  =>  s_b - s_a - win*o >= d_a - win.
+		if err := m.AddConstraint(map[milp.VarID]float64{sb: 1, sa: -1, o: -win}, milp.GE, da-win); err != nil {
+			return nil, err
+		}
+		// s_a - s_b + win*o >= d_b.
+		if err := m.AddConstraint(map[milp.VarID]float64{sa: 1, sb: -1, o: win}, milp.GE, db); err != nil {
+			return nil, err
+		}
+	}
+
+	frame := float64(p.FrameSlots)
+	var delayVar milp.VarID
+	if minimizeDelay {
+		v, err := m.AddVar("D", milp.Integer, math.Inf(1), 1)
+		if err != nil {
+			return nil, err
+		}
+		delayVar = v
+		im.delayVar = v
+	}
+	for fi, f := range p.Flows {
+		if len(f.Path) < 1 {
+			continue
+		}
+		sumD := 0
+		for _, l := range f.Path {
+			sumD += p.Demand[l]
+		}
+		gapVars := make([]milp.VarID, 0, len(f.Path)-1)
+		for k := 0; k+1 < len(f.Path); k++ {
+			lIn, lOut := f.Path[k], f.Path[k+1]
+			g, err := m.AddVar(fmt.Sprintf("g_%d_%d", fi, k), milp.Integer, frame-1, 0)
+			if err != nil {
+				return nil, err
+			}
+			w, err := m.AddVar(fmt.Sprintf("w_%d_%d", fi, k), milp.Binary, 1, 0)
+			if err != nil {
+				return nil, err
+			}
+			// g = s_out - s_in - d_in + F*w.
+			coef := map[milp.VarID]float64{
+				g:                 1,
+				im.startVar[lOut]: -1,
+				im.startVar[lIn]:  1,
+				w:                 -frame,
+			}
+			if err := m.AddConstraint(coef, milp.EQ, -float64(p.Demand[lIn])); err != nil {
+				return nil, err
+			}
+			gapVars = append(gapVars, g)
+		}
+		if f.BoundSlots > 0 && len(gapVars) > 0 {
+			coef := make(map[milp.VarID]float64, len(gapVars))
+			for _, g := range gapVars {
+				coef[g] = 1
+			}
+			if err := m.AddConstraint(coef, milp.LE, float64(f.BoundSlots-sumD)); err != nil {
+				return nil, err
+			}
+		}
+		if f.BoundSlots > 0 && len(gapVars) == 0 && sumD > f.BoundSlots {
+			return nil, fmt.Errorf("%w: single-hop flow %d demand %d exceeds bound %d",
+				ErrInfeasible, fi, sumD, f.BoundSlots)
+		}
+		if minimizeDelay && len(f.Path) > 0 {
+			// D >= sum g + sumD  =>  sum g - D <= -sumD.
+			coef := map[milp.VarID]float64{delayVar: -1}
+			for _, g := range gapVars {
+				coef[g] = 1
+			}
+			if err := m.AddConstraint(coef, milp.LE, -float64(sumD)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return im, nil
+}
+
+// decodeSchedule builds a schedule from an ILP solution's start variables.
+func (im *ilpModel) decodeSchedule(p *Problem, x []float64, cfg tdma.FrameConfig) (*tdma.Schedule, error) {
+	starts := make([]float64, len(im.links))
+	for i, l := range im.links {
+		starts[i] = x[im.startVar[l]]
+	}
+	return NewScheduleFromStarts(p, im.links, starts, 0, cfg)
+}
+
+// decodeOrder extracts the transmission order from an ILP solution.
+func (im *ilpModel) decodeOrder(x []float64) *Order {
+	o := NewOrder()
+	for pair, v := range im.pairVar {
+		if x[v] > 0.5 {
+			o.Set(pair[0], pair[1])
+		} else {
+			o.Set(pair[1], pair[0])
+		}
+	}
+	return o
+}
+
+// SolveWindow solves the feasibility integer program at window winSlots and
+// returns a conflict-free schedule meeting all demands and delay bounds, or
+// ErrInfeasible.
+func SolveWindow(p *Problem, winSlots int, cfg tdma.FrameConfig, opts milp.Options) (*tdma.Schedule, error) {
+	if cfg.DataSlots != p.FrameSlots {
+		return nil, fmt.Errorf("%w: frame config has %d slots, problem says %d",
+			ErrBadDemand, cfg.DataSlots, p.FrameSlots)
+	}
+	im, err := buildILP(p, winSlots, false)
+	if err != nil {
+		return nil, err
+	}
+	opts.FirstFeasible = true
+	sol, err := im.model.Solve(opts)
+	if errors.Is(err, milp.ErrInfeasible) {
+		return nil, fmt.Errorf("%w: window of %d slots", ErrInfeasible, winSlots)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("solve window %d: %w", winSlots, err)
+	}
+	s, err := im.decodeSchedule(p, sol.X, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.checkSchedule(s); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// MinSlots performs the linear search of the Djukic-Valaee QoS provisioning
+// optimization: the smallest window of TDMA slots for which a feasible
+// schedule supporting all demands and delay bounds exists. It returns the
+// window, the schedule, and the number of integer programs solved.
+func MinSlots(p *Problem, cfg tdma.FrameConfig, opts milp.Options) (int, *tdma.Schedule, int, error) {
+	if err := p.Validate(); err != nil {
+		return 0, nil, 0, err
+	}
+	solved := 0
+	lb := p.CliqueLowerBound()
+	if lb < 1 {
+		lb = 1
+	}
+	for win := lb; win <= p.FrameSlots; win++ {
+		solved++
+		s, err := SolveWindow(p, win, cfg, opts)
+		if err == nil {
+			return win, s, solved, nil
+		}
+		if !errors.Is(err, ErrInfeasible) {
+			return 0, nil, solved, err
+		}
+	}
+	return 0, nil, solved, fmt.Errorf("%w: no window up to %d slots supports the demands",
+		ErrInfeasible, p.FrameSlots)
+}
+
+// MinMaxDelayResult is the outcome of the exact order optimization.
+//
+// Schedule carries the delay guarantee: it is the optimal conflict-free
+// schedule and MaxDelay is its maximum end-to-end scheduling delay. Order is
+// the in-frame relative transmission order of that schedule, suitable for
+// dissemination (MSH-DSCH-style) and for regenerating feasible schedules
+// with OrderToSchedule; because the optimum may chain hops across the frame
+// boundary at zero cost, a schedule regenerated from Order alone is valid
+// but may have larger delay than Schedule.
+type MinMaxDelayResult struct {
+	Order    *Order
+	Schedule *tdma.Schedule
+	// MaxDelaySlots is the optimized maximum scheduling delay over all
+	// flows, in slots (gaps plus transmission slots).
+	MaxDelaySlots int
+	// MaxDelay is MaxDelaySlots converted to time via the slot duration.
+	MaxDelay time.Duration
+	// Optimal reports whether the branch-and-bound proved optimality.
+	Optimal bool
+}
+
+// MinMaxDelayOrder solves the min-max delay transmission-order binary
+// program exactly at window winSlots: among all orders feasible in the
+// window, it finds one minimizing the maximum end-to-end scheduling delay
+// across the problem's flows (NP-complete in general; exact via
+// branch-and-bound here).
+func MinMaxDelayOrder(p *Problem, winSlots int, cfg tdma.FrameConfig, opts milp.Options) (*MinMaxDelayResult, error) {
+	if cfg.DataSlots != p.FrameSlots {
+		return nil, fmt.Errorf("%w: frame config has %d slots, problem says %d",
+			ErrBadDemand, cfg.DataSlots, p.FrameSlots)
+	}
+	if len(p.Flows) == 0 {
+		return nil, fmt.Errorf("%w: min-max delay needs at least one flow", ErrBadDemand)
+	}
+	im, err := buildILP(p, winSlots, true)
+	if err != nil {
+		return nil, err
+	}
+	sol, err := im.model.Solve(opts)
+	if errors.Is(err, milp.ErrInfeasible) {
+		return nil, fmt.Errorf("%w: window of %d slots", ErrInfeasible, winSlots)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("min-max delay order: %w", err)
+	}
+	s, err := im.decodeSchedule(p, sol.X, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.checkSchedule(s); err != nil {
+		return nil, err
+	}
+	slots := int(math.Round(sol.X[im.delayVar]))
+	return &MinMaxDelayResult{
+		Order:         im.decodeOrder(sol.X),
+		Schedule:      s,
+		MaxDelaySlots: slots,
+		MaxDelay:      time.Duration(slots) * cfg.SlotDuration(),
+		Optimal:       sol.Optimal,
+	}, nil
+}

@@ -1,0 +1,191 @@
+package schedule
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"wimesh/internal/topology"
+)
+
+// Order is a relative transmission order over conflicting link pairs: for
+// each conflicting pair exactly one of the two transmits first within the
+// frame. The order is what the integer program optimizes; Bellman-Ford
+// (OrderToSchedule) turns it into concrete slots.
+type Order struct {
+	// before[{a,b}] with a < b is true when a transmits before b.
+	before map[[2]topology.LinkID]bool
+}
+
+// NewOrder returns an empty order.
+func NewOrder() *Order {
+	return &Order{before: make(map[[2]topology.LinkID]bool)}
+}
+
+// Set records that link first transmits before link second.
+func (o *Order) Set(first, second topology.LinkID) {
+	if first == second {
+		return
+	}
+	if first < second {
+		o.before[[2]topology.LinkID{first, second}] = true
+	} else {
+		o.before[[2]topology.LinkID{second, first}] = false
+	}
+}
+
+// Before reports whether a transmits before b; ok is false when the pair is
+// unordered.
+func (o *Order) Before(a, b topology.LinkID) (before, ok bool) {
+	if a == b {
+		return false, false
+	}
+	if a < b {
+		v, ok := o.before[[2]topology.LinkID{a, b}]
+		return v, ok
+	}
+	v, ok := o.before[[2]topology.LinkID{b, a}]
+	return !v, ok
+}
+
+// Len returns the number of ordered pairs.
+func (o *Order) Len() int { return len(o.before) }
+
+// Complete reports whether every conflicting active pair of the problem is
+// ordered.
+func (o *Order) Complete(p *Problem) bool {
+	for _, pair := range p.ConflictingPairs() {
+		if _, ok := o.Before(pair[0], pair[1]); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// PriorityOrder builds an order from a priority ranking of the links:
+// for each conflicting pair, the link with the smaller rank transmits first.
+// Ties break by link ID. Links missing from rank get the lowest priority.
+func PriorityOrder(p *Problem, rank map[topology.LinkID]int) *Order {
+	o := NewOrder()
+	for _, pair := range p.ConflictingPairs() {
+		a, b := pair[0], pair[1]
+		ra, oka := rank[a]
+		rb, okb := rank[b]
+		if !oka {
+			ra = int(^uint(0) >> 1) // max int
+		}
+		if !okb {
+			rb = int(^uint(0) >> 1)
+		}
+		switch {
+		case ra < rb:
+			o.Set(a, b)
+		case rb < ra:
+			o.Set(b, a)
+		case a < b:
+			o.Set(a, b)
+		default:
+			o.Set(b, a)
+		}
+	}
+	return o
+}
+
+// NaiveOrder orders conflicting pairs by link ID: lower ID first. It is the
+// "arbitrary order" baseline of the delay experiments.
+func NaiveOrder(p *Problem) *Order {
+	return PriorityOrder(p, nil)
+}
+
+// RandomOrder orders every conflicting pair by a random priority drawn from
+// rng (deterministic for a seeded rng).
+func RandomOrder(p *Problem, rng *rand.Rand) *Order {
+	rank := make(map[topology.LinkID]int)
+	active := p.ActiveLinks()
+	perm := rng.Perm(len(active))
+	for i, l := range active {
+		rank[l] = perm[i]
+	}
+	return PriorityOrder(p, rank)
+}
+
+// PathMajorOrder ranks links by their earliest position along the problem's
+// flow paths, so each flow's hops transmit in path order within a frame
+// (inbound before outbound). This is the greedy delay-aware heuristic for
+// general topologies; on trees with gateway traffic it reduces to the
+// polynomial overlay-tree ordering.
+func PathMajorOrder(p *Problem) *Order {
+	rank := make(map[topology.LinkID]int)
+	// A link's rank is its maximum position over all paths using it. For
+	// gateway traffic, where paths are suffixes (uplink) or prefixes
+	// (downlink) of each other, the maximum is consistent with *every*
+	// path's hop order — the minimum is not (a shared final link appears at
+	// position 0 of one-hop flows and would be forced to transmit first,
+	// wrapping every longer flow into later frames).
+	for _, f := range p.Flows {
+		for pos, l := range f.Path {
+			if r, ok := rank[l]; !ok || pos > r {
+				rank[l] = pos
+			}
+		}
+	}
+	return PriorityOrder(p, rank)
+}
+
+// TreeOrder ranks links for gateway-rooted tree traffic. To let a packet
+// traverse many hops within one frame, each node's inbound link must
+// transmit before its outbound link. For upstream flows (toward the
+// gateway) this means deeper links transmit earlier; for downstream flows,
+// links closer to the gateway transmit earlier. This is the polynomial
+// special case of the min-max delay order on overlay trees. rt supplies the
+// link depths.
+func TreeOrder(p *Problem, rt *topology.RoutingTree, net *topology.Network) (*Order, error) {
+	rank := make(map[topology.LinkID]int)
+	maxDepth := 0
+	for _, d := range rt.Depth {
+		if d > maxDepth {
+			maxDepth = d
+		}
+	}
+	for _, l := range p.ActiveLinks() {
+		lk, err := net.Link(l)
+		if err != nil {
+			return nil, fmt.Errorf("tree order: %w", err)
+		}
+		du, okU := rt.Depth[lk.From]
+		dv, okV := rt.Depth[lk.To]
+		if !okU || !okV {
+			return nil, fmt.Errorf("tree order: link %d endpoints missing from routing tree", l)
+		}
+		if du > dv {
+			// Upstream link (toward gateway): deeper transmits earlier.
+			rank[l] = maxDepth - du
+		} else {
+			// Downstream link: closer to gateway transmits earlier; rank
+			// downstream links after all upstream ones so upstream packets
+			// drain first.
+			rank[l] = maxDepth + 1 + du
+		}
+	}
+	return PriorityOrder(p, rank), nil
+}
+
+// Pairs returns the ordered pairs (first, second) of the order, sorted for
+// deterministic iteration.
+func (o *Order) Pairs() [][2]topology.LinkID {
+	out := make([][2]topology.LinkID, 0, len(o.before))
+	for pair, aFirst := range o.before {
+		if aFirst {
+			out = append(out, pair)
+		} else {
+			out = append(out, [2]topology.LinkID{pair[1], pair[0]})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}

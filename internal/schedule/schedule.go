@@ -1,0 +1,150 @@
+// Package schedule implements the TDMA link-scheduling optimizations of the
+// Djukic-Valaee line of work, the core contribution reproduced by this
+// repository:
+//
+//   - converting per-flow bandwidth demands into per-link slot demands;
+//   - turning a relative transmission order of the links into a concrete
+//     conflict-free schedule with Bellman-Ford over a difference-constraint
+//     system (scheduling delay appears as cost over cycles in the conflict
+//     graph);
+//   - finding minimum-frame-length schedules by linear search with an
+//     integer-program feasibility test at each step;
+//   - optimizing the transmission order for min-max end-to-end scheduling
+//     delay (exact binary program; polynomial tree ordering; greedy
+//     path-major ordering);
+//   - a greedy-coloring baseline scheduler for comparison.
+package schedule
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"wimesh/internal/conflict"
+	"wimesh/internal/tdma"
+	"wimesh/internal/topology"
+)
+
+// Package errors.
+var (
+	// ErrInfeasible reports that no conflict-free schedule satisfying the
+	// demands (and delay bounds) exists for the given frame length.
+	ErrInfeasible = errors.New("schedule: infeasible")
+	// ErrBadDemand reports invalid demand input.
+	ErrBadDemand = errors.New("schedule: bad demand")
+)
+
+// FlowRequirement is a per-flow delay requirement used by the optimizers:
+// the flow's path and its end-to-end scheduling-delay budget in slots
+// (0 = unconstrained).
+type FlowRequirement struct {
+	Path       topology.Path
+	BoundSlots int
+}
+
+// Problem bundles the inputs of the scheduling optimizations.
+type Problem struct {
+	// Graph is the conflict graph of the mesh.
+	Graph *conflict.Graph
+	// Demand maps each active link to its slot demand per frame. Links
+	// absent from the map (or with zero demand) are inactive.
+	Demand map[topology.LinkID]int
+	// FrameSlots is the number of data slots in the full frame (the wrap
+	// period for delay computation).
+	FrameSlots int
+	// Flows lists the delay requirements (may be empty).
+	Flows []FlowRequirement
+}
+
+// Validate checks the problem for consistency.
+func (p *Problem) Validate() error {
+	if p.Graph == nil {
+		return fmt.Errorf("%w: nil conflict graph", ErrBadDemand)
+	}
+	if p.FrameSlots <= 0 {
+		return fmt.Errorf("%w: non-positive frame slots %d", ErrBadDemand, p.FrameSlots)
+	}
+	for l, d := range p.Demand {
+		if d < 0 {
+			return fmt.Errorf("%w: negative demand %d on link %d", ErrBadDemand, d, l)
+		}
+		if d > p.FrameSlots {
+			return fmt.Errorf("%w: demand %d on link %d exceeds frame of %d slots",
+				ErrBadDemand, d, l, p.FrameSlots)
+		}
+	}
+	for i, f := range p.Flows {
+		for _, l := range f.Path {
+			if p.Demand[l] <= 0 {
+				return fmt.Errorf("%w: flow %d uses link %d with no demand", ErrBadDemand, i, l)
+			}
+		}
+		if f.BoundSlots < 0 {
+			return fmt.Errorf("%w: negative delay bound on flow %d", ErrBadDemand, i)
+		}
+	}
+	return nil
+}
+
+// ActiveLinks returns the links with positive demand, sorted ascending.
+func (p *Problem) ActiveLinks() []topology.LinkID {
+	var out []topology.LinkID
+	for l, d := range p.Demand {
+		if d > 0 {
+			out = append(out, l)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ConflictingPairs returns all unordered pairs (a, b), a < b, of active
+// links that conflict.
+func (p *Problem) ConflictingPairs() [][2]topology.LinkID {
+	active := p.ActiveLinks()
+	var out [][2]topology.LinkID
+	for i := 0; i < len(active); i++ {
+		for j := i + 1; j < len(active); j++ {
+			if p.Graph.Conflicts(active[i], active[j]) {
+				out = append(out, [2]topology.LinkID{active[i], active[j]})
+			}
+		}
+	}
+	return out
+}
+
+// CliqueLowerBound returns a lower bound on the schedule length: the total
+// demand of a greedy maximal clique in the conflict graph (links of a clique
+// must occupy disjoint slots), but at least the maximum single demand.
+func (p *Problem) CliqueLowerBound() int {
+	w := make(map[topology.LinkID]float64, len(p.Demand))
+	maxSingle := 0
+	for l, d := range p.Demand {
+		if d > 0 {
+			w[l] = float64(d)
+			if d > maxSingle {
+				maxSingle = d
+			}
+		}
+	}
+	_, weight := p.Graph.GreedyClique(w)
+	lb := int(weight + 0.5)
+	if lb < maxSingle {
+		lb = maxSingle
+	}
+	return lb
+}
+
+// checkSchedule verifies that a produced schedule meets the demands and is
+// conflict-free (defensive check used by the solvers before returning).
+func (p *Problem) checkSchedule(s *tdma.Schedule) error {
+	if err := s.Validate(p.Graph); err != nil {
+		return err
+	}
+	for l, d := range p.Demand {
+		if got := s.LinkSlots(l); got < d {
+			return fmt.Errorf("%w: link %d got %d slots, demand %d", ErrInfeasible, l, got, d)
+		}
+	}
+	return nil
+}

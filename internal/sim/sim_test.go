@@ -1,0 +1,191 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	k := NewKernel()
+	var got []int
+	if _, err := k.At(3*time.Millisecond, func() { got = append(got, 3) }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.At(1*time.Millisecond, func() { got = append(got, 1) }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.At(2*time.Millisecond, func() { got = append(got, 2) }); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if k.Now() != 3*time.Millisecond {
+		t.Errorf("Now = %v, want 3ms", k.Now())
+	}
+}
+
+func TestSameTimeEventsFIFO(t *testing.T) {
+	k := NewKernel()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		if _, err := k.At(time.Millisecond, func() { got = append(got, i) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	k.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("FIFO violated: %v", got)
+		}
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	k := NewKernel()
+	var at time.Duration
+	if _, err := k.After(5*time.Millisecond, func() {
+		at = k.Now()
+		if _, err := k.After(2*time.Millisecond, func() { at = k.Now() }); err != nil {
+			t.Errorf("nested After: %v", err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if at != 7*time.Millisecond {
+		t.Errorf("nested event at %v, want 7ms", at)
+	}
+}
+
+func TestPastSchedulingRejected(t *testing.T) {
+	k := NewKernel()
+	if _, err := k.After(time.Millisecond, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if _, err := k.At(0, func() {}); !errors.Is(err, ErrPastTime) {
+		t.Errorf("got %v, want ErrPastTime", err)
+	}
+	if _, err := k.After(-time.Millisecond, func() {}); !errors.Is(err, ErrPastTime) {
+		t.Errorf("got %v, want ErrPastTime", err)
+	}
+	if _, err := k.After(0, nil); err == nil {
+		t.Error("nil fn accepted")
+	}
+}
+
+func TestCancel(t *testing.T) {
+	k := NewKernel()
+	fired := false
+	id, err := k.After(time.Millisecond, func() { fired = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !k.Cancel(id) {
+		t.Error("Cancel returned false for a pending event")
+	}
+	if k.Cancel(id) {
+		t.Error("double Cancel returned true")
+	}
+	k.Run()
+	if fired {
+		t.Error("canceled event fired")
+	}
+	if k.Cancel(9999) {
+		t.Error("Cancel of unknown id returned true")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	k := NewKernel()
+	var fired []time.Duration
+	for _, d := range []time.Duration{1, 5, 9, 13} {
+		d := d * time.Millisecond
+		if _, err := k.At(d, func() { fired = append(fired, d) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	k.RunUntil(9 * time.Millisecond)
+	if len(fired) != 3 {
+		t.Errorf("fired %d events, want 3", len(fired))
+	}
+	if k.Now() != 9*time.Millisecond {
+		t.Errorf("Now = %v, want 9ms", k.Now())
+	}
+	// Deadline beyond all events advances the clock to the deadline.
+	k.RunUntil(20 * time.Millisecond)
+	if len(fired) != 4 || k.Now() != 20*time.Millisecond {
+		t.Errorf("fired=%d now=%v, want 4, 20ms", len(fired), k.Now())
+	}
+}
+
+func TestProcessedCountsOnlyExecuted(t *testing.T) {
+	k := NewKernel()
+	id, err := k.After(time.Millisecond, func() {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.After(2*time.Millisecond, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	k.Cancel(id)
+	k.Run()
+	if k.Processed() != 1 {
+		t.Errorf("Processed = %d, want 1", k.Processed())
+	}
+}
+
+func TestNewRNGDeterministicAndStreamed(t *testing.T) {
+	a := NewRNG(7, 0)
+	b := NewRNG(7, 0)
+	c := NewRNG(7, 1)
+	same, diff := true, false
+	for i := 0; i < 32; i++ {
+		va, vb, vc := a.Int63(), b.Int63(), c.Int63()
+		if va != vb {
+			same = false
+		}
+		if va != vc {
+			diff = true
+		}
+	}
+	if !same {
+		t.Error("same (seed, stream) produced different sequences")
+	}
+	if !diff {
+		t.Error("different streams produced identical sequences")
+	}
+}
+
+// Property: events always execute in non-decreasing time order regardless of
+// insertion order.
+func TestPropertyMonotoneClock(t *testing.T) {
+	prop := func(delays []uint16) bool {
+		k := NewKernel()
+		var times []time.Duration
+		for _, d := range delays {
+			d := time.Duration(d) * time.Microsecond
+			if _, err := k.At(d, func() { times = append(times, k.Now()) }); err != nil {
+				return false
+			}
+		}
+		k.Run()
+		for i := 1; i < len(times); i++ {
+			if times[i] < times[i-1] {
+				return false
+			}
+		}
+		return len(times) == len(delays)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,245 @@
+// Package stats provides the small statistics toolkit used by the
+// simulations and benchmarks: streaming moments, sample collectors with
+// quantiles and confidence intervals, and fixed-width histograms.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// ErrEmpty reports a statistic requested of an empty collector.
+var ErrEmpty = errors.New("stats: empty")
+
+// Welford accumulates streaming mean and variance (Welford's algorithm).
+// The zero value is ready to use.
+type Welford struct {
+	n    uint64
+	mean float64
+	m2   float64
+}
+
+// Add incorporates one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// Count returns the number of observations.
+func (w *Welford) Count() uint64 { return w.n }
+
+// Mean returns the running mean (0 for an empty accumulator).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the unbiased sample variance.
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Stddev returns the sample standard deviation.
+func (w *Welford) Stddev() float64 { return math.Sqrt(w.Variance()) }
+
+// Sample collects observations for quantile and CI queries.
+// The zero value is ready to use.
+type Sample struct {
+	xs     []float64
+	sorted bool
+}
+
+// Add appends one observation.
+func (s *Sample) Add(x float64) {
+	s.xs = append(s.xs, x)
+	s.sorted = false
+}
+
+// AddDuration appends a duration observation in seconds.
+func (s *Sample) AddDuration(d time.Duration) { s.Add(d.Seconds()) }
+
+// Len returns the number of observations.
+func (s *Sample) Len() int { return len(s.xs) }
+
+// Mean returns the sample mean.
+func (s *Sample) Mean() (float64, error) {
+	if len(s.xs) == 0 {
+		return 0, ErrEmpty
+	}
+	sum := 0.0
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / float64(len(s.xs)), nil
+}
+
+// Stddev returns the unbiased sample standard deviation.
+func (s *Sample) Stddev() (float64, error) {
+	if len(s.xs) < 2 {
+		return 0, ErrEmpty
+	}
+	m, err := s.Mean()
+	if err != nil {
+		return 0, err
+	}
+	ss := 0.0
+	for _, x := range s.xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(s.xs)-1)), nil
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) by linear interpolation of
+// the order statistics.
+func (s *Sample) Quantile(q float64) (float64, error) {
+	if len(s.xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if q < 0 || q > 1 {
+		return 0, fmt.Errorf("stats: quantile %g outside [0,1]", q)
+	}
+	s.sort()
+	if len(s.xs) == 1 {
+		return s.xs[0], nil
+	}
+	pos := q * float64(len(s.xs)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s.xs[lo], nil
+	}
+	frac := pos - float64(lo)
+	return s.xs[lo]*(1-frac) + s.xs[hi]*frac, nil
+}
+
+// Min returns the smallest observation.
+func (s *Sample) Min() (float64, error) {
+	if len(s.xs) == 0 {
+		return 0, ErrEmpty
+	}
+	s.sort()
+	return s.xs[0], nil
+}
+
+// Max returns the largest observation.
+func (s *Sample) Max() (float64, error) {
+	if len(s.xs) == 0 {
+		return 0, ErrEmpty
+	}
+	s.sort()
+	return s.xs[len(s.xs)-1], nil
+}
+
+// CI95 returns the half-width of the 95% confidence interval of the mean,
+// using Student-t critical values (normal approximation beyond n=30).
+func (s *Sample) CI95() (float64, error) {
+	if len(s.xs) < 2 {
+		return 0, ErrEmpty
+	}
+	sd, err := s.Stddev()
+	if err != nil {
+		return 0, err
+	}
+	return tCrit95(len(s.xs)-1) * sd / math.Sqrt(float64(len(s.xs))), nil
+}
+
+func (s *Sample) sort() {
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+}
+
+// Durations returns the observations as durations (interpreting values as
+// seconds), in insertion-then-sort order — the collector may have been
+// sorted by a quantile query.
+func (s *Sample) Durations() []time.Duration {
+	out := make([]time.Duration, len(s.xs))
+	for i, x := range s.xs {
+		out[i] = time.Duration(x * float64(time.Second))
+	}
+	return out
+}
+
+// tCrit95 returns the two-sided 95% Student-t critical value for df degrees
+// of freedom.
+func tCrit95(df int) float64 {
+	table := []float64{
+		0, 12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+		2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093,
+		2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045,
+		2.042,
+	}
+	if df <= 0 {
+		return math.NaN()
+	}
+	if df < len(table) {
+		return table[df]
+	}
+	return 1.96
+}
+
+// Histogram is a fixed-width histogram over [Min, Max); observations outside
+// the range land in the first/last bin.
+type Histogram struct {
+	min, max float64
+	counts   []uint64
+	total    uint64
+}
+
+// NewHistogram creates a histogram with the given bounds and bin count.
+func NewHistogram(minV, maxV float64, bins int) (*Histogram, error) {
+	if bins <= 0 || maxV <= minV {
+		return nil, fmt.Errorf("stats: bad histogram [%g,%g) x %d", minV, maxV, bins)
+	}
+	return &Histogram{min: minV, max: maxV, counts: make([]uint64, bins)}, nil
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	i := int(float64(len(h.counts)) * (x - h.min) / (h.max - h.min))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.counts) {
+		i = len(h.counts) - 1
+	}
+	h.counts[i]++
+	h.total++
+}
+
+// Total returns the number of observations.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Counts returns a copy of the per-bin counts.
+func (h *Histogram) Counts() []uint64 {
+	out := make([]uint64, len(h.counts))
+	copy(out, h.counts)
+	return out
+}
+
+// BinCenter returns the center value of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.max - h.min) / float64(len(h.counts))
+	return h.min + (float64(i)+0.5)*w
+}
+
+// CDF returns, per bin upper edge, the cumulative fraction of observations.
+func (h *Histogram) CDF() []float64 {
+	out := make([]float64, len(h.counts))
+	if h.total == 0 {
+		return out
+	}
+	cum := uint64(0)
+	for i, c := range h.counts {
+		cum += c
+		out[i] = float64(cum) / float64(h.total)
+	}
+	return out
+}

@@ -1,0 +1,154 @@
+package tdma
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"wimesh/internal/conflict"
+	"wimesh/internal/topology"
+)
+
+// Assignment reserves data slots [Start, Start+Length) of every frame for
+// one link. Assignments do not wrap across the frame boundary.
+type Assignment struct {
+	Link   topology.LinkID
+	Start  int
+	Length int
+}
+
+// End returns the first slot after the assignment.
+func (a Assignment) End() int { return a.Start + a.Length }
+
+// Schedule is a periodic TDMA link schedule over one frame.
+type Schedule struct {
+	Config      FrameConfig
+	Assignments []Assignment
+}
+
+// NewSchedule returns an empty schedule with the given frame layout.
+func NewSchedule(cfg FrameConfig) (*Schedule, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Schedule{Config: cfg}, nil
+}
+
+// Add appends an assignment after validating it against the frame bounds.
+// Multiple assignments per link are allowed (non-contiguous allocations).
+func (s *Schedule) Add(a Assignment) error {
+	if a.Length <= 0 {
+		return fmt.Errorf("%w: non-positive length %d for link %d", ErrBadAssignment, a.Length, a.Link)
+	}
+	if a.Start < 0 || a.End() > s.Config.DataSlots {
+		return fmt.Errorf("%w: slots [%d,%d) outside frame of %d slots (link %d)",
+			ErrBadAssignment, a.Start, a.End(), s.Config.DataSlots, a.Link)
+	}
+	s.Assignments = append(s.Assignments, a)
+	return nil
+}
+
+// LinkSlots returns the total number of slots per frame assigned to link l.
+func (s *Schedule) LinkSlots(l topology.LinkID) int {
+	total := 0
+	for _, a := range s.Assignments {
+		if a.Link == l {
+			total += a.Length
+		}
+	}
+	return total
+}
+
+// LinkAssignments returns the assignments of link l sorted by start slot.
+func (s *Schedule) LinkAssignments(l topology.LinkID) []Assignment {
+	var out []Assignment
+	for _, a := range s.Assignments {
+		if a.Link == l {
+			out = append(out, a)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// SlotOwners returns, per data slot, the links transmitting in it (sorted).
+func (s *Schedule) SlotOwners() [][]topology.LinkID {
+	owners := make([][]topology.LinkID, s.Config.DataSlots)
+	for _, a := range s.Assignments {
+		for i := a.Start; i < a.End(); i++ {
+			owners[i] = append(owners[i], a.Link)
+		}
+	}
+	for i := range owners {
+		sort.Slice(owners[i], func(a, b int) bool { return owners[i][a] < owners[i][b] })
+	}
+	return owners
+}
+
+// Validate checks that no two conflicting links (including a link with
+// itself via duplicate assignments) share a data slot.
+func (s *Schedule) Validate(g *conflict.Graph) error {
+	for slot, links := range s.SlotOwners() {
+		for i := 0; i < len(links); i++ {
+			for j := i + 1; j < len(links); j++ {
+				if links[i] == links[j] || g.Conflicts(links[i], links[j]) {
+					return fmt.Errorf("%w: links %d and %d overlap in slot %d",
+						ErrConflict, links[i], links[j], slot)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Utilization returns the fraction of (slot, link-opportunity) pairs in use:
+// assigned slot-counts divided by total data slots. Values above 1 indicate
+// spatial reuse.
+func (s *Schedule) Utilization() float64 {
+	total := 0
+	for _, a := range s.Assignments {
+		total += a.Length
+	}
+	return float64(total) / float64(s.Config.DataSlots)
+}
+
+// CapacityBps returns the sustained MAC-layer capacity of link l given the
+// payload bytes one slot carries.
+func (s *Schedule) CapacityBps(l topology.LinkID, bytesPerSlot int) float64 {
+	slots := s.LinkSlots(l)
+	bitsPerFrame := float64(8 * bytesPerSlot * slots)
+	return bitsPerFrame / s.Config.FrameDuration.Seconds()
+}
+
+// TxWindows returns the absolute transmit windows of link l within frame 0:
+// [offset, offset+len) pairs from the frame start.
+func (s *Schedule) TxWindows(l topology.LinkID) ([][2]time.Duration, error) {
+	var out [][2]time.Duration
+	for _, a := range s.LinkAssignments(l) {
+		start, err := s.Config.SlotStart(a.Start)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, [2]time.Duration{start, start + time.Duration(a.Length)*s.Config.SlotDuration()})
+	}
+	return out, nil
+}
+
+// String renders the schedule as a per-slot map, for logs and examples.
+func (s *Schedule) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "frame %v, %d data slots of %v\n",
+		s.Config.FrameDuration, s.Config.DataSlots, s.Config.SlotDuration())
+	for slot, links := range s.SlotOwners() {
+		if len(links) == 0 {
+			continue
+		}
+		parts := make([]string, len(links))
+		for i, l := range links {
+			parts[i] = fmt.Sprintf("L%d", l)
+		}
+		fmt.Fprintf(&b, "  slot %3d: %s\n", slot, strings.Join(parts, " "))
+	}
+	return b.String()
+}

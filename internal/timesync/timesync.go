@@ -1,0 +1,212 @@
+// Package timesync models the node clocks and the beacon-based time
+// synchronization protocol that TDMA emulation over WiFi hardware depends
+// on.
+//
+// Native 802.16 radios derive slot timing from the PHY; commodity 802.11
+// hardware does not, so the emulation layer synchronizes node clocks with
+// periodic beacons flooded hop-by-hop from the gateway. Each hop adds
+// timestamping error and clocks drift between resynchronizations; a node's
+// residual error therefore grows with its tree depth and the resync
+// interval. Guard intervals must absorb this error (internal/mac/tdmaemu),
+// which is the central trade-off of experiment R6.
+package timesync
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"wimesh/internal/sim"
+	"wimesh/internal/topology"
+)
+
+// Clock models a node's free-running clock: local = offset + (1+ppm*1e-6) * t.
+type Clock struct {
+	// Offset is the additive error at true time zero.
+	Offset time.Duration
+	// DriftPPM is the rate error in parts per million.
+	DriftPPM float64
+}
+
+// Read returns the clock's local time at true time t.
+func (c Clock) Read(t time.Duration) time.Duration {
+	drift := time.Duration(float64(t) * c.DriftPPM * 1e-6)
+	return t + c.Offset + drift
+}
+
+// Error returns the clock error (local - true) at true time t.
+func (c Clock) Error(t time.Duration) time.Duration {
+	return c.Read(t) - t
+}
+
+// AdjustTo sets the offset so that Read(t) equals reference, leaving the
+// drift rate unchanged (offset-only correction, as a beacon resync does).
+func (c *Clock) AdjustTo(t, reference time.Duration) {
+	c.Offset += reference - c.Read(t)
+}
+
+// Config parameterizes the synchronization protocol.
+type Config struct {
+	// PerHopError is the standard deviation of the timestamping error
+	// added per beacon relay hop.
+	PerHopError time.Duration
+	// ResyncInterval is the beacon period.
+	ResyncInterval time.Duration
+	// MaxDriftPPM bounds the per-node drift magnitude (drawn uniformly in
+	// [-max, +max]).
+	MaxDriftPPM float64
+	// InitialOffsetStd is the standard deviation of node clock offsets
+	// before the first synchronization.
+	InitialOffsetStd time.Duration
+}
+
+// DefaultConfig returns values representative of paper-era commodity WiFi
+// hardware: 10 us per-hop timestamping error, 1 s beacon period, 20 ppm
+// oscillators.
+func DefaultConfig() Config {
+	return Config{
+		PerHopError:      10 * time.Microsecond,
+		ResyncInterval:   time.Second,
+		MaxDriftPPM:      20,
+		InitialOffsetStd: time.Millisecond,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.PerHopError < 0 || c.InitialOffsetStd < 0 {
+		return errors.New("timesync: negative error parameter")
+	}
+	if c.ResyncInterval <= 0 {
+		return errors.New("timesync: non-positive resync interval")
+	}
+	if c.MaxDriftPPM < 0 {
+		return errors.New("timesync: negative drift bound")
+	}
+	return nil
+}
+
+// Sync simulates the synchronization state of every node in a gateway-rooted
+// mesh. The gateway's clock is the time reference (zero error by
+// definition).
+type Sync struct {
+	cfg    Config
+	depths map[topology.NodeID]int
+	clocks map[topology.NodeID]*Clock
+	rng    *rand.Rand
+}
+
+// New creates the synchronization model for nodes with the given tree
+// depths (gateway depth 0). Clocks start with random offsets and drifts.
+func New(cfg Config, depths map[topology.NodeID]int, seed int64) (*Sync, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(depths) == 0 {
+		return nil, errors.New("timesync: no nodes")
+	}
+	rng := sim.NewRNG(seed, 101)
+	s := &Sync{
+		cfg:    cfg,
+		depths: make(map[topology.NodeID]int, len(depths)),
+		clocks: make(map[topology.NodeID]*Clock, len(depths)),
+		rng:    rng,
+	}
+	for n, d := range depths {
+		if d < 0 {
+			return nil, fmt.Errorf("timesync: negative depth %d for node %d", d, n)
+		}
+		s.depths[n] = d
+		c := &Clock{
+			DriftPPM: (rng.Float64()*2 - 1) * cfg.MaxDriftPPM,
+		}
+		if d > 0 {
+			c.Offset = time.Duration(rng.NormFloat64() * float64(cfg.InitialOffsetStd))
+		}
+		s.clocks[n] = c
+	}
+	return s, nil
+}
+
+// Start schedules periodic resynchronization rounds on the kernel, beginning
+// immediately (time 0) and repeating every ResyncInterval. The returned stop
+// function cancels future rounds.
+func (s *Sync) Start(k *sim.Kernel) (stop func(), err error) {
+	var (
+		id      sim.EventID
+		stopped bool
+	)
+	var round func()
+	round = func() {
+		s.Resync(k.Now())
+		if stopped {
+			return
+		}
+		nid, err := k.After(s.cfg.ResyncInterval, round)
+		if err == nil {
+			id = nid
+		}
+	}
+	id, err = k.After(0, round)
+	if err != nil {
+		return nil, err
+	}
+	return func() {
+		stopped = true
+		k.Cancel(id)
+	}, nil
+}
+
+// Resync performs one beacon flood at true time t: every node receives the
+// gateway reference over depth hops, each adding independent Gaussian
+// timestamping error, and applies an offset correction.
+func (s *Sync) Resync(t time.Duration) {
+	for n, c := range s.clocks {
+		d := s.depths[n]
+		if d == 0 {
+			c.Offset = 0
+			c.DriftPPM = 0 // the gateway defines the reference
+			continue
+		}
+		errSum := 0.0
+		for h := 0; h < d; h++ {
+			errSum += s.rng.NormFloat64() * float64(s.cfg.PerHopError)
+		}
+		// The node aligns its clock to reference + accumulated error.
+		c.AdjustTo(t, t+time.Duration(errSum))
+	}
+}
+
+// ErrorAt returns the clock error of node n at true time t.
+func (s *Sync) ErrorAt(n topology.NodeID, t time.Duration) (time.Duration, error) {
+	c, ok := s.clocks[n]
+	if !ok {
+		return 0, fmt.Errorf("timesync: unknown node %d", n)
+	}
+	return c.Error(t), nil
+}
+
+// Clock returns the clock of node n (for tests and inspection).
+func (s *Sync) Clock(n topology.NodeID) (*Clock, error) {
+	c, ok := s.clocks[n]
+	if !ok {
+		return nil, fmt.Errorf("timesync: unknown node %d", n)
+	}
+	return c, nil
+}
+
+// PredictedErrorStd returns the analytic standard deviation of a node's
+// clock error at depth d, evaluated mid-way through a resync interval:
+// sqrt(d) * perHopError (beacon accumulation) plus drift * interval/2
+// growth, combined in quadrature with the drift term treated as uniform.
+func (s *Sync) PredictedErrorStd(depth int) time.Duration {
+	beacon := float64(s.cfg.PerHopError) * math.Sqrt(float64(depth))
+	// Drift contributes up to maxPPM*1e-6*interval linearly over the
+	// interval; its variance for uniform drift and uniform time-in-interval
+	// is (max*interval*1e-6)^2/9.
+	driftMax := s.cfg.MaxDriftPPM * 1e-6 * float64(s.cfg.ResyncInterval)
+	drift := driftMax / 3
+	return time.Duration(math.Sqrt(beacon*beacon + drift*drift))
+}

@@ -1,0 +1,85 @@
+package topology
+
+import (
+	"fmt"
+	"time"
+)
+
+// FlowID identifies a traffic flow.
+type FlowID int
+
+// Flow is an end-to-end guaranteed-QoS traffic demand routed over a fixed
+// path, in the style of 802.16 mesh centralized scheduling: the flow needs
+// RateBps of airtime on every link of its path and an end-to-end delay of at
+// most DelayBound.
+type Flow struct {
+	ID  FlowID
+	Src NodeID
+	Dst NodeID
+	// RateBps is the required application-layer bandwidth in bits per second.
+	RateBps float64
+	// DelayBound is the maximum tolerable end-to-end delay (0 = none).
+	DelayBound time.Duration
+	// Path is the fixed route from Src to Dst.
+	Path Path
+}
+
+// FlowSet is a routed collection of flows over one network.
+type FlowSet struct {
+	Net   *Network
+	Flows []Flow
+}
+
+// NewFlowSet returns an empty flow set over net.
+func NewFlowSet(net *Network) *FlowSet {
+	return &FlowSet{Net: net}
+}
+
+// Add routes a flow src->dst along the minimum-hop path and appends it.
+func (fs *FlowSet) Add(src, dst NodeID, rateBps float64, delayBound time.Duration) (FlowID, error) {
+	p, err := fs.Net.ShortestPath(src, dst)
+	if err != nil {
+		return 0, fmt.Errorf("add flow %d->%d: %w", src, dst, err)
+	}
+	return fs.AddOnPath(src, dst, rateBps, delayBound, p)
+}
+
+// AddOnPath appends a flow with an explicit path.
+func (fs *FlowSet) AddOnPath(src, dst NodeID, rateBps float64, delayBound time.Duration, p Path) (FlowID, error) {
+	nodes, err := fs.Net.PathNodes(p)
+	if err != nil {
+		return 0, fmt.Errorf("add flow %d->%d: %w", src, dst, err)
+	}
+	if len(p) > 0 && (nodes[0] != src || nodes[len(nodes)-1] != dst) {
+		return 0, fmt.Errorf("add flow %d->%d: path endpoints %d->%d do not match", src, dst, nodes[0], nodes[len(nodes)-1])
+	}
+	id := FlowID(len(fs.Flows))
+	fs.Flows = append(fs.Flows, Flow{
+		ID: id, Src: src, Dst: dst,
+		RateBps: rateBps, DelayBound: delayBound, Path: p,
+	})
+	return id, nil
+}
+
+// LinkDemandBps aggregates, per link, the bandwidth demanded by all flows
+// whose paths traverse the link.
+func (fs *FlowSet) LinkDemandBps() map[LinkID]float64 {
+	demand := make(map[LinkID]float64)
+	for _, f := range fs.Flows {
+		for _, l := range f.Path {
+			demand[l] += f.RateBps
+		}
+	}
+	return demand
+}
+
+// MaxHops returns the longest path length among the flows.
+func (fs *FlowSet) MaxHops() int {
+	maxHops := 0
+	for _, f := range fs.Flows {
+		if h := f.Path.Hops(); h > maxHops {
+			maxHops = h
+		}
+	}
+	return maxHops
+}

@@ -1,0 +1,166 @@
+package topology
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// DefaultRateBps is the link PHY rate used by the generators: 11 Mb/s
+// (802.11b DSSS), the rate assumed throughout the paper-era evaluations.
+const DefaultRateBps = 11e6
+
+// ErrBadParameter reports an invalid generator parameter.
+var ErrBadParameter = errors.New("topology: bad generator parameter")
+
+// Chain builds an n-node chain 0-1-2-...-(n-1) with bidirectional links and
+// node spacing of spacing meters. Node 0 is the gateway.
+func Chain(n int, spacing float64) (*Network, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("chain size %d: %w", n, ErrBadParameter)
+	}
+	net := NewNetwork()
+	for i := 0; i < n; i++ {
+		net.AddNode(float64(i)*spacing, 0)
+	}
+	for i := 0; i < n-1; i++ {
+		if _, _, err := net.AddBidirectional(NodeID(i), NodeID(i+1), DefaultRateBps); err != nil {
+			return nil, err
+		}
+	}
+	if err := net.SetGateway(0); err != nil {
+		return nil, err
+	}
+	return net, nil
+}
+
+// Ring builds an n-node ring with bidirectional links. Node 0 is the gateway.
+func Ring(n int, radius float64) (*Network, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("ring size %d: %w", n, ErrBadParameter)
+	}
+	net := NewNetwork()
+	for i := 0; i < n; i++ {
+		theta := 2 * math.Pi * float64(i) / float64(n)
+		net.AddNode(radius*math.Cos(theta), radius*math.Sin(theta))
+	}
+	for i := 0; i < n; i++ {
+		if _, _, err := net.AddBidirectional(NodeID(i), NodeID((i+1)%n), DefaultRateBps); err != nil {
+			return nil, err
+		}
+	}
+	if err := net.SetGateway(0); err != nil {
+		return nil, err
+	}
+	return net, nil
+}
+
+// Grid builds a w x h grid with bidirectional links between 4-neighbours and
+// node spacing of spacing meters. Node 0 (corner) is the gateway.
+func Grid(w, h int, spacing float64) (*Network, error) {
+	if w < 1 || h < 1 || w*h < 2 {
+		return nil, fmt.Errorf("grid %dx%d: %w", w, h, ErrBadParameter)
+	}
+	net := NewNetwork()
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			net.AddNode(float64(x)*spacing, float64(y)*spacing)
+		}
+	}
+	id := func(x, y int) NodeID { return NodeID(y*w + x) }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				if _, _, err := net.AddBidirectional(id(x, y), id(x+1, y), DefaultRateBps); err != nil {
+					return nil, err
+				}
+			}
+			if y+1 < h {
+				if _, _, err := net.AddBidirectional(id(x, y), id(x, y+1), DefaultRateBps); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if err := net.SetGateway(0); err != nil {
+		return nil, err
+	}
+	return net, nil
+}
+
+// Tree builds a complete k-ary tree of the given depth (depth 0 is a single
+// root). Links are bidirectional; the root is the gateway. Positions are laid
+// out level by level for readability only.
+func Tree(arity, depth int) (*Network, error) {
+	if arity < 1 || depth < 0 {
+		return nil, fmt.Errorf("tree arity=%d depth=%d: %w", arity, depth, ErrBadParameter)
+	}
+	net := NewNetwork()
+	root := net.AddNode(0, 0)
+	level := []NodeID{root}
+	for d := 1; d <= depth; d++ {
+		var next []NodeID
+		for pi, parent := range level {
+			for c := 0; c < arity; c++ {
+				x := float64(pi*arity+c) * 100
+				child := net.AddNode(x, float64(d)*100)
+				if _, _, err := net.AddBidirectional(parent, child, DefaultRateBps); err != nil {
+					return nil, err
+				}
+				next = append(next, child)
+			}
+		}
+		level = next
+	}
+	if err := net.SetGateway(root); err != nil {
+		return nil, err
+	}
+	return net, nil
+}
+
+// RandomDisk places n nodes uniformly at random in a side x side square and
+// connects every pair within commRange with bidirectional links. It retries
+// until the topology is connected (up to 1000 placements). The node closest
+// to the center is the gateway. The generator is deterministic for a given
+// seed.
+func RandomDisk(n int, side, commRange float64, seed int64) (*Network, error) {
+	if n < 2 || side <= 0 || commRange <= 0 {
+		return nil, fmt.Errorf("random disk n=%d side=%g range=%g: %w", n, side, commRange, ErrBadParameter)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for attempt := 0; attempt < 1000; attempt++ {
+		net := NewNetwork()
+		for i := 0; i < n; i++ {
+			net.AddNode(rng.Float64()*side, rng.Float64()*side)
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				d, err := net.Distance(NodeID(i), NodeID(j))
+				if err != nil {
+					return nil, err
+				}
+				if d <= commRange {
+					if _, _, err := net.AddBidirectional(NodeID(i), NodeID(j), DefaultRateBps); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+		if !net.Connected() {
+			continue
+		}
+		best, bestDist := NodeID(0), math.Inf(1)
+		for _, nd := range net.Nodes() {
+			dx, dy := nd.X-side/2, nd.Y-side/2
+			if d := math.Hypot(dx, dy); d < bestDist {
+				best, bestDist = nd.ID, d
+			}
+		}
+		if err := net.SetGateway(best); err != nil {
+			return nil, err
+		}
+		return net, nil
+	}
+	return nil, fmt.Errorf("random disk: no connected placement found after 1000 attempts (n=%d side=%g range=%g)", n, side, commRange)
+}

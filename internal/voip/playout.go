@@ -1,0 +1,102 @@
+package voip
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"time"
+)
+
+// Playout models the receiver's jitter buffer: packets are played out at
+// (send time + buffer depth); packets arriving later than their playout
+// instant are late losses. Deeper buffers trade mouth-to-ear delay for
+// fewer late losses — the receiver-side half of the VoIP delay budget.
+type Playout struct {
+	// Buffer is the playout delay applied to every packet.
+	Buffer time.Duration
+	// LateLoss is the fraction of packets missing their playout instant.
+	LateLoss float64
+}
+
+// PlanPlayout picks the smallest buffer that keeps late loss at or below
+// target, given the observed one-way network delays. target of 0 demands a
+// buffer covering the maximum delay.
+func PlanPlayout(delays []time.Duration, target float64) (Playout, error) {
+	if len(delays) == 0 {
+		return Playout{}, errors.New("voip: no delay samples")
+	}
+	if target < 0 || target >= 1 {
+		return Playout{}, errors.New("voip: late-loss target outside [0,1)")
+	}
+	sorted := make([]time.Duration, len(delays))
+	copy(sorted, delays)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	// Smallest buffer admitting at least (1-target) of the packets: the
+	// ceil((1-target)*n)-th order statistic.
+	keep := int(math.Ceil((1 - target) * float64(len(sorted))))
+	if keep < 1 {
+		keep = 1
+	}
+	buffer := sorted[keep-1]
+	late := 0
+	for _, d := range sorted {
+		if d > buffer {
+			late++
+		}
+	}
+	return Playout{
+		Buffer:   buffer,
+		LateLoss: float64(late) / float64(len(sorted)),
+	}, nil
+}
+
+// AdaptivePlayout runs the RFC 3550-style adaptive estimator over the delay
+// sequence: an exponentially weighted mean and deviation, with the buffer
+// set to mean + 4*deviation (re-evaluated per packet, as at talk-spurt
+// boundaries). It returns the final buffer estimate and the late-loss
+// fraction the trajectory would have produced.
+func AdaptivePlayout(delays []time.Duration) (Playout, error) {
+	if len(delays) == 0 {
+		return Playout{}, errors.New("voip: no delay samples")
+	}
+	const alpha = 0.875 // RFC 3550 smoothing constant
+	mean := float64(delays[0])
+	dev := 0.0
+	late := 0
+	for _, d := range delays[1:] {
+		buffer := mean + 4*dev
+		if float64(d) > buffer {
+			late++
+		}
+		diff := math.Abs(float64(d) - mean)
+		mean = alpha*mean + (1-alpha)*float64(d)
+		dev = alpha*dev + (1-alpha)*diff
+	}
+	lateLoss := 0.0
+	if decisions := len(delays) - 1; decisions > 0 {
+		lateLoss = float64(late) / float64(decisions)
+	}
+	return Playout{
+		Buffer:   time.Duration(mean + 4*dev),
+		LateLoss: lateLoss,
+	}, nil
+}
+
+// EvaluateWithPlayout scores a call end to end: the network delays feed the
+// playout plan, the mouth-to-ear delay is the playout buffer plus
+// packetization and lookahead, and the loss is network loss plus late loss.
+func EvaluateWithPlayout(c Codec, delays []time.Duration, networkLoss, lateTarget float64) (Quality, Playout, error) {
+	po, err := PlanPlayout(delays, lateTarget)
+	if err != nil {
+		return Quality{}, Playout{}, err
+	}
+	totalLoss := networkLoss + (1-networkLoss)*po.LateLoss
+	if totalLoss > 1 {
+		totalLoss = 1
+	}
+	q, err := Evaluate(c, EndToEndDelay(c, po.Buffer, 0), totalLoss)
+	if err != nil {
+		return Quality{}, Playout{}, err
+	}
+	return q, po, nil
+}

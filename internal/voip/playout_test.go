@@ -1,0 +1,160 @@
+package voip
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func msSlice(ms ...int) []time.Duration {
+	out := make([]time.Duration, len(ms))
+	for i, m := range ms {
+		out[i] = time.Duration(m) * time.Millisecond
+	}
+	return out
+}
+
+func TestPlanPlayoutZeroTargetCoversMax(t *testing.T) {
+	po, err := PlanPlayout(msSlice(10, 20, 30, 40), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if po.Buffer != 40*time.Millisecond {
+		t.Errorf("buffer = %v, want 40ms", po.Buffer)
+	}
+	if po.LateLoss != 0 {
+		t.Errorf("late loss = %g, want 0", po.LateLoss)
+	}
+}
+
+func TestPlanPlayoutQuantile(t *testing.T) {
+	// 10 samples, target 10%: buffer = 9th order statistic, 1 late.
+	delays := msSlice(1, 2, 3, 4, 5, 6, 7, 8, 9, 100)
+	po, err := PlanPlayout(delays, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if po.Buffer != 9*time.Millisecond {
+		t.Errorf("buffer = %v, want 9ms", po.Buffer)
+	}
+	if po.LateLoss != 0.1 {
+		t.Errorf("late loss = %g, want 0.1", po.LateLoss)
+	}
+}
+
+func TestPlanPlayoutValidation(t *testing.T) {
+	if _, err := PlanPlayout(nil, 0); err == nil {
+		t.Error("empty delays accepted")
+	}
+	if _, err := PlanPlayout(msSlice(1), -0.1); err == nil {
+		t.Error("negative target accepted")
+	}
+	if _, err := PlanPlayout(msSlice(1), 1); err == nil {
+		t.Error("target 1 accepted")
+	}
+}
+
+func TestAdaptivePlayoutConstantDelays(t *testing.T) {
+	// Constant delay: deviation converges to 0, buffer to the delay, no
+	// late packets.
+	delays := make([]time.Duration, 100)
+	for i := range delays {
+		delays[i] = 25 * time.Millisecond
+	}
+	po, err := AdaptivePlayout(delays)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if po.LateLoss != 0 {
+		t.Errorf("late loss = %g on constant delays", po.LateLoss)
+	}
+	if po.Buffer < 24*time.Millisecond || po.Buffer > 26*time.Millisecond {
+		t.Errorf("buffer = %v, want ~25ms", po.Buffer)
+	}
+}
+
+func TestAdaptivePlayoutTracksJitter(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	delays := make([]time.Duration, 500)
+	for i := range delays {
+		delays[i] = 20*time.Millisecond + time.Duration(rng.Intn(10))*time.Millisecond
+	}
+	po, err := AdaptivePlayout(delays)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Buffer should exceed the mean (24.5ms) but stay sane; late loss low.
+	if po.Buffer < 24*time.Millisecond || po.Buffer > 60*time.Millisecond {
+		t.Errorf("buffer = %v", po.Buffer)
+	}
+	if po.LateLoss > 0.1 {
+		t.Errorf("late loss = %g, want <= 0.1", po.LateLoss)
+	}
+}
+
+func TestAdaptivePlayoutSingleSample(t *testing.T) {
+	po, err := AdaptivePlayout(msSlice(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if po.LateLoss != 0 {
+		t.Errorf("late loss = %g with one sample", po.LateLoss)
+	}
+	if _, err := AdaptivePlayout(nil); err == nil {
+		t.Error("empty delays accepted")
+	}
+}
+
+func TestEvaluateWithPlayout(t *testing.T) {
+	delays := msSlice(20, 21, 22, 23, 24, 25, 26, 27, 28, 120)
+	q, po, err := EvaluateWithPlayout(G711(), delays, 0.01, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if po.Buffer >= 120*time.Millisecond {
+		t.Errorf("buffer %v absorbed the outlier despite 10%% target", po.Buffer)
+	}
+	if q.R <= 0 || q.R > 93.2 {
+		t.Errorf("R = %g", q.R)
+	}
+	// Tighter target -> deeper buffer -> more delay impairment, less loss.
+	q0, po0, err := EvaluateWithPlayout(G711(), delays, 0.01, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if po0.Buffer < po.Buffer {
+		t.Errorf("zero-target buffer %v below 10%%-target buffer %v", po0.Buffer, po.Buffer)
+	}
+	_ = q0
+}
+
+// Property: PlanPlayout's buffer is monotone non-increasing in the target,
+// and the achieved late loss never exceeds the target.
+func TestPropertyPlayoutMonotone(t *testing.T) {
+	prop := func(raw []uint16, tgt uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		delays := make([]time.Duration, len(raw))
+		for i, r := range raw {
+			delays[i] = time.Duration(r) * time.Microsecond
+		}
+		target := float64(tgt%50) / 100
+		po, err := PlanPlayout(delays, target)
+		if err != nil {
+			return false
+		}
+		if po.LateLoss > target+1e-9 {
+			return false
+		}
+		tighter, err := PlanPlayout(delays, target/2)
+		if err != nil {
+			return false
+		}
+		return tighter.Buffer >= po.Buffer
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

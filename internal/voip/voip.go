@@ -1,0 +1,172 @@
+// Package voip models VoIP traffic and call quality: standard codecs with
+// RTP/UDP/IP framing, constant-bit-rate and talk-spurt sources on the
+// simulation kernel, and ITU-T G.107 E-model scoring (R-factor / MOS) from
+// measured delay and loss.
+//
+// The mesh QoS evaluations admit a call when its one-way delay and loss keep
+// the E-model R-factor at toll quality; the number of admissible calls is
+// the capacity metric of experiments R1 and R3.
+package voip
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// RTPUDPIPBytes is the RTP (12) + UDP (8) + IPv4 (20) header overhead added
+// to every voice frame.
+const RTPUDPIPBytes = 40
+
+// Codec describes a voice codec and its E-model impairment parameters
+// (ITU-T G.113 Appendix I).
+type Codec struct {
+	Name string
+	// BitrateBps is the codec's voice payload bitrate.
+	BitrateBps float64
+	// PacketInterval is the packetization interval.
+	PacketInterval time.Duration
+	// LookaheadDelay is the codec's algorithmic + lookahead delay.
+	LookaheadDelay time.Duration
+	// Ie is the equipment impairment factor.
+	Ie float64
+	// Bpl is the packet-loss robustness factor.
+	Bpl float64
+}
+
+// G711 returns the G.711 codec (64 kb/s, 20 ms packets, PLC).
+func G711() Codec {
+	return Codec{
+		Name:           "G.711",
+		BitrateBps:     64e3,
+		PacketInterval: 20 * time.Millisecond,
+		LookaheadDelay: 0,
+		Ie:             0,
+		Bpl:            25.1,
+	}
+}
+
+// G729 returns the G.729A codec (8 kb/s, 20 ms packets).
+func G729() Codec {
+	return Codec{
+		Name:           "G.729A",
+		BitrateBps:     8e3,
+		PacketInterval: 20 * time.Millisecond,
+		LookaheadDelay: 15 * time.Millisecond,
+		Ie:             11,
+		Bpl:            19,
+	}
+}
+
+// G7231 returns the G.723.1 codec (6.3 kb/s, 30 ms packets).
+func G7231() Codec {
+	return Codec{
+		Name:           "G.723.1",
+		BitrateBps:     6.3e3,
+		PacketInterval: 30 * time.Millisecond,
+		LookaheadDelay: 37500 * time.Microsecond,
+		Ie:             15,
+		Bpl:            16.1,
+	}
+}
+
+// PayloadBytes returns the voice payload per packet.
+func (c Codec) PayloadBytes() int {
+	return int(math.Round(c.BitrateBps * c.PacketInterval.Seconds() / 8))
+}
+
+// PacketBytes returns the IP packet size per voice frame (payload +
+// RTP/UDP/IP).
+func (c Codec) PacketBytes() int { return c.PayloadBytes() + RTPUDPIPBytes }
+
+// PacketsPerSecond returns the packet rate while talking.
+func (c Codec) PacketsPerSecond() float64 { return 1 / c.PacketInterval.Seconds() }
+
+// BandwidthBps returns the IP-layer bandwidth of an active (always-on) call
+// direction, including RTP/UDP/IP overhead.
+func (c Codec) BandwidthBps() float64 {
+	return float64(8*c.PacketBytes()) * c.PacketsPerSecond()
+}
+
+// Validate checks the codec parameters.
+func (c Codec) Validate() error {
+	if c.BitrateBps <= 0 || c.PacketInterval <= 0 {
+		return fmt.Errorf("voip: bad codec %q: rate %g, interval %v", c.Name, c.BitrateBps, c.PacketInterval)
+	}
+	if c.Bpl <= 0 {
+		return fmt.Errorf("voip: codec %q needs positive Bpl", c.Name)
+	}
+	return nil
+}
+
+// Quality is an E-model call score.
+type Quality struct {
+	// R is the E-model rating factor (0-100, toll quality >= 70).
+	R float64
+	// MOS is the mean opinion score mapped from R (1-4.5).
+	MOS float64
+}
+
+// TollQualityR is the R-factor threshold for an admissible ("satisfied")
+// call, per ITU-T G.107/G.109.
+const TollQualityR = 70.0
+
+// Acceptable reports whether the call meets toll quality.
+func (q Quality) Acceptable() bool { return q.R >= TollQualityR }
+
+// Evaluate scores a call with the E-model: oneWayDelay is the mouth-to-ear
+// delay (network + jitter buffer + packetization + codec lookahead), loss is
+// the end-to-end packet loss fraction in [0, 1].
+func Evaluate(c Codec, oneWayDelay time.Duration, loss float64) (Quality, error) {
+	if err := c.Validate(); err != nil {
+		return Quality{}, err
+	}
+	if oneWayDelay < 0 {
+		return Quality{}, errors.New("voip: negative delay")
+	}
+	if loss < 0 || loss > 1 {
+		return Quality{}, fmt.Errorf("voip: loss %g outside [0,1]", loss)
+	}
+	const r0 = 93.2 // default transmission rating
+	r := r0 - DelayImpairment(oneWayDelay) - EffectiveEquipmentImpairment(c, loss)
+	return Quality{R: r, MOS: MOSFromR(r)}, nil
+}
+
+// DelayImpairment returns Id for a one-way delay (simplified G.107 / G.114
+// form): Id = 0.024 d + 0.11 (d - 177.3) H(d - 177.3), d in milliseconds.
+func DelayImpairment(d time.Duration) float64 {
+	ms := float64(d) / float64(time.Millisecond)
+	id := 0.024 * ms
+	if ms > 177.3 {
+		id += 0.11 * (ms - 177.3)
+	}
+	return id
+}
+
+// EffectiveEquipmentImpairment returns Ie-eff for the codec at the given
+// random packet-loss fraction: Ie + (95 - Ie) * Ppl / (Ppl + Bpl), Ppl in
+// percent.
+func EffectiveEquipmentImpairment(c Codec, loss float64) float64 {
+	ppl := loss * 100
+	return c.Ie + (95-c.Ie)*ppl/(ppl+c.Bpl)
+}
+
+// MOSFromR maps an R-factor to a mean opinion score (ITU-T G.107 Annex B).
+func MOSFromR(r float64) float64 {
+	switch {
+	case r <= 0:
+		return 1
+	case r >= 100:
+		return 4.5
+	default:
+		return 1 + 0.035*r + r*(r-60)*(100-r)*7e-6
+	}
+}
+
+// EndToEndDelay assembles the mouth-to-ear delay from components: network
+// delay plus jitter-buffer depth plus one packetization interval plus the
+// codec lookahead.
+func EndToEndDelay(c Codec, network, jitterBuffer time.Duration) time.Duration {
+	return network + jitterBuffer + c.PacketInterval + c.LookaheadDelay
+}
