@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: all build test vet race check bench bench-json clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The MILP worker pool and the Problem caches must stay race-clean.
+race:
+	$(GO) test -race ./...
+
+check: vet build race
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Record the experiment metrics + wall clock as a dated JSON report
+# (machine-readable perf trajectory; see README "Performance").
+bench-json:
+	$(GO) run ./cmd/meshbench -json BENCH_$$(date +%F).json
+
+clean:
+	$(GO) clean ./...

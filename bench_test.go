@@ -198,6 +198,80 @@ func BenchmarkConflictGraphRandom20(b *testing.B) {
 	}
 }
 
+// BenchmarkConflictBuild measures conflict-graph construction: the O(L^2)
+// pairwise loop with precomputed node relations and bitset adjacency.
+func BenchmarkConflictBuild(b *testing.B) {
+	chain, err := topology.Chain(32, 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	disk, err := topology.RandomDisk(20, 800, 300, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		topo *topology.Network
+	}{{"chain32", chain}, {"disk20", disk}} {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := conflict.Build(tc.topo, conflict.Options{Model: conflict.ModelTwoHop}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkConflictsQuery measures the Conflicts hot path (one bitset probe
+// per query) over every link pair of a random mesh.
+func BenchmarkConflictsQuery(b *testing.B) {
+	topo, err := topology.RandomDisk(20, 800, 300, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := conflict.Build(topo, conflict.Options{Model: conflict.ModelTwoHop})
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := topology.LinkID(g.NumVertices())
+	b.ReportAllocs()
+	b.ResetTimer()
+	hits := 0
+	for i := 0; i < b.N; i++ {
+		for a := topology.LinkID(0); a < n; a++ {
+			for c := topology.LinkID(0); c < n; c++ {
+				if g.Conflicts(a, c) {
+					hits++
+				}
+			}
+		}
+	}
+	if hits == 0 {
+		b.Fatal("no conflicts in random mesh")
+	}
+}
+
+// BenchmarkMILPParallel measures the branch-and-bound min-max delay search
+// with a sequential and a parallel worker pool (identical results either
+// way; the win scales with GOMAXPROCS).
+func BenchmarkMILPParallel(b *testing.B) {
+	frame := tdma.FrameConfig{FrameDuration: 20 * time.Millisecond, DataSlots: 16}
+	p := chainProblem(b, 7, frame)
+	for _, workers := range []int{1, 4} {
+		b.Run("workers="+strconv.Itoa(workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := schedule.MinMaxDelayOrder(p, frame.DataSlots, frame,
+					milp.Options{MaxNodes: 300_000, Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkSimplexLP(b *testing.B) {
 	// A 20-var, 25-row LP representative of relaxations in the search.
 	build := func() *lp.Problem {

@@ -1,18 +1,21 @@
 // Command meshbench regenerates the paper's evaluation: every reconstructed
-// experiment R1-R8 indexed in DESIGN.md, printed as aligned tables.
+// experiment R1-R17 indexed in DESIGN.md, printed as aligned tables.
 //
 // Usage:
 //
-//	meshbench            # run everything
-//	meshbench -only R3   # one experiment
-//	meshbench -list      # list experiments
+//	meshbench                          # run everything
+//	meshbench -only R3                 # one experiment
+//	meshbench -list                    # list experiments
+//	meshbench -json BENCH_2026-08-05.json  # also record metrics + wall clock
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"wimesh/internal/experiments"
 )
@@ -24,12 +27,30 @@ func main() {
 	}
 }
 
+// jsonExperiment is one experiment's record in the -json report.
+type jsonExperiment struct {
+	ID     string     `json:"id"`
+	Title  string     `json:"title"`
+	WallMS float64    `json:"wall_ms"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+}
+
+// jsonReport is the -json output: the headline metrics and wall clock of
+// every experiment run. Committing one per PR (BENCH_<date>.json) makes the
+// performance trajectory machine-readable PR-over-PR.
+type jsonReport struct {
+	Generated   string           `json:"generated"`
+	Experiments []jsonExperiment `json:"experiments"`
+}
+
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("meshbench", flag.ContinueOnError)
 	var (
-		only   = fs.String("only", "", "run a single experiment (R1..R17)")
-		list   = fs.Bool("list", false, "list experiments and exit")
-		csvOut = fs.Bool("csv", false, "emit CSV instead of aligned tables")
+		only    = fs.String("only", "", "run a single experiment (R1..R17)")
+		list    = fs.Bool("list", false, "list experiments and exit")
+		csvOut  = fs.Bool("csv", false, "emit CSV instead of aligned tables")
+		jsonOut = fs.String("json", "", "also write metrics and per-experiment wall clock to this file (convention: BENCH_<date>.json)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -61,20 +82,36 @@ func run(args []string, out io.Writer) error {
 		t.Fprint(out)
 		return nil
 	}
+	ids := experiments.IDs()
 	if *only != "" {
-		t, err := experiments.ByID(*only)
+		ids = []string{*only}
+	}
+	report := jsonReport{Generated: time.Now().UTC().Format(time.RFC3339)}
+	for _, id := range ids {
+		start := time.Now()
+		t, err := experiments.ByID(id)
 		if err != nil {
 			return err
 		}
-		return render(t)
-	}
-	tables, err := experiments.All()
-	if err != nil {
-		return err
-	}
-	for _, t := range tables {
+		wall := time.Since(start)
 		if err := render(t); err != nil {
 			return err
+		}
+		report.Experiments = append(report.Experiments, jsonExperiment{
+			ID:     t.ID,
+			Title:  t.Title,
+			WallMS: float64(wall.Microseconds()) / 1000,
+			Header: t.Header,
+			Rows:   t.Rows,
+		})
+	}
+	if *jsonOut != "" {
+		buf, err := json.MarshalIndent(&report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonOut, append(buf, '\n'), 0o644); err != nil {
+			return fmt.Errorf("write json report: %w", err)
 		}
 	}
 	return nil

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -31,6 +34,41 @@ func TestRunOnlyUnknown(t *testing.T) {
 	var sb strings.Builder
 	if err := run([]string{"-only", "R42"}, &sb); err == nil {
 		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	var sb strings.Builder
+	if err := run([]string{"-only", "R5", "-json", path}, &sb); err != nil {
+		t.Fatalf("run -json: %v", err)
+	}
+	if !strings.Contains(sb.String(), "== R5:") {
+		t.Errorf("table output missing R5 header:\n%s", sb.String())
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read report: %v", err)
+	}
+	var report jsonReport
+	if err := json.Unmarshal(buf, &report); err != nil {
+		t.Fatalf("unmarshal report: %v", err)
+	}
+	if report.Generated == "" {
+		t.Error("report missing generated timestamp")
+	}
+	if len(report.Experiments) != 1 {
+		t.Fatalf("experiments = %d, want 1", len(report.Experiments))
+	}
+	exp := report.Experiments[0]
+	if exp.ID != "R5" {
+		t.Errorf("id = %q, want R5", exp.ID)
+	}
+	if exp.WallMS <= 0 {
+		t.Errorf("wall_ms = %g, want > 0", exp.WallMS)
+	}
+	if len(exp.Header) == 0 || len(exp.Rows) == 0 {
+		t.Errorf("report missing table data: header=%d rows=%d", len(exp.Header), len(exp.Rows))
 	}
 }
 

@@ -14,6 +14,12 @@
 //     interference model of the 802.16 mesh standard).
 //   - Geometric (protocol-model) conflicts: a transmission interferes with
 //     any receiver within interferenceRange meters.
+//
+// Adjacency is stored both as a dense bitset matrix over link IDs (O(1)
+// Conflicts queries, word-parallel clique growth) and as sorted neighbour
+// lists (cache-friendly iteration via VisitNeighbors). Link IDs are dense
+// indices in [0, L) by construction (see topology.LinkID), so no separate
+// index mapping is needed.
 package conflict
 
 import (
@@ -63,12 +69,45 @@ type Options struct {
 type Graph struct {
 	net   *topology.Network
 	model Model
+	// n is the number of links (vertices); IDs are dense in [0, n).
+	n int
+	// words is the number of 64-bit words per adjacency row.
+	words int
+	// bits is the row-major n x n adjacency matrix: link b conflicts with
+	// link a iff bits[a*words + b/64] has bit b%64 set. The diagonal is
+	// clear; Conflicts special-cases a == b.
+	bits []uint64
 	// adj[l] holds the links conflicting with l, sorted ascending,
 	// excluding l itself.
-	adj map[topology.LinkID][]topology.LinkID
+	adj [][]topology.LinkID
+	// edges is the number of conflicting pairs.
+	edges int
+}
+
+// nodeBitset is a bitset over node IDs, one row of words per node.
+type nodeBitset struct {
+	words int
+	bits  []uint64
+}
+
+func newNodeBitset(n int) *nodeBitset {
+	words := (n + 63) / 64
+	return &nodeBitset{words: words, bits: make([]uint64, n*words)}
+}
+
+func (s *nodeBitset) set(a, b topology.NodeID) {
+	s.bits[int(a)*s.words+int(b)>>6] |= 1 << (uint(b) & 63)
+}
+
+func (s *nodeBitset) has(a, b topology.NodeID) bool {
+	return s.bits[int(a)*s.words+int(b)>>6]&(1<<(uint(b)&63)) != 0
 }
 
 // Build constructs the conflict graph of net under the given options.
+//
+// The pairwise loop is O(L^2) with an O(1) inner test: the one-hop and
+// within-range node relations are precomputed as node bitsets instead of
+// probing the topology's link index per pair.
 func Build(net *topology.Network, opts Options) (*Graph, error) {
 	if opts.Model < ModelPrimary || opts.Model > ModelGeometric {
 		return nil, fmt.Errorf("conflict: unknown model %d", int(opts.Model))
@@ -76,67 +115,77 @@ func Build(net *topology.Network, opts Options) (*Graph, error) {
 	if opts.Model == ModelGeometric && opts.InterferenceRange <= 0 {
 		return nil, fmt.Errorf("conflict: geometric model needs a positive interference range")
 	}
+	links := net.Links()
+	n := len(links)
 	g := &Graph{
 		net:   net,
 		model: opts.Model,
-		adj:   make(map[topology.LinkID][]topology.LinkID, net.NumLinks()),
+		n:     n,
+		words: (n + 63) / 64,
+		adj:   make([][]topology.LinkID, n),
 	}
-	links := net.Links()
-	for i := 0; i < len(links); i++ {
-		for j := i + 1; j < len(links); j++ {
-			c, err := conflicts(net, links[i], links[j], opts)
-			if err != nil {
-				return nil, err
-			}
-			if c {
-				g.adj[links[i].ID] = append(g.adj[links[i].ID], links[j].ID)
-				g.adj[links[j].ID] = append(g.adj[links[j].ID], links[i].ID)
+	g.bits = make([]uint64, n*g.words)
+
+	// Precompute the node relation the secondary-interference test needs.
+	var rel *nodeBitset
+	switch opts.Model {
+	case ModelTwoHop:
+		// One-hop radio neighbourhood, symmetric over link direction.
+		rel = newNodeBitset(net.NumNodes())
+		for _, l := range links {
+			rel.set(l.From, l.To)
+			rel.set(l.To, l.From)
+		}
+	case ModelGeometric:
+		// Nodes within the interference range of each other.
+		rel = newNodeBitset(net.NumNodes())
+		nodes := net.Nodes()
+		for i := range nodes {
+			for j := i + 1; j < len(nodes); j++ {
+				d, err := net.Distance(nodes[i].ID, nodes[j].ID)
+				if err != nil {
+					return nil, err
+				}
+				if d <= opts.InterferenceRange {
+					rel.set(nodes[i].ID, nodes[j].ID)
+					rel.set(nodes[j].ID, nodes[i].ID)
+				}
 			}
 		}
 	}
-	for _, l := range links {
-		ns := g.adj[l.ID]
-		sort.Slice(ns, func(a, b int) bool { return ns[a] < ns[b] })
+
+	for i := 0; i < n; i++ {
+		a := links[i]
+		for j := i + 1; j < n; j++ {
+			b := links[j]
+			// Primary: shared node.
+			c := a.From == b.From || a.From == b.To || a.To == b.From || a.To == b.To
+			if !c && opts.Model != ModelPrimary {
+				// Secondary: a's transmitter interferes at b's receiver
+				// (one-hop neighbour or within range), or vice versa.
+				c = rel.has(a.From, b.To) || rel.has(b.From, a.To)
+			}
+			if c {
+				g.setBit(i, j)
+				g.setBit(j, i)
+				g.adj[i] = append(g.adj[i], b.ID)
+				g.adj[j] = append(g.adj[j], a.ID)
+				g.edges++
+			}
+		}
 	}
+	// The double loop appends neighbours in ascending ID order on both
+	// sides, so the adjacency lists are already sorted.
 	return g, nil
 }
 
-func conflicts(net *topology.Network, a, b topology.Link, opts Options) (bool, error) {
-	// Primary: shared node.
-	if a.From == b.From || a.From == b.To || a.To == b.From || a.To == b.To {
-		return true, nil
-	}
-	switch opts.Model {
-	case ModelPrimary:
-		return false, nil
-	case ModelTwoHop:
-		// a's transmitter interferes at b's receiver if they neighbour,
-		// and vice versa.
-		if neighbours(net, a.From, b.To) || neighbours(net, b.From, a.To) {
-			return true, nil
-		}
-		return false, nil
-	case ModelGeometric:
-		dab, err := net.Distance(a.From, b.To)
-		if err != nil {
-			return false, err
-		}
-		dba, err := net.Distance(b.From, a.To)
-		if err != nil {
-			return false, err
-		}
-		return dab <= opts.InterferenceRange || dba <= opts.InterferenceRange, nil
-	default:
-		return false, fmt.Errorf("conflict: unknown model %d", int(opts.Model))
-	}
+func (g *Graph) setBit(a, b int) {
+	g.bits[a*g.words+b>>6] |= 1 << (uint(b) & 63)
 }
 
-func neighbours(net *topology.Network, a, b topology.NodeID) bool {
-	if _, err := net.FindLink(a, b); err == nil {
-		return true
-	}
-	_, err := net.FindLink(b, a)
-	return err == nil
+// row returns the adjacency bitset row of vertex a.
+func (g *Graph) row(a int) []uint64 {
+	return g.bits[a*g.words : (a+1)*g.words]
 }
 
 // Model returns the interference model the graph was built with.
@@ -150,32 +199,49 @@ func (g *Graph) Conflicts(a, b topology.LinkID) bool {
 	if a == b {
 		return true
 	}
-	ns := g.adj[a]
-	i := sort.Search(len(ns), func(i int) bool { return ns[i] >= b })
-	return i < len(ns) && ns[i] == b
+	if a < 0 || int(a) >= g.n || b < 0 || int(b) >= g.n {
+		return false
+	}
+	return g.bits[int(a)*g.words+int(b)>>6]&(1<<(uint(b)&63)) != 0
 }
 
 // Neighbors returns the links conflicting with l, sorted ascending.
+// The slice is a copy; prefer VisitNeighbors on hot paths.
 func (g *Graph) Neighbors(l topology.LinkID) []topology.LinkID {
+	if l < 0 || int(l) >= g.n {
+		return nil
+	}
 	out := make([]topology.LinkID, len(g.adj[l]))
 	copy(out, g.adj[l])
 	return out
 }
 
+// VisitNeighbors calls fn for every link conflicting with l, in ascending
+// ID order, without allocating. Iteration stops early when fn returns false.
+func (g *Graph) VisitNeighbors(l topology.LinkID, fn func(topology.LinkID) bool) {
+	if l < 0 || int(l) >= g.n {
+		return
+	}
+	for _, nb := range g.adj[l] {
+		if !fn(nb) {
+			return
+		}
+	}
+}
+
 // Degree returns the number of links conflicting with l.
-func (g *Graph) Degree(l topology.LinkID) int { return len(g.adj[l]) }
+func (g *Graph) Degree(l topology.LinkID) int {
+	if l < 0 || int(l) >= g.n {
+		return 0
+	}
+	return len(g.adj[l])
+}
 
 // NumVertices returns the number of links in the conflict graph.
-func (g *Graph) NumVertices() int { return g.net.NumLinks() }
+func (g *Graph) NumVertices() int { return g.n }
 
 // NumEdges returns the number of conflicting pairs.
-func (g *Graph) NumEdges() int {
-	total := 0
-	for _, ns := range g.adj {
-		total += len(ns)
-	}
-	return total / 2
-}
+func (g *Graph) NumEdges() int { return g.edges }
 
 // GreedyClique grows a clique around each vertex of a restricted vertex set
 // by repeatedly adding the compatible vertex with the largest weight, and
@@ -183,6 +249,10 @@ func (g *Graph) NumEdges() int {
 // heuristic lower-bound generator for frame-length search: the links of a
 // clique must occupy disjoint slots, so the total clique weight (demand in
 // slots) lower-bounds the frame length.
+//
+// Candidates are sorted once (heaviest first, ties by ID) and shared across
+// all seeds; clique membership is tracked as the running AND of the
+// members' adjacency rows, so each compatibility test is one bit probe.
 func (g *Graph) GreedyClique(weight map[topology.LinkID]float64) ([]topology.LinkID, float64) {
 	var verts []topology.LinkID
 	for l := range weight {
@@ -192,38 +262,41 @@ func (g *Graph) GreedyClique(weight map[topology.LinkID]float64) ([]topology.Lin
 	}
 	sort.Slice(verts, func(i, j int) bool { return verts[i] < verts[j] })
 
+	// Candidates, heaviest first; ties by ID for determinism. The same
+	// ordering serves every seed (dropping the seed does not change the
+	// relative order of the rest).
+	cands := append([]topology.LinkID(nil), verts...)
+	sort.Slice(cands, func(i, j int) bool {
+		wi, wj := weight[cands[i]], weight[cands[j]]
+		if wi != wj {
+			return wi > wj
+		}
+		return cands[i] < cands[j]
+	})
+
 	var (
 		best       []topology.LinkID
 		bestWeight float64
+		compat     = make([]uint64, g.words)
 	)
 	for _, seed := range verts {
 		clique := []topology.LinkID{seed}
 		total := weight[seed]
-		// Candidates, heaviest first; ties by ID for determinism.
-		cands := make([]topology.LinkID, 0, len(verts))
-		for _, v := range verts {
-			if v != seed {
-				cands = append(cands, v)
-			}
-		}
-		sort.Slice(cands, func(i, j int) bool {
-			wi, wj := weight[cands[i]], weight[cands[j]]
-			if wi != wj {
-				return wi > wj
-			}
-			return cands[i] < cands[j]
-		})
-		for _, c := range cands {
-			ok := true
-			for _, m := range clique {
-				if !g.Conflicts(c, m) {
-					ok = false
-					break
+		if seed >= 0 && int(seed) < g.n {
+			// compat holds the vertices adjacent to every clique member.
+			copy(compat, g.row(int(seed)))
+			for _, c := range cands {
+				if c == seed || c < 0 || int(c) >= g.n {
+					continue
 				}
-			}
-			if ok {
-				clique = append(clique, c)
-				total += weight[c]
+				if compat[int(c)>>6]&(1<<(uint(c)&63)) != 0 {
+					clique = append(clique, c)
+					total += weight[c]
+					row := g.row(int(c))
+					for w := range compat {
+						compat[w] &= row[w]
+					}
+				}
 			}
 		}
 		if total > bestWeight {

@@ -51,6 +51,21 @@ func (cs *ConstraintSystem) AddGE(j, i int, c float64) error {
 	return cs.AddLE(i, j, -c)
 }
 
+// SetBound re-tightens the bound of the k-th constraint added (0-based,
+// counting AddLE and AddGE calls alike): the constraint keeps its variable
+// pair and becomes x[j] - x[i] <= c in the orientation it was added with
+// (for a constraint added via AddGE, pass -c to express x[j] - x[i] >= c).
+// It lets callers reuse one system across repeated solves that differ only
+// in a few bounds — the binary search of MinWindowForOrder re-tightens the
+// per-link window bounds instead of rebuilding all pair constraints.
+func (cs *ConstraintSystem) SetBound(k int, c float64) error {
+	if k < 0 || k >= len(cs.edges) {
+		return fmt.Errorf("conflict: constraint %d out of range (have %d)", k, len(cs.edges))
+	}
+	cs.edges[k].weight = c
+	return nil
+}
+
 // Solve runs Bellman-Ford from a virtual source connected to every variable
 // with weight 0 and returns a feasible assignment (the shortest-path
 // distances), or ErrInfeasible wrapped with a witness cycle description if a

@@ -95,34 +95,44 @@ func (t *Table) WriteCSV(w io.Writer) error {
 	return cw.Error()
 }
 
+// registry lists every experiment in canonical order.
+var registry = []struct {
+	name string
+	fn   func() (*Table, error)
+}{
+	{"R1", R1MinFrameLength},
+	{"R2", R2DelayAwareOrdering},
+	{"R3", R3VoIPCapacity},
+	{"R4", R4DelayDistribution},
+	{"R5", R5EmulationOverhead},
+	{"R6", R6SyncTolerance},
+	{"R7", R7SchedulerScalability},
+	{"R8", R8DCFSaturation},
+	{"R9", R9MultiService},
+	{"R10", R10HiddenTerminal},
+	{"R11", R11ControlPlane},
+	{"R12", R12Failover},
+	{"R13", R13MixedService},
+	{"R14", R14NativeVsEmulated},
+	{"R15", R15RoutingMetric},
+	{"R16", R16ConflictModel},
+	{"R17", R17FrameDuration},
+}
+
+// IDs returns the experiment identifiers in canonical order (R1..R17).
+func IDs() []string {
+	out := make([]string, len(registry))
+	for i, g := range registry {
+		out[i] = g.name
+	}
+	return out
+}
+
 // All runs every experiment in order. Failing experiments abort with the
 // error.
 func All() ([]*Table, error) {
-	type gen struct {
-		name string
-		fn   func() (*Table, error)
-	}
-	gens := []gen{
-		{"R1", R1MinFrameLength},
-		{"R2", R2DelayAwareOrdering},
-		{"R3", R3VoIPCapacity},
-		{"R4", R4DelayDistribution},
-		{"R5", R5EmulationOverhead},
-		{"R6", R6SyncTolerance},
-		{"R7", R7SchedulerScalability},
-		{"R8", R8DCFSaturation},
-		{"R9", R9MultiService},
-		{"R10", R10HiddenTerminal},
-		{"R11", R11ControlPlane},
-		{"R12", R12Failover},
-		{"R13", R13MixedService},
-		{"R14", R14NativeVsEmulated},
-		{"R15", R15RoutingMetric},
-		{"R16", R16ConflictModel},
-		{"R17", R17FrameDuration},
-	}
 	var out []*Table
-	for _, g := range gens {
+	for _, g := range registry {
 		t, err := g.fn()
 		if err != nil {
 			return nil, fmt.Errorf("experiment %s: %w", g.name, err)
@@ -134,42 +144,11 @@ func All() ([]*Table, error) {
 
 // ByID runs one experiment by its identifier (case-insensitive).
 func ByID(id string) (*Table, error) {
-	switch strings.ToUpper(id) {
-	case "R1":
-		return R1MinFrameLength()
-	case "R2":
-		return R2DelayAwareOrdering()
-	case "R3":
-		return R3VoIPCapacity()
-	case "R4":
-		return R4DelayDistribution()
-	case "R5":
-		return R5EmulationOverhead()
-	case "R6":
-		return R6SyncTolerance()
-	case "R7":
-		return R7SchedulerScalability()
-	case "R8":
-		return R8DCFSaturation()
-	case "R9":
-		return R9MultiService()
-	case "R10":
-		return R10HiddenTerminal()
-	case "R11":
-		return R11ControlPlane()
-	case "R12":
-		return R12Failover()
-	case "R13":
-		return R13MixedService()
-	case "R14":
-		return R14NativeVsEmulated()
-	case "R15":
-		return R15RoutingMetric()
-	case "R16":
-		return R16ConflictModel()
-	case "R17":
-		return R17FrameDuration()
-	default:
-		return nil, fmt.Errorf("experiments: unknown id %q (want R1..R17)", id)
+	want := strings.ToUpper(id)
+	for _, g := range registry {
+		if g.name == want {
+			return g.fn()
+		}
 	}
+	return nil, fmt.Errorf("experiments: unknown id %q (want R1..R17)", id)
 }

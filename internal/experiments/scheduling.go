@@ -31,6 +31,13 @@ func uplinkProblem(topo *topology.Network, k int, cfg tdma.FrameConfig) (*schedu
 	if err != nil {
 		return nil, err
 	}
+	return uplinkProblemOnGraph(topo, g, k, cfg)
+}
+
+// uplinkProblemOnGraph is uplinkProblem with the conflict graph supplied by
+// the caller, so experiments sweeping the call count on a fixed topology
+// build the graph once instead of once per sweep point.
+func uplinkProblemOnGraph(topo *topology.Network, g *conflict.Graph, k int, cfg tdma.FrameConfig) (*schedule.Problem, error) {
 	gw, ok := topo.Gateway()
 	if !ok {
 		return nil, errors.New("no gateway")
@@ -80,10 +87,18 @@ func R1MinFrameLength() (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	graphs := make(map[*topology.Network]*conflict.Graph, 2)
+	for _, topo := range []*topology.Network{chain, tree} {
+		g, err := conflict.Build(topo, conflict.Options{Model: conflict.ModelTwoHop})
+		if err != nil {
+			return nil, err
+		}
+		graphs[topo] = g
+	}
 	for k := 1; k <= 6; k++ {
 		row := []any{k}
 		for _, topo := range []*topology.Network{chain, tree} {
-			p, err := uplinkProblem(topo, k, cfg)
+			p, err := uplinkProblemOnGraph(topo, graphs[topo], k, cfg)
 			if err != nil {
 				return nil, err
 			}

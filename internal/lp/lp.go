@@ -125,6 +125,23 @@ func (p *Problem) SetUpper(j int, u float64) error {
 // Upper returns the upper bound of variable j.
 func (p *Problem) Upper(j int) float64 { return p.upper[j] }
 
+// Clone returns an independent copy of the problem that can be tightened and
+// solved without affecting the original: objective and bound slices are
+// copied, and the row slice is copied at exact length so appends on either
+// copy never share backing storage. The per-row coefficient maps are shared —
+// neither AddConstraint nor Solve ever mutates an existing row — which makes
+// cloning cheap enough to use per branch-and-bound node.
+func (p *Problem) Clone() *Problem {
+	rows := make([]Constraint, len(p.rows))
+	copy(rows, p.rows)
+	return &Problem{
+		sense: p.sense,
+		obj:   append([]float64(nil), p.obj...),
+		upper: append([]float64(nil), p.upper...),
+		rows:  rows,
+	}
+}
+
 // AddConstraint adds the row coef . x rel rhs. The coefficient map is copied.
 func (p *Problem) AddConstraint(coef map[int]float64, rel Rel, rhs float64) error {
 	if rel != LE && rel != GE && rel != EQ {

@@ -137,13 +137,14 @@ func (d *Discovery) broadcast(id topology.NodeID) {
 		return
 	}
 	d.messages++
-	for _, nb := range d.topo.Neighbors(id) {
+	d.topo.VisitNeighbors(id, func(nb topology.NodeID) bool {
 		decoded, err := UnmarshalNCFG(wire)
 		if err != nil {
-			continue
+			return true
 		}
 		d.receive(nb, decoded)
-	}
+		return true
+	})
 }
 
 func (d *Discovery) receive(at topology.NodeID, msg *NCFG) {

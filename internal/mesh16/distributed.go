@@ -236,13 +236,14 @@ func (s *Scheduler) broadcast(from *dnode, msg *DSCH) {
 		return
 	}
 	s.messages++
-	for _, nb := range s.topo.Neighbors(from.id) {
+	s.topo.VisitNeighbors(from.id, func(nb topology.NodeID) bool {
 		decoded, err := UnmarshalDSCH(wire)
 		if err != nil {
-			continue
+			return true
 		}
 		s.receive(s.nodes[nb], from, decoded)
-	}
+		return true
+	})
 }
 
 func (s *Scheduler) receive(at, from *dnode, msg *DSCH) {

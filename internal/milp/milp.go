@@ -8,10 +8,13 @@
 package milp
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
 	"time"
 
 	"wimesh/internal/lp"
@@ -131,6 +134,12 @@ type Options struct {
 	FirstFeasible bool
 	// IntTol is the integrality tolerance (0 = 1e-6 default).
 	IntTol float64
+	// Workers is the number of goroutines exploring the branch-and-bound
+	// tree (0 = GOMAXPROCS). The result is deterministic regardless of the
+	// worker count: ties between equally good solutions are broken by the
+	// branch path, so any exploration schedule converges to the same
+	// incumbent as the sequential search.
+	Workers int
 }
 
 // Solution is the result of a Solve call.
@@ -151,14 +160,50 @@ type branch struct {
 	val float64
 }
 
+// node is one open subproblem of the branch-and-bound tree.
 type node struct {
 	branches []branch
-	bound    float64 // LP relaxation objective, in minimization form
+	// key encodes the branch path from the root, one byte per level: 0 for
+	// the child the sequential search explores first, 1 for the other.
+	// Sequential DFS visits nodes in ascending key order (bytes.Compare,
+	// prefixes first), so breaking incumbent ties by smallest key makes any
+	// exploration schedule — including a parallel one — converge to the
+	// exact incumbent the sequential search would return.
+	key []byte
+}
+
+// search is the shared state of one Solve call: the worker pool's work
+// stack, the incumbent, and the limit bookkeeping.
+type search struct {
+	m             *Model
+	proto         *lp.Problem // relaxation prototype, cloned per node
+	sign          float64     // minimization-form multiplier
+	firstFeasible bool
+	intTol        float64
+	maxNodes      int
+	deadline      time.Time
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	stack    []node // LIFO: DFS order when sequential
+	active   int    // workers currently expanding a node
+	stopped  bool   // a limit was hit or a worker failed
+	limitHit bool
+	err      error
+	nodes    int // LP relaxations solved
+
+	incumbent    []float64
+	incumbentObj float64 // minimization form
+	incumbentKey []byte
+	haveInc      bool
 }
 
 // Solve runs branch-and-bound and returns the best integral solution. It
 // returns ErrInfeasible if no integral solution exists, or ErrLimit if
 // limits were exhausted before one was found.
+//
+// With Options.Workers > 1 the tree is explored by a worker pool sharing the
+// incumbent; the result is identical to the sequential search (see node.key).
 func (m *Model) Solve(opts Options) (*Solution, error) {
 	maxNodes := opts.MaxNodes
 	if maxNodes == 0 {
@@ -168,90 +213,198 @@ func (m *Model) Solve(opts Options) (*Solution, error) {
 	if intTol == 0 {
 		intTol = 1e-6
 	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	deadline := time.Time{}
 	if opts.TimeLimit > 0 {
 		deadline = time.Now().Add(opts.TimeLimit)
 	}
-
-	// Minimization form multiplier for bounds comparisons.
+	proto, err := m.relaxationPrototype()
+	if err != nil {
+		return nil, err
+	}
 	sign := 1.0
 	if m.sense == Maximize {
 		sign = -1
 	}
-
-	var (
-		incumbent    []float64
-		incumbentObj = math.Inf(1) // minimization form
-		nodes        int
-		provedOpt    = true
-	)
-
-	// DFS stack seeded with the root; DFS keeps memory bounded and finds
-	// incumbents quickly, which matters for feasibility-style problems.
-	stack := []node{{}}
-	for len(stack) > 0 {
-		if nodes >= maxNodes || (!deadline.IsZero() && time.Now().After(deadline)) {
-			provedOpt = false
-			break
-		}
-		cur := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		nodes++
-
-		sol, err := m.solveRelaxation(cur.branches)
-		if errors.Is(err, lp.ErrInfeasible) {
-			continue
-		}
-		if errors.Is(err, lp.ErrUnbounded) {
-			// An unbounded relaxation at the root of an integer problem:
-			// treat as an error since our scheduling models are bounded.
-			return nil, fmt.Errorf("milp: relaxation unbounded: %w", err)
-		}
-		if err != nil {
-			return nil, fmt.Errorf("milp: relaxation: %w", err)
-		}
-		bound := sign * sol.Objective
-		if bound >= incumbentObj-1e-9 {
-			continue // pruned by bound
-		}
-		fracVar, fracVal := m.mostFractional(sol.X, intTol)
-		if fracVar == -1 {
-			// Integral: new incumbent.
-			incumbent = roundIntegral(m, sol.X, intTol)
-			incumbentObj = bound
-			if opts.FirstFeasible {
-				break
-			}
-			continue
-		}
-		// Branch: explore the "round toward incumbent-friendly" side last so
-		// it pops first (DFS). floor branch: x <= floor(v); ceil branch:
-		// x >= ceil(v).
-		floorB := append(append([]branch(nil), cur.branches...), branch{v: fracVar, rel: LE, val: math.Floor(fracVal)})
-		ceilB := append(append([]branch(nil), cur.branches...), branch{v: fracVar, rel: GE, val: math.Ceil(fracVal)})
-		if fracVal-math.Floor(fracVal) < 0.5 {
-			stack = append(stack, node{branches: ceilB}, node{branches: floorB})
-		} else {
-			stack = append(stack, node{branches: floorB}, node{branches: ceilB})
-		}
+	s := &search{
+		m:             m,
+		proto:         proto,
+		sign:          sign,
+		firstFeasible: opts.FirstFeasible,
+		intTol:        intTol,
+		maxNodes:      maxNodes,
+		deadline:      deadline,
+		stack:         []node{{}},
+		incumbentObj:  math.Inf(1),
 	}
+	s.cond = sync.NewCond(&s.mu)
 
-	if incumbent == nil {
-		if provedOpt {
-			return nil, ErrInfeasible
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.run()
+		}()
+	}
+	wg.Wait()
+
+	if s.err != nil {
+		return nil, s.err
+	}
+	if s.incumbent == nil {
+		if s.limitHit {
+			return nil, fmt.Errorf("%w (nodes=%d)", ErrLimit, s.nodes)
 		}
-		return nil, fmt.Errorf("%w (nodes=%d)", ErrLimit, nodes)
+		return nil, ErrInfeasible
 	}
 	obj := 0.0
 	for j, v := range m.vars {
-		obj += v.objCoef * incumbent[j]
+		obj += v.objCoef * s.incumbent[j]
 	}
-	return &Solution{X: incumbent, Objective: obj, Optimal: provedOpt, Nodes: nodes}, nil
+	return &Solution{X: s.incumbent, Objective: obj, Optimal: !s.limitHit, Nodes: s.nodes}, nil
 }
 
-// solveRelaxation builds and solves the LP relaxation with the node's branch
-// bounds applied.
-func (m *Model) solveRelaxation(branches []branch) (*lp.Solution, error) {
+// run is one pool worker: pop a node, expand it, push its children, until
+// the tree is exhausted or a limit fires.
+func (s *search) run() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		for len(s.stack) == 0 && s.active > 0 && !s.stopped {
+			s.cond.Wait()
+		}
+		if s.stopped || len(s.stack) == 0 {
+			s.cond.Broadcast()
+			return
+		}
+		cur := s.stack[len(s.stack)-1]
+		s.stack = s.stack[:len(s.stack)-1]
+
+		// A feasibility search only cares about solutions on branch paths
+		// before the incumbent's; drop later ones without an LP solve (this
+		// is also what keeps the sequential node count identical to the
+		// old early-exit behaviour: every node after the incumbent prunes
+		// here).
+		if s.firstFeasible && s.haveInc && bytes.Compare(cur.key, s.incumbentKey) >= 0 {
+			continue
+		}
+		if s.nodes >= s.maxNodes || (!s.deadline.IsZero() && time.Now().After(s.deadline)) {
+			s.limitHit = true
+			s.stopped = true
+			s.cond.Broadcast()
+			return
+		}
+		s.nodes++
+		s.active++
+		s.mu.Unlock()
+
+		children, err := s.expand(cur)
+
+		s.mu.Lock()
+		s.active--
+		if err != nil && s.err == nil {
+			s.err = err
+			s.stopped = true
+		}
+		s.stack = append(s.stack, children...)
+		s.cond.Broadcast()
+	}
+}
+
+// expand solves a node's relaxation and returns its children (nil when the
+// node is pruned, infeasible, or integral). Children are ordered so the
+// sequentially-preferred child is popped first from the LIFO stack.
+func (s *search) expand(cur node) ([]node, error) {
+	sol, err := s.solveNode(cur.branches)
+	if errors.Is(err, lp.ErrInfeasible) {
+		return nil, nil
+	}
+	if errors.Is(err, lp.ErrUnbounded) {
+		// An unbounded relaxation of an integer problem: treat as an error
+		// since our scheduling models are bounded.
+		return nil, fmt.Errorf("milp: relaxation unbounded: %w", err)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("milp: relaxation: %w", err)
+	}
+	bound := s.sign * sol.Objective
+
+	s.mu.Lock()
+	prune := s.prunedLocked(bound, cur.key)
+	s.mu.Unlock()
+	if prune {
+		return nil, nil
+	}
+
+	fracVar, fracVal := s.m.mostFractional(sol.X, s.intTol)
+	if fracVar == -1 {
+		// Integral: candidate incumbent.
+		x := roundIntegral(s.m, sol.X, s.intTol)
+		s.mu.Lock()
+		if s.acceptsLocked(bound, cur.key) {
+			s.incumbent, s.incumbentObj = x, bound
+			s.incumbentKey, s.haveInc = cur.key, true
+		}
+		s.mu.Unlock()
+		return nil, nil
+	}
+	// Branch. floor child: x <= floor(v); ceil child: x >= ceil(v). The
+	// child nearer the fractional value is preferred (key byte 0) and goes
+	// last so the LIFO pops it first.
+	floorB := append(append([]branch(nil), cur.branches...), branch{v: fracVar, rel: LE, val: math.Floor(fracVal)})
+	ceilB := append(append([]branch(nil), cur.branches...), branch{v: fracVar, rel: GE, val: math.Ceil(fracVal)})
+	preferred := append(append([]byte(nil), cur.key...), 0)
+	other := append(append([]byte(nil), cur.key...), 1)
+	if fracVal-math.Floor(fracVal) < 0.5 {
+		return []node{{branches: ceilB, key: other}, {branches: floorB, key: preferred}}, nil
+	}
+	return []node{{branches: floorB, key: other}, {branches: ceilB, key: preferred}}, nil
+}
+
+// prunedLocked reports whether a solved node's subtree can no longer beat
+// the incumbent. Callers hold s.mu.
+func (s *search) prunedLocked(bound float64, key []byte) bool {
+	if !s.haveInc {
+		return false
+	}
+	if s.firstFeasible {
+		// No bound pruning: any integral solution on an earlier branch path
+		// wins regardless of objective.
+		return bytes.Compare(key, s.incumbentKey) >= 0
+	}
+	if bound < s.incumbentObj-1e-9 {
+		return false
+	}
+	// Objective tied (or worse): the subtree can only supply an incumbent
+	// via the key tie-break, possible only on an earlier branch path.
+	return !(bound <= s.incumbentObj+1e-9 && bytes.Compare(key, s.incumbentKey) < 0)
+}
+
+// acceptsLocked reports whether an integral solution (bound, key) replaces
+// the incumbent: better objective first, then earlier branch path. Callers
+// hold s.mu.
+func (s *search) acceptsLocked(bound float64, key []byte) bool {
+	if !s.haveInc {
+		return true
+	}
+	if s.firstFeasible {
+		return bytes.Compare(key, s.incumbentKey) < 0
+	}
+	if bound < s.incumbentObj-1e-9 {
+		return true
+	}
+	return bound <= s.incumbentObj+1e-9 && bytes.Compare(key, s.incumbentKey) < 0
+}
+
+// relaxationPrototype builds the LP relaxation of the model without any
+// branch bounds; the search clones it per node instead of rebuilding the
+// rows (and re-copying every coefficient map) on each of the thousands of
+// relaxations a search solves.
+func (m *Model) relaxationPrototype() (*lp.Problem, error) {
 	p := lp.NewProblem(m.sense, len(m.vars))
 	for j, v := range m.vars {
 		if v.objCoef != 0 {
@@ -274,13 +427,17 @@ func (m *Model) solveRelaxation(branches []branch) (*lp.Solution, error) {
 			return nil, err
 		}
 	}
-	// Branch bounds. Tighten upper bounds directly; lower bounds become GE
-	// rows.
+	return p, nil
+}
+
+// solveNode clones the relaxation prototype, applies a node's branch bounds
+// (upper bounds tightened in place, lower bounds as GE rows), and solves it.
+func (s *search) solveNode(branches []branch) (*lp.Solution, error) {
+	p := s.proto.Clone()
 	for _, b := range branches {
 		switch b.rel {
 		case LE:
-			u := p.Upper(int(b.v))
-			if b.val < u {
+			if b.val < p.Upper(int(b.v)) {
 				if b.val < 0 {
 					return nil, lp.ErrInfeasible
 				}

@@ -15,7 +15,8 @@ import (
 // variable handles needed to decode solutions.
 type ilpModel struct {
 	model    *milp.Model
-	links    []topology.LinkID
+	links    []topology.LinkID // cached active-link view; do not mutate
+	numLinks int               // dense link-ID universe for decoded orders
 	startVar map[topology.LinkID]milp.VarID
 	pairVar  map[[2]topology.LinkID]milp.VarID // a<b: 1 means a before b
 	delayVar milp.VarID                        // valid when minimizeDelay
@@ -43,7 +44,8 @@ func buildILP(p *Problem, winSlots int, minimizeDelay bool) (*ilpModel, error) {
 	m := milp.NewModel(milp.Minimize)
 	im := &ilpModel{
 		model:    m,
-		links:    p.ActiveLinks(),
+		links:    p.activeLinks(),
+		numLinks: p.Graph.NumVertices(),
 		startVar: make(map[topology.LinkID]milp.VarID),
 		pairVar:  make(map[[2]topology.LinkID]milp.VarID),
 	}
@@ -55,7 +57,7 @@ func buildILP(p *Problem, winSlots int, minimizeDelay bool) (*ilpModel, error) {
 		im.startVar[l] = v
 	}
 	win := float64(winSlots)
-	for _, pair := range p.ConflictingPairs() {
+	for _, pair := range p.conflictingPairs() {
 		a, b := pair[0], pair[1]
 		o, err := m.AddVar(fmt.Sprintf("o_%d_%d", a, b), milp.Binary, 1, 0)
 		if err != nil {
@@ -153,7 +155,7 @@ func (im *ilpModel) decodeSchedule(p *Problem, x []float64, cfg tdma.FrameConfig
 
 // decodeOrder extracts the transmission order from an ILP solution.
 func (im *ilpModel) decodeOrder(x []float64) *Order {
-	o := NewOrder()
+	o := NewOrderDense(im.numLinks)
 	for pair, v := range im.pairVar {
 		if x[v] > 0.5 {
 			o.Set(pair[0], pair[1])

@@ -8,18 +8,57 @@ import (
 	"wimesh/internal/topology"
 )
 
+// denseOrderLimit caps the triangular array's entry count (one byte each):
+// problems whose link-ID universe would need more fall back to the map
+// representation.
+const denseOrderLimit = 1 << 20
+
 // Order is a relative transmission order over conflicting link pairs: for
 // each conflicting pair exactly one of the two transmits first within the
 // frame. The order is what the integer program optimizes; Bellman-Ford
 // (OrderToSchedule) turns it into concrete slots.
+//
+// Pairs over a dense link-ID universe [0, n) are stored in a triangular
+// byte array (one probe per Before query, no hashing); the map is the
+// fallback for orders built without a known universe (NewOrder) and for
+// link IDs outside the dense range.
 type Order struct {
-	// before[{a,b}] with a < b is true when a transmits before b.
+	// n is the dense universe size; IDs in [0, n) use tri.
+	n int
+	// tri[triIndex(a,b)] for a < b: 0 unset, +1 a before b, -1 b before a.
+	tri []int8
+	// triCount is the number of set entries in tri.
+	triCount int
+	// before[{a,b}] with a < b is true when a transmits before b; holds
+	// pairs with an endpoint outside [0, n).
 	before map[[2]topology.LinkID]bool
 }
 
-// NewOrder returns an empty order.
+// NewOrder returns an empty map-backed order.
 func NewOrder() *Order {
 	return &Order{before: make(map[[2]topology.LinkID]bool)}
+}
+
+// NewOrderDense returns an empty order with a triangular-array backing for
+// link IDs in [0, numLinks); IDs outside the range fall back to a map.
+// Universes too large for the dense backing degrade to map-only.
+func NewOrderDense(numLinks int) *Order {
+	o := NewOrder()
+	if numLinks > 1 && numLinks*(numLinks-1)/2 <= denseOrderLimit {
+		o.n = numLinks
+		o.tri = make([]int8, numLinks*(numLinks-1)/2)
+	}
+	return o
+}
+
+// newOrderFor returns an order sized for the problem's conflict graph.
+func newOrderFor(p *Problem) *Order {
+	return NewOrderDense(p.Graph.NumVertices())
+}
+
+// triIndex maps a pair a < b (both within [0, n)) to its triangular slot.
+func triIndex(a, b topology.LinkID) int {
+	return int(b)*(int(b)-1)/2 + int(a)
 }
 
 // Set records that link first transmits before link second.
@@ -27,11 +66,19 @@ func (o *Order) Set(first, second topology.LinkID) {
 	if first == second {
 		return
 	}
-	if first < second {
-		o.before[[2]topology.LinkID{first, second}] = true
-	} else {
-		o.before[[2]topology.LinkID{second, first}] = false
+	a, b, v := first, second, int8(1)
+	if a > b {
+		a, b, v = b, a, -1
 	}
+	if a >= 0 && int(b) < o.n {
+		k := triIndex(a, b)
+		if o.tri[k] == 0 {
+			o.triCount++
+		}
+		o.tri[k] = v
+		return
+	}
+	o.before[[2]topology.LinkID{a, b}] = v > 0
 }
 
 // Before reports whether a transmits before b; ok is false when the pair is
@@ -40,21 +87,34 @@ func (o *Order) Before(a, b topology.LinkID) (before, ok bool) {
 	if a == b {
 		return false, false
 	}
-	if a < b {
-		v, ok := o.before[[2]topology.LinkID{a, b}]
-		return v, ok
+	lo, hi, flip := a, b, false
+	if lo > hi {
+		lo, hi, flip = hi, lo, true
 	}
-	v, ok := o.before[[2]topology.LinkID{b, a}]
-	return !v, ok
+	if lo >= 0 && int(hi) < o.n {
+		switch o.tri[triIndex(lo, hi)] {
+		case 1:
+			return !flip, true
+		case -1:
+			return flip, true
+		default:
+			return false, false
+		}
+	}
+	v, ok := o.before[[2]topology.LinkID{lo, hi}]
+	if !ok {
+		return false, false
+	}
+	return v != flip, true
 }
 
 // Len returns the number of ordered pairs.
-func (o *Order) Len() int { return len(o.before) }
+func (o *Order) Len() int { return o.triCount + len(o.before) }
 
 // Complete reports whether every conflicting active pair of the problem is
 // ordered.
 func (o *Order) Complete(p *Problem) bool {
-	for _, pair := range p.ConflictingPairs() {
+	for _, pair := range p.conflictingPairs() {
 		if _, ok := o.Before(pair[0], pair[1]); !ok {
 			return false
 		}
@@ -66,8 +126,8 @@ func (o *Order) Complete(p *Problem) bool {
 // for each conflicting pair, the link with the smaller rank transmits first.
 // Ties break by link ID. Links missing from rank get the lowest priority.
 func PriorityOrder(p *Problem, rank map[topology.LinkID]int) *Order {
-	o := NewOrder()
-	for _, pair := range p.ConflictingPairs() {
+	o := newOrderFor(p)
+	for _, pair := range p.conflictingPairs() {
 		a, b := pair[0], pair[1]
 		ra, oka := rank[a]
 		rb, okb := rank[b]
@@ -101,7 +161,7 @@ func NaiveOrder(p *Problem) *Order {
 // rng (deterministic for a seeded rng).
 func RandomOrder(p *Problem, rng *rand.Rand) *Order {
 	rank := make(map[topology.LinkID]int)
-	active := p.ActiveLinks()
+	active := p.activeLinks()
 	perm := rng.Perm(len(active))
 	for i, l := range active {
 		rank[l] = perm[i]
@@ -147,7 +207,7 @@ func TreeOrder(p *Problem, rt *topology.RoutingTree, net *topology.Network) (*Or
 			maxDepth = d
 		}
 	}
-	for _, l := range p.ActiveLinks() {
+	for _, l := range p.activeLinks() {
 		lk, err := net.Link(l)
 		if err != nil {
 			return nil, fmt.Errorf("tree order: %w", err)
@@ -173,7 +233,17 @@ func TreeOrder(p *Problem, rt *topology.RoutingTree, net *topology.Network) (*Or
 // Pairs returns the ordered pairs (first, second) of the order, sorted for
 // deterministic iteration.
 func (o *Order) Pairs() [][2]topology.LinkID {
-	out := make([][2]topology.LinkID, 0, len(o.before))
+	out := make([][2]topology.LinkID, 0, o.Len())
+	for b := 1; b < o.n; b++ {
+		for a := 0; a < b; a++ {
+			switch o.tri[triIndex(topology.LinkID(a), topology.LinkID(b))] {
+			case 1:
+				out = append(out, [2]topology.LinkID{topology.LinkID(a), topology.LinkID(b)})
+			case -1:
+				out = append(out, [2]topology.LinkID{topology.LinkID(b), topology.LinkID(a)})
+			}
+		}
+	}
 	for pair, aFirst := range o.before {
 		if aFirst {
 			out = append(out, pair)

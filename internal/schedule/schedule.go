@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"wimesh/internal/conflict"
 	"wimesh/internal/tdma"
@@ -43,6 +44,13 @@ type FlowRequirement struct {
 }
 
 // Problem bundles the inputs of the scheduling optimizations.
+//
+// Graph and Demand are treated as immutable once the optimizers start
+// consuming the problem: the derived views (ActiveLinks, ConflictingPairs,
+// CliqueLowerBound) are computed once and cached on the Problem, keyed by a
+// cheap fingerprint of Demand so stale caches are dropped if a caller does
+// mutate demands between optimizations. The cache is safe for concurrent
+// readers.
 type Problem struct {
 	// Graph is the conflict graph of the mesh.
 	Graph *conflict.Graph
@@ -54,6 +62,86 @@ type Problem struct {
 	FrameSlots int
 	// Flows lists the delay requirements (may be empty).
 	Flows []FlowRequirement
+
+	// Cached derived views, guarded by mu and keyed by cacheFP.
+	mu       sync.Mutex
+	cacheFP  uint64
+	active   []topology.LinkID
+	pairs    [][2]topology.LinkID
+	cliqueLB int
+	haveLB   bool
+}
+
+// fingerprint summarizes the demand map (and graph identity) so the caches
+// self-invalidate if a caller mutates demands. Commutative over map entries.
+func (p *Problem) fingerprint() uint64 {
+	const mix = 0x9e3779b97f4a7c15
+	fp := uint64(len(p.Demand))*mix + uint64(p.Graph.NumVertices())
+	for l, d := range p.Demand {
+		if d > 0 {
+			h := (uint64(l)+1)*mix ^ uint64(d)
+			h *= 0xbf58476d1ce4e5b9
+			fp += h ^ (h >> 29)
+		}
+	}
+	return fp
+}
+
+// refreshLocked drops stale caches; callers must hold p.mu.
+func (p *Problem) refreshLocked() {
+	if fp := p.fingerprint(); fp != p.cacheFP {
+		p.cacheFP = fp
+		p.active = nil
+		p.pairs = nil
+		p.haveLB = false
+	}
+}
+
+// activeLinks returns the cached active-link slice (sorted ascending).
+// Callers must not mutate the result.
+func (p *Problem) activeLinks() []topology.LinkID {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.refreshLocked()
+	if p.active == nil {
+		active := make([]topology.LinkID, 0, len(p.Demand))
+		for l, d := range p.Demand {
+			if d > 0 {
+				active = append(active, l)
+			}
+		}
+		sort.Slice(active, func(i, j int) bool { return active[i] < active[j] })
+		p.active = active
+	}
+	return p.active
+}
+
+// conflictingPairs returns the cached conflicting active pairs (a < b),
+// sorted lexicographically. Callers must not mutate the result.
+func (p *Problem) conflictingPairs() [][2]topology.LinkID {
+	active := p.activeLinks()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.refreshLocked()
+	if p.pairs == nil {
+		isActive := make(map[topology.LinkID]bool, len(active))
+		for _, l := range active {
+			isActive[l] = true
+		}
+		pairs := make([][2]topology.LinkID, 0, len(active))
+		for _, a := range active {
+			p.Graph.VisitNeighbors(a, func(b topology.LinkID) bool {
+				if b > a && isActive[b] {
+					pairs = append(pairs, [2]topology.LinkID{a, b})
+				}
+				return true
+			})
+		}
+		// VisitNeighbors yields each row sorted, so pairs come out in
+		// lexicographic (a, b) order already.
+		p.pairs = pairs
+	}
+	return p.pairs
 }
 
 // Validate checks the problem for consistency.
@@ -87,36 +175,44 @@ func (p *Problem) Validate() error {
 }
 
 // ActiveLinks returns the links with positive demand, sorted ascending.
+// The slice is a copy of the cached view and may be mutated by the caller.
 func (p *Problem) ActiveLinks() []topology.LinkID {
-	var out []topology.LinkID
-	for l, d := range p.Demand {
-		if d > 0 {
-			out = append(out, l)
-		}
+	active := p.activeLinks()
+	if len(active) == 0 {
+		return nil
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	out := make([]topology.LinkID, len(active))
+	copy(out, active)
 	return out
 }
 
 // ConflictingPairs returns all unordered pairs (a, b), a < b, of active
-// links that conflict.
+// links that conflict, sorted lexicographically. The slice is a copy of the
+// cached view and may be mutated by the caller.
 func (p *Problem) ConflictingPairs() [][2]topology.LinkID {
-	active := p.ActiveLinks()
-	var out [][2]topology.LinkID
-	for i := 0; i < len(active); i++ {
-		for j := i + 1; j < len(active); j++ {
-			if p.Graph.Conflicts(active[i], active[j]) {
-				out = append(out, [2]topology.LinkID{active[i], active[j]})
-			}
-		}
+	pairs := p.conflictingPairs()
+	if len(pairs) == 0 {
+		return nil
 	}
+	out := make([][2]topology.LinkID, len(pairs))
+	copy(out, pairs)
 	return out
 }
 
 // CliqueLowerBound returns a lower bound on the schedule length: the total
 // demand of a greedy maximal clique in the conflict graph (links of a clique
 // must occupy disjoint slots), but at least the maximum single demand.
+// The bound is computed once per demand fingerprint and cached.
 func (p *Problem) CliqueLowerBound() int {
+	p.mu.Lock()
+	p.refreshLocked()
+	if p.haveLB {
+		lb := p.cliqueLB
+		p.mu.Unlock()
+		return lb
+	}
+	p.mu.Unlock()
+
 	w := make(map[topology.LinkID]float64, len(p.Demand))
 	maxSingle := 0
 	for l, d := range p.Demand {
@@ -132,6 +228,10 @@ func (p *Problem) CliqueLowerBound() int {
 	if lb < maxSingle {
 		lb = maxSingle
 	}
+
+	p.mu.Lock()
+	p.cliqueLB, p.haveLB = lb, true
+	p.mu.Unlock()
 	return lb
 }
 

@@ -66,19 +66,19 @@ func TestProblemValidate(t *testing.T) {
 
 	tests := []struct {
 		name string
-		p    Problem
+		p    *Problem
 		ok   bool
 	}{
-		{"ok", Problem{Graph: g, Demand: map[topology.LinkID]int{l01: 2}, FrameSlots: 8}, true},
-		{"nil graph", Problem{FrameSlots: 8}, false},
-		{"zero frame", Problem{Graph: g}, false},
-		{"negative demand", Problem{Graph: g, Demand: map[topology.LinkID]int{l01: -1}, FrameSlots: 8}, false},
-		{"demand too big", Problem{Graph: g, Demand: map[topology.LinkID]int{l01: 9}, FrameSlots: 8}, false},
-		{"flow over inactive link", Problem{
+		{"ok", &Problem{Graph: g, Demand: map[topology.LinkID]int{l01: 2}, FrameSlots: 8}, true},
+		{"nil graph", &Problem{FrameSlots: 8}, false},
+		{"zero frame", &Problem{Graph: g}, false},
+		{"negative demand", &Problem{Graph: g, Demand: map[topology.LinkID]int{l01: -1}, FrameSlots: 8}, false},
+		{"demand too big", &Problem{Graph: g, Demand: map[topology.LinkID]int{l01: 9}, FrameSlots: 8}, false},
+		{"flow over inactive link", &Problem{
 			Graph: g, Demand: map[topology.LinkID]int{}, FrameSlots: 8,
 			Flows: []FlowRequirement{{Path: topology.Path{l01}}},
 		}, false},
-		{"negative bound", Problem{
+		{"negative bound", &Problem{
 			Graph: g, Demand: map[topology.LinkID]int{l01: 1}, FrameSlots: 8,
 			Flows: []FlowRequirement{{Path: topology.Path{l01}, BoundSlots: -1}},
 		}, false},

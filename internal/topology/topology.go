@@ -52,6 +52,9 @@ type Network struct {
 	in  map[NodeID][]LinkID
 	// linkIndex maps (from,to) to the link ID.
 	linkIndex map[[2]NodeID]LinkID
+	// nbr[from] caches the out-neighbor node IDs sorted ascending,
+	// maintained by AddLink so Neighbors/VisitNeighbors never re-sort.
+	nbr map[NodeID][]NodeID
 }
 
 // Errors returned by Network mutators and accessors.
@@ -68,6 +71,7 @@ func NewNetwork() *Network {
 		out:       make(map[NodeID][]LinkID),
 		in:        make(map[NodeID][]LinkID),
 		linkIndex: make(map[[2]NodeID]LinkID),
+		nbr:       make(map[NodeID][]NodeID),
 	}
 }
 
@@ -118,6 +122,17 @@ func (n *Network) AddLink(from, to NodeID, rateBps float64) (LinkID, error) {
 	n.out[from] = append(n.out[from], id)
 	n.in[to] = append(n.in[to], id)
 	n.linkIndex[[2]NodeID{from, to}] = id
+	if n.nbr == nil {
+		n.nbr = make(map[NodeID][]NodeID)
+	}
+	// Insert to into the sorted neighbor cache; duplicate links are rejected
+	// above, so each target appears once.
+	nbrs := n.nbr[from]
+	pos := sort.Search(len(nbrs), func(i int) bool { return nbrs[i] >= to })
+	nbrs = append(nbrs, 0)
+	copy(nbrs[pos+1:], nbrs[pos:])
+	nbrs[pos] = to
+	n.nbr[from] = nbrs
 	return id, nil
 }
 
@@ -195,14 +210,25 @@ func (n *Network) InLinks(id NodeID) []LinkID {
 }
 
 // Neighbors returns the IDs of nodes reachable by one outgoing link from id,
-// sorted ascending.
+// sorted ascending. The slice is a copy; prefer VisitNeighbors on hot paths.
 func (n *Network) Neighbors(id NodeID) []NodeID {
-	var out []NodeID
-	for _, l := range n.out[id] {
-		out = append(out, n.links[l].To)
+	nbrs := n.nbr[id]
+	if len(nbrs) == 0 {
+		return nil
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	out := make([]NodeID, len(nbrs))
+	copy(out, nbrs)
 	return out
+}
+
+// VisitNeighbors calls fn for every out-neighbor of id in ascending node-ID
+// order, without allocating. Iteration stops early when fn returns false.
+func (n *Network) VisitNeighbors(id NodeID, fn func(NodeID) bool) {
+	for _, nb := range n.nbr[id] {
+		if !fn(nb) {
+			return
+		}
+	}
 }
 
 // Distance returns the Euclidean distance between two nodes in meters.
