@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check bench bench-json clean
+.PHONY: all build test vet race check differential bench bench-full bench-json clean
 
 all: check
 
@@ -13,19 +13,34 @@ vet:
 test:
 	$(GO) test ./...
 
-# The MILP worker pool and the Problem caches must stay race-clean.
+# The MILP worker pool, the Problem caches and the parallel experiment
+# runner must stay race-clean.
 race:
 	$(GO) test -race ./...
 
-check: vet build race
+# The data-plane overhauls are pinned to their reference implementations:
+# slab kernel vs. heap kernel, dense bitset medium vs. map-based medium,
+# parallel meshbench vs. sequential — all under the race detector.
+differential:
+	$(GO) test -race -count=1 -run 'TestDifferential|TestWorkersByteIdentical' \
+		./internal/sim ./internal/mac ./cmd/meshbench
 
+check: vet build race differential
+
+# Hot-path micro-benchmarks (kernel schedule/cancel, medium transmit, DCF
+# saturation); the first three must report 0 allocs/op.
 bench:
+	$(GO) test -run xxx -benchmem . \
+		-bench 'BenchmarkKernelAfterStep|BenchmarkKernelCancel|BenchmarkMediumTransmit|BenchmarkDCFSaturation'
+
+bench-full:
 	$(GO) test -bench=. -benchmem .
 
 # Record the experiment metrics + wall clock as a dated JSON report
-# (machine-readable perf trajectory; see README "Performance").
+# (machine-readable perf trajectory; see README "Performance"). Single
+# worker, so wall times measure the data plane, not the runner.
 bench-json:
-	$(GO) run ./cmd/meshbench -json BENCH_$$(date +%F).json
+	$(GO) run ./cmd/meshbench -workers 1 -json BENCH_$$(date +%F).json
 
 clean:
 	$(GO) clean ./...

@@ -15,6 +15,8 @@ import (
 	"wimesh/internal/conflict"
 	"wimesh/internal/experiments"
 	"wimesh/internal/lp"
+	"wimesh/internal/mac"
+	"wimesh/internal/mac/dcf"
 	"wimesh/internal/milp"
 	"wimesh/internal/schedule"
 	"wimesh/internal/sim"
@@ -429,4 +431,113 @@ func BenchmarkR17FrameDuration(b *testing.B) {
 	}
 	b.ReportMetric(metric(last, 0, 3), "calls/8ms-frame")
 	b.ReportMetric(metric(last, len(last.Rows)-1, 3), "calls/64ms-frame")
+}
+
+// BenchmarkKernelAfterStep measures the kernel's schedule+execute hot path;
+// steady state must be allocation-free (slab + free list + value heap).
+func BenchmarkKernelAfterStep(b *testing.B) {
+	k := sim.NewKernel()
+	fn := func() {}
+	// Warm the slab and heap so the loop measures steady state.
+	for i := 0; i < 256; i++ {
+		if _, err := k.After(time.Microsecond, fn); err != nil {
+			b.Fatal(err)
+		}
+		k.Step()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := k.After(time.Microsecond, fn); err != nil {
+			b.Fatal(err)
+		}
+		k.Step()
+	}
+}
+
+// BenchmarkKernelCancel measures O(1) cancellation with tombstone
+// compaction: each iteration schedules and cancels one event against a
+// standing queue.
+func BenchmarkKernelCancel(b *testing.B) {
+	k := sim.NewKernel()
+	fn := func() {}
+	// A standing population of live events so cancels hit a realistic heap.
+	for i := 0; i < 512; i++ {
+		if _, err := k.After(time.Duration(i+1)*time.Second, fn); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id, err := k.After(time.Millisecond, fn)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !k.Cancel(id) {
+			b.Fatal("cancel failed")
+		}
+	}
+}
+
+// BenchmarkMediumTransmit measures one full transmit+finish cycle on the
+// dense bitset medium; steady state must be allocation-free (pooled
+// transmissions, precomputed audiences).
+func BenchmarkMediumTransmit(b *testing.B) {
+	topo := topology.NewNetwork()
+	for i := 0; i < 10; i++ {
+		topo.AddNode(float64(i)*100, 0)
+	}
+	k := sim.NewKernel()
+	m, err := mac.NewMedium(topo, k, 250)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := m.SetReceiver(1, func(mac.Delivery) {}); err != nil {
+		b.Fatal(err)
+	}
+	frame := mac.Frame{From: 0, To: 1, Bytes: 1500}
+	// Warm the transmission pool.
+	for i := 0; i < 64; i++ {
+		if err := m.Transmit(frame, time.Millisecond); err != nil {
+			b.Fatal(err)
+		}
+		k.Run()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Transmit(frame, time.Millisecond); err != nil {
+			b.Fatal(err)
+		}
+		k.Run()
+	}
+}
+
+// BenchmarkDCFSaturation measures the full DCF data plane under contention:
+// one saturated 10-sender star run per iteration.
+func BenchmarkDCFSaturation(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		topo := topology.NewNetwork()
+		rx := topo.AddNode(0, 0)
+		senders := make([]topology.NodeID, 10)
+		for j := range senders {
+			senders[j] = topo.AddNode(10+float64(j), 10)
+		}
+		k := sim.NewKernel()
+		nw, err := dcf.New(dcf.Config{Seed: 17, QueueCap: 1 << 16}, topo, k, 500, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for fi, s := range senders {
+			for j := 0; j < 100; j++ {
+				if err := nw.Inject(&dcf.Packet{FlowID: fi, Seq: j,
+					Route: []topology.NodeID{s, rx}, Bytes: 1500}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		k.RunUntil(500 * time.Millisecond)
+	}
 }

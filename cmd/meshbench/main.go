@@ -5,8 +5,15 @@
 //
 //	meshbench                          # run everything
 //	meshbench -only R3                 # one experiment
+//	meshbench -only R3,R4,R8           # a subset
 //	meshbench -list                    # list experiments
+//	meshbench -workers 1               # sequential (output is byte-identical)
 //	meshbench -json BENCH_2026-08-05.json  # also record metrics + wall clock
+//
+// Experiments (and their scenario points) are independent deterministic
+// simulations, so -workers changes wall-clock only: tables are collected
+// concurrently but rendered in canonical order, and every number is
+// bit-identical to a -workers=1 run.
 package main
 
 import (
@@ -15,6 +22,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"wimesh/internal/experiments"
@@ -47,14 +58,16 @@ type jsonReport struct {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("meshbench", flag.ContinueOnError)
 	var (
-		only    = fs.String("only", "", "run a single experiment (R1..R17)")
+		only    = fs.String("only", "", "run a subset of experiments, comma-separated (e.g. R3 or R3,R4)")
 		list    = fs.Bool("list", false, "list experiments and exit")
 		csvOut  = fs.Bool("csv", false, "emit CSV instead of aligned tables")
 		jsonOut = fs.String("json", "", "also write metrics and per-experiment wall clock to this file (convention: BENCH_<date>.json)")
+		workers = fs.Int("workers", runtime.GOMAXPROCS(0), "how many experiments/scenario points run concurrently; 1 = sequential (results are bit-identical either way)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	experiments.SetWorkers(*workers)
 	if *list {
 		fmt.Fprintln(out, "R1  minimum TDMA window vs. VoIP calls (ILP linear search)")
 		fmt.Fprintln(out, "R2  scheduling delay vs. hops, by transmission order")
@@ -84,25 +97,63 @@ func run(args []string, out io.Writer) error {
 	}
 	ids := experiments.IDs()
 	if *only != "" {
-		ids = []string{*only}
+		ids = nil
+		for _, id := range strings.Split(*only, ",") {
+			if id = strings.TrimSpace(id); id != "" {
+				ids = append(ids, id)
+			}
+		}
+	}
+	// Run experiments concurrently (wall clock measured per experiment inside
+	// its task), then render in canonical order — the sequential and parallel
+	// paths produce byte-identical output.
+	type result struct {
+		table *experiments.Table
+		wall  time.Duration
+		err   error
+	}
+	results := make([]result, len(ids))
+	runOne := func(i int) {
+		start := time.Now()
+		results[i].table, results[i].err = experiments.ByID(ids[i])
+		results[i].wall = time.Since(start)
+	}
+	if w := min(*workers, len(ids)); w > 1 {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(w)
+		for g := 0; g < w; g++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(ids) {
+						return
+					}
+					runOne(i)
+				}
+			}()
+		}
+		wg.Wait()
+	} else {
+		for i := range ids {
+			runOne(i)
+		}
 	}
 	report := jsonReport{Generated: time.Now().UTC().Format(time.RFC3339)}
-	for _, id := range ids {
-		start := time.Now()
-		t, err := experiments.ByID(id)
-		if err != nil {
-			return err
+	for _, r := range results {
+		if r.err != nil {
+			return r.err
 		}
-		wall := time.Since(start)
-		if err := render(t); err != nil {
+		if err := render(r.table); err != nil {
 			return err
 		}
 		report.Experiments = append(report.Experiments, jsonExperiment{
-			ID:     t.ID,
-			Title:  t.Title,
-			WallMS: float64(wall.Microseconds()) / 1000,
-			Header: t.Header,
-			Rows:   t.Rows,
+			ID:     r.table.ID,
+			Title:  r.table.Title,
+			WallMS: float64(r.wall.Microseconds()) / 1000,
+			Header: r.table.Header,
+			Rows:   r.table.Rows,
 		})
 	}
 	if *jsonOut != "" {

@@ -88,3 +88,44 @@ func TestRunCSV(t *testing.T) {
 		t.Errorf("csv row = %q", lines[1])
 	}
 }
+
+// TestWorkersByteIdentical checks the headline determinism guarantee: the
+// table output with -workers=N is byte-identical to -workers=1. R7 is
+// excluded because its cells are measured scheduler wall-clock times, which
+// vary run to run by construction; every other experiment reports only
+// simulation results, which are deterministic per seed.
+func TestWorkersByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a multi-second experiment subset")
+	}
+	// A representative subset spanning the data planes: DCF saturation,
+	// sync-error emulation, native-vs-emulated, hidden terminal, delay table.
+	const subset = "R4,R6,R8,R10,R14"
+	var seq strings.Builder
+	if err := run([]string{"-only", subset, "-workers", "1"}, &seq); err != nil {
+		t.Fatalf("sequential run: %v", err)
+	}
+	var par strings.Builder
+	if err := run([]string{"-only", subset, "-workers", "8"}, &par); err != nil {
+		t.Fatalf("parallel run: %v", err)
+	}
+	if seq.String() != par.String() {
+		t.Errorf("-workers=8 output differs from -workers=1:\n--- sequential ---\n%s\n--- parallel ---\n%s",
+			seq.String(), par.String())
+	}
+}
+
+// TestOnlyCommaSeparated checks -only accepts a subset list and preserves
+// the requested order.
+func TestOnlyCommaSeparated(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-only", "R5, R10", "-workers", "1"}, &sb); err != nil {
+		t.Fatalf("run -only R5,R10: %v", err)
+	}
+	out := sb.String()
+	i5 := strings.Index(out, "== R5:")
+	i10 := strings.Index(out, "== R10:")
+	if i5 < 0 || i10 < 0 || i5 > i10 {
+		t.Errorf("subset output wrong (R5 at %d, R10 at %d):\n%s", i5, i10, out)
+	}
+}

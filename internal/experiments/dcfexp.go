@@ -23,12 +23,19 @@ func R8DCFSaturation() (*Table, error) {
 		Header: []string{"senders", "throughput Mb/s", "collision rate"},
 		Notes:  "star topology, saturated 1500-byte queues, 802.11b 11 Mb/s, 2 s runs",
 	}
-	for _, n := range []int{1, 2, 5, 10, 15, 20, 30} {
-		tput, collRate, err := saturationRun(n, 2*time.Second, 17)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(n, fmt.Sprintf("%.2f", tput/1e6), fmt.Sprintf("%.3f", collRate))
+	counts := []int{1, 2, 5, 10, 15, 20, 30}
+	// One independent saturated star simulation per sender count.
+	type point struct{ tput, collRate float64 }
+	points := make([]point, len(counts))
+	if err := forEach(len(counts), func(i int) error {
+		var err error
+		points[i].tput, points[i].collRate, err = saturationRun(counts[i], 2*time.Second, 17)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	for i, n := range counts {
+		t.AddRow(n, fmt.Sprintf("%.2f", points[i].tput/1e6), fmt.Sprintf("%.3f", points[i].collRate))
 	}
 	return t, nil
 }

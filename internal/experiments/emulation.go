@@ -79,16 +79,23 @@ func R6SyncTolerance() (*Table, error) {
 		Header: []string{"sync err", "g=25us", "g=100us", "g=250us"},
 		Notes:  "4-node chain, 8x1 ms slots, packets sized to fill the usable window, resync every frame, 250 frames; cell = violations/transmissions",
 	}
-	for _, errStd := range []time.Duration{0, 25 * time.Microsecond, 50 * time.Microsecond,
-		100 * time.Microsecond, 200 * time.Microsecond} {
+	errStds := []time.Duration{0, 25 * time.Microsecond, 50 * time.Microsecond,
+		100 * time.Microsecond, 200 * time.Microsecond}
+	guards := []time.Duration{25 * time.Microsecond, 100 * time.Microsecond,
+		250 * time.Microsecond}
+	// Each (sync error, guard) cell is an independent 250-frame simulation.
+	rates := make([]float64, len(errStds)*len(guards))
+	if err := forEach(len(rates), func(i int) error {
+		var err error
+		rates[i], err = violationRate(errStds[i/len(guards)], guards[i%len(guards)], 31)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	for e, errStd := range errStds {
 		row := []any{errStd.String()}
-		for _, guard := range []time.Duration{25 * time.Microsecond, 100 * time.Microsecond,
-			250 * time.Microsecond} {
-			rate, err := violationRate(errStd, guard, 31)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, fmt.Sprintf("%.3f", rate))
+		for g := range guards {
+			row = append(row, fmt.Sprintf("%.3f", rates[e*len(guards)+g]))
 		}
 		t.AddRow(row...)
 	}

@@ -22,30 +22,40 @@ func R17FrameDuration() (*Table, error) {
 		Header: []string{"frame", "slot", "pkts/slot", "capacity calls", "worst p95", "min R"},
 		Notes:  "6-node chain, 16 slots/frame, G.711 calls to the gateway; capacity = max calls at toll quality (path-major planner)",
 	}
-	for _, frameDur := range []time.Duration{8 * time.Millisecond, 16 * time.Millisecond,
-		32 * time.Millisecond, 64 * time.Millisecond} {
-		frame := tdma.FrameConfig{FrameDuration: frameDur, DataSlots: 16}
+	frameDurs := []time.Duration{8 * time.Millisecond, 16 * time.Millisecond,
+		32 * time.Millisecond, 64 * time.Millisecond}
+	// One independent capacity search per frame duration.
+	type point struct {
+		pps    int
+		capRes *core.CapacityResult
+	}
+	points := make([]point, len(frameDurs))
+	if err := forEach(len(frameDurs), func(i int) error {
+		frame := tdma.FrameConfig{FrameDuration: frameDurs[i], DataSlots: 16}
 		topo, err := topology.Chain(6, 100)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		sys, err := core.NewSystem(topo, core.WithFrame(frame))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		pps, err := sys.BytesPerSlot(voip.G711().PacketBytes())
 		if err != nil {
-			return nil, err
+			return err
 		}
-		pps /= voip.G711().PacketBytes()
-
-		capRes, err := sys.VoIPCapacityTDMA(core.CapacityConfig{
+		points[i].pps = pps / voip.G711().PacketBytes()
+		points[i].capRes, err = sys.VoIPCapacityTDMA(core.CapacityConfig{
 			MaxCalls: 40,
 			Run:      core.RunConfig{Duration: 3 * time.Second, Seed: 61},
 		})
-		if err != nil {
-			return nil, err
-		}
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	for i, frameDur := range frameDurs {
+		frame := tdma.FrameConfig{FrameDuration: frameDur, DataSlots: 16}
+		capRes := points[i].capRes
 		worstP95 := time.Duration(0)
 		minR := 0.0
 		if capRes.LastGood != nil {
@@ -57,7 +67,7 @@ func R17FrameDuration() (*Table, error) {
 			}
 		}
 		t.AddRow(frameDur.String(), frame.SlotDuration().Round(time.Microsecond).String(),
-			pps, capRes.Calls, worstP95.Round(100*time.Microsecond).String(),
+			points[i].pps, capRes.Calls, worstP95.Round(100*time.Microsecond).String(),
 			fmt.Sprintf("%.1f", minR))
 	}
 	return t, nil

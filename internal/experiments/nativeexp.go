@@ -45,16 +45,30 @@ func R14NativeVsEmulated() (*Table, error) {
 			return runNative(wimax.Config{QueueCap: 1 << 14, Modulation: phy.QAM64x34}, topo, sched, path, frame)
 		}},
 	}
-	for _, pl := range planes {
+	// One independent 4 s simulation per data plane; each point builds its
+	// own topology and schedule.
+	type point struct {
+		pktsPerSlot int
+		mbps        float64
+		lost        uint64
+	}
+	points := make([]point, len(planes))
+	if err := forEach(len(planes), func(i int) error {
 		topo, sched, path, err := r14Setup(frame)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		pktsPerSlot, mbps, lost, err := pl.run(topo, sched, path)
+		p := &points[i]
+		p.pktsPerSlot, p.mbps, p.lost, err = planes[i].run(topo, sched, path)
 		if err != nil {
-			return nil, fmt.Errorf("R14 %s: %w", pl.name, err)
+			return fmt.Errorf("R14 %s: %w", planes[i].name, err)
 		}
-		t.AddRow(pl.name, pktsPerSlot, fmt.Sprintf("%.2f", mbps), lost)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for i, pl := range planes {
+		t.AddRow(pl.name, points[i].pktsPerSlot, fmt.Sprintf("%.2f", points[i].mbps), points[i].lost)
 	}
 	return t, nil
 }

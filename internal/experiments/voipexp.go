@@ -29,27 +29,34 @@ func R3VoIPCapacity() (*Table, error) {
 		{"grid9", func() (*topology.Network, error) { return topology.Grid(3, 3, 100) }},
 		{"random12", func() (*topology.Network, error) { return topology.RandomDisk(12, 600, 250, 5) }},
 	}
-	for _, tc := range cases {
+	// Each (topology, MAC) capacity search is an independent deterministic
+	// simulation: one point per search, results written to index-owned slots.
+	results := make([]*core.CapacityResult, 2*len(cases))
+	if err := forEach(len(results), func(i int) error {
+		tc := cases[i/2]
 		topo, err := tc.build()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		sys, err := core.NewSystem(topo)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		capCfg := core.CapacityConfig{
 			MaxCalls: 40,
 			Run:      core.RunConfig{Duration: 3 * time.Second, Seed: 11},
 		}
-		tdmaRes, err := sys.VoIPCapacityTDMA(capCfg)
-		if err != nil {
-			return nil, err
+		if i%2 == 0 {
+			results[i], err = sys.VoIPCapacityTDMA(capCfg)
+		} else {
+			results[i], err = sys.VoIPCapacityDCF(capCfg)
 		}
-		dcfRes, err := sys.VoIPCapacityDCF(capCfg)
-		if err != nil {
-			return nil, err
-		}
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	for c, tc := range cases {
+		tdmaRes, dcfRes := results[2*c], results[2*c+1]
 		t.AddRow(tc.name, tdmaRes.Calls, string(tdmaRes.StoppedBy), dcfRes.Calls, string(dcfRes.StoppedBy))
 	}
 	return t, nil
@@ -65,37 +72,43 @@ func R4DelayDistribution() (*Table, error) {
 		Header: []string{"mac", "calls", "mean", "p95", "max", "loss%", "min R", "MOS"},
 		Notes:  "5-node chain, G.711 calls to the gateway, 5 s runs; worst flow per run",
 	}
-	topo, err := topology.Chain(5, 100)
-	if err != nil {
-		return nil, err
-	}
-	sys, err := core.NewSystem(topo)
-	if err != nil {
-		return nil, err
-	}
 	codec := voip.G711()
-	for _, calls := range []int{2, 4} {
+	callCounts := []int{2, 4}
+	// One independent point per (load, MAC); each builds its own topology
+	// and system so concurrent points share nothing.
+	results := make([]*core.RunResult, 2*len(callCounts))
+	if err := forEach(len(results), func(i int) error {
+		calls := callCounts[i/2]
+		topo, err := topology.Chain(5, 100)
+		if err != nil {
+			return err
+		}
+		sys, err := core.NewSystem(topo)
+		if err != nil {
+			return err
+		}
 		fs, err := core.GatewayCalls(topo, calls, codec, 150*time.Millisecond, false)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		runCfg := core.RunConfig{Duration: 5 * time.Second, Seed: 13, Codec: codec}
-
-		plan, err := sys.PlanVoIP(fs, core.MethodPathMajor, codec)
-		if err != nil {
-			return nil, err
+		if i%2 == 0 {
+			plan, err := sys.PlanVoIP(fs, core.MethodPathMajor, codec)
+			if err != nil {
+				return err
+			}
+			results[i], err = sys.RunTDMA(plan, fs, runCfg)
+			return err
 		}
-		tdmaRes, err := sys.RunTDMA(plan, fs, runCfg)
-		if err != nil {
-			return nil, err
-		}
-		addWorstRow(t, "tdma", calls, tdmaRes)
-
-		dcfRes, err := sys.RunDCF(fs, runCfg)
-		if err != nil {
-			return nil, err
-		}
-		addWorstRow(t, "dcf", calls, dcfRes)
+		var errRun error
+		results[i], errRun = sys.RunDCF(fs, runCfg)
+		return errRun
+	}); err != nil {
+		return nil, err
+	}
+	for c, calls := range callCounts {
+		addWorstRow(t, "tdma", calls, results[2*c])
+		addWorstRow(t, "dcf", calls, results[2*c+1])
 	}
 	return t, nil
 }

@@ -1,0 +1,78 @@
+// Worker-pool point runner. Experiment scenario points (one load level, one
+// seed, one topology case) are independent deterministic simulations: each
+// builds its own sim.Kernel and draws from seed-derived RNG streams, and no
+// experiment mutates package-level state. Running points concurrently
+// therefore changes wall-clock only — every point computes bit-identical
+// numbers regardless of worker count or completion order, and callers write
+// results into index-owned slots so table row order is preserved.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// maxWorkers is the concurrency cap for forEach; guarded for concurrent
+// readers because experiments themselves run in parallel under meshbench.
+var maxWorkers atomic.Int64
+
+func init() { maxWorkers.Store(int64(runtime.GOMAXPROCS(0))) }
+
+// SetWorkers caps how many scenario points run concurrently; n < 1 selects
+// sequential execution. It applies to subsequent experiment runs.
+func SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	maxWorkers.Store(int64(n))
+}
+
+// Workers returns the current concurrency cap.
+func Workers() int { return int(maxWorkers.Load()) }
+
+// forEach runs fn(0..n-1) on up to Workers() goroutines and returns the
+// error of the lowest failing index (matching what a sequential run would
+// have surfaced first). With Workers() == 1 it runs inline with no
+// goroutines, so the sequential path stays byte-for-byte the old one.
+func forEach(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	w := Workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return fmt.Errorf("point %d: %w", i, err)
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("point %d: %w", i, err)
+		}
+	}
+	return nil
+}

@@ -94,7 +94,11 @@ type Network struct {
 	topo   *topology.Network
 	kernel *sim.Kernel
 	medium *mac.Medium
-	nodes  map[topology.NodeID]*node
+	// nodes is indexed by NodeID (dense, see topology.NodeID).
+	nodes []*node
+	// rates is the row-major precomputed per-hop PHY rate matrix (the
+	// topology is static, so linkRate never needs a link lookup).
+	rates []float64
 
 	onDelivered DeliveredFunc
 	stats       Stats
@@ -115,6 +119,9 @@ type node struct {
 	// an in-flight exchange.
 	accessing    bool
 	transmitting bool
+	// ctx is the node's reusable transmission context: a node has at most
+	// one exchange in flight, so the frame payload never allocates.
+	ctx txContext
 }
 
 // txContext links a transmission outcome back to the sender.
@@ -138,12 +145,14 @@ func New(cfg Config, topo *topology.Network, kernel *sim.Kernel, interferenceRan
 	if err != nil {
 		return nil, err
 	}
+	numNodes := topo.NumNodes()
 	nw := &Network{
 		cfg:         cfg,
 		topo:        topo,
 		kernel:      kernel,
 		medium:      medium,
-		nodes:       make(map[topology.NodeID]*node, topo.NumNodes()),
+		nodes:       make([]*node, numNodes),
+		rates:       make([]float64, numNodes*numNodes),
 		onDelivered: delivered,
 	}
 	for _, nd := range topo.Nodes() {
@@ -154,10 +163,21 @@ func New(cfg Config, topo *topology.Network, kernel *sim.Kernel, interferenceRan
 			cw:      cfg.PHY.CWMin,
 			backoff: -1,
 		}
+		n.ctx.sender = n
 		nw.nodes[nd.ID] = n
-		id := nd.ID
-		if err := medium.SetReceiver(id, nw.onDelivery); err != nil {
+		if err := medium.SetReceiver(nd.ID, nw.onDelivery); err != nil {
 			return nil, err
+		}
+	}
+	for i := range nw.rates {
+		nw.rates[i] = cfg.DataRateBps
+	}
+	// The topology's per-link rates (adaptive modulation) override the MAC
+	// default where the PHY supports them; routes over non-links keep the
+	// default and still transmit and collide realistically.
+	for _, lk := range topo.Links() {
+		if lk.RateBps > 0 && cfg.PHY.SupportsRate(lk.RateBps) {
+			nw.rates[int(lk.From)*numNodes+int(lk.To)] = lk.RateBps
 		}
 	}
 	return nw, nil
@@ -178,10 +198,10 @@ func (nw *Network) Inject(p *Packet) error {
 	if p.Hop != 0 {
 		return fmt.Errorf("dcf: inject with hop %d", p.Hop)
 	}
-	src, ok := nw.nodes[p.Route[0]]
-	if !ok {
+	if p.Route[0] < 0 || int(p.Route[0]) >= len(nw.nodes) {
 		return fmt.Errorf("dcf: unknown source %d", p.Route[0])
 	}
+	src := nw.nodes[p.Route[0]]
 	p.Created = nw.kernel.Now()
 	nw.stats.Injected++
 	nw.enqueue(src, p)
@@ -286,11 +306,12 @@ func (n *node) transmit() {
 	n.transmitting = true
 	n.retries++
 	n.nw.stats.Transmissions++
+	n.ctx.pkt = p
 	frame := mac.Frame{
 		From:    n.id,
 		To:      p.Route[p.Hop+1],
 		Bytes:   p.Bytes,
-		Payload: &txContext{pkt: p, sender: n},
+		Payload: &n.ctx,
 	}
 	if n.nw.cfg.RTSCTS {
 		err = n.nw.medium.TransmitProtected(frame, airtime)
@@ -357,29 +378,21 @@ func (nw *Network) receive(at topology.NodeID, p *Packet) {
 		return
 	}
 	p.Hop++
-	if next, ok := nw.nodes[at]; ok {
-		nw.enqueue(next, p)
+	if at >= 0 && int(at) < len(nw.nodes) {
+		nw.enqueue(nw.nodes[at], p)
 	}
 }
 
 // QueueLen reports the interface queue length of a node (tests).
 func (nw *Network) QueueLen(id topology.NodeID) int {
-	if n, ok := nw.nodes[id]; ok {
-		return len(n.queue)
+	if id >= 0 && int(id) < len(nw.nodes) {
+		return len(nw.nodes[id].queue)
 	}
 	return 0
 }
 
-// linkRate returns the PHY rate for the hop from -> to: the topology link's
-// rate when the PHY supports it (adaptive modulation), the MAC default
-// otherwise (including routes over non-links, which still transmit and
-// collide realistically).
+// linkRate returns the precomputed PHY rate for the hop from -> to (see the
+// rate matrix built in New).
 func (nw *Network) linkRate(from, to topology.NodeID) float64 {
-	if l, err := nw.topo.FindLink(from, to); err == nil {
-		if lk, err := nw.topo.Link(l); err == nil &&
-			lk.RateBps > 0 && nw.cfg.PHY.SupportsRate(lk.RateBps) {
-			return lk.RateBps
-		}
-	}
-	return nw.cfg.DataRateBps
+	return nw.rates[int(from)*len(nw.nodes)+int(to)]
 }

@@ -7,6 +7,13 @@
 // audible at the receiver overlaps it in time. Carrier sense and collision
 // detection both derive from audibility, so hidden-terminal effects arise
 // naturally.
+//
+// Node IDs are dense indices (see topology.NodeID), and the topology is
+// static once the medium is built, so all per-node state lives in slices and
+// pairwise audibility is a precomputed bitset matrix with cached per-node
+// audience lists. Transmission records (and their end-of-airtime closures)
+// are pooled, making Transmit/finish free of map operations and, in steady
+// state, of allocations.
 package mac
 
 import (
@@ -52,27 +59,60 @@ type transmission struct {
 	// hit is set when an overlapping audible transmission is detected at
 	// the receiver.
 	hit bool
+	// idx is the transmission's current position in Medium.active.
+	idx int
+	// heard lists the nodes whose busy counts this transmission raised:
+	// the shared audience list of the transmitter, or scratch for a
+	// protected exchange.
+	heard []topology.NodeID
+	// scratch backs heard for protected exchanges; it is retained across
+	// pool cycles so steady-state protected transmissions do not allocate.
+	scratch []topology.NodeID
+	// finishFn is the end-of-airtime closure, built once per pooled
+	// transmission so Transmit never allocates a new closure.
+	finishFn func()
 }
 
-// Medium is the shared channel. Create with NewMedium.
+// Medium is the shared channel. Create with NewMedium. The topology must not
+// gain nodes after the medium is built (audibility is precomputed).
 type Medium struct {
 	net    *topology.Network
 	kernel *sim.Kernel
 	// rangeM is the interference (and carrier-sense) range in meters.
-	rangeM float64
+	rangeM   float64
+	numNodes int
 
-	active map[*transmission]struct{}
+	// active holds in-flight transmissions; each knows its index.
+	active []*transmission
+	// pool recycles transmission records and their finish closures.
+	pool []*transmission
+
+	// Dense per-node state, indexed by NodeID.
 	// busyCount[n] is the number of active transmissions audible at n.
-	busyCount map[topology.NodeID]int
+	busyCount []int
 	// busyEpoch[n] increments whenever the channel at n turns busy; DCF
 	// uses it to detect interrupted interframe waits.
-	busyEpoch map[topology.NodeID]uint64
+	busyEpoch []uint64
 	// idleWaiters[n] run when the channel at n turns idle.
-	idleWaiters map[topology.NodeID][]func()
-	// audible caches pairwise audibility.
-	audible map[[2]topology.NodeID]bool
+	idleWaiters [][]func()
+	deliver     []DeliverFunc
+	// busyTime[n] accumulates per-node channel-busy time (overlaps merged
+	// by the busyCount bookkeeping: a node's clock runs while busyCount >
+	// 0); busySince[n] is the start of the current busy period.
+	busyTime  []time.Duration
+	busySince []time.Duration
 
-	deliver map[topology.NodeID]DeliverFunc
+	// audBits is the row-major numNodes x numNodes audibility bitset:
+	// node b hears node a iff audBits[a*audWords + b/64] has bit b%64 set.
+	// The diagonal is set (a node hears itself).
+	audWords int
+	audBits  []uint64
+	// audience[n] lists the nodes audible from n (including n), ascending.
+	audience [][]topology.NodeID
+
+	// mark/markEpoch dedupe protected-audience unions without allocating.
+	mark      []uint64
+	markEpoch uint64
 
 	// lossModel, when set, draws per-frame channel losses.
 	lossModel func(from, to topology.NodeID) float64
@@ -83,16 +123,13 @@ type Medium struct {
 	collided  uint64
 	delivered uint64
 	lost      uint64
-	// airtime accumulates transmission durations network-wide; busyTime
-	// accumulates per-node channel-busy time (overlaps merged by the
-	// busyCount bookkeeping: a node's clock runs while busyCount > 0).
-	airtime   time.Duration
-	busyTime  map[topology.NodeID]time.Duration
-	busySince map[topology.NodeID]time.Duration
+	// airtime accumulates transmission durations network-wide.
+	airtime time.Duration
 }
 
 // NewMedium creates a medium over the network with the given interference
-// range.
+// range, precomputing the pairwise audibility matrix and per-node audience
+// lists from the (static) geometry.
 func NewMedium(net *topology.Network, kernel *sim.Kernel, interferenceRange float64) (*Medium, error) {
 	if net == nil || kernel == nil {
 		return nil, errors.New("mac: nil network or kernel")
@@ -100,19 +137,62 @@ func NewMedium(net *topology.Network, kernel *sim.Kernel, interferenceRange floa
 	if interferenceRange <= 0 {
 		return nil, fmt.Errorf("mac: non-positive interference range %g", interferenceRange)
 	}
-	return &Medium{
+	n := net.NumNodes()
+	words := (n + 63) / 64
+	m := &Medium{
 		net:         net,
 		kernel:      kernel,
 		rangeM:      interferenceRange,
-		active:      make(map[*transmission]struct{}),
-		busyCount:   make(map[topology.NodeID]int),
-		busyEpoch:   make(map[topology.NodeID]uint64),
-		idleWaiters: make(map[topology.NodeID][]func()),
-		audible:     make(map[[2]topology.NodeID]bool),
-		deliver:     make(map[topology.NodeID]DeliverFunc),
-		busyTime:    make(map[topology.NodeID]time.Duration),
-		busySince:   make(map[topology.NodeID]time.Duration),
-	}, nil
+		numNodes:    n,
+		busyCount:   make([]int, n),
+		busyEpoch:   make([]uint64, n),
+		idleWaiters: make([][]func(), n),
+		deliver:     make([]DeliverFunc, n),
+		busyTime:    make([]time.Duration, n),
+		busySince:   make([]time.Duration, n),
+		audWords:    words,
+		audBits:     make([]uint64, n*words),
+		audience:    make([][]topology.NodeID, n),
+		mark:        make([]uint64, n),
+	}
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if a == b {
+				m.setAudible(topology.NodeID(a), topology.NodeID(b))
+				continue
+			}
+			d, err := net.Distance(topology.NodeID(a), topology.NodeID(b))
+			if err != nil {
+				return nil, err
+			}
+			if d <= interferenceRange {
+				m.setAudible(topology.NodeID(a), topology.NodeID(b))
+			}
+		}
+	}
+	for a := 0; a < n; a++ {
+		aud := make([]topology.NodeID, 0, n)
+		for b := 0; b < n; b++ {
+			if m.audibleFast(topology.NodeID(a), topology.NodeID(b)) {
+				aud = append(aud, topology.NodeID(b))
+			}
+		}
+		m.audience[a] = aud
+	}
+	return m, nil
+}
+
+func (m *Medium) setAudible(from, at topology.NodeID) {
+	m.audBits[int(from)*m.audWords+int(at)>>6] |= 1 << (uint(at) & 63)
+}
+
+// audibleFast probes the precomputed bitset; both IDs must be valid.
+func (m *Medium) audibleFast(from, at topology.NodeID) bool {
+	return m.audBits[int(from)*m.audWords+int(at)>>6]&(1<<(uint(at)&63)) != 0
+}
+
+func (m *Medium) hasNode(n topology.NodeID) bool {
+	return n >= 0 && int(n) < m.numNodes
 }
 
 // SetLossModel installs a per-frame channel-loss model: fn returns the
@@ -132,7 +212,10 @@ func (m *Medium) SetReceiver(n topology.NodeID, fn DeliverFunc) error {
 	if fn == nil {
 		return errors.New("mac: nil receiver")
 	}
-	if _, dup := m.deliver[n]; dup {
+	if !m.hasNode(n) {
+		return fmt.Errorf("mac: receiver for unknown node %d", n)
+	}
+	if m.deliver[n] != nil {
 		return fmt.Errorf("mac: receiver for node %d already set", n)
 	}
 	m.deliver[n] = fn
@@ -144,26 +227,26 @@ func (m *Medium) Audible(from, at topology.NodeID) (bool, error) {
 	if from == at {
 		return true, nil
 	}
-	key := [2]topology.NodeID{from, at}
-	if v, ok := m.audible[key]; ok {
-		return v, nil
+	if !m.hasNode(from) || !m.hasNode(at) {
+		return false, fmt.Errorf("mac: audibility %d-%d: %w", from, at, topology.ErrNodeNotFound)
 	}
-	d, err := m.net.Distance(from, at)
-	if err != nil {
-		return false, err
-	}
-	v := d <= m.rangeM
-	m.audible[key] = v
-	return v, nil
+	return m.audibleFast(from, at), nil
 }
 
 // Busy reports whether the channel is busy at node n (any audible active
 // transmission, including n's own).
-func (m *Medium) Busy(n topology.NodeID) bool { return m.busyCount[n] > 0 }
+func (m *Medium) Busy(n topology.NodeID) bool {
+	return m.hasNode(n) && m.busyCount[n] > 0
+}
 
 // BusyEpoch returns a counter that increments whenever the channel at n
 // turns busy.
-func (m *Medium) BusyEpoch(n topology.NodeID) uint64 { return m.busyEpoch[n] }
+func (m *Medium) BusyEpoch(n topology.NodeID) uint64 {
+	if !m.hasNode(n) {
+		return 0
+	}
+	return m.busyEpoch[n]
+}
 
 // WhenIdle runs fn as soon as the channel at n is idle (immediately, via a
 // zero-delay event, if it already is).
@@ -205,36 +288,44 @@ func (m *Medium) transmit(frame Frame, airtime time.Duration, protect bool) erro
 		return err
 	}
 	now := m.kernel.Now()
-	tx := &transmission{frame: frame, start: now, end: now + airtime}
+	tx := m.getTx()
+	tx.frame = frame
+	tx.start = now
+	tx.end = now + airtime
+	tx.hit = false
+	if protect {
+		tx.heard = m.unionAudience(tx, frame.From, frame.To)
+	} else {
+		tx.heard = m.audience[frame.From]
+	}
+
+	// Schedule the end of the transmission before touching any shared
+	// state: scheduling is the only fallible step, so a failure leaves the
+	// medium exactly as it was (no stranded active entry, no raised busy
+	// counts, no spurious collision marks).
+	if _, err := m.kernel.After(airtime, tx.finishFn); err != nil {
+		m.putTx(tx)
+		return err
+	}
 
 	// Mutual collision marking against all overlapping transmissions.
-	for other := range m.active {
+	for _, other := range m.active {
 		// other collides if tx is audible at other's receiver.
-		if aud, err := m.Audible(frame.From, other.frame.To); err == nil && aud {
+		if m.audibleFast(frame.From, other.frame.To) {
 			other.hit = true
 		}
 		// tx collides if other is audible at tx's receiver.
-		if aud, err := m.Audible(other.frame.From, frame.To); err == nil && aud {
+		if m.audibleFast(other.frame.From, frame.To) {
 			tx.hit = true
 		}
 	}
-	m.active[tx] = struct{}{}
+	tx.idx = len(m.active)
+	m.active = append(m.active, tx)
 	m.sent++
 
 	// Raise busy at every node that hears the transmitter (and, for a
 	// protected exchange, the receiver).
-	heard, err := m.audienceOf(frame.From)
-	if err != nil {
-		return err
-	}
-	if protect {
-		rxHeard, err := m.audienceOf(frame.To)
-		if err != nil {
-			return err
-		}
-		heard = unionNodes(heard, rxHeard)
-	}
-	for _, n := range heard {
+	for _, n := range tx.heard {
 		if m.busyCount[n] == 0 {
 			m.busyEpoch[n]++
 			m.busySince[n] = now
@@ -242,40 +333,70 @@ func (m *Medium) transmit(frame Frame, airtime time.Duration, protect bool) erro
 		m.busyCount[n]++
 	}
 	m.airtime += airtime
-
-	_, err = m.kernel.After(airtime, func() { m.finish(tx, heard) })
-	return err
+	return nil
 }
 
-// unionNodes merges two node lists without duplicates.
-func unionNodes(a, b []topology.NodeID) []topology.NodeID {
-	seen := make(map[topology.NodeID]bool, len(a)+len(b))
-	out := make([]topology.NodeID, 0, len(a)+len(b))
-	for _, n := range a {
-		if !seen[n] {
-			seen[n] = true
+// getTx pops a pooled transmission (or builds one, wiring its reusable
+// finish closure).
+func (m *Medium) getTx() *transmission {
+	if n := len(m.pool); n > 0 {
+		tx := m.pool[n-1]
+		m.pool = m.pool[:n-1]
+		return tx
+	}
+	tx := &transmission{}
+	tx.finishFn = func() { m.finish(tx) }
+	return tx
+}
+
+// putTx returns a transmission to the pool, dropping caller references.
+func (m *Medium) putTx(tx *transmission) {
+	tx.frame = Frame{}
+	tx.heard = nil
+	m.pool = append(m.pool, tx)
+}
+
+// unionAudience fills tx.scratch with the deduplicated union of the two
+// nodes' audiences, using the epoch-marked scratch array instead of a map.
+func (m *Medium) unionAudience(tx *transmission, from, to topology.NodeID) []topology.NodeID {
+	m.markEpoch++
+	out := tx.scratch[:0]
+	for _, n := range m.audience[from] {
+		m.mark[n] = m.markEpoch
+		out = append(out, n)
+	}
+	for _, n := range m.audience[to] {
+		if m.mark[n] != m.markEpoch {
 			out = append(out, n)
 		}
 	}
-	for _, n := range b {
-		if !seen[n] {
-			seen[n] = true
-			out = append(out, n)
-		}
-	}
+	tx.scratch = out
 	return out
 }
 
-func (m *Medium) finish(tx *transmission, heard []topology.NodeID) {
-	delete(m.active, tx)
-	for _, n := range heard {
+func (m *Medium) finish(tx *transmission) {
+	// Remove from active: swap with the last entry.
+	last := len(m.active) - 1
+	m.active[tx.idx] = m.active[last]
+	m.active[tx.idx].idx = tx.idx
+	m.active[last] = nil
+	m.active = m.active[:last]
+
+	now := m.kernel.Now()
+	for _, n := range tx.heard {
 		m.busyCount[n]--
 		if m.busyCount[n] == 0 {
-			m.busyTime[n] += m.kernel.Now() - m.busySince[n]
-			waiters := m.idleWaiters[n]
-			m.idleWaiters[n] = nil
-			for _, fn := range waiters {
-				fn()
+			m.busyTime[n] += now - m.busySince[n]
+			if waiters := m.idleWaiters[n]; len(waiters) > 0 {
+				// Detach before invoking so callbacks can re-arm WhenIdle;
+				// recycle the drained array if nobody re-armed meanwhile.
+				m.idleWaiters[n] = nil
+				for _, fn := range waiters {
+					fn()
+				}
+				if m.idleWaiters[n] == nil {
+					m.idleWaiters[n] = waiters[:0]
+				}
 			}
 		}
 	}
@@ -294,25 +415,10 @@ func (m *Medium) finish(tx *transmission, heard []topology.NodeID) {
 	default:
 		m.delivered++
 	}
-	if fn, ok := m.deliver[tx.frame.To]; ok {
-		fn(Delivery{Frame: tx.frame, At: m.kernel.Now(), Collided: tx.hit, Lost: lost})
+	if fn := m.deliver[tx.frame.To]; fn != nil {
+		fn(Delivery{Frame: tx.frame, At: now, Collided: tx.hit, Lost: lost})
 	}
-}
-
-// audienceOf lists every node within interference range of from (including
-// from itself).
-func (m *Medium) audienceOf(from topology.NodeID) ([]topology.NodeID, error) {
-	var out []topology.NodeID
-	for _, nd := range m.net.Nodes() {
-		aud, err := m.Audible(from, nd.ID)
-		if err != nil {
-			return nil, err
-		}
-		if aud {
-			out = append(out, nd.ID)
-		}
-	}
-	return out, nil
+	m.putTx(tx)
 }
 
 // Stats returns (sent, delivered, collided) transmission counts.
@@ -329,7 +435,12 @@ func (m *Medium) Airtime() time.Duration { return m.airtime }
 
 // BusyTime returns how long the channel has been busy at node n (concurrent
 // audible transmissions merged, an in-progress busy period excluded).
-func (m *Medium) BusyTime(n topology.NodeID) time.Duration { return m.busyTime[n] }
+func (m *Medium) BusyTime(n topology.NodeID) time.Duration {
+	if !m.hasNode(n) {
+		return 0
+	}
+	return m.busyTime[n]
+}
 
 // Utilization returns BusyTime over the elapsed virtual time, in [0, 1].
 func (m *Medium) Utilization(n topology.NodeID) float64 {
@@ -337,5 +448,5 @@ func (m *Medium) Utilization(n topology.NodeID) float64 {
 	if now == 0 {
 		return 0
 	}
-	return float64(m.busyTime[n]) / float64(now)
+	return float64(m.BusyTime(n)) / float64(now)
 }

@@ -144,14 +144,15 @@ type Network struct {
 	// sync supplies per-node clock errors; nil means perfect clocks.
 	sync *timesync.Sync
 
-	queues      map[topology.LinkID][]*Packet
+	// queues is indexed by LinkID (dense, see topology.LinkID).
+	queues      [][]*Packet
 	onDelivered DeliveredFunc
 	stats       Stats
 	started     bool
 	// gen invalidates armed window events when the schedule is swapped.
 	gen uint64
-	// failed links lose every frame transmitted over them.
-	failed map[topology.LinkID]bool
+	// failed[l] marks links that lose every frame transmitted over them.
+	failed []bool
 }
 
 // New creates the emulation network. sync may be nil for ideal clocks;
@@ -176,9 +177,9 @@ func New(cfg Config, topo *topology.Network, kernel *sim.Kernel, sched *tdma.Sch
 		medium:      medium,
 		schedule:    sched,
 		sync:        sync,
-		queues:      make(map[topology.LinkID][]*Packet),
+		queues:      make([][]*Packet, topo.NumLinks()),
 		onDelivered: delivered,
-		failed:      make(map[topology.LinkID]bool),
+		failed:      make([]bool, topo.NumLinks()),
 	}
 	for _, nd := range topo.Nodes() {
 		if err := medium.SetReceiver(nd.ID, nw.onDelivery); err != nil {
@@ -249,7 +250,15 @@ func (nw *Network) FailLink(l topology.LinkID) error {
 }
 
 // RestoreLink clears a link failure.
-func (nw *Network) RestoreLink(l topology.LinkID) { delete(nw.failed, l) }
+func (nw *Network) RestoreLink(l topology.LinkID) {
+	if nw.hasLink(l) {
+		nw.failed[l] = false
+	}
+}
+
+func (nw *Network) hasLink(l topology.LinkID) bool {
+	return l >= 0 && int(l) < len(nw.queues)
+}
 
 // scheduleWindow arms the service event of one assignment in the given
 // frame, then re-arms itself for the next frame while the generation
@@ -402,6 +411,9 @@ func (nw *Network) Inject(p *Packet) error {
 // requeueHead puts an ARQ-retransmitted packet at the very front of its
 // class within the link queue.
 func (nw *Network) requeueHead(l topology.LinkID, p *Packet) {
+	if !nw.hasLink(l) {
+		return
+	}
 	q := nw.queues[l]
 	if len(q) >= nw.cfg.QueueCap {
 		nw.stats.DroppedQueue++
@@ -429,6 +441,10 @@ func (nw *Network) requeueHead(l topology.LinkID, p *Packet) {
 // queue drops the incoming best-effort packet, or evicts the last
 // best-effort packet to admit a guaranteed one.
 func (nw *Network) enqueue(l topology.LinkID, p *Packet) {
+	if !nw.hasLink(l) {
+		nw.stats.DroppedQueue++
+		return
+	}
 	q := nw.queues[l]
 	if len(q) >= nw.cfg.QueueCap {
 		if p.BestEffort {
@@ -478,7 +494,7 @@ func (nw *Network) onDelivery(d mac.Delivery) {
 		nw.stats.Violations++
 		return
 	}
-	if len(batch) > 0 && nw.failed[batch[0].Path[batch[0].Hop]] {
+	if len(batch) > 0 && nw.hasLink(batch[0].Path[batch[0].Hop]) && nw.failed[batch[0].Path[batch[0].Hop]] {
 		nw.stats.FailureDrops++
 		return
 	}
@@ -513,8 +529,14 @@ func (nw *Network) onDelivery(d mac.Delivery) {
 	}
 }
 
-// QueueLen reports the queue length of a link (tests).
-func (nw *Network) QueueLen(l topology.LinkID) int { return len(nw.queues[l]) }
+// QueueLen reports the queue length of a link (tests). Unknown links report
+// zero.
+func (nw *Network) QueueLen(l topology.LinkID) int {
+	if !nw.hasLink(l) {
+		return 0
+	}
+	return len(nw.queues[l])
+}
 
 // PacketsPerSlot returns how many packets of the given IP size fit in one
 // data slot after the guard, with SIFS spacing between 802.11 frames and up

@@ -95,8 +95,9 @@ type Network struct {
 	medium   *mac.Medium
 	schedule *tdma.Schedule
 
-	symbol      time.Duration
-	queues      map[topology.LinkID][]*Packet
+	symbol time.Duration
+	// queues is indexed by LinkID (dense, see topology.LinkID).
+	queues      [][]*Packet
 	onDelivered DeliveredFunc
 	stats       Stats
 	started     bool
@@ -128,7 +129,7 @@ func New(cfg Config, topo *topology.Network, kernel *sim.Kernel, sched *tdma.Sch
 		medium:      medium,
 		schedule:    sched,
 		symbol:      symbol,
-		queues:      make(map[topology.LinkID][]*Packet),
+		queues:      make([][]*Packet, topo.NumLinks()),
 		onDelivered: delivered,
 	}
 	for _, nd := range topo.Nodes() {
@@ -235,7 +236,7 @@ func (nw *Network) Inject(p *Packet) error {
 }
 
 func (nw *Network) enqueue(l topology.LinkID, p *Packet) {
-	if len(nw.queues[l]) >= nw.cfg.QueueCap {
+	if l < 0 || int(l) >= len(nw.queues) || len(nw.queues[l]) >= nw.cfg.QueueCap {
 		nw.stats.DroppedQueue++
 		return
 	}

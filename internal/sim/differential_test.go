@@ -1,0 +1,322 @@
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// refKernel is the pre-slab reference implementation (container/heap of
+// event pointers plus a byID map), kept verbatim as the behavioral oracle
+// for the slab kernel: same (time, seq) ordering, same Cancel semantics.
+type refKernel struct {
+	now       time.Duration
+	events    refHeap
+	nextSeq   uint64
+	nextID    uint64
+	byID      map[uint64]*refEvent
+	processed uint64
+}
+
+type refEvent struct {
+	time     time.Duration
+	seq      uint64
+	fn       func()
+	id       uint64
+	canceled bool
+	index    int
+}
+
+type refHeap []*refEvent
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *refHeap) Push(x any) {
+	e := x.(*refEvent)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *refHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+func newRefKernel() *refKernel { return &refKernel{byID: make(map[uint64]*refEvent)} }
+
+func (k *refKernel) At(t time.Duration, fn func()) (uint64, bool) {
+	if t < k.now || fn == nil {
+		return 0, false
+	}
+	k.nextID++
+	k.nextSeq++
+	e := &refEvent{time: t, seq: k.nextSeq, fn: fn, id: k.nextID}
+	heap.Push(&k.events, e)
+	k.byID[e.id] = e
+	return e.id, true
+}
+
+func (k *refKernel) Cancel(id uint64) bool {
+	e, ok := k.byID[id]
+	if !ok || e.canceled {
+		return false
+	}
+	e.canceled = true
+	delete(k.byID, id)
+	return true
+}
+
+func (k *refKernel) Step() bool {
+	for len(k.events) > 0 {
+		e := heap.Pop(&k.events).(*refEvent)
+		if e.canceled {
+			continue
+		}
+		delete(k.byID, e.id)
+		k.now = e.time
+		k.processed++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+func (k *refKernel) RunUntil(deadline time.Duration) {
+	for {
+		var next *refEvent
+		for len(k.events) > 0 {
+			if e := k.events[0]; !e.canceled {
+				next = e
+				break
+			}
+			heap.Pop(&k.events)
+		}
+		if next == nil || next.time > deadline {
+			break
+		}
+		k.Step()
+	}
+	if k.now < deadline {
+		k.now = deadline
+	}
+}
+
+// trace is one executed event's observation: the tag passed at scheduling
+// time and the clock when it ran.
+type trace struct {
+	tag int
+	at  time.Duration
+}
+
+// TestDifferentialRandomScheduleCancel drives the slab kernel and the
+// reference kernel with an identical random schedule/cancel workload
+// (including cancels issued from inside running events) and requires
+// identical execution order, Cancel outcomes, clocks and processed counts.
+func TestDifferentialRandomScheduleCancel(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		k := NewKernel()
+		ref := newRefKernel()
+
+		var got, want []trace
+		var liveIDs []EventID
+		var refIDs []uint64
+
+		schedule := func(tag int, delay time.Duration) {
+			at := k.now + delay
+			id, err := k.At(at, func() { got = append(got, trace{tag, k.Now()}) })
+			if err != nil {
+				t.Fatalf("seed %d: At: %v", seed, err)
+			}
+			rid, ok := ref.At(at, func() { want = append(want, trace{tag, ref.now}) })
+			if !ok {
+				t.Fatalf("seed %d: ref.At rejected", seed)
+			}
+			liveIDs = append(liveIDs, id)
+			refIDs = append(refIDs, rid)
+		}
+
+		// Seed an initial burst, some of it self-rescheduling and
+		// self-canceling.
+		nextTag := 0
+		for i := 0; i < 300; i++ {
+			tag := nextTag
+			nextTag++
+			delay := time.Duration(rng.Intn(5000)) * time.Microsecond
+			if rng.Intn(4) == 0 {
+				// A chaining event that schedules a child when it runs.
+				child := nextTag
+				nextTag++
+				childDelay := time.Duration(rng.Intn(1000)) * time.Microsecond
+				at := delay
+				id, err := k.At(at, func() {
+					got = append(got, trace{tag, k.Now()})
+					if _, err := k.After(childDelay, func() { got = append(got, trace{child, k.Now()}) }); err != nil {
+						t.Errorf("seed %d: chained After: %v", seed, err)
+					}
+				})
+				if err != nil {
+					t.Fatalf("seed %d: At: %v", seed, err)
+				}
+				rid, _ := ref.At(at, func() {
+					want = append(want, trace{tag, ref.now})
+					ref.At(ref.now+childDelay, func() { want = append(want, trace{child, ref.now}) })
+				})
+				liveIDs = append(liveIDs, id)
+				refIDs = append(refIDs, rid)
+				continue
+			}
+			schedule(tag, delay)
+		}
+
+		// Interleave cancels and stepping.
+		for round := 0; round < 200; round++ {
+			switch rng.Intn(3) {
+			case 0:
+				if len(liveIDs) > 0 {
+					i := rng.Intn(len(liveIDs))
+					cg := k.Cancel(liveIDs[i])
+					cw := ref.Cancel(refIDs[i])
+					if cg != cw {
+						t.Fatalf("seed %d round %d: Cancel = %v, ref %v", seed, round, cg, cw)
+					}
+				}
+			case 1:
+				sg := k.Step()
+				sw := ref.Step()
+				if sg != sw {
+					t.Fatalf("seed %d round %d: Step = %v, ref %v", seed, round, sg, sw)
+				}
+			case 2:
+				d := k.Now() + time.Duration(rng.Intn(800))*time.Microsecond
+				k.RunUntil(d)
+				ref.RunUntil(d)
+			}
+			if k.Now() != ref.now {
+				t.Fatalf("seed %d round %d: Now = %v, ref %v", seed, round, k.Now(), ref.now)
+			}
+		}
+		for k.Step() {
+			ref.Step()
+		}
+		if ref.Step() {
+			t.Fatalf("seed %d: reference kernel had events left", seed)
+		}
+
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: executed %d events, ref %d", seed, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: execution %d = %+v, ref %+v", seed, i, got[i], want[i])
+			}
+		}
+		if k.Processed() != ref.processed {
+			t.Fatalf("seed %d: Processed = %d, ref %d", seed, k.Processed(), ref.processed)
+		}
+	}
+}
+
+// TestStaleIDAfterSlotReuse checks the generation tag: once an event fires
+// (or is canceled and drained) and its slot is reused, the old EventID must
+// not cancel the new occupant.
+func TestStaleIDAfterSlotReuse(t *testing.T) {
+	k := NewKernel()
+	id1, err := k.After(time.Millisecond, func() {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	// id1's slot is free; the next event reuses it with a bumped generation.
+	fired := false
+	id2, err := k.After(time.Millisecond, func() { fired = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint32(id1) != uint32(id2) {
+		t.Fatalf("slot not reused: id1 slot %d, id2 slot %d", uint32(id1), uint32(id2))
+	}
+	if id1 == id2 {
+		t.Fatal("generations not distinguished")
+	}
+	if k.Cancel(id1) {
+		t.Error("stale EventID canceled the slot's new occupant")
+	}
+	k.Run()
+	if !fired {
+		t.Error("second event did not fire")
+	}
+}
+
+// TestCancelCompaction cancels far more events than the compaction
+// threshold and checks tombstones are swept without disturbing the
+// survivors' order.
+func TestCancelCompaction(t *testing.T) {
+	k := NewKernel()
+	var ids []EventID
+	var got []int
+	for i := 0; i < 1000; i++ {
+		i := i
+		id, err := k.At(time.Duration(i)*time.Microsecond, func() { got = append(got, i) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	// Cancel all the odd ones: well past compactMinTombstones and more than
+	// half the heap by the end.
+	for i := 1; i < 1000; i += 2 {
+		if !k.Cancel(ids[i]) {
+			t.Fatalf("Cancel(%d) = false", i)
+		}
+	}
+	if k.Pending() != 500 {
+		t.Fatalf("Pending = %d, want 500", k.Pending())
+	}
+	k.Run()
+	if len(got) != 500 {
+		t.Fatalf("executed %d, want 500", len(got))
+	}
+	for j, v := range got {
+		if v != 2*j {
+			t.Fatalf("got[%d] = %d, want %d", j, v, 2*j)
+		}
+	}
+}
+
+// TestAfterStepSteadyStateAllocs requires the After/Step hot path to be
+// allocation-free once the slab and heap are warm.
+func TestAfterStepSteadyStateAllocs(t *testing.T) {
+	k := NewKernel()
+	fn := func() {}
+	// Warm the slab, heap and free list.
+	for i := 0; i < 100; i++ {
+		if _, err := k.After(time.Microsecond, fn); err != nil {
+			t.Fatal(err)
+		}
+		k.Step()
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, err := k.After(time.Microsecond, fn); err != nil {
+			t.Fatal(err)
+		}
+		k.Step()
+	})
+	if allocs != 0 {
+		t.Errorf("After+Step allocs/op = %g, want 0", allocs)
+	}
+}

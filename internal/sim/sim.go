@@ -4,84 +4,80 @@
 // All MAC/traffic simulations in this repository (internal/mac/dcf,
 // internal/mac/tdmaemu, internal/voip sources) run on this kernel, so runs
 // are exactly reproducible for a given seed.
+//
+// The kernel is built for allocation-free steady state: events live in a
+// reusable slab with a free list, the priority queue is a hand-rolled binary
+// heap of small value entries (no interface boxing, no per-event pointer),
+// and EventID is a generation-tagged slab index so Cancel is O(1) without an
+// id map. Canceled events stay in the heap as tombstones; they are drained
+// when they reach the top and compacted in bulk when they outnumber half the
+// queue.
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math/rand"
 	"time"
 )
 
-// EventID identifies a scheduled event for cancellation.
+// EventID identifies a scheduled event for cancellation. It encodes a slab
+// slot in the low 32 bits and the slot's allocation generation in the high
+// 32 bits, so a stale ID (the event fired or was canceled, and the slot was
+// reused) can never cancel a later event. The zero EventID is never issued.
 type EventID uint64
 
 // ErrPastTime reports an attempt to schedule an event before the current
 // virtual time.
 var ErrPastTime = errors.New("sim: event scheduled in the past")
 
-type event struct {
+// heapEntry is one priority-queue element. Ordering state (time, seq) is
+// kept inline so heap sifts never touch the slab.
+type heapEntry struct {
 	time time.Duration
 	seq  uint64
-	fn   func()
-	id   EventID
-	// canceled events stay in the heap and are skipped when popped.
+	slot uint32
+}
+
+// slabEvent is the slab-resident part of an event. fn == nil marks a free
+// (or fired, or canceled-and-released) slot; gen counts allocations of the
+// slot so stale EventIDs are rejected.
+type slabEvent struct {
+	fn       func()
+	gen      uint32
 	canceled bool
-	index    int
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
-}
+// compactMinTombstones is the tombstone floor below which Cancel never
+// triggers a compaction (small queues drain tombstones at the top cheaply).
+const compactMinTombstones = 64
 
 // Kernel is the simulation engine. The zero value is not usable; create with
 // NewKernel.
 type Kernel struct {
-	now     time.Duration
-	events  eventHeap
-	nextSeq uint64
-	nextID  EventID
-	byID    map[EventID]*event
+	now  time.Duration
+	heap []heapEntry
+	slab []slabEvent
+	free []uint32
+	// tombstones counts canceled entries still in the heap.
+	tombstones int
+	nextSeq    uint64
 	// processed counts executed (non-canceled) events.
 	processed uint64
 }
 
 // NewKernel returns a kernel at virtual time zero.
 func NewKernel() *Kernel {
-	return &Kernel{byID: make(map[EventID]*event)}
+	return &Kernel{}
 }
 
 // Now returns the current virtual time.
 func (k *Kernel) Now() time.Duration { return k.now }
 
-// Pending returns the number of events still queued (including canceled
-// tombstones not yet drained).
-func (k *Kernel) Pending() int { return len(k.events) }
+// Pending returns the number of live events still queued: scheduled, not
+// executed and not canceled. Canceled tombstones awaiting drain or
+// compaction are not counted.
+func (k *Kernel) Pending() int { return len(k.heap) - k.tombstones }
 
 // Processed returns the number of events executed so far.
 func (k *Kernel) Processed() uint64 { return k.processed }
@@ -94,12 +90,21 @@ func (k *Kernel) At(t time.Duration, fn func()) (EventID, error) {
 	if fn == nil {
 		return 0, errors.New("sim: nil event function")
 	}
-	k.nextID++
+	var slot uint32
+	if n := len(k.free); n > 0 {
+		slot = k.free[n-1]
+		k.free = k.free[:n-1]
+	} else {
+		slot = uint32(len(k.slab))
+		k.slab = append(k.slab, slabEvent{})
+	}
+	se := &k.slab[slot]
+	se.gen++ // gen >= 1 on every live slot, so a valid EventID is never 0
+	se.fn = fn
+	se.canceled = false
 	k.nextSeq++
-	e := &event{time: t, seq: k.nextSeq, fn: fn, id: k.nextID}
-	heap.Push(&k.events, e)
-	k.byID[e.id] = e
-	return e.id, nil
+	k.heapPush(heapEntry{time: t, seq: k.nextSeq, slot: slot})
+	return EventID(uint64(se.gen)<<32 | uint64(slot)), nil
 }
 
 // After schedules fn to run delay after the current virtual time.
@@ -110,33 +115,43 @@ func (k *Kernel) After(delay time.Duration, fn func()) (EventID, error) {
 	return k.At(k.now+delay, fn)
 }
 
-// Cancel removes a scheduled event. Canceling an already-fired or unknown
-// event is a no-op returning false.
+// Cancel removes a scheduled event in O(1): the slab entry is marked
+// canceled and its closure released; the heap entry remains as a tombstone
+// until it reaches the top or a compaction sweeps it. Canceling an
+// already-fired, already-canceled or unknown event is a no-op returning
+// false.
 func (k *Kernel) Cancel(id EventID) bool {
-	e, ok := k.byID[id]
-	if !ok || e.canceled {
+	slot := uint32(id)
+	if int(slot) >= len(k.slab) {
 		return false
 	}
-	e.canceled = true
-	delete(k.byID, id)
+	se := &k.slab[slot]
+	if se.gen != uint32(id>>32) || se.canceled || se.fn == nil {
+		return false
+	}
+	se.canceled = true
+	se.fn = nil
+	k.tombstones++
+	if k.tombstones > compactMinTombstones && k.tombstones*2 > len(k.heap) {
+		k.compact()
+	}
 	return true
 }
 
 // Step executes the next event, advancing the clock. It returns false when
-// the queue is empty.
+// no live event remains.
 func (k *Kernel) Step() bool {
-	for len(k.events) > 0 {
-		e := heap.Pop(&k.events).(*event)
-		if e.canceled {
-			continue
-		}
-		delete(k.byID, e.id)
-		k.now = e.time
-		k.processed++
-		e.fn()
-		return true
+	k.drainCanceled()
+	if len(k.heap) == 0 {
+		return false
 	}
-	return false
+	e := k.heapPop()
+	fn := k.slab[e.slot].fn
+	k.freeSlot(e.slot)
+	k.now = e.time
+	k.processed++
+	fn()
+	return true
 }
 
 // RunUntil executes events until the queue is empty or the next event is
@@ -144,8 +159,8 @@ func (k *Kernel) Step() bool {
 // to deadline if it is later).
 func (k *Kernel) RunUntil(deadline time.Duration) {
 	for {
-		e := k.peek()
-		if e == nil || e.time > deadline {
+		t, ok := k.nextTime()
+		if !ok || t > deadline {
 			break
 		}
 		k.Step()
@@ -161,15 +176,108 @@ func (k *Kernel) Run() {
 	}
 }
 
-func (k *Kernel) peek() *event {
-	for len(k.events) > 0 {
-		e := k.events[0]
-		if !e.canceled {
-			return e
-		}
-		heap.Pop(&k.events)
+// nextTime returns the time of the next live event. Both Step and RunUntil
+// go through it (via drainCanceled), so canceled tombstones are released
+// exactly once, at the single point where they surface.
+func (k *Kernel) nextTime() (time.Duration, bool) {
+	k.drainCanceled()
+	if len(k.heap) == 0 {
+		return 0, false
 	}
-	return nil
+	return k.heap[0].time, true
+}
+
+// drainCanceled pops canceled tombstones off the top of the heap, releasing
+// their slots, until the top is a live event or the heap is empty.
+func (k *Kernel) drainCanceled() {
+	for len(k.heap) > 0 && k.slab[k.heap[0].slot].canceled {
+		e := k.heapPop()
+		k.freeSlot(e.slot)
+		k.tombstones--
+	}
+}
+
+// compact removes every tombstone from the heap in one pass and restores the
+// heap invariant bottom-up, keeping the amortized cost of Cancel O(1).
+func (k *Kernel) compact() {
+	dst := 0
+	for _, e := range k.heap {
+		if k.slab[e.slot].canceled {
+			k.freeSlot(e.slot)
+			continue
+		}
+		k.heap[dst] = e
+		dst++
+	}
+	k.heap = k.heap[:dst]
+	for i := dst/2 - 1; i >= 0; i-- {
+		k.siftDown(i)
+	}
+	k.tombstones = 0
+}
+
+// freeSlot returns a slab slot to the free list. The generation is bumped on
+// the next allocation, so EventIDs referring to this occupancy go stale.
+func (k *Kernel) freeSlot(slot uint32) {
+	se := &k.slab[slot]
+	se.fn = nil
+	se.canceled = false
+	k.free = append(k.free, slot)
+}
+
+// less orders heap entries by (time, insertion sequence): FIFO among
+// same-time events.
+func (k *Kernel) less(i, j int) bool {
+	if k.heap[i].time != k.heap[j].time {
+		return k.heap[i].time < k.heap[j].time
+	}
+	return k.heap[i].seq < k.heap[j].seq
+}
+
+func (k *Kernel) heapPush(e heapEntry) {
+	k.heap = append(k.heap, e)
+	k.siftUp(len(k.heap) - 1)
+}
+
+func (k *Kernel) heapPop() heapEntry {
+	top := k.heap[0]
+	n := len(k.heap) - 1
+	k.heap[0] = k.heap[n]
+	k.heap = k.heap[:n]
+	if n > 1 {
+		k.siftDown(0)
+	}
+	return top
+}
+
+func (k *Kernel) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !k.less(i, parent) {
+			return
+		}
+		k.heap[i], k.heap[parent] = k.heap[parent], k.heap[i]
+		i = parent
+	}
+}
+
+func (k *Kernel) siftDown(i int) {
+	n := len(k.heap)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		min := left
+		if right := left + 1; right < n && k.less(right, left) {
+			min = right
+		}
+		if !k.less(min, i) {
+			return
+		}
+		k.heap[i], k.heap[min] = k.heap[min], k.heap[i]
+		i = min
+	}
 }
 
 // NewRNG returns a deterministic random stream for the given seed and stream

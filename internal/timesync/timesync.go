@@ -91,11 +91,18 @@ func (c Config) Validate() error {
 // Sync simulates the synchronization state of every node in a gateway-rooted
 // mesh. The gateway's clock is the time reference (zero error by
 // definition).
+//
+// Node state is dense, indexed by NodeID, and all RNG draws happen in
+// ascending node order — both at construction and on every resync — so a
+// given seed always produces the same per-node error sequence regardless of
+// how the caller's depth map was built (map iteration order must never leak
+// into simulation results).
 type Sync struct {
-	cfg    Config
-	depths map[topology.NodeID]int
-	clocks map[topology.NodeID]*Clock
-	rng    *rand.Rand
+	cfg     Config
+	depths  []int
+	clocks  []Clock
+	present []bool
+	rng     *rand.Rand
 }
 
 // New creates the synchronization model for nodes with the given tree
@@ -107,25 +114,38 @@ func New(cfg Config, depths map[topology.NodeID]int, seed int64) (*Sync, error) 
 	if len(depths) == 0 {
 		return nil, errors.New("timesync: no nodes")
 	}
-	rng := sim.NewRNG(seed, 101)
-	s := &Sync{
-		cfg:    cfg,
-		depths: make(map[topology.NodeID]int, len(depths)),
-		clocks: make(map[topology.NodeID]*Clock, len(depths)),
-		rng:    rng,
-	}
+	maxID := topology.NodeID(0)
 	for n, d := range depths {
 		if d < 0 {
 			return nil, fmt.Errorf("timesync: negative depth %d for node %d", d, n)
 		}
+		if n < 0 {
+			return nil, fmt.Errorf("timesync: negative node id %d", n)
+		}
+		if n > maxID {
+			maxID = n
+		}
+	}
+	rng := sim.NewRNG(seed, 101)
+	s := &Sync{
+		cfg:     cfg,
+		depths:  make([]int, maxID+1),
+		clocks:  make([]Clock, maxID+1),
+		present: make([]bool, maxID+1),
+		rng:     rng,
+	}
+	// Draw initial clock state in ascending node order for determinism.
+	for n := topology.NodeID(0); n <= maxID; n++ {
+		d, ok := depths[n]
+		if !ok {
+			continue
+		}
+		s.present[n] = true
 		s.depths[n] = d
-		c := &Clock{
-			DriftPPM: (rng.Float64()*2 - 1) * cfg.MaxDriftPPM,
-		}
+		s.clocks[n].DriftPPM = (rng.Float64()*2 - 1) * cfg.MaxDriftPPM
 		if d > 0 {
-			c.Offset = time.Duration(rng.NormFloat64() * float64(cfg.InitialOffsetStd))
+			s.clocks[n].Offset = time.Duration(rng.NormFloat64() * float64(cfg.InitialOffsetStd))
 		}
-		s.clocks[n] = c
 	}
 	return s, nil
 }
@@ -161,9 +181,14 @@ func (s *Sync) Start(k *sim.Kernel) (stop func(), err error) {
 
 // Resync performs one beacon flood at true time t: every node receives the
 // gateway reference over depth hops, each adding independent Gaussian
-// timestamping error, and applies an offset correction.
+// timestamping error, and applies an offset correction. Nodes are processed
+// in ascending ID order so the RNG draw sequence is reproducible.
 func (s *Sync) Resync(t time.Duration) {
-	for n, c := range s.clocks {
+	for n := range s.clocks {
+		if !s.present[n] {
+			continue
+		}
+		c := &s.clocks[n]
 		d := s.depths[n]
 		if d == 0 {
 			c.Offset = 0
@@ -181,20 +206,18 @@ func (s *Sync) Resync(t time.Duration) {
 
 // ErrorAt returns the clock error of node n at true time t.
 func (s *Sync) ErrorAt(n topology.NodeID, t time.Duration) (time.Duration, error) {
-	c, ok := s.clocks[n]
-	if !ok {
+	if n < 0 || int(n) >= len(s.clocks) || !s.present[n] {
 		return 0, fmt.Errorf("timesync: unknown node %d", n)
 	}
-	return c.Error(t), nil
+	return s.clocks[n].Error(t), nil
 }
 
 // Clock returns the clock of node n (for tests and inspection).
 func (s *Sync) Clock(n topology.NodeID) (*Clock, error) {
-	c, ok := s.clocks[n]
-	if !ok {
+	if n < 0 || int(n) >= len(s.clocks) || !s.present[n] {
 		return nil, fmt.Errorf("timesync: unknown node %d", n)
 	}
-	return c, nil
+	return &s.clocks[n], nil
 }
 
 // PredictedErrorStd returns the analytic standard deviation of a node's
