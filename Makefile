@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check differential bench bench-full bench-json clean
+.PHONY: all build test vet race check differential lpdebug profile bench bench-full bench-json clean
 
 all: check
 
@@ -18,14 +18,30 @@ test:
 race:
 	$(GO) test -race ./...
 
-# The data-plane overhauls are pinned to their reference implementations:
-# slab kernel vs. heap kernel, dense bitset medium vs. map-based medium,
-# parallel meshbench vs. sequential — all under the race detector.
+# The overhauls are pinned to their reference implementations: slab kernel
+# vs. heap kernel, dense bitset medium vs. map-based medium, parallel
+# meshbench vs. sequential, bounded-variable simplex vs. the dense two-phase
+# oracle, warm-started branch-and-bound vs. cold, incremental window
+# mutation vs. fresh builds — all under the race detector.
 differential:
 	$(GO) test -race -count=1 -run 'TestDifferential|TestWorkersByteIdentical' \
-		./internal/sim ./internal/mac ./cmd/meshbench
+		./internal/sim ./internal/mac ./cmd/meshbench \
+		./internal/lp ./internal/milp ./internal/schedule
 
-check: vet build race differential
+# Re-run the solver packages with the lpdebug build tag: every simplex
+# terminates through an invariant check (basis consistency, B^-1 B = I,
+# primal feasibility, dual sign conditions).
+lpdebug:
+	$(GO) test -count=1 -tags lpdebug ./internal/lp ./internal/milp ./internal/schedule
+
+check: vet build race differential lpdebug
+
+# CPU+heap profile of the scheduler-bound experiments (see README
+# "Performance" for reading the output).
+profile:
+	$(GO) run ./cmd/meshbench -only R7 -workers 1 \
+		-cpuprofile cpu.prof -memprofile mem.prof
+	$(GO) tool pprof -top -nodecount 15 cpu.prof
 
 # Hot-path micro-benchmarks (kernel schedule/cancel, medium transmit, DCF
 # saturation); the first three must report 0 allocs/op.

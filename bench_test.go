@@ -305,6 +305,80 @@ func BenchmarkSimplexLP(b *testing.B) {
 	}
 }
 
+// BenchmarkLPSolve measures the steady-state simplex hot path of the
+// branch-and-bound search: one Compile up front, then repeated solves from a
+// pooled workspace. Pivoting itself is allocation-free; the reported allocs
+// are the returned Solution.
+func BenchmarkLPSolve(b *testing.B) {
+	p := lp.NewProblem(lp.Maximize, 20)
+	for j := 0; j < 20; j++ {
+		if err := p.SetObjCoef(j, float64(j%7+1)); err != nil {
+			b.Fatal(err)
+		}
+		if err := p.SetUpper(j, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for r := 0; r < 25; r++ {
+		coef := make(map[int]float64, 4)
+		for k := 0; k < 4; k++ {
+			coef[(r*3+k*5)%20] = float64(k + 1)
+		}
+		if err := p.AddConstraint(coef, lp.LE, float64(20+r)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	c, err := lp.Compile(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	solver := lp.NewSolver()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := solver.Solve(c, nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMILPWarmVsCold runs the same window-feasibility integer program
+// with parent-snapshot warm starts (the default) and with Options.ColdStart
+// re-solving every node from scratch.
+func BenchmarkMILPWarmVsCold(b *testing.B) {
+	frame := tdma.FrameConfig{FrameDuration: 80 * time.Millisecond, DataSlots: 64}
+	p := chainProblem(b, 12, frame)
+	for _, tc := range []struct {
+		name string
+		cold bool
+	}{{"warm", false}, {"cold", true}} {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := schedule.SolveWindow(p, 3, frame,
+					milp.Options{MaxNodes: 200_000, Workers: 1, ColdStart: tc.cold}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMinSlotsSearch measures the incremental minimum-window search:
+// one ILP build, galloping + binary probes re-solving after bound/coefficient
+// mutation.
+func BenchmarkMinSlotsSearch(b *testing.B) {
+	frame := tdma.FrameConfig{FrameDuration: 80 * time.Millisecond, DataSlots: 64}
+	p := chainProblem(b, 16, frame)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := schedule.MinSlots(p, frame, milp.Options{MaxNodes: 200_000, Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkKernelEventThroughput(b *testing.B) {
 	k := sim.NewKernel()
 	b.ResetTimer()

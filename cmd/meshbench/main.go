@@ -9,6 +9,7 @@
 //	meshbench -list                    # list experiments
 //	meshbench -workers 1               # sequential (output is byte-identical)
 //	meshbench -json BENCH_2026-08-05.json  # also record metrics + wall clock
+//	meshbench -only R7 -cpuprofile cpu.prof -memprofile mem.prof
 //
 // Experiments (and their scenario points) are independent deterministic
 // simulations, so -workers changes wall-clock only: tables are collected
@@ -23,6 +24,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -63,9 +65,35 @@ func run(args []string, out io.Writer) error {
 		csvOut  = fs.Bool("csv", false, "emit CSV instead of aligned tables")
 		jsonOut = fs.String("json", "", "also write metrics and per-experiment wall clock to this file (convention: BENCH_<date>.json)")
 		workers = fs.Int("workers", runtime.GOMAXPROCS(0), "how many experiments/scenario points run concurrently; 1 = sequential (results are bit-identical either way)")
+		cpuProf = fs.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with go tool pprof)")
+		memProf = fs.String("memprofile", "", "write an allocation profile taken after the run to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+		defer func() {
+			runtime.GC() // settle live objects so the heap profile is sharp
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "meshbench: memprofile:", err)
+			}
+			f.Close()
+		}()
 	}
 	experiments.SetWorkers(*workers)
 	if *list {

@@ -1,0 +1,7 @@
+//go:build !lpdebug
+
+package lp
+
+// debugCheck is a no-op unless built with -tags lpdebug, which enables the
+// solver invariant checks in invariant_on.go.
+func debugCheck(*Compiled, *Solver) error { return nil }

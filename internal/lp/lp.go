@@ -1,4 +1,4 @@
-// Package lp implements a dense two-phase primal simplex solver for linear
+// Package lp implements a bounded-variable revised simplex solver for linear
 // programs, built for the small-to-medium integer programs produced by TDMA
 // schedule optimization (internal/milp wraps it with branch-and-bound).
 //
@@ -6,16 +6,24 @@
 //
 //	min/max  c . x
 //	s.t.     a_i . x  (<=|=|>=)  b_i      for each constraint i
-//	         0 <= x_j <= u_j              (u_j may be +Inf)
+//	         l_j <= x_j <= u_j            (l_j defaults to 0, u_j to +Inf)
 //
-// The solver uses Dantzig pricing with a Bland's-rule fallback for
-// anti-cycling, and explicit upper bounds implemented as constraint rows.
+// Constraint rows are stored sparsely (parallel index/value slices). Variable
+// bounds are handled implicitly by the solver via nonbasic-at-bound statuses,
+// not as extra constraint rows, so the working basis has one row per
+// constraint regardless of how many variables are bounded. Solving is split
+// into Compile (immutable matrix form, shareable across goroutines) and
+// Solver (a reusable workspace whose steady-state pivoting is
+// allocation-free); Problem.Solve is a convenience wrapper over a pooled
+// Solver.
 package lp
 
 import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
+	"sync"
 )
 
 // Sense is the optimization direction.
@@ -58,18 +66,22 @@ var (
 )
 
 const (
-	// eps is the general numerical tolerance.
+	// eps is the general numerical tolerance on reduced costs and pivots.
 	eps = 1e-9
-	// blandThreshold switches pricing to Bland's rule after this many
-	// iterations without improvement, guaranteeing termination.
+	// feasTol is the primal feasibility tolerance on variable bounds.
+	feasTol = 1e-7
+	// blandThreshold switches pivot selection to Bland's rule after this
+	// many iterations, guaranteeing termination on degenerate problems.
 	blandThreshold = 500
 )
 
-// Constraint is one linear row: Coef . x Rel RHS. Coef is sparse.
-type Constraint struct {
-	Coef map[int]float64
-	Rel  Rel
-	RHS  float64
+// Row is one sparse constraint row: sum_k Val[k]*x[Idx[k]] Rel RHS. Idx is
+// ascending with no duplicates.
+type Row struct {
+	Idx []int32
+	Val []float64
+	Rel Rel
+	RHS float64
 }
 
 // Problem is a linear program under construction. Create with NewProblem,
@@ -77,8 +89,9 @@ type Constraint struct {
 type Problem struct {
 	sense Sense
 	obj   []float64
+	lower []float64
 	upper []float64
-	rows  []Constraint
+	rows  []Row
 }
 
 // NewProblem returns a problem with numVars variables, all with bounds
@@ -91,8 +104,19 @@ func NewProblem(sense Sense, numVars int) *Problem {
 	return &Problem{
 		sense: sense,
 		obj:   make([]float64, numVars),
+		lower: make([]float64, numVars),
 		upper: upper,
 	}
+}
+
+// NewProblemShared wraps caller-owned objective, bound, and row slices
+// without copying them. The caller promises the slices stay alive and are
+// not resized while the problem is in use; mutating bound or RHS values
+// between Compile calls is allowed and is the intended way to re-solve a
+// structurally identical program with new data (internal/milp and
+// internal/schedule use this to rebuild nothing between iterations).
+func NewProblemShared(sense Sense, obj, lower, upper []float64, rows []Row) *Problem {
+	return &Problem{sense: sense, obj: obj, lower: lower, upper: upper, rows: rows}
 }
 
 // NumVars returns the number of structural variables.
@@ -100,6 +124,9 @@ func (p *Problem) NumVars() int { return len(p.obj) }
 
 // NumConstraints returns the number of constraint rows (not counting bounds).
 func (p *Problem) NumConstraints() int { return len(p.rows) }
+
+// Sense returns the optimization direction.
+func (p *Problem) Sense() Sense { return p.sense }
 
 // SetObjCoef sets the objective coefficient of variable j.
 func (p *Problem) SetObjCoef(j int, v float64) error {
@@ -110,7 +137,7 @@ func (p *Problem) SetObjCoef(j int, v float64) error {
 	return nil
 }
 
-// SetUpper sets the upper bound of variable j (lower bound is always 0).
+// SetUpper sets the upper bound of variable j.
 func (p *Problem) SetUpper(j int, u float64) error {
 	if j < 0 || j >= len(p.obj) {
 		return fmt.Errorf("lp: bound variable %d out of range", j)
@@ -125,38 +152,88 @@ func (p *Problem) SetUpper(j int, u float64) error {
 // Upper returns the upper bound of variable j.
 func (p *Problem) Upper(j int) float64 { return p.upper[j] }
 
+// SetLower sets the lower bound of variable j (default 0). A lower bound of
+// -Inf makes the variable free below; the solver handles it via an
+// artificial bound internally.
+func (p *Problem) SetLower(j int, l float64) error {
+	if j < 0 || j >= len(p.obj) {
+		return fmt.Errorf("lp: bound variable %d out of range", j)
+	}
+	if math.IsNaN(l) {
+		return fmt.Errorf("lp: NaN lower bound for variable %d", j)
+	}
+	p.lower[j] = l
+	return nil
+}
+
+// Lower returns the lower bound of variable j.
+func (p *Problem) Lower(j int) float64 { return p.lower[j] }
+
 // Clone returns an independent copy of the problem that can be tightened and
 // solved without affecting the original: objective and bound slices are
 // copied, and the row slice is copied at exact length so appends on either
-// copy never share backing storage. The per-row coefficient maps are shared —
-// neither AddConstraint nor Solve ever mutates an existing row — which makes
-// cloning cheap enough to use per branch-and-bound node.
+// copy never share backing storage. The per-row index/value slices are shared
+// — no Problem method mutates an existing row — which keeps cloning cheap.
 func (p *Problem) Clone() *Problem {
-	rows := make([]Constraint, len(p.rows))
+	rows := make([]Row, len(p.rows))
 	copy(rows, p.rows)
 	return &Problem{
 		sense: p.sense,
 		obj:   append([]float64(nil), p.obj...),
+		lower: append([]float64(nil), p.lower...),
 		upper: append([]float64(nil), p.upper...),
 		rows:  rows,
 	}
 }
 
-// AddConstraint adds the row coef . x rel rhs. The coefficient map is copied.
+// AddConstraint adds the row coef . x rel rhs. The map is converted to the
+// sparse row form (ascending indices, zero coefficients dropped); prefer
+// AddConstraintIdx in hot paths to skip the conversion.
 func (p *Problem) AddConstraint(coef map[int]float64, rel Rel, rhs float64) error {
-	if rel != LE && rel != GE && rel != EQ {
-		return fmt.Errorf("lp: bad relation %d", int(rel))
-	}
-	cp := make(map[int]float64, len(coef))
+	idx := make([]int32, 0, len(coef))
 	for j, v := range coef {
 		if j < 0 || j >= len(p.obj) {
 			return fmt.Errorf("lp: constraint variable %d out of range", j)
 		}
 		if v != 0 {
-			cp[j] = v
+			idx = append(idx, int32(j))
 		}
 	}
-	p.rows = append(p.rows, Constraint{Coef: cp, Rel: rel, RHS: rhs})
+	sort.Slice(idx, func(a, b int) bool { return idx[a] < idx[b] })
+	val := make([]float64, len(idx))
+	for k, j := range idx {
+		val[k] = coef[int(j)]
+	}
+	return p.addRow(Row{Idx: idx, Val: val, Rel: rel, RHS: rhs})
+}
+
+// AddConstraintIdx adds the sparse row sum_k val[k]*x[idx[k]] rel rhs. The
+// indices must be ascending without duplicates; both slices are copied.
+func (p *Problem) AddConstraintIdx(idx []int32, val []float64, rel Rel, rhs float64) error {
+	if len(idx) != len(val) {
+		return fmt.Errorf("lp: index/value length mismatch %d != %d", len(idx), len(val))
+	}
+	return p.addRow(Row{
+		Idx: append([]int32(nil), idx...),
+		Val: append([]float64(nil), val...),
+		Rel: rel,
+		RHS: rhs,
+	})
+}
+
+func (p *Problem) addRow(r Row) error {
+	if r.Rel != LE && r.Rel != GE && r.Rel != EQ {
+		return fmt.Errorf("lp: bad relation %d", int(r.Rel))
+	}
+	for k, j := range r.Idx {
+		if j < 0 || int(j) >= len(p.obj) {
+			return fmt.Errorf("lp: constraint variable %d out of range", j)
+		}
+		if k > 0 && j <= r.Idx[k-1] {
+			return fmt.Errorf("lp: constraint indices not ascending at %d", j)
+		}
+	}
+	p.rows = append(p.rows, r)
 	return nil
 }
 
@@ -164,299 +241,21 @@ func (p *Problem) AddConstraint(coef map[int]float64, rel Rel, rhs float64) erro
 type Solution struct {
 	X         []float64
 	Objective float64
-	// Iterations is the total simplex pivot count across both phases.
+	// Iterations is the simplex pivot count.
 	Iterations int
 }
 
-// Solve optimizes the problem and returns the optimum, ErrInfeasible, or
-// ErrUnbounded.
+// solverPool backs Problem.Solve so one-shot solves reuse workspaces.
+var solverPool = sync.Pool{New: func() any { return NewSolver() }}
+
+// Solve compiles and optimizes the problem with a pooled solver workspace
+// and returns the optimum, ErrInfeasible, or ErrUnbounded.
 func (p *Problem) Solve() (*Solution, error) {
-	t, err := newTableau(p)
+	c, err := Compile(p)
 	if err != nil {
 		return nil, err
 	}
-	iters1, err := t.phase1()
-	if err != nil {
-		return nil, err
-	}
-	iters2, err := t.phase2()
-	if err != nil {
-		return nil, err
-	}
-	x := t.extract(p.NumVars())
-	obj := 0.0
-	for j, c := range p.obj {
-		obj += c * x[j]
-	}
-	return &Solution{X: x, Objective: obj, Iterations: iters1 + iters2}, nil
-}
-
-// tableau is the dense simplex tableau: rows a[i], rhs b[i], basis[i] is the
-// variable basic in row i. Column layout: structural vars, then slack/surplus,
-// then artificials.
-type tableau struct {
-	a        [][]float64
-	b        []float64
-	basis    []int
-	cost     []float64 // phase-2 cost (minimization form)
-	nStruct  int
-	nTotal   int
-	artStart int // first artificial column
-	maxIter  int
-}
-
-func newTableau(p *Problem) (*tableau, error) {
-	// Materialize finite upper bounds as extra LE rows.
-	rows := make([]Constraint, 0, len(p.rows)+p.NumVars())
-	rows = append(rows, p.rows...)
-	for j, u := range p.upper {
-		if !math.IsInf(u, 1) {
-			rows = append(rows, Constraint{Coef: map[int]float64{j: 1}, Rel: LE, RHS: u})
-		}
-	}
-
-	m := len(rows)
-	nStruct := p.NumVars()
-
-	// Count auxiliary columns.
-	nSlack, nArt := 0, 0
-	for _, r := range rows {
-		rhs, rel := r.RHS, r.Rel
-		if rhs < 0 {
-			rel = flip(rel)
-		}
-		switch rel {
-		case LE:
-			nSlack++
-		case GE:
-			nSlack++
-			nArt++
-		case EQ:
-			nArt++
-		}
-	}
-	nTotal := nStruct + nSlack + nArt
-	t := &tableau{
-		a:        make([][]float64, m),
-		b:        make([]float64, m),
-		basis:    make([]int, m),
-		cost:     make([]float64, nTotal),
-		nStruct:  nStruct,
-		nTotal:   nTotal,
-		artStart: nStruct + nSlack,
-		maxIter:  20000 + 50*(m+nTotal),
-	}
-
-	// Phase-2 cost in minimization form.
-	sign := 1.0
-	if p.sense == Maximize {
-		sign = -1
-	}
-	for j, c := range p.obj {
-		t.cost[j] = sign * c
-	}
-
-	slack, art := nStruct, t.artStart
-	for i, r := range rows {
-		row := make([]float64, nTotal)
-		rhs, rel := r.RHS, r.Rel
-		rowSign := 1.0
-		if rhs < 0 {
-			rhs, rel, rowSign = -rhs, flip(rel), -1
-		}
-		for j, v := range r.Coef {
-			row[j] = rowSign * v
-		}
-		switch rel {
-		case LE:
-			row[slack] = 1
-			t.basis[i] = slack
-			slack++
-		case GE:
-			row[slack] = -1
-			slack++
-			row[art] = 1
-			t.basis[i] = art
-			art++
-		case EQ:
-			row[art] = 1
-			t.basis[i] = art
-			art++
-		}
-		t.a[i] = row
-		t.b[i] = rhs
-	}
-	return t, nil
-}
-
-func flip(r Rel) Rel {
-	switch r {
-	case LE:
-		return GE
-	case GE:
-		return LE
-	default:
-		return EQ
-	}
-}
-
-// phase1 minimizes the sum of artificial variables; a positive optimum means
-// the problem is infeasible.
-func (t *tableau) phase1() (int, error) {
-	if t.artStart == t.nTotal {
-		return 0, nil // no artificials
-	}
-	cost := make([]float64, t.nTotal)
-	for j := t.artStart; j < t.nTotal; j++ {
-		cost[j] = 1
-	}
-	iters, err := t.optimize(cost, true)
-	if err != nil {
-		return iters, err
-	}
-	// Objective value of phase 1.
-	val := 0.0
-	for i, bi := range t.basis {
-		if bi >= t.artStart {
-			val += t.b[i]
-		}
-	}
-	if val > 1e-7 {
-		return iters, ErrInfeasible
-	}
-	// Pivot artificials out of the basis where possible; drop redundant rows.
-	for i := 0; i < len(t.basis); i++ {
-		if t.basis[i] < t.artStart {
-			continue
-		}
-		pivoted := false
-		for j := 0; j < t.artStart; j++ {
-			if math.Abs(t.a[i][j]) > eps {
-				t.pivot(i, j)
-				pivoted = true
-				break
-			}
-		}
-		if !pivoted {
-			// Redundant row: remove it.
-			t.a = append(t.a[:i], t.a[i+1:]...)
-			t.b = append(t.b[:i], t.b[i+1:]...)
-			t.basis = append(t.basis[:i], t.basis[i+1:]...)
-			i--
-		}
-	}
-	return iters, nil
-}
-
-// phase2 minimizes the true cost from the phase-1 feasible basis.
-func (t *tableau) phase2() (int, error) {
-	return t.optimize(t.cost, false)
-}
-
-// optimize runs primal simplex with reduced costs computed against cost.
-// In phase 1 (allowArt), artificial columns may leave but never re-enter.
-func (t *tableau) optimize(cost []float64, phase1 bool) (int, error) {
-	for iter := 0; iter < t.maxIter; iter++ {
-		// Reduced costs: r_j = c_j - c_B . B^-1 A_j; with the tableau kept
-		// in canonical form this is c_j - sum_i c_basis[i] * a[i][j].
-		enter := -1
-		var bestR float64
-		useBland := iter > blandThreshold
-		limit := t.nTotal
-		if !phase1 {
-			limit = t.artStart // artificials never re-enter in phase 2
-		}
-		for j := 0; j < limit; j++ {
-			if inBasis(t.basis, j) {
-				continue
-			}
-			r := cost[j]
-			for i := range t.a {
-				if cb := cost[t.basis[i]]; cb != 0 {
-					r -= cb * t.a[i][j]
-				}
-			}
-			if r < -eps {
-				if useBland {
-					enter = j
-					break
-				}
-				if enter == -1 || r < bestR {
-					enter, bestR = j, r
-				}
-			}
-		}
-		if enter == -1 {
-			return iter, nil // optimal
-		}
-		// Ratio test.
-		leave := -1
-		var bestRatio float64
-		for i := range t.a {
-			if t.a[i][enter] > eps {
-				ratio := t.b[i] / t.a[i][enter]
-				if leave == -1 || ratio < bestRatio-eps ||
-					(ratio < bestRatio+eps && t.basis[i] < t.basis[leave]) {
-					leave, bestRatio = i, ratio
-				}
-			}
-		}
-		if leave == -1 {
-			if phase1 {
-				// Phase-1 objective is bounded below by 0; unbounded here
-				// indicates a numerical failure.
-				return iter, fmt.Errorf("lp: phase-1 unbounded (numerical failure)")
-			}
-			return iter, ErrUnbounded
-		}
-		t.pivot(leave, enter)
-	}
-	return t.maxIter, ErrIterLimit
-}
-
-func (t *tableau) pivot(row, col int) {
-	pv := t.a[row][col]
-	inv := 1 / pv
-	for j := range t.a[row] {
-		t.a[row][j] *= inv
-	}
-	t.b[row] *= inv
-	t.a[row][col] = 1 // exact
-	for i := range t.a {
-		if i == row {
-			continue
-		}
-		f := t.a[i][col]
-		if f == 0 {
-			continue
-		}
-		for j := range t.a[i] {
-			t.a[i][j] -= f * t.a[row][j]
-		}
-		t.a[i][col] = 0 // exact
-		t.b[i] -= f * t.b[row]
-		if t.b[i] < 0 && t.b[i] > -1e-11 {
-			t.b[i] = 0
-		}
-	}
-	t.basis[row] = col
-}
-
-func (t *tableau) extract(nStruct int) []float64 {
-	x := make([]float64, nStruct)
-	for i, bi := range t.basis {
-		if bi < nStruct {
-			x[bi] = t.b[i]
-		}
-	}
-	return x
-}
-
-func inBasis(basis []int, j int) bool {
-	for _, b := range basis {
-		if b == j {
-			return true
-		}
-	}
-	return false
+	s := solverPool.Get().(*Solver)
+	defer solverPool.Put(s)
+	return s.Solve(c, nil, nil)
 }

@@ -1,0 +1,318 @@
+package lp
+
+// The pre-overhaul dense two-phase primal simplex, kept verbatim as a
+// differential oracle: refSolve must agree with the bounded-variable dual
+// simplex on status (optimal/infeasible/unbounded) and objective value for
+// every problem with default zero lower bounds. Alternate optimal vertices
+// are expected, so X is compared only through feasibility and objective.
+
+import (
+	"fmt"
+	"math"
+)
+
+// refConstraint is one dense-oracle row in the old map form.
+type refConstraint struct {
+	coef map[int]float64
+	rel  Rel
+	rhs  float64
+}
+
+// refSolve runs the reference solver on a Problem with zero lower bounds.
+func refSolve(p *Problem) (*Solution, error) {
+	for j := 0; j < p.NumVars(); j++ {
+		if p.lower[j] != 0 {
+			return nil, fmt.Errorf("reference solver requires zero lower bounds")
+		}
+	}
+	t, err := newRefTableau(p)
+	if err != nil {
+		return nil, err
+	}
+	iters1, err := t.phase1()
+	if err != nil {
+		return nil, err
+	}
+	iters2, err := t.phase2()
+	if err != nil {
+		return nil, err
+	}
+	x := t.extract(p.NumVars())
+	obj := 0.0
+	for j, c := range p.obj {
+		obj += c * x[j]
+	}
+	return &Solution{X: x, Objective: obj, Iterations: iters1 + iters2}, nil
+}
+
+// refTableau is the dense simplex tableau: rows a[i], rhs b[i], basis[i] is
+// the variable basic in row i. Column layout: structural vars, then
+// slack/surplus, then artificials.
+type refTableau struct {
+	a        [][]float64
+	b        []float64
+	basis    []int
+	cost     []float64 // phase-2 cost (minimization form)
+	nStruct  int
+	nTotal   int
+	artStart int // first artificial column
+	maxIter  int
+}
+
+func newRefTableau(p *Problem) (*refTableau, error) {
+	// Materialize finite upper bounds as extra LE rows.
+	rows := make([]refConstraint, 0, len(p.rows)+p.NumVars())
+	for _, r := range p.rows {
+		coef := make(map[int]float64, len(r.Idx))
+		for k, j := range r.Idx {
+			coef[int(j)] = r.Val[k]
+		}
+		rows = append(rows, refConstraint{coef: coef, rel: r.Rel, rhs: r.RHS})
+	}
+	for j, u := range p.upper {
+		if !math.IsInf(u, 1) {
+			rows = append(rows, refConstraint{coef: map[int]float64{j: 1}, rel: LE, rhs: u})
+		}
+	}
+
+	m := len(rows)
+	nStruct := p.NumVars()
+
+	// Count auxiliary columns.
+	nSlack, nArt := 0, 0
+	for _, r := range rows {
+		rhs, rel := r.rhs, r.rel
+		if rhs < 0 {
+			rel = refFlip(rel)
+		}
+		switch rel {
+		case LE:
+			nSlack++
+		case GE:
+			nSlack++
+			nArt++
+		case EQ:
+			nArt++
+		}
+	}
+	nTotal := nStruct + nSlack + nArt
+	t := &refTableau{
+		a:        make([][]float64, m),
+		b:        make([]float64, m),
+		basis:    make([]int, m),
+		cost:     make([]float64, nTotal),
+		nStruct:  nStruct,
+		nTotal:   nTotal,
+		artStart: nStruct + nSlack,
+		maxIter:  20000 + 50*(m+nTotal),
+	}
+
+	// Phase-2 cost in minimization form.
+	sign := 1.0
+	if p.sense == Maximize {
+		sign = -1
+	}
+	for j, c := range p.obj {
+		t.cost[j] = sign * c
+	}
+
+	slack, art := nStruct, t.artStart
+	for i, r := range rows {
+		row := make([]float64, nTotal)
+		rhs, rel := r.rhs, r.rel
+		rowSign := 1.0
+		if rhs < 0 {
+			rhs, rel, rowSign = -rhs, refFlip(rel), -1
+		}
+		for j, v := range r.coef {
+			row[j] = rowSign * v
+		}
+		switch rel {
+		case LE:
+			row[slack] = 1
+			t.basis[i] = slack
+			slack++
+		case GE:
+			row[slack] = -1
+			slack++
+			row[art] = 1
+			t.basis[i] = art
+			art++
+		case EQ:
+			row[art] = 1
+			t.basis[i] = art
+			art++
+		}
+		t.a[i] = row
+		t.b[i] = rhs
+	}
+	return t, nil
+}
+
+func refFlip(r Rel) Rel {
+	switch r {
+	case LE:
+		return GE
+	case GE:
+		return LE
+	default:
+		return EQ
+	}
+}
+
+// phase1 minimizes the sum of artificial variables; a positive optimum means
+// the problem is infeasible.
+func (t *refTableau) phase1() (int, error) {
+	if t.artStart == t.nTotal {
+		return 0, nil // no artificials
+	}
+	cost := make([]float64, t.nTotal)
+	for j := t.artStart; j < t.nTotal; j++ {
+		cost[j] = 1
+	}
+	iters, err := t.optimize(cost, true)
+	if err != nil {
+		return iters, err
+	}
+	// Objective value of phase 1.
+	val := 0.0
+	for i, bi := range t.basis {
+		if bi >= t.artStart {
+			val += t.b[i]
+		}
+	}
+	if val > 1e-7 {
+		return iters, ErrInfeasible
+	}
+	// Pivot artificials out of the basis where possible; drop redundant rows.
+	for i := 0; i < len(t.basis); i++ {
+		if t.basis[i] < t.artStart {
+			continue
+		}
+		pivoted := false
+		for j := 0; j < t.artStart; j++ {
+			if math.Abs(t.a[i][j]) > eps {
+				t.pivot(i, j)
+				pivoted = true
+				break
+			}
+		}
+		if !pivoted {
+			// Redundant row: remove it.
+			t.a = append(t.a[:i], t.a[i+1:]...)
+			t.b = append(t.b[:i], t.b[i+1:]...)
+			t.basis = append(t.basis[:i], t.basis[i+1:]...)
+			i--
+		}
+	}
+	return iters, nil
+}
+
+// phase2 minimizes the true cost from the phase-1 feasible basis.
+func (t *refTableau) phase2() (int, error) {
+	return t.optimize(t.cost, false)
+}
+
+// optimize runs primal simplex with reduced costs computed against cost.
+// In phase 1, artificial columns may leave but never re-enter phase 2.
+func (t *refTableau) optimize(cost []float64, phase1 bool) (int, error) {
+	for iter := 0; iter < t.maxIter; iter++ {
+		enter := -1
+		var bestR float64
+		useBland := iter > blandThreshold
+		limit := t.nTotal
+		if !phase1 {
+			limit = t.artStart // artificials never re-enter in phase 2
+		}
+		for j := 0; j < limit; j++ {
+			if refInBasis(t.basis, j) {
+				continue
+			}
+			r := cost[j]
+			for i := range t.a {
+				if cb := cost[t.basis[i]]; cb != 0 {
+					r -= cb * t.a[i][j]
+				}
+			}
+			if r < -eps {
+				if useBland {
+					enter = j
+					break
+				}
+				if enter == -1 || r < bestR {
+					enter, bestR = j, r
+				}
+			}
+		}
+		if enter == -1 {
+			return iter, nil // optimal
+		}
+		// Ratio test.
+		leave := -1
+		var bestRatio float64
+		for i := range t.a {
+			if t.a[i][enter] > eps {
+				ratio := t.b[i] / t.a[i][enter]
+				if leave == -1 || ratio < bestRatio-eps ||
+					(ratio < bestRatio+eps && t.basis[i] < t.basis[leave]) {
+					leave, bestRatio = i, ratio
+				}
+			}
+		}
+		if leave == -1 {
+			if phase1 {
+				return iter, fmt.Errorf("lp: phase-1 unbounded (numerical failure)")
+			}
+			return iter, ErrUnbounded
+		}
+		t.pivot(leave, enter)
+	}
+	return t.maxIter, ErrIterLimit
+}
+
+func (t *refTableau) pivot(row, col int) {
+	pv := t.a[row][col]
+	inv := 1 / pv
+	for j := range t.a[row] {
+		t.a[row][j] *= inv
+	}
+	t.b[row] *= inv
+	t.a[row][col] = 1 // exact
+	for i := range t.a {
+		if i == row {
+			continue
+		}
+		f := t.a[i][col]
+		if f == 0 {
+			continue
+		}
+		for j := range t.a[i] {
+			t.a[i][j] -= f * t.a[row][j]
+		}
+		t.a[i][col] = 0 // exact
+		t.b[i] -= f * t.b[row]
+		if t.b[i] < 0 && t.b[i] > -1e-11 {
+			t.b[i] = 0
+		}
+	}
+	t.basis[row] = col
+}
+
+func (t *refTableau) extract(nStruct int) []float64 {
+	x := make([]float64, nStruct)
+	for i, bi := range t.basis {
+		if bi < nStruct {
+			x[bi] = t.b[i]
+		}
+	}
+	return x
+}
+
+func refInBasis(basis []int, j int) bool {
+	for _, b := range basis {
+		if b == j {
+			return true
+		}
+	}
+	return false
+}

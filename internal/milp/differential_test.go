@@ -1,0 +1,147 @@
+package milp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestDifferentialWarmVsCold solves random integer programs with the default
+// warm-started node relaxations (dual-simplex cleanup from the root basis)
+// and with Options.ColdStart, and demands matching outcomes: same error
+// class, same objective, and the same optimality proof. The two modes may
+// pick different vertices of tied relaxations — and therefore different
+// trees and node counts — so X is compared through a brute-force check of
+// the objective instead of element-wise. Runs under -race from `make
+// differential`.
+func TestDifferentialWarmVsCold(t *testing.T) {
+	rng := rand.New(rand.NewSource(4321))
+	feasible, infeasible := 0, 0
+	for trial := 0; trial < 80; trial++ {
+		m := randomModel(t, rng)
+		for _, firstFeasible := range []bool{false, true} {
+			for _, workers := range []int{1, 4} {
+				warm, warmErr := m.Solve(Options{Workers: workers, FirstFeasible: firstFeasible})
+				cold, coldErr := m.Solve(Options{Workers: workers, FirstFeasible: firstFeasible, ColdStart: true})
+				if (warmErr == nil) != (coldErr == nil) {
+					t.Fatalf("trial %d ff=%v w=%d: warm err %v, cold err %v",
+						trial, firstFeasible, workers, warmErr, coldErr)
+				}
+				if warmErr != nil {
+					if !errors.Is(warmErr, ErrInfeasible) || !errors.Is(coldErr, ErrInfeasible) {
+						t.Fatalf("trial %d ff=%v w=%d: error mismatch: warm %v, cold %v",
+							trial, firstFeasible, workers, warmErr, coldErr)
+					}
+					infeasible++
+					continue
+				}
+				feasible++
+				if !firstFeasible && math.Abs(warm.Objective-cold.Objective) > 1e-6 {
+					t.Fatalf("trial %d w=%d: objective warm %g != cold %g",
+						trial, workers, warm.Objective, cold.Objective)
+				}
+				if warm.Optimal != cold.Optimal {
+					t.Fatalf("trial %d ff=%v w=%d: optimal warm %v != cold %v",
+						trial, firstFeasible, workers, warm.Optimal, cold.Optimal)
+				}
+				checkIntegral(t, m, warm.X)
+				checkIntegral(t, m, cold.X)
+			}
+		}
+	}
+	if feasible == 0 || infeasible == 0 {
+		t.Fatalf("weak coverage: %d feasible, %d infeasible outcomes", feasible, infeasible)
+	}
+}
+
+// checkIntegral verifies a solution satisfies every row, bound, and
+// integrality requirement of the model.
+func checkIntegral(t *testing.T, m *Model, x []float64) {
+	t.Helper()
+	const tol = 1e-6
+	for j, v := range m.vars {
+		if x[j] < -tol || x[j] > v.upper+tol {
+			t.Fatalf("x[%d] = %g outside [0, %g]", j, x[j], v.upper)
+		}
+		if v.typ != Continuous && math.Abs(x[j]-math.Round(x[j])) > tol {
+			t.Fatalf("x[%d] = %g not integral", j, x[j])
+		}
+	}
+	for i, r := range m.rows {
+		lhs := 0.0
+		for k, jj := range r.Idx {
+			lhs += r.Val[k] * x[jj]
+		}
+		bad := false
+		switch r.Rel {
+		case LE:
+			bad = lhs > r.RHS+tol
+		case GE:
+			bad = lhs < r.RHS-tol
+		case EQ:
+			bad = math.Abs(lhs-r.RHS) > tol
+		}
+		if bad {
+			t.Fatalf("row %d: %g %v %g violated by %v", i, lhs, r.Rel, r.RHS, x)
+		}
+	}
+}
+
+// TestDifferentialIncrementalMutation re-solves a model after SetRHS /
+// SetCoef / SetUpper mutations and checks the result matches a model built
+// from scratch with the mutated data — the incremental window search in
+// internal/schedule depends on exactly this equivalence.
+func TestDifferentialIncrementalMutation(t *testing.T) {
+	build := func(win float64) (*Model, VarID, VarID, VarID, int, int) {
+		m := NewModel(Minimize)
+		sa, _ := m.AddVar("sa", Integer, win-1, 0)
+		sb, _ := m.AddVar("sb", Integer, win-2, 0)
+		o, _ := m.AddVar("o", Binary, 1, 0)
+		// sb - sa - win*o >= 1 - win ; sa - sb + win*o >= 2
+		r1, err := m.AddConstraintIdx([]VarID{sa, sb, o}, []float64{-1, 1, -win}, GE, 1-win)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := m.AddConstraintIdx([]VarID{sa, sb, o}, []float64{1, -1, win}, GE, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m, sa, sb, o, r1, r2
+	}
+	for win := 3.0; win <= 6; win++ {
+		// Mutate a model built at window 3 up to `win`.
+		m, sa, sb, o, r1, r2 := build(3)
+		if win != 3 {
+			if err := m.SetUpper(sa, win-1); err != nil {
+				t.Fatal(err)
+			}
+			if err := m.SetUpper(sb, win-2); err != nil {
+				t.Fatal(err)
+			}
+			if err := m.SetCoef(r1, o, -win); err != nil {
+				t.Fatal(err)
+			}
+			if err := m.SetRHS(r1, 1-win); err != nil {
+				t.Fatal(err)
+			}
+			if err := m.SetCoef(r2, o, win); err != nil {
+				t.Fatal(err)
+			}
+		}
+		fresh, _, _, _, _, _ := build(win)
+		mutSol, mutErr := m.Solve(Options{FirstFeasible: true, Workers: 1})
+		freshSol, freshErr := fresh.Solve(Options{FirstFeasible: true, Workers: 1})
+		if (mutErr == nil) != (freshErr == nil) {
+			t.Fatalf("win %g: mutated err %v, fresh err %v", win, mutErr, freshErr)
+		}
+		if mutErr != nil {
+			continue
+		}
+		for j := range mutSol.X {
+			if mutSol.X[j] != freshSol.X[j] {
+				t.Fatalf("win %g: X[%d] mutated %g != fresh %g", win, j, mutSol.X[j], freshSol.X[j])
+			}
+		}
+	}
+}

@@ -4,7 +4,14 @@
 // It targets the binary programs of TDMA schedule optimization
 // (transmission-order variables, slot-feasibility tests), which are small but
 // need exact answers. All variables have lower bound 0; integer variables
-// branch by adding bound rows.
+// branch by tightening bounds, so every branch-and-bound node shares the
+// root's constraint matrix and differs only in variable bounds. That lets
+// each node re-solve with a warm-started dual simplex from its parent's
+// basis snapshot — one new bound to clean up, typically a handful of pivots —
+// instead of two phases from scratch. A node's relaxation is a pure function
+// of its parent's snapshot and its own branch, and the root is solved cold,
+// so by induction every snapshot is bit-identical no matter which worker
+// produced it and the parallel search stays deterministic.
 package milp
 
 import (
@@ -15,6 +22,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"wimesh/internal/lp"
@@ -65,17 +73,14 @@ type variable struct {
 	objCoef float64
 }
 
-type row struct {
-	coef map[VarID]float64
-	rel  Rel
-	rhs  float64
-}
-
-// Model is a MILP under construction.
+// Model is a MILP under construction. Constraint rows are stored in the
+// sparse lp.Row form; AddConstraintIdx, SetCoef, SetRHS, and SetUpper allow
+// re-solving a structurally stable model with mutated data (the incremental
+// window search in internal/schedule relies on this).
 type Model struct {
 	sense Sense
 	vars  []variable
-	rows  []row
+	rows  []lp.Row
 }
 
 // NewModel returns an empty model with the given optimization direction.
@@ -108,19 +113,98 @@ func (m *Model) NumVars() int { return len(m.vars) }
 // NumConstraints returns the number of constraint rows.
 func (m *Model) NumConstraints() int { return len(m.rows) }
 
-// AddConstraint adds the row coef . x rel rhs.
+// SetUpper replaces the upper bound of a Continuous or Integer variable;
+// the next Solve picks it up.
+func (m *Model) SetUpper(v VarID, upper float64) error {
+	if v < 0 || int(v) >= len(m.vars) {
+		return fmt.Errorf("milp: bound variable %d out of range", v)
+	}
+	if m.vars[v].typ == Binary {
+		return fmt.Errorf("milp: cannot rebound binary variable %q", m.vars[v].name)
+	}
+	if upper < 0 {
+		return fmt.Errorf("milp: negative upper bound %g for %q", upper, m.vars[v].name)
+	}
+	m.vars[v].upper = upper
+	return nil
+}
+
+// AddConstraint adds the row coef . x rel rhs, converting the map to the
+// sparse row form. Prefer AddConstraintIdx when building models in bulk.
 func (m *Model) AddConstraint(coef map[VarID]float64, rel Rel, rhs float64) error {
-	cp := make(map[VarID]float64, len(coef))
+	ids := make([]VarID, 0, len(coef))
 	for v, c := range coef {
-		if v < 0 || int(v) >= len(m.vars) {
-			return fmt.Errorf("milp: constraint variable %d out of range", v)
-		}
 		if c != 0 {
-			cp[v] = c
+			ids = append(ids, v)
 		}
 	}
-	m.rows = append(m.rows, row{coef: cp, rel: rel, rhs: rhs})
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	vals := make([]float64, len(ids))
+	for k, v := range ids {
+		vals[k] = coef[v]
+	}
+	_, err := m.AddConstraintIdx(ids, vals, rel, rhs)
+	return err
+}
+
+// AddConstraintIdx adds the sparse row sum_k coefs[k]*x[ids[k]] rel rhs and
+// returns its row index, usable with SetCoef/SetRHS. Both slices are copied;
+// ids need not be sorted but must not repeat a variable.
+func (m *Model) AddConstraintIdx(ids []VarID, coefs []float64, rel Rel, rhs float64) (int, error) {
+	if len(ids) != len(coefs) {
+		return 0, fmt.Errorf("milp: index/value length mismatch %d != %d", len(ids), len(coefs))
+	}
+	if rel != LE && rel != GE && rel != EQ {
+		return 0, fmt.Errorf("milp: bad relation %d", int(rel))
+	}
+	idx := make([]int32, len(ids))
+	val := make([]float64, len(ids))
+	for k, v := range ids {
+		if v < 0 || int(v) >= len(m.vars) {
+			return 0, fmt.Errorf("milp: constraint variable %d out of range", v)
+		}
+		idx[k] = int32(v)
+		val[k] = coefs[k]
+	}
+	// Insertion sort by index: rows are tiny and mostly sorted already.
+	for i := 1; i < len(idx); i++ {
+		for k := i; k > 0 && idx[k] < idx[k-1]; k-- {
+			idx[k], idx[k-1] = idx[k-1], idx[k]
+			val[k], val[k-1] = val[k-1], val[k]
+		}
+	}
+	for k := 1; k < len(idx); k++ {
+		if idx[k] == idx[k-1] {
+			return 0, fmt.Errorf("milp: duplicate constraint variable %d", idx[k])
+		}
+	}
+	m.rows = append(m.rows, lp.Row{Idx: idx, Val: val, Rel: rel, RHS: rhs})
+	return len(m.rows) - 1, nil
+}
+
+// SetRHS replaces the right-hand side of row i.
+func (m *Model) SetRHS(i int, rhs float64) error {
+	if i < 0 || i >= len(m.rows) {
+		return fmt.Errorf("milp: row %d out of range", i)
+	}
+	m.rows[i].RHS = rhs
 	return nil
+}
+
+// SetCoef replaces the coefficient of variable v in row i; v must already
+// appear in the row (the sparsity pattern is fixed at AddConstraintIdx time).
+func (m *Model) SetCoef(i int, v VarID, coef float64) error {
+	if i < 0 || i >= len(m.rows) {
+		return fmt.Errorf("milp: row %d out of range", i)
+	}
+	r := &m.rows[i]
+	for k, j := range r.Idx {
+		if j == int32(v) {
+			r.Val[k] = coef
+			return nil
+		}
+	}
+	return fmt.Errorf("milp: variable %d not in row %d", v, i)
 }
 
 // Options bounds the branch-and-bound search.
@@ -140,6 +224,11 @@ type Options struct {
 	// branch path, so any exploration schedule converges to the same
 	// incumbent as the sequential search.
 	Workers int
+	// ColdStart solves every node's relaxation from scratch instead of
+	// warm-starting from the root basis snapshot. The search proves the
+	// same optimum either way (the differential tests pin this); cold
+	// starts exist as the reference mode for those tests and benchmarks.
+	ColdStart bool
 }
 
 // Solution is the result of a Solve call.
@@ -153,7 +242,7 @@ type Solution struct {
 	Nodes int
 }
 
-// branch is one bound added on the path to a node: variable v rel value.
+// branch is one bound tightened on the path to a node: variable v rel value.
 type branch struct {
 	v   VarID
 	rel Rel
@@ -170,15 +259,44 @@ type node struct {
 	// exploration schedule — including a parallel one — converge to the
 	// exact incumbent the sequential search would return.
 	key []byte
+	// parent is the parent node's post-solve basis snapshot (nil at the
+	// root and in cold-start mode). The snapshot already carries every
+	// ancestor bound, so the node warm-starts from it with only its own
+	// branch applied.
+	parent *stateRef
+}
+
+// stateRef shares one parent snapshot between the two children it seeds;
+// the last reader returns the snapshot's buffers to the pool.
+type stateRef struct {
+	st   *lp.State
+	refs atomic.Int32
+}
+
+var statePool sync.Pool // of *lp.State
+
+func newStateRef(solver *lp.Solver) *stateRef {
+	st, _ := statePool.Get().(*lp.State)
+	r := &stateRef{st: solver.Snapshot(st)}
+	r.refs.Store(2)
+	return r
+}
+
+// release drops one reference. The snapshot must not be read afterwards.
+func (r *stateRef) release() {
+	if r != nil && r.refs.Add(-1) == 0 {
+		statePool.Put(r.st)
+	}
 }
 
 // search is the shared state of one Solve call: the worker pool's work
 // stack, the incumbent, and the limit bookkeeping.
 type search struct {
 	m             *Model
-	proto         *lp.Problem // relaxation prototype, cloned per node
-	sign          float64     // minimization-form multiplier
+	compiled      *lp.Compiled
+	sign          float64 // minimization-form multiplier
 	firstFeasible bool
+	coldStart     bool
 	intTol        float64
 	maxNodes      int
 	deadline      time.Time
@@ -221,8 +339,11 @@ func (m *Model) Solve(opts Options) (*Solution, error) {
 	if opts.TimeLimit > 0 {
 		deadline = time.Now().Add(opts.TimeLimit)
 	}
-	proto, err := m.relaxationPrototype()
+	compiled, err := m.compileRelaxation()
 	if err != nil {
+		if errors.Is(err, lp.ErrInfeasible) {
+			return nil, ErrInfeasible
+		}
 		return nil, err
 	}
 	sign := 1.0
@@ -231,9 +352,10 @@ func (m *Model) Solve(opts Options) (*Solution, error) {
 	}
 	s := &search{
 		m:             m,
-		proto:         proto,
+		compiled:      compiled,
 		sign:          sign,
 		firstFeasible: opts.FirstFeasible,
+		coldStart:     opts.ColdStart,
 		intTol:        intTol,
 		maxNodes:      maxNodes,
 		deadline:      deadline,
@@ -268,9 +390,27 @@ func (m *Model) Solve(opts Options) (*Solution, error) {
 	return &Solution{X: s.incumbent, Objective: obj, Optimal: !s.limitHit, Nodes: s.nodes}, nil
 }
 
+// compileRelaxation freezes the LP relaxation of the model without any
+// branch bounds. The bound and objective slices are built fresh (picking up
+// SetUpper-style mutations) and the rows are lent to lp without copying.
+func (m *Model) compileRelaxation() (*lp.Compiled, error) {
+	n := len(m.vars)
+	obj := make([]float64, n)
+	lower := make([]float64, n)
+	upper := make([]float64, n)
+	for j, v := range m.vars {
+		obj[j] = v.objCoef
+		upper[j] = v.upper
+	}
+	return lp.Compile(lp.NewProblemShared(m.sense, obj, lower, upper, m.rows))
+}
+
 // run is one pool worker: pop a node, expand it, push its children, until
-// the tree is exhausted or a limit fires.
+// the tree is exhausted or a limit fires. Each worker owns one lp.Solver
+// workspace for the whole search.
 func (s *search) run() {
+	solver := lp.NewSolver()
+	var changes []lp.BoundChange
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for {
@@ -290,6 +430,7 @@ func (s *search) run() {
 		// old early-exit behaviour: every node after the incumbent prunes
 		// here).
 		if s.firstFeasible && s.haveInc && bytes.Compare(cur.key, s.incumbentKey) >= 0 {
+			cur.parent.release()
 			continue
 		}
 		if s.nodes >= s.maxNodes || (!s.deadline.IsZero() && time.Now().After(s.deadline)) {
@@ -302,7 +443,12 @@ func (s *search) run() {
 		s.active++
 		s.mu.Unlock()
 
-		children, err := s.expand(cur)
+		changes = changes[:0]
+		for _, b := range cur.branches {
+			changes = append(changes, lp.BoundChange{Col: int32(b.v), Upper: b.rel == LE, Val: b.val})
+		}
+		children, err := s.expand(cur, solver, changes)
+		cur.parent.release()
 
 		s.mu.Lock()
 		s.active--
@@ -318,8 +464,15 @@ func (s *search) run() {
 // expand solves a node's relaxation and returns its children (nil when the
 // node is pruned, infeasible, or integral). Children are ordered so the
 // sequentially-preferred child is popped first from the LIFO stack.
-func (s *search) expand(cur node) ([]node, error) {
-	sol, err := s.solveNode(cur.branches)
+func (s *search) expand(cur node, solver *lp.Solver, changes []lp.BoundChange) ([]node, error) {
+	var warm *lp.State
+	if cur.parent != nil {
+		// The snapshot's bounds already reflect every ancestor branch;
+		// only the node's own branch is new.
+		warm = cur.parent.st
+		changes = changes[len(changes)-1:]
+	}
+	sol, err := solver.Solve(s.compiled, warm, changes)
 	if errors.Is(err, lp.ErrInfeasible) {
 		return nil, nil
 	}
@@ -354,15 +507,20 @@ func (s *search) expand(cur node) ([]node, error) {
 	}
 	// Branch. floor child: x <= floor(v); ceil child: x >= ceil(v). The
 	// child nearer the fractional value is preferred (key byte 0) and goes
-	// last so the LIFO pops it first.
+	// last so the LIFO pops it first. Both children share this node's
+	// post-solve snapshot as their warm-start seed.
+	var parent *stateRef
+	if !s.coldStart {
+		parent = newStateRef(solver)
+	}
 	floorB := append(append([]branch(nil), cur.branches...), branch{v: fracVar, rel: LE, val: math.Floor(fracVal)})
 	ceilB := append(append([]branch(nil), cur.branches...), branch{v: fracVar, rel: GE, val: math.Ceil(fracVal)})
 	preferred := append(append([]byte(nil), cur.key...), 0)
 	other := append(append([]byte(nil), cur.key...), 1)
 	if fracVal-math.Floor(fracVal) < 0.5 {
-		return []node{{branches: ceilB, key: other}, {branches: floorB, key: preferred}}, nil
+		return []node{{branches: ceilB, key: other, parent: parent}, {branches: floorB, key: preferred, parent: parent}}, nil
 	}
-	return []node{{branches: floorB, key: other}, {branches: ceilB, key: preferred}}, nil
+	return []node{{branches: floorB, key: other, parent: parent}, {branches: ceilB, key: preferred, parent: parent}}, nil
 }
 
 // prunedLocked reports whether a solved node's subtree can no longer beat
@@ -398,62 +556,6 @@ func (s *search) acceptsLocked(bound float64, key []byte) bool {
 		return true
 	}
 	return bound <= s.incumbentObj+1e-9 && bytes.Compare(key, s.incumbentKey) < 0
-}
-
-// relaxationPrototype builds the LP relaxation of the model without any
-// branch bounds; the search clones it per node instead of rebuilding the
-// rows (and re-copying every coefficient map) on each of the thousands of
-// relaxations a search solves.
-func (m *Model) relaxationPrototype() (*lp.Problem, error) {
-	p := lp.NewProblem(m.sense, len(m.vars))
-	for j, v := range m.vars {
-		if v.objCoef != 0 {
-			if err := p.SetObjCoef(j, v.objCoef); err != nil {
-				return nil, err
-			}
-		}
-		if !math.IsInf(v.upper, 1) {
-			if err := p.SetUpper(j, v.upper); err != nil {
-				return nil, err
-			}
-		}
-	}
-	for _, r := range m.rows {
-		coef := make(map[int]float64, len(r.coef))
-		for v, c := range r.coef {
-			coef[int(v)] = c
-		}
-		if err := p.AddConstraint(coef, r.rel, r.rhs); err != nil {
-			return nil, err
-		}
-	}
-	return p, nil
-}
-
-// solveNode clones the relaxation prototype, applies a node's branch bounds
-// (upper bounds tightened in place, lower bounds as GE rows), and solves it.
-func (s *search) solveNode(branches []branch) (*lp.Solution, error) {
-	p := s.proto.Clone()
-	for _, b := range branches {
-		switch b.rel {
-		case LE:
-			if b.val < p.Upper(int(b.v)) {
-				if b.val < 0 {
-					return nil, lp.ErrInfeasible
-				}
-				if err := p.SetUpper(int(b.v), b.val); err != nil {
-					return nil, err
-				}
-			}
-		case GE:
-			if err := p.AddConstraint(map[int]float64{int(b.v): 1}, lp.GE, b.val); err != nil {
-				return nil, err
-			}
-		default:
-			return nil, fmt.Errorf("milp: bad branch relation %v", b.rel)
-		}
-	}
-	return p.Solve()
 }
 
 // mostFractional returns the integer variable with value farthest from an

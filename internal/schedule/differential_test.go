@@ -1,10 +1,12 @@
 package schedule
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
 	"wimesh/internal/conflict"
+	"wimesh/internal/milp"
 	"wimesh/internal/tdma"
 	"wimesh/internal/topology"
 )
@@ -173,5 +175,80 @@ func TestProblemCacheInvalidatesOnDemandChange(t *testing.T) {
 	}
 	if lb := p.CliqueLowerBound(); lb <= lbBefore {
 		t.Errorf("clique bound %d not refreshed after demand bump (was %d)", lb, lbBefore)
+	}
+}
+
+// TestDifferentialMinSlotsVsLinear pins the galloping + binary minimum-window
+// search against the paper's linear scan built from SolveWindow probes: same
+// minimum window, same error class, and a valid schedule at the optimum. The
+// searches may solve a different number of programs (that is the point), so
+// only the probe-count upper bound is checked.
+func TestDifferentialMinSlotsVsLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	opts := milp.Options{MaxNodes: 50_000, Workers: 1}
+	feasible, infeasible := 0, 0
+	for trial := 0; trial < 40; trial++ {
+		n := 3 + rng.Intn(6)
+		frameSlots := 4 + rng.Intn(13)
+		p, cfg := chainProblemN(t, n, frameSlots)
+		for l := range p.Demand {
+			p.Demand[l] = 1 + rng.Intn(3)
+		}
+		if rng.Intn(3) == 0 {
+			p.Flows[0].BoundSlots = 1 + rng.Intn(2*frameSlots)
+		}
+		if err := p.Validate(); err != nil {
+			continue
+		}
+
+		win, sched, solved, err := MinSlots(p, cfg, opts)
+
+		// Linear reference scan.
+		refWin, refSolved := 0, 0
+		var refErr error
+		lb := p.CliqueLowerBound()
+		if lb < 1 {
+			lb = 1
+		}
+		for w := lb; w <= p.FrameSlots; w++ {
+			refSolved++
+			if _, serr := SolveWindow(p, w, cfg, opts); serr == nil {
+				refWin = w
+				break
+			} else if !errors.Is(serr, ErrInfeasible) {
+				refErr = serr
+				break
+			}
+		}
+		if refWin == 0 && refErr == nil {
+			refErr = ErrInfeasible
+		}
+
+		if (err == nil) != (refErr == nil) {
+			t.Fatalf("trial %d (n=%d frame=%d): incremental err %v, linear err %v",
+				trial, n, frameSlots, err, refErr)
+		}
+		if err != nil {
+			if !errors.Is(err, ErrInfeasible) || !errors.Is(refErr, ErrInfeasible) {
+				t.Fatalf("trial %d: error class mismatch: %v vs %v", trial, err, refErr)
+			}
+			infeasible++
+			continue
+		}
+		feasible++
+		if win != refWin {
+			t.Fatalf("trial %d (n=%d frame=%d): incremental window %d, linear window %d",
+				trial, n, frameSlots, win, refWin)
+		}
+		if solved > refSolved {
+			t.Fatalf("trial %d: incremental search solved %d programs, linear only %d",
+				trial, solved, refSolved)
+		}
+		if err := p.checkSchedule(sched); err != nil {
+			t.Fatalf("trial %d: schedule at window %d invalid: %v", trial, win, err)
+		}
+	}
+	if feasible == 0 || infeasible == 0 {
+		t.Fatalf("weak coverage: %d feasible, %d infeasible", feasible, infeasible)
 	}
 }

@@ -12,7 +12,11 @@ import (
 )
 
 // ilpModel carries the MILP formulation of the scheduling problem plus the
-// variable handles needed to decode solutions.
+// variable handles needed to decode solutions. The model is built once per
+// problem; setWindow retargets it to another window by mutating only the
+// window-dependent bounds, coefficients, and right-hand sides (everything
+// else — the conflict pairs, flow gap rows, delay bounds — is
+// window-independent), so a window search never rebuilds the formulation.
 type ilpModel struct {
 	model    *milp.Model
 	links    []topology.LinkID // cached active-link view; do not mutate
@@ -20,6 +24,18 @@ type ilpModel struct {
 	startVar map[topology.LinkID]milp.VarID
 	pairVar  map[[2]topology.LinkID]milp.VarID // a<b: 1 means a before b
 	delayVar milp.VarID                        // valid when minimizeDelay
+
+	win      int // window the model currently encodes
+	pairRows []pairRowRef
+}
+
+// pairRowRef records where a conflicting pair's two ordering rows live so
+// setWindow can rewrite their big-M terms: row1 is
+// s_b - s_a - win*o >= d_a - win and row2 is s_a - s_b + win*o >= d_b.
+type pairRowRef struct {
+	o          milp.VarID
+	row1, row2 int
+	da         float64
 }
 
 // buildILP constructs the integer program of the Djukic-Valaee optimization
@@ -48,6 +64,7 @@ func buildILP(p *Problem, winSlots int, minimizeDelay bool) (*ilpModel, error) {
 		numLinks: p.Graph.NumVertices(),
 		startVar: make(map[topology.LinkID]milp.VarID),
 		pairVar:  make(map[[2]topology.LinkID]milp.VarID),
+		win:      winSlots,
 	}
 	for _, l := range im.links {
 		v, err := m.AddVar(fmt.Sprintf("s_%d", l), milp.Integer, float64(winSlots-p.Demand[l]), 0)
@@ -57,7 +74,9 @@ func buildILP(p *Problem, winSlots int, minimizeDelay bool) (*ilpModel, error) {
 		im.startVar[l] = v
 	}
 	win := float64(winSlots)
-	for _, pair := range p.conflictingPairs() {
+	pairs := p.conflictingPairs()
+	im.pairRows = make([]pairRowRef, 0, len(pairs))
+	for _, pair := range pairs {
 		a, b := pair[0], pair[1]
 		o, err := m.AddVar(fmt.Sprintf("o_%d_%d", a, b), milp.Binary, 1, 0)
 		if err != nil {
@@ -67,13 +86,16 @@ func buildILP(p *Problem, winSlots int, minimizeDelay bool) (*ilpModel, error) {
 		sa, sb := im.startVar[a], im.startVar[b]
 		da, db := float64(p.Demand[a]), float64(p.Demand[b])
 		// s_b - s_a + win*(1-o) >= d_a  =>  s_b - s_a - win*o >= d_a - win.
-		if err := m.AddConstraint(map[milp.VarID]float64{sb: 1, sa: -1, o: -win}, milp.GE, da-win); err != nil {
+		r1, err := m.AddConstraintIdx([]milp.VarID{sa, sb, o}, []float64{-1, 1, -win}, milp.GE, da-win)
+		if err != nil {
 			return nil, err
 		}
 		// s_a - s_b + win*o >= d_b.
-		if err := m.AddConstraint(map[milp.VarID]float64{sa: 1, sb: -1, o: win}, milp.GE, db); err != nil {
+		r2, err := m.AddConstraintIdx([]milp.VarID{sa, sb, o}, []float64{1, -1, win}, milp.GE, db)
+		if err != nil {
 			return nil, err
 		}
+		im.pairRows = append(im.pairRows, pairRowRef{o: o, row1: r1, row2: r2, da: da})
 	}
 
 	frame := float64(p.FrameSlots)
@@ -86,6 +108,8 @@ func buildILP(p *Problem, winSlots int, minimizeDelay bool) (*ilpModel, error) {
 		delayVar = v
 		im.delayVar = v
 	}
+	ids := make([]milp.VarID, 0, 8)
+	coefs := make([]float64, 0, 8)
 	for fi, f := range p.Flows {
 		if len(f.Path) < 1 {
 			continue
@@ -105,24 +129,24 @@ func buildILP(p *Problem, winSlots int, minimizeDelay bool) (*ilpModel, error) {
 			if err != nil {
 				return nil, err
 			}
-			// g = s_out - s_in - d_in + F*w.
-			coef := map[milp.VarID]float64{
-				g:                 1,
-				im.startVar[lOut]: -1,
-				im.startVar[lIn]:  1,
-				w:                 -frame,
+			// g = s_out - s_in - d_in + F*w. Degenerate paths may relay on
+			// the same link in and out; keep the single +1 coefficient the
+			// folded map form produced.
+			ids, coefs = ids[:0], coefs[:0]
+			if im.startVar[lOut] == im.startVar[lIn] {
+				ids = append(ids, g, im.startVar[lIn], w)
+				coefs = append(coefs, 1, 1, -frame)
+			} else {
+				ids = append(ids, g, im.startVar[lOut], im.startVar[lIn], w)
+				coefs = append(coefs, 1, -1, 1, -frame)
 			}
-			if err := m.AddConstraint(coef, milp.EQ, -float64(p.Demand[lIn])); err != nil {
+			if _, err := m.AddConstraintIdx(ids, coefs, milp.EQ, -float64(p.Demand[lIn])); err != nil {
 				return nil, err
 			}
 			gapVars = append(gapVars, g)
 		}
 		if f.BoundSlots > 0 && len(gapVars) > 0 {
-			coef := make(map[milp.VarID]float64, len(gapVars))
-			for _, g := range gapVars {
-				coef[g] = 1
-			}
-			if err := m.AddConstraint(coef, milp.LE, float64(f.BoundSlots-sumD)); err != nil {
+			if _, err := m.AddConstraintIdx(gapVars, ones(len(gapVars)), milp.LE, float64(f.BoundSlots-sumD)); err != nil {
 				return nil, err
 			}
 		}
@@ -132,16 +156,76 @@ func buildILP(p *Problem, winSlots int, minimizeDelay bool) (*ilpModel, error) {
 		}
 		if minimizeDelay && len(f.Path) > 0 {
 			// D >= sum g + sumD  =>  sum g - D <= -sumD.
-			coef := map[milp.VarID]float64{delayVar: -1}
+			ids, coefs = ids[:0], coefs[:0]
+			ids = append(ids, delayVar)
+			coefs = append(coefs, -1)
 			for _, g := range gapVars {
-				coef[g] = 1
+				ids = append(ids, g)
+				coefs = append(coefs, 1)
 			}
-			if err := m.AddConstraint(coef, milp.LE, -float64(sumD)); err != nil {
+			if _, err := m.AddConstraintIdx(ids, coefs, milp.LE, -float64(sumD)); err != nil {
 				return nil, err
 			}
 		}
 	}
 	return im, nil
+}
+
+func ones(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 1
+	}
+	return out
+}
+
+// setWindow retargets the model to another window by rewriting the
+// window-dependent pieces in place: the start-variable upper bounds and the
+// big-M order rows of every conflicting pair.
+func (im *ilpModel) setWindow(p *Problem, winSlots int) error {
+	if winSlots == im.win {
+		return nil
+	}
+	for _, l := range im.links {
+		if err := im.model.SetUpper(im.startVar[l], float64(winSlots-p.Demand[l])); err != nil {
+			return err
+		}
+	}
+	win := float64(winSlots)
+	for _, pr := range im.pairRows {
+		if err := im.model.SetCoef(pr.row1, pr.o, -win); err != nil {
+			return err
+		}
+		if err := im.model.SetRHS(pr.row1, pr.da-win); err != nil {
+			return err
+		}
+		if err := im.model.SetCoef(pr.row2, pr.o, win); err != nil {
+			return err
+		}
+	}
+	im.win = winSlots
+	return nil
+}
+
+// solveFeasible runs the feasibility search at the model's current window
+// and decodes + validates the schedule.
+func (im *ilpModel) solveFeasible(p *Problem, cfg tdma.FrameConfig, opts milp.Options) (*tdma.Schedule, error) {
+	opts.FirstFeasible = true
+	sol, err := im.model.Solve(opts)
+	if errors.Is(err, milp.ErrInfeasible) {
+		return nil, fmt.Errorf("%w: window of %d slots", ErrInfeasible, im.win)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("solve window %d: %w", im.win, err)
+	}
+	s, err := im.decodeSchedule(p, sol.X, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.checkSchedule(s); err != nil {
+		return nil, err
+	}
+	return s, nil
 }
 
 // decodeSchedule builds a schedule from an ILP solution's start variables.
@@ -178,49 +262,89 @@ func SolveWindow(p *Problem, winSlots int, cfg tdma.FrameConfig, opts milp.Optio
 	if err != nil {
 		return nil, err
 	}
-	opts.FirstFeasible = true
-	sol, err := im.model.Solve(opts)
-	if errors.Is(err, milp.ErrInfeasible) {
-		return nil, fmt.Errorf("%w: window of %d slots", ErrInfeasible, winSlots)
-	}
-	if err != nil {
-		return nil, fmt.Errorf("solve window %d: %w", winSlots, err)
-	}
-	s, err := im.decodeSchedule(p, sol.X, cfg)
-	if err != nil {
-		return nil, err
-	}
-	if err := p.checkSchedule(s); err != nil {
-		return nil, err
-	}
-	return s, nil
+	return im.solveFeasible(p, cfg, opts)
 }
 
-// MinSlots performs the linear search of the Djukic-Valaee QoS provisioning
-// optimization: the smallest window of TDMA slots for which a feasible
-// schedule supporting all demands and delay bounds exists. It returns the
-// window, the schedule, and the number of integer programs solved.
+// MinSlots finds the smallest window of TDMA slots for which a feasible
+// schedule supporting all demands and delay bounds exists (the
+// Djukic-Valaee QoS provisioning optimization). It returns the window, the
+// schedule, and the number of integer programs solved.
+//
+// Window feasibility is monotone — a schedule feasible at window w stays
+// feasible at w+1 (the start-variable bounds and order big-Ms only relax) —
+// so instead of the paper's linear scan the search gallops up from the
+// clique lower bound (lb, lb+1, lb+3, lb+7, ...) to bracket the answer and
+// binary-searches the bracket. The returned window is exactly the linear
+// scan's answer; only the probe count (and therefore the solved count)
+// differs.
 func MinSlots(p *Problem, cfg tdma.FrameConfig, opts milp.Options) (int, *tdma.Schedule, int, error) {
 	if err := p.Validate(); err != nil {
 		return 0, nil, 0, err
 	}
-	solved := 0
+	if cfg.DataSlots != p.FrameSlots {
+		return 0, nil, 0, fmt.Errorf("%w: frame config has %d slots, problem says %d",
+			ErrBadDemand, cfg.DataSlots, p.FrameSlots)
+	}
 	lb := p.CliqueLowerBound()
 	if lb < 1 {
 		lb = 1
 	}
-	for win := lb; win <= p.FrameSlots; win++ {
+	if lb > p.FrameSlots {
+		return 0, nil, 0, fmt.Errorf("%w: no window up to %d slots supports the demands",
+			ErrInfeasible, p.FrameSlots)
+	}
+	im, err := buildILP(p, lb, false)
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	solved := 0
+	probe := func(win int) (*tdma.Schedule, error) {
+		if err := im.setWindow(p, win); err != nil {
+			return nil, err
+		}
 		solved++
-		s, err := SolveWindow(p, win, cfg, opts)
+		return im.solveFeasible(p, cfg, opts)
+	}
+	// Galloping phase: bracket the smallest feasible window.
+	lastBad := lb - 1
+	best := 0
+	var bestSched *tdma.Schedule
+	for step, w := 1, lb; ; {
+		s, err := probe(w)
 		if err == nil {
-			return win, s, solved, nil
+			best, bestSched = w, s
+			break
 		}
 		if !errors.Is(err, ErrInfeasible) {
 			return 0, nil, solved, err
 		}
+		lastBad = w
+		if w == p.FrameSlots {
+			return 0, nil, solved, fmt.Errorf("%w: no window up to %d slots supports the demands",
+				ErrInfeasible, p.FrameSlots)
+		}
+		w += step
+		step *= 2
+		if w > p.FrameSlots {
+			w = p.FrameSlots
+		}
 	}
-	return 0, nil, solved, fmt.Errorf("%w: no window up to %d slots supports the demands",
-		ErrInfeasible, p.FrameSlots)
+	// Binary phase on (lastBad, best]: the loop invariant keeps best a
+	// probed-feasible window with its schedule cached, so the result never
+	// needs a re-solve.
+	for lo, hi := lastBad+1, best; lo < hi; {
+		mid := (lo + hi) / 2
+		s, err := probe(mid)
+		switch {
+		case err == nil:
+			best, bestSched, hi = mid, s, mid
+		case errors.Is(err, ErrInfeasible):
+			lo = mid + 1
+		default:
+			return 0, nil, solved, err
+		}
+	}
+	return best, bestSched, solved, nil
 }
 
 // MinMaxDelayResult is the outcome of the exact order optimization.
