@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check differential lpdebug profile bench bench-full bench-json clean
+.PHONY: all build test vet race check differential lpdebug profile bench bench-full bench-json bench-compare clean
 
 all: check
 
@@ -24,8 +24,8 @@ race:
 # oracle, warm-started branch-and-bound vs. cold, incremental window
 # mutation vs. fresh builds — all under the race detector.
 differential:
-	$(GO) test -race -count=1 -run 'TestDifferential|TestWorkersByteIdentical' \
-		./internal/sim ./internal/mac ./cmd/meshbench \
+	$(GO) test -race -count=1 -run 'TestDifferential|TestWorkersByteIdentical|TestPilotedSearchMatchesLinear|TestGallopSearchWorkers' \
+		./internal/sim ./internal/mac ./cmd/meshbench ./internal/core \
 		./internal/lp ./internal/milp ./internal/schedule
 
 # Re-run the solver packages with the lpdebug build tag: every simplex
@@ -57,6 +57,13 @@ bench-full:
 # worker, so wall times measure the data plane, not the runner.
 bench-json:
 	$(GO) run ./cmd/meshbench -workers 1 -json BENCH_$$(date +%F).json
+
+# Re-run the experiments and compare tables + wall clock against the newest
+# committed BENCH_<date>.json: any table cell change (outside R7's host
+# wall-clock columns) or a >20% wall-clock regression fails the target.
+bench-compare:
+	$(GO) run ./cmd/meshbench -workers 1 -json /tmp/bench-compare.json > /dev/null
+	$(GO) run ./cmd/benchcompare $(lastword $(sort $(wildcard BENCH_*.json))) /tmp/bench-compare.json
 
 clean:
 	$(GO) clean ./...

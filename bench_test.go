@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"wimesh/internal/conflict"
+	"wimesh/internal/core"
 	"wimesh/internal/experiments"
 	"wimesh/internal/lp"
 	"wimesh/internal/mac"
@@ -613,5 +614,49 @@ func BenchmarkDCFSaturation(b *testing.B) {
 			}
 		}
 		k.RunUntil(500 * time.Millisecond)
+	}
+}
+
+// BenchmarkCapacitySearch compares the galloping capacity search (with its
+// pilot bracket and early-abort monitors) against the preserved linear
+// reference scan on the chain6 topology, for both MACs. The two strategies
+// return identical results (pinned by the differential suite); this
+// benchmark tracks how much wall clock the gallop saves.
+func BenchmarkCapacitySearch(b *testing.B) {
+	for _, mac := range []string{"tdma", "dcf"} {
+		for _, strat := range []struct {
+			name   string
+			search core.SearchStrategy
+		}{{"gallop", core.SearchGalloping}, {"linear", core.SearchLinear}} {
+			b.Run(mac+"/"+strat.name, func(b *testing.B) {
+				topo, err := topology.Chain(6, 100)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sys, err := core.NewSystem(topo)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cfg := core.CapacityConfig{
+					MaxCalls: 40,
+					Run:      core.RunConfig{Duration: 3 * time.Second, Seed: 11},
+					Search:   strat.search,
+				}
+				var calls int
+				for i := 0; i < b.N; i++ {
+					var res *core.CapacityResult
+					if mac == "tdma" {
+						res, err = sys.VoIPCapacityTDMA(cfg)
+					} else {
+						res, err = sys.VoIPCapacityDCF(cfg)
+					}
+					if err != nil {
+						b.Fatal(err)
+					}
+					calls = res.Calls
+				}
+				b.ReportMetric(float64(calls), "calls")
+			})
+		}
 	}
 }

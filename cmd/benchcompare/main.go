@@ -1,0 +1,188 @@
+// Command benchcompare diffs two meshbench -json reports (see cmd/meshbench
+// and the committed BENCH_<date>.json files): it verifies that every
+// experiment table is byte-identical between the two runs, and flags
+// wall-clock regressions beyond a threshold.
+//
+// Usage:
+//
+//	benchcompare old.json new.json
+//	benchcompare -threshold 0.5 old.json new.json
+//
+// Experiments in this repository are deterministic simulations, so any cell
+// difference is a correctness change — except cells that measure host wall
+// clock (the scheduler timing columns of R7), which vary run to run and are
+// skipped via -volatile. Wall-clock regressions are flagged only past both a
+// relative threshold and an absolute floor, so the sub-millisecond
+// experiments don't trip the check on scheduler jitter.
+//
+// Exit status: 0 when tables match and no regression is flagged, 1 otherwise.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// report mirrors the cmd/meshbench -json schema.
+type report struct {
+	Generated   string       `json:"generated"`
+	Experiments []experiment `json:"experiments"`
+}
+
+type experiment struct {
+	ID     string     `json:"id"`
+	Title  string     `json:"title"`
+	WallMS float64    `json:"wall_ms"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchcompare:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("benchcompare", flag.ContinueOnError)
+	var (
+		threshold = fs.Float64("threshold", 0.20, "flag wall-clock regressions beyond this fraction (0.20 = 20% slower)")
+		minDelta  = fs.Float64("mindelta", 5, "ignore wall-clock regressions smaller than this many milliseconds")
+		volatile  = fs.String("volatile", "R7:ILP search,R7:order+BF,R7:greedy",
+			"comma-separated ID:column cells that measure host wall clock and may differ")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("want exactly two arguments: old.json new.json (got %d)", fs.NArg())
+	}
+	oldRep, err := load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	newRep, err := load(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	skip, err := parseVolatile(*volatile)
+	if err != nil {
+		return err
+	}
+	newByID := make(map[string]*experiment, len(newRep.Experiments))
+	for i := range newRep.Experiments {
+		newByID[newRep.Experiments[i].ID] = &newRep.Experiments[i]
+	}
+	var problems []string
+	for i := range oldRep.Experiments {
+		o := &oldRep.Experiments[i]
+		n, ok := newByID[o.ID]
+		if !ok {
+			problems = append(problems, fmt.Sprintf("%s: missing from %s", o.ID, fs.Arg(1)))
+			continue
+		}
+		problems = append(problems, diffTables(o, n, skip)...)
+		switch {
+		case o.WallMS <= 0:
+		case n.WallMS > o.WallMS*(1+*threshold) && n.WallMS-o.WallMS >= *minDelta:
+			problems = append(problems, fmt.Sprintf(
+				"%s: wall clock regressed %.1fms -> %.1fms (%.2fx, threshold %.2fx)",
+				o.ID, o.WallMS, n.WallMS, n.WallMS/o.WallMS, 1+*threshold))
+		default:
+			fmt.Fprintf(out, "%-4s %8.1fms -> %8.1fms  (%.2fx)\n",
+				o.ID, o.WallMS, n.WallMS, n.WallMS/o.WallMS)
+		}
+	}
+	if len(problems) > 0 {
+		return fmt.Errorf("%d problem(s):\n  %s", len(problems), strings.Join(problems, "\n  "))
+	}
+	fmt.Fprintf(out, "ok: %d experiments, tables identical, no wall-clock regression beyond %.0f%%\n",
+		len(oldRep.Experiments), *threshold*100)
+	return nil
+}
+
+func load(path string) (*report, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r report
+	if err := json.Unmarshal(buf, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(r.Experiments) == 0 {
+		return nil, fmt.Errorf("%s: no experiments in report", path)
+	}
+	return &r, nil
+}
+
+// parseVolatile turns "R7:ILP search,R7:greedy" into a per-experiment set of
+// column names whose cells are excluded from the byte-identity check.
+func parseVolatile(spec string) (map[string]map[string]bool, error) {
+	skip := make(map[string]map[string]bool)
+	for _, ent := range strings.Split(spec, ",") {
+		if ent = strings.TrimSpace(ent); ent == "" {
+			continue
+		}
+		id, col, ok := strings.Cut(ent, ":")
+		if !ok || id == "" || col == "" {
+			return nil, fmt.Errorf("-volatile: want ID:column, got %q", ent)
+		}
+		if skip[id] == nil {
+			skip[id] = make(map[string]bool)
+		}
+		skip[id][col] = true
+	}
+	return skip, nil
+}
+
+// diffTables reports every cell where the two runs of one experiment
+// disagree, excluding the experiment's volatile columns.
+func diffTables(o, n *experiment, skip map[string]map[string]bool) []string {
+	var problems []string
+	if !equalStrings(o.Header, n.Header) {
+		return []string{fmt.Sprintf("%s: header changed: %v -> %v", o.ID, o.Header, n.Header)}
+	}
+	if len(o.Rows) != len(n.Rows) {
+		return []string{fmt.Sprintf("%s: row count changed: %d -> %d", o.ID, len(o.Rows), len(n.Rows))}
+	}
+	volatileCols := skip[o.ID]
+	for r := range o.Rows {
+		if len(o.Rows[r]) != len(n.Rows[r]) {
+			problems = append(problems, fmt.Sprintf("%s row %d: cell count changed", o.ID, r))
+			continue
+		}
+		for c := range o.Rows[r] {
+			if o.Rows[r][c] == n.Rows[r][c] {
+				continue
+			}
+			if c < len(o.Header) && volatileCols[o.Header[c]] {
+				continue
+			}
+			col := fmt.Sprintf("col %d", c)
+			if c < len(o.Header) {
+				col = o.Header[c]
+			}
+			problems = append(problems, fmt.Sprintf("%s row %d %s: %q -> %q",
+				o.ID, r, col, o.Rows[r][c], n.Rows[r][c]))
+		}
+	}
+	return problems
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

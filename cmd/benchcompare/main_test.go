@@ -1,0 +1,119 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeReport(t *testing.T, name string, r *report) string {
+	t.Helper()
+	buf, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func baseReport() *report {
+	return &report{
+		Generated: "2026-08-05T00:00:00Z",
+		Experiments: []experiment{
+			{ID: "R3", WallMS: 100, Header: []string{"topology", "calls"},
+				Rows: [][]string{{"chain4", "9"}, {"chain6", "11"}}},
+			{ID: "R7", WallMS: 50, Header: []string{"nodes", "ILP search"},
+				Rows: [][]string{{"4", "50µs"}}},
+		},
+	}
+}
+
+func TestIdenticalReportsPass(t *testing.T) {
+	old := writeReport(t, "old.json", baseReport())
+	now := writeReport(t, "new.json", baseReport())
+	var sb strings.Builder
+	if err := run([]string{old, now}, &sb); err != nil {
+		t.Fatalf("identical reports flagged: %v", err)
+	}
+	if !strings.Contains(sb.String(), "ok:") {
+		t.Errorf("missing ok summary:\n%s", sb.String())
+	}
+}
+
+func TestTableCellMismatchFails(t *testing.T) {
+	old := writeReport(t, "old.json", baseReport())
+	changed := baseReport()
+	changed.Experiments[0].Rows[1][1] = "10"
+	now := writeReport(t, "new.json", changed)
+	var sb strings.Builder
+	err := run([]string{old, now}, &sb)
+	if err == nil {
+		t.Fatal("changed table cell accepted")
+	}
+	if !strings.Contains(err.Error(), `"11" -> "10"`) {
+		t.Errorf("error does not name the changed cell: %v", err)
+	}
+}
+
+func TestVolatileCellsIgnored(t *testing.T) {
+	old := writeReport(t, "old.json", baseReport())
+	changed := baseReport()
+	changed.Experiments[1].Rows[0][1] = "80µs" // R7 "ILP search": host wall clock
+	now := writeReport(t, "new.json", changed)
+	var sb strings.Builder
+	if err := run([]string{old, now}, &sb); err != nil {
+		t.Fatalf("volatile R7 timing cell flagged: %v", err)
+	}
+}
+
+func TestWallClockRegressionFails(t *testing.T) {
+	old := writeReport(t, "old.json", baseReport())
+	slow := baseReport()
+	slow.Experiments[0].WallMS = 130 // 1.3x, and 30ms past the floor
+	now := writeReport(t, "new.json", slow)
+	var sb strings.Builder
+	err := run([]string{old, now}, &sb)
+	if err == nil {
+		t.Fatal("30% wall-clock regression accepted")
+	}
+	if !strings.Contains(err.Error(), "regressed") {
+		t.Errorf("unexpected error: %v", err)
+	}
+	// A looser threshold lets the same pair through.
+	sb.Reset()
+	if err := run([]string{"-threshold", "0.5", old, now}, &sb); err != nil {
+		t.Fatalf("regression below threshold flagged: %v", err)
+	}
+}
+
+func TestTinyRegressionBelowFloorIgnored(t *testing.T) {
+	old := writeReport(t, "old.json", baseReport())
+	slow := baseReport()
+	// 2.5x slower but only 3ms in absolute terms: scheduler jitter on a tiny
+	// experiment, under the -mindelta floor.
+	slow.Experiments[1].WallMS = 5
+	old2 := baseReport()
+	old2.Experiments[1].WallMS = 2
+	old = writeReport(t, "old.json", old2)
+	now := writeReport(t, "new.json", slow)
+	var sb strings.Builder
+	if err := run([]string{old, now}, &sb); err != nil {
+		t.Fatalf("sub-floor wall-clock jitter flagged: %v", err)
+	}
+}
+
+func TestMissingExperimentFails(t *testing.T) {
+	old := writeReport(t, "old.json", baseReport())
+	short := baseReport()
+	short.Experiments = short.Experiments[:1]
+	now := writeReport(t, "new.json", short)
+	var sb strings.Builder
+	if err := run([]string{old, now}, &sb); err == nil {
+		t.Fatal("missing experiment accepted")
+	}
+}

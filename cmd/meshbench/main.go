@@ -125,11 +125,25 @@ func run(args []string, out io.Writer) error {
 	}
 	ids := experiments.IDs()
 	if *only != "" {
+		valid := make(map[string]bool, len(ids))
+		for _, id := range ids {
+			valid[id] = true
+		}
 		ids = nil
 		for _, id := range strings.Split(*only, ",") {
-			if id = strings.TrimSpace(id); id != "" {
-				ids = append(ids, id)
+			if id = strings.TrimSpace(id); id == "" {
+				continue
 			}
+			id = strings.ToUpper(id)
+			if !valid[id] {
+				return fmt.Errorf("-only: unknown experiment %q (valid: %s)",
+					id, strings.Join(experiments.IDs(), ", "))
+			}
+			ids = append(ids, id)
+		}
+		if len(ids) == 0 {
+			return fmt.Errorf("-only: no experiment ids in %q (valid: %s)",
+				*only, strings.Join(experiments.IDs(), ", "))
 		}
 	}
 	// Run experiments concurrently (wall clock measured per experiment inside

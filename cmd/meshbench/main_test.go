@@ -32,8 +32,36 @@ func TestRunOnly(t *testing.T) {
 
 func TestRunOnlyUnknown(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-only", "R42"}, &sb); err == nil {
-		t.Error("unknown experiment accepted")
+	err := run([]string{"-only", "R42"}, &sb)
+	if err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	// The error must name the bad id and list the valid ones, and the
+	// validation must fire before any experiment runs.
+	for _, want := range []string{"R42", "R1", "R17"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+	if sb.Len() != 0 {
+		t.Errorf("experiments ran before validation: %q", sb.String())
+	}
+}
+
+func TestRunOnlyEmpty(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-only", " , "}, &sb); err == nil {
+		t.Error("empty -only list accepted")
+	}
+}
+
+func TestRunOnlyLowercase(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-only", "r5"}, &sb); err != nil {
+		t.Fatalf("run -only r5: %v", err)
+	}
+	if !strings.Contains(sb.String(), "== R5:") {
+		t.Errorf("output missing R5 header:\n%s", sb.String())
 	}
 }
 

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"wimesh/internal/stats"
+	"wimesh/internal/topology"
+)
+
+// playoutLateTarget is the late-loss budget the receiver-side playout plan
+// sizes its jitter buffer for (assemble and the quality monitor must agree
+// on it: the monitor's provable buffer bound is the matching order
+// statistic).
+const playoutLateTarget = 0.01
+
+// flowCollector accumulates one flow's measured packets.
+type flowCollector struct {
+	sent     int
+	received int
+	delays   stats.Sample
+	// screen tracks a running high-quantile delay estimate (P², fixed
+	// memory) so the quality monitor can skip exact checks on healthy
+	// flows; it is fed only when the run is monitored.
+	screen stats.P2Quantile
+
+	// The remaining fields exist only on monitored runs and feed the
+	// monitor's loss bound: a measured packet outstanding for longer than
+	// badDelay is provably bad — it is either lost or will arrive late.
+	// sentAt records the send time per measured packet (seq-indexed from
+	// baseSeq; sources emit strictly increasing seqs), delivered marks
+	// arrivals, badDelivered counts arrivals with delay > badDelay, and
+	// agedPtr/agedDelivered maintain the aged-prefix scan incrementally.
+	baseSeq       int
+	sentAt        []time.Duration
+	delivered     []bool
+	badDelivered  int
+	agedPtr       int
+	agedDelivered int
+}
+
+// collectorSet is one run's measurement state: dense per-flow collectors
+// indexed by FlowID plus scratch buffers. Sets are pooled and reused across
+// the probe runs of a capacity search, so the per-packet delivery path is
+// allocation-free once the slices have grown to the working-set size (see
+// BenchmarkCollectorObserve).
+type collectorSet struct {
+	cols      []flowCollector
+	monitored bool
+	// badDelay is the monitor's provable-badness threshold (the largest
+	// jitter buffer still compatible with toll quality); zero on
+	// unmonitored runs.
+	badDelay time.Duration
+	// durs is the scratch buffer assemble converts sorted delays into for
+	// the playout evaluation.
+	durs []time.Duration
+	// scratch is the monitor's private sort buffer: exact abort checks sort
+	// a copy so the live sample keeps its insertion order (and therefore
+	// its exact float summation order) untouched mid-run.
+	scratch []float64
+}
+
+var collectorPool = sync.Pool{New: func() any { return new(collectorSet) }}
+
+// acquireCollectors returns a pooled collector set covering every FlowID in
+// fs, fully reset.
+func acquireCollectors(fs *topology.FlowSet, monitored bool) *collectorSet {
+	maxID := 0
+	for _, f := range fs.Flows {
+		if int(f.ID) > maxID {
+			maxID = int(f.ID)
+		}
+	}
+	cs := collectorPool.Get().(*collectorSet)
+	cs.reset(maxID+1, monitored)
+	return cs
+}
+
+func (cs *collectorSet) reset(n int, monitored bool) {
+	if cap(cs.cols) < n {
+		grown := make([]flowCollector, n)
+		copy(grown, cs.cols) // keep the already-grown delay buffers
+		cs.cols = grown
+	}
+	cs.cols = cs.cols[:n]
+	cs.monitored = monitored
+	cs.badDelay = 0
+	for i := range cs.cols {
+		c := &cs.cols[i]
+		c.sent, c.received = 0, 0
+		c.delays.Reset()
+		c.baseSeq = -1
+		c.sentAt = c.sentAt[:0]
+		c.delivered = c.delivered[:0]
+		c.badDelivered, c.agedPtr, c.agedDelivered = 0, 0, 0
+		if monitored {
+			// 0.99 < 1 always: Reset cannot fail.
+			_ = c.screen.Reset(1 - playoutLateTarget)
+		}
+	}
+}
+
+func (cs *collectorSet) release() { collectorPool.Put(cs) }
+
+// observeSend records one measured packet handed to the network. This and
+// observeDelivery are the per-packet hot path: no allocation once the
+// per-flow buffers are warm.
+func (cs *collectorSet) observeSend(flowID, seq int, at time.Duration) {
+	c := &cs.cols[flowID]
+	c.sent++
+	if cs.monitored {
+		if c.baseSeq < 0 {
+			c.baseSeq = seq
+		}
+		c.sentAt = append(c.sentAt, at)
+		c.delivered = append(c.delivered, false)
+	}
+}
+
+// observeDelivery records one delivered measured packet.
+func (cs *collectorSet) observeDelivery(flowID, seq int, delay time.Duration) {
+	c := &cs.cols[flowID]
+	c.received++
+	sec := delay.Seconds()
+	c.delays.Add(sec)
+	if !cs.monitored {
+		return
+	}
+	c.screen.Add(sec)
+	if delay > cs.badDelay {
+		c.badDelivered++
+	}
+	if idx := seq - c.baseSeq; idx >= 0 && idx < len(c.delivered) {
+		c.delivered[idx] = true
+		if idx < c.agedPtr {
+			c.agedDelivered++
+		}
+	}
+}
+
+// agedUndelivered advances the aged-prefix pointer to cutoff and returns how
+// many measured packets sent at or before it are still undelivered. Each is
+// provably bad: if it ever arrives its delay exceeds now-cutoff, otherwise
+// it is a loss. Amortized O(1) per packet across a run's checks.
+func (c *flowCollector) agedUndelivered(cutoff time.Duration) int {
+	for c.agedPtr < len(c.sentAt) && c.sentAt[c.agedPtr] <= cutoff {
+		if c.delivered[c.agedPtr] {
+			c.agedDelivered++
+		}
+		c.agedPtr++
+	}
+	return c.agedPtr - c.agedDelivered
+}

@@ -8,7 +8,6 @@ import (
 	"wimesh/internal/mac/dcf"
 	"wimesh/internal/mac/tdmaemu"
 	"wimesh/internal/sim"
-	"wimesh/internal/stats"
 	"wimesh/internal/timesync"
 	"wimesh/internal/topology"
 	"wimesh/internal/voip"
@@ -30,6 +29,18 @@ type RunConfig struct {
 	// WarmUp excludes initial packets from the measurements (default
 	// Duration/10).
 	WarmUp time.Duration
+	// AbortOnProvableFailure arms the quality monitor: the run terminates
+	// as soon as some flow provably cannot recover toll quality (see
+	// qualityMonitor). An aborted run reports Aborted with AllAcceptable
+	// false and no per-flow results; the pass/fail verdict is identical to
+	// the full-length run's, which is what capacity searches consume.
+	AbortOnProvableFailure bool
+	// abortHeuristically additionally lets the monitor abort on a
+	// face-value failure estimate rather than a proof. Only the capacity
+	// search's pilot probes use it — their outcomes steer the search but are
+	// never consumed for the result, so an unsound abort can cost a
+	// fallback, never correctness.
+	abortHeuristically bool
 }
 
 func (c *RunConfig) applyDefaults() {
@@ -77,16 +88,15 @@ type RunResult struct {
 	MinR float64
 	// AllAcceptable reports that every flow kept toll quality.
 	AllAcceptable bool
+	// Aborted reports that the quality monitor stopped the run early at
+	// AbortedAt: some flow provably could not recover toll quality, so the
+	// verdict is a quality failure (AllAcceptable false) and no per-flow
+	// measurements are assembled.
+	Aborted   bool
+	AbortedAt time.Duration
 	// TDMA and DCF hold the MAC counters of whichever MAC ran.
 	TDMA *tdmaemu.Stats
 	DCF  *dcf.Stats
-}
-
-// flowProbe accumulates per-flow measurements.
-type flowProbe struct {
-	sent     int
-	received int
-	delays   stats.Sample
 }
 
 // measurementWindow returns [lo, hi) of packet-creation times that count.
@@ -101,6 +111,31 @@ func measurementWindow(cfg RunConfig, frame time.Duration) (time.Duration, time.
 		return cfg.WarmUp / 2, hi
 	}
 	return cfg.WarmUp, hi
+}
+
+// abortChecks is how many times the quality monitor evaluates during a
+// monitored run.
+const abortChecks = 16
+
+// runKernel drives the kernel to duration. With a monitor it pauses at
+// evenly spaced checkpoints; chunked RunUntil calls follow exactly the same
+// event trajectory as a single call, so an unaborted monitored run is
+// bit-identical to an unmonitored one.
+func runKernel(kernel *sim.Kernel, duration time.Duration, mon *qualityMonitor) (bool, time.Duration) {
+	if mon == nil {
+		kernel.RunUntil(duration)
+		return false, 0
+	}
+	if step := (duration - mon.lo) / (abortChecks + 1); step > 0 {
+		for t := mon.lo + step; t < duration; t += step {
+			kernel.RunUntil(t)
+			if mon.shouldAbort(kernel.Now()) {
+				return true, kernel.Now()
+			}
+		}
+	}
+	kernel.RunUntil(duration)
+	return false, 0
 }
 
 // RunTDMA simulates the flow set over the TDMA-over-WiFi emulation using the
@@ -131,18 +166,18 @@ func (s *System) RunTDMA(plan *Plan, fs *topology.FlowSet, cfg RunConfig) (*RunR
 	}
 
 	lo, hi := measurementWindow(cfg, s.Frame.FrameDuration)
-	probes := make(map[topology.FlowID]*flowProbe, len(fs.Flows))
-	for _, f := range fs.Flows {
-		probes[f.ID] = &flowProbe{}
+	cs := acquireCollectors(fs, cfg.AbortOnProvableFailure)
+	defer cs.release()
+	var mon *qualityMonitor
+	if cfg.AbortOnProvableFailure {
+		mon = newQualityMonitor(cfg.Codec, lo, hi, fs.Flows, cs, cfg.abortHeuristically)
 	}
 	nw, err := tdmaemu.New(s.MAC, s.Topo, kernel, plan.Schedule, ts, s.InterferenceRange,
 		func(p *tdmaemu.Packet, at time.Duration) {
 			if p.Created < lo || p.Created >= hi {
 				return
 			}
-			pr := probes[topology.FlowID(p.FlowID)]
-			pr.received++
-			pr.delays.AddDuration(at - p.Created)
+			cs.observeDelivery(p.FlowID, p.Seq, at-p.Created)
 		})
 	if err != nil {
 		return nil, err
@@ -153,7 +188,7 @@ func (s *System) RunTDMA(plan *Plan, fs *topology.FlowSet, cfg RunConfig) (*RunR
 
 	sources, err := startSources(kernel, fs, cfg, func(f topology.Flow, pkt voip.Packet) {
 		if pkt.Sent >= lo && pkt.Sent < hi {
-			probes[f.ID].sent++
+			cs.observeSend(int(f.ID), pkt.Seq, pkt.Sent)
 		}
 		p := &tdmaemu.Packet{FlowID: int(f.ID), Seq: pkt.Seq, Path: f.Path, Bytes: pkt.Bytes}
 		if err := nw.Inject(p); err != nil {
@@ -165,12 +200,15 @@ func (s *System) RunTDMA(plan *Plan, fs *topology.FlowSet, cfg RunConfig) (*RunR
 	if err != nil {
 		return nil, err
 	}
-	kernel.RunUntil(cfg.Duration)
+	aborted, at := runKernel(kernel, cfg.Duration, mon)
 	for _, src := range sources {
 		src.Stop()
 	}
 	st := nw.Stats()
-	res, err := assemble(fs, probes, cfg)
+	if aborted {
+		return &RunResult{Aborted: true, AbortedAt: at, TDMA: &st}, nil
+	}
+	res, err := assemble(fs, cs, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -187,15 +225,20 @@ func (s *System) RunDCF(fs *topology.FlowSet, cfg RunConfig) (*RunResult, error)
 	kernel := sim.NewKernel()
 
 	lo, hi := measurementWindow(cfg, s.Frame.FrameDuration)
-	probes := make(map[topology.FlowID]*flowProbe, len(fs.Flows))
-	routes := make(map[topology.FlowID][]topology.NodeID, len(fs.Flows))
+	cs := acquireCollectors(fs, cfg.AbortOnProvableFailure)
+	defer cs.release()
+	var mon *qualityMonitor
+	if cfg.AbortOnProvableFailure {
+		mon = newQualityMonitor(cfg.Codec, lo, hi, fs.Flows, cs, cfg.abortHeuristically)
+	}
+	// Dense per-flow routes (FlowIDs are assigned positionally).
+	routes := make([][]topology.NodeID, len(cs.cols))
 	for _, f := range fs.Flows {
-		probes[f.ID] = &flowProbe{}
 		nodes, err := s.Topo.PathNodes(f.Path)
 		if err != nil {
 			return nil, fmt.Errorf("core: flow %d: %w", f.ID, err)
 		}
-		routes[f.ID] = nodes
+		routes[int(f.ID)] = nodes
 	}
 	// The DCF baseline reuses the emulation's PHY and rate; zero values let
 	// dcf apply the same 802.11b/11 Mb/s defaults.
@@ -209,9 +252,7 @@ func (s *System) RunDCF(fs *topology.FlowSet, cfg RunConfig) (*RunResult, error)
 			if p.Created < lo || p.Created >= hi {
 				return
 			}
-			pr := probes[topology.FlowID(p.FlowID)]
-			pr.received++
-			pr.delays.AddDuration(at - p.Created)
+			cs.observeDelivery(p.FlowID, p.Seq, at-p.Created)
 		})
 	if err != nil {
 		return nil, err
@@ -219,9 +260,9 @@ func (s *System) RunDCF(fs *topology.FlowSet, cfg RunConfig) (*RunResult, error)
 
 	sources, err := startSources(kernel, fs, cfg, func(f topology.Flow, pkt voip.Packet) {
 		if pkt.Sent >= lo && pkt.Sent < hi {
-			probes[f.ID].sent++
+			cs.observeSend(int(f.ID), pkt.Seq, pkt.Sent)
 		}
-		p := &dcf.Packet{FlowID: int(f.ID), Seq: pkt.Seq, Route: routes[f.ID], Bytes: pkt.Bytes}
+		p := &dcf.Packet{FlowID: int(f.ID), Seq: pkt.Seq, Route: routes[int(f.ID)], Bytes: pkt.Bytes}
 		if err := nw.Inject(p); err != nil {
 			return
 		}
@@ -229,12 +270,15 @@ func (s *System) RunDCF(fs *topology.FlowSet, cfg RunConfig) (*RunResult, error)
 	if err != nil {
 		return nil, err
 	}
-	kernel.RunUntil(cfg.Duration)
+	aborted, at := runKernel(kernel, cfg.Duration, mon)
 	for _, src := range sources {
 		src.Stop()
 	}
 	st := nw.Stats()
-	res, err := assemble(fs, probes, cfg)
+	if aborted {
+		return &RunResult{Aborted: true, AbortedAt: at, DCF: &st}, nil
+	}
+	res, err := assemble(fs, cs, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -265,11 +309,14 @@ func startSources(kernel *sim.Kernel, fs *topology.FlowSet, cfg RunConfig,
 	return sources, nil
 }
 
-// assemble turns probes into a RunResult with E-model scores.
-func assemble(fs *topology.FlowSet, probes map[topology.FlowID]*flowProbe, cfg RunConfig) (*RunResult, error) {
+// assemble turns the collected measurements into a RunResult with E-model
+// scores. Mean is computed before the first order query (which sorts the
+// sample in place) so the float summation order matches insertion order; the
+// playout evaluation then reuses the sorted backing without copying.
+func assemble(fs *topology.FlowSet, cs *collectorSet, cfg RunConfig) (*RunResult, error) {
 	res := &RunResult{MinR: 100, AllAcceptable: true}
 	for _, f := range fs.Flows {
-		pr := probes[f.ID]
+		pr := &cs.cols[int(f.ID)]
 		fr := FlowResult{FlowID: f.ID, Sent: pr.sent, Received: pr.received}
 		if pr.sent > 0 {
 			fr.Loss = 1 - float64(pr.received)/float64(pr.sent)
@@ -294,8 +341,16 @@ func assemble(fs *topology.FlowSet, probes map[topology.FlowID]*flowProbe, cfg R
 			fr.P95Delay = time.Duration(p95 * float64(time.Second))
 			fr.MaxDelay = time.Duration(maxV * float64(time.Second))
 			// Receiver-side playout: smallest jitter buffer keeping late
-			// loss <= 1%; late losses add to the network loss.
-			q, po, err := voip.EvaluateWithPlayout(cfg.Codec, pr.delays.Durations(), fr.Loss, 0.01)
+			// loss <= 1%; late losses add to the network loss. The
+			// seconds-to-duration conversion is monotone, so converting the
+			// sorted floats yields the same ascending durations the old
+			// copy-and-sort path produced.
+			durs := cs.durs[:0]
+			for _, x := range pr.delays.Sorted() {
+				durs = append(durs, time.Duration(x*float64(time.Second)))
+			}
+			cs.durs = durs
+			q, po, err := voip.EvaluateWithPlayoutSorted(cfg.Codec, durs, fr.Loss, playoutLateTarget)
 			if err != nil {
 				return nil, err
 			}

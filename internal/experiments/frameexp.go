@@ -48,6 +48,7 @@ func R17FrameDuration() (*Table, error) {
 		points[i].capRes, err = sys.VoIPCapacityTDMA(core.CapacityConfig{
 			MaxCalls: 40,
 			Run:      core.RunConfig{Duration: 3 * time.Second, Seed: 61},
+			Workers:  Workers(),
 		})
 		return err
 	}); err != nil {

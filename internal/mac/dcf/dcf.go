@@ -122,6 +122,19 @@ type node struct {
 	// ctx is the node's reusable transmission context: a node has at most
 	// one exchange in flight, so the frame payload never allocates.
 	ctx txContext
+
+	// Prebound continuations for the channel-access hot path. A node has at
+	// most one pending access step (kick guards on accessing), so the epoch
+	// a step must revalidate can live on the node and the closures can be
+	// allocated once here instead of once per DIFS wait and backoff slot —
+	// the slot countdown is the busiest event source in saturated runs.
+	accessFn   func()
+	difsFn     func()
+	slotFn     func()
+	transmitFn func()
+	// stepEpoch is the medium busy-epoch captured when the pending DIFS or
+	// slot timer was scheduled.
+	stepEpoch uint64
 }
 
 // txContext links a transmission outcome back to the sender.
@@ -164,6 +177,10 @@ func New(cfg Config, topo *topology.Network, kernel *sim.Kernel, interferenceRan
 			backoff: -1,
 		}
 		n.ctx.sender = n
+		n.accessFn = n.access
+		n.difsFn = n.difsEnd
+		n.slotFn = n.slotEnd
+		n.transmitFn = n.transmit
 		nw.nodes[nd.ID] = n
 		if err := medium.SetReceiver(nd.ID, nw.onDelivery); err != nil {
 			return nil, err
@@ -231,20 +248,22 @@ func (n *node) kick() {
 func (n *node) access() {
 	m := n.nw.medium
 	if m.Busy(n.id) {
-		if err := m.WhenIdle(n.id, n.access); err != nil {
+		if err := m.WhenIdle(n.id, n.accessFn); err != nil {
 			n.accessing = false
 		}
 		return
 	}
-	epoch := m.BusyEpoch(n.id)
-	if _, err := n.nw.kernel.After(n.nw.cfg.PHY.DIFS(), func() { n.difsEnd(epoch) }); err != nil {
+	n.stepEpoch = m.BusyEpoch(n.id)
+	if _, err := n.nw.kernel.After(n.nw.cfg.PHY.DIFS(), n.difsFn); err != nil {
 		n.accessing = false
 	}
 }
 
-func (n *node) difsEnd(epoch uint64) {
+func (n *node) difsEnd() {
 	m := n.nw.medium
-	if m.Busy(n.id) || m.BusyEpoch(n.id) != epoch {
+	// The epoch was captured while idle and increments on every idle->busy
+	// transition, so a changed epoch is exactly "busy now or busy since".
+	if m.BusyEpoch(n.id) != n.stepEpoch {
 		n.access() // interrupted: wait for idle again
 		return
 	}
@@ -259,23 +278,27 @@ func (n *node) difsEnd(epoch uint64) {
 func (n *node) slot() {
 	if n.backoff == 0 {
 		// Action phase: transmit after all same-instant decisions settle.
-		if _, err := n.nw.kernel.After(0, n.transmit); err != nil {
+		if _, err := n.nw.kernel.After(0, n.transmitFn); err != nil {
 			n.accessing = false
 		}
 		return
 	}
 	m := n.nw.medium
-	epoch := m.BusyEpoch(n.id)
-	if _, err := n.nw.kernel.After(n.nw.cfg.PHY.SlotTime, func() {
-		if m.Busy(n.id) || m.BusyEpoch(n.id) != epoch {
-			n.access()
-			return
-		}
-		n.backoff--
-		n.slot()
-	}); err != nil {
+	n.stepEpoch = m.BusyEpoch(n.id)
+	if _, err := n.nw.kernel.After(n.nw.cfg.PHY.SlotTime, n.slotFn); err != nil {
 		n.accessing = false
 	}
+}
+
+// slotEnd finishes one idle backoff slot. As in difsEnd, the epoch check
+// alone covers both "busy now" and "was busy meanwhile".
+func (n *node) slotEnd() {
+	if n.nw.medium.BusyEpoch(n.id) != n.stepEpoch {
+		n.access()
+		return
+	}
+	n.backoff--
+	n.slot()
 }
 
 // transmit sends the head-of-line packet as an acknowledged exchange.

@@ -188,9 +188,11 @@ func (k *Kernel) nextTime() (time.Duration, bool) {
 }
 
 // drainCanceled pops canceled tombstones off the top of the heap, releasing
-// their slots, until the top is a live event or the heap is empty.
+// their slots, until the top is a live event or the heap is empty. The
+// tombstone counter gates the slab lookup: with no cancellations pending
+// (the common case on the hot path) the top entry is live by definition.
 func (k *Kernel) drainCanceled() {
-	for len(k.heap) > 0 && k.slab[k.heap[0].slot].canceled {
+	for k.tombstones > 0 && len(k.heap) > 0 && k.slab[k.heap[0].slot].canceled {
 		e := k.heapPop()
 		k.freeSlot(e.slot)
 		k.tombstones--

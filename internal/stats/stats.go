@@ -49,15 +49,32 @@ func (w *Welford) Stddev() float64 { return math.Sqrt(w.Variance()) }
 
 // Sample collects observations for quantile and CI queries.
 // The zero value is ready to use.
+//
+// Order statistics are maintained lazily: Add appends in O(1) and marks the
+// tail pending; the first order query sorts once. A query after a short
+// burst of Adds merges the sorted prefix with the sorted pending tail in
+// O(n + p log p) instead of re-sorting everything, so interleaved
+// Add/Quantile streams (the capacity monitor's pattern) stay linear per
+// query rather than paying a full sort each time.
 type Sample struct {
-	xs     []float64
-	sorted bool
+	xs []float64
+	// sortedLen is the length of the ascending prefix of xs; xs[sortedLen:]
+	// is the unsorted pending tail appended since the last order query.
+	sortedLen int
+	// scratch is the merge buffer; it ping-pongs with xs so steady-state
+	// queries allocate nothing.
+	scratch []float64
 }
 
 // Add appends one observation.
 func (s *Sample) Add(x float64) {
 	s.xs = append(s.xs, x)
-	s.sorted = false
+}
+
+// Reset empties the collector, retaining its capacity for reuse.
+func (s *Sample) Reset() {
+	s.xs = s.xs[:0]
+	s.sortedLen = 0
 }
 
 // AddDuration appends a duration observation in seconds.
@@ -150,11 +167,52 @@ func (s *Sample) CI95() (float64, error) {
 }
 
 func (s *Sample) sort() {
-	if !s.sorted {
-		sort.Float64s(s.xs)
-		s.sorted = true
+	pending := len(s.xs) - s.sortedLen
+	if pending == 0 {
+		return
 	}
+	// A large pending tail (or an unsorted collector) is cheapest to sort
+	// whole; a short tail is sorted alone and merged with the prefix.
+	if s.sortedLen == 0 || pending > s.sortedLen/2 {
+		sort.Float64s(s.xs)
+		s.sortedLen = len(s.xs)
+		return
+	}
+	sort.Float64s(s.xs[s.sortedLen:])
+	if cap(s.scratch) < len(s.xs) {
+		s.scratch = make([]float64, 0, cap(s.xs))
+	}
+	out := s.scratch[:0]
+	a, b := s.xs[:s.sortedLen], s.xs[s.sortedLen:]
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if b[j] < a[i] {
+			out = append(out, b[j])
+			j++
+		} else {
+			out = append(out, a[i])
+			i++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	s.scratch = s.xs[:0]
+	s.xs = out
+	s.sortedLen = len(out)
 }
+
+// Sorted returns the observations in ascending order as a view of the
+// collector's backing array: valid (and immutable) until the next Add or
+// Reset.
+func (s *Sample) Sorted() []float64 {
+	s.sort()
+	return s.xs
+}
+
+// Values returns the raw observations as a read-only view in the
+// collector's current order (insertion order until the first order query,
+// which sorts — see Durations). Valid until the next Add or Reset.
+func (s *Sample) Values() []float64 { return s.xs }
 
 // Durations returns the observations as durations (interpreting values as
 // seconds), in insertion-then-sort order — the collector may have been

@@ -25,12 +25,23 @@ func PlanPlayout(delays []time.Duration, target float64) (Playout, error) {
 	if len(delays) == 0 {
 		return Playout{}, errors.New("voip: no delay samples")
 	}
-	if target < 0 || target >= 1 {
-		return Playout{}, errors.New("voip: late-loss target outside [0,1)")
-	}
 	sorted := make([]time.Duration, len(delays))
 	copy(sorted, delays)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return PlanPlayoutSorted(sorted, target)
+}
+
+// PlanPlayoutSorted is PlanPlayout for delays already in ascending order: it
+// neither copies nor re-sorts, so measurement pipelines that keep their
+// samples sorted (core's pooled per-flow collectors) plan playout without
+// allocating. The result is identical to PlanPlayout on the same multiset.
+func PlanPlayoutSorted(sorted []time.Duration, target float64) (Playout, error) {
+	if len(sorted) == 0 {
+		return Playout{}, errors.New("voip: no delay samples")
+	}
+	if target < 0 || target >= 1 {
+		return Playout{}, errors.New("voip: late-loss target outside [0,1)")
+	}
 	// Smallest buffer admitting at least (1-target) of the packets: the
 	// ceil((1-target)*n)-th order statistic.
 	keep := int(math.Ceil((1 - target) * float64(len(sorted))))
@@ -39,7 +50,7 @@ func PlanPlayout(delays []time.Duration, target float64) (Playout, error) {
 	}
 	buffer := sorted[keep-1]
 	late := 0
-	for _, d := range sorted {
+	for _, d := range sorted[keep-1:] {
 		if d > buffer {
 			late++
 		}
@@ -90,6 +101,20 @@ func EvaluateWithPlayout(c Codec, delays []time.Duration, networkLoss, lateTarge
 	if err != nil {
 		return Quality{}, Playout{}, err
 	}
+	return evaluatePlayout(c, po, networkLoss)
+}
+
+// EvaluateWithPlayoutSorted is EvaluateWithPlayout for delays already in
+// ascending order (no copy, no sort, no allocation).
+func EvaluateWithPlayoutSorted(c Codec, sorted []time.Duration, networkLoss, lateTarget float64) (Quality, Playout, error) {
+	po, err := PlanPlayoutSorted(sorted, lateTarget)
+	if err != nil {
+		return Quality{}, Playout{}, err
+	}
+	return evaluatePlayout(c, po, networkLoss)
+}
+
+func evaluatePlayout(c Codec, po Playout, networkLoss float64) (Quality, Playout, error) {
 	totalLoss := networkLoss + (1-networkLoss)*po.LateLoss
 	if totalLoss > 1 {
 		totalLoss = 1

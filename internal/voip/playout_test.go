@@ -2,6 +2,7 @@ package voip
 
 import (
 	"math/rand"
+	"sort"
 	"testing"
 	"testing/quick"
 	"time"
@@ -156,5 +157,52 @@ func TestPropertyPlayoutMonotone(t *testing.T) {
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestPlanPlayoutSortedMatchesUnsorted pins the no-copy sorted fast path to
+// the reference implementation on random delay sets.
+func TestPlanPlayoutSortedMatchesUnsorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(300)
+		delays := make([]time.Duration, n)
+		for i := range delays {
+			delays[i] = time.Duration(rng.Intn(200_000)) * time.Microsecond
+		}
+		target := []float64{0, 0.01, 0.05}[trial%3]
+		want, err := PlanPlayout(delays, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sorted := append([]time.Duration(nil), delays...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		got, err := PlanPlayoutSorted(sorted, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("trial %d: sorted %+v != unsorted %+v", trial, got, want)
+		}
+		q1, p1, err := EvaluateWithPlayout(G711(), delays, 0.02, 0.01)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q2, p2, err := EvaluateWithPlayoutSorted(G711(), sorted, 0.02, 0.01)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q1 != q2 || p1 != p2 {
+			t.Fatalf("trial %d: evaluate sorted (%+v,%+v) != unsorted (%+v,%+v)", trial, q2, p2, q1, p1)
+		}
+	}
+}
+
+func TestPlanPlayoutSortedValidation(t *testing.T) {
+	if _, err := PlanPlayoutSorted(nil, 0.01); err == nil {
+		t.Error("empty delays accepted")
+	}
+	if _, err := PlanPlayoutSorted([]time.Duration{time.Millisecond}, 1); err == nil {
+		t.Error("target 1 accepted")
 	}
 }

@@ -112,6 +112,10 @@ type Quality struct {
 // call, per ITU-T G.107/G.109.
 const TollQualityR = 70.0
 
+// R0 is the E-model default transmission rating factor (ITU-T G.107): the
+// rating of a call before delay and equipment impairments are subtracted.
+const R0 = 93.2
+
 // Acceptable reports whether the call meets toll quality.
 func (q Quality) Acceptable() bool { return q.R >= TollQualityR }
 
@@ -128,8 +132,7 @@ func Evaluate(c Codec, oneWayDelay time.Duration, loss float64) (Quality, error)
 	if loss < 0 || loss > 1 {
 		return Quality{}, fmt.Errorf("voip: loss %g outside [0,1]", loss)
 	}
-	const r0 = 93.2 // default transmission rating
-	r := r0 - DelayImpairment(oneWayDelay) - EffectiveEquipmentImpairment(c, loss)
+	r := R0 - DelayImpairment(oneWayDelay) - EffectiveEquipmentImpairment(c, loss)
 	return Quality{R: r, MOS: MOSFromR(r)}, nil
 }
 
