@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check differential lpdebug profile bench bench-full bench-json bench-compare clean
+.PHONY: all build test vet race check differential lpdebug examples obs-allocs profile bench bench-full bench-json bench-compare clean
 
 all: check
 
@@ -34,7 +34,23 @@ differential:
 lpdebug:
 	$(GO) test -count=1 -tags lpdebug ./internal/lp ./internal/milp ./internal/schedule
 
-check: vet build race differential lpdebug
+# Build every example program and smoke-run the quickstart (the fastest
+# end-to-end path through the public API). TestExamplesBuild covers the
+# builds under plain `go test ./...` too.
+examples:
+	$(GO) build ./examples/...
+	$(GO) test ./examples/ -run TestExamplesBuild -count=1
+	$(GO) run ./examples/quickstart > /dev/null
+
+# The observability layer must cost nothing when disabled: nil-sink counter,
+# gauge, histogram and trace calls are pinned at 0 allocs/op (and the alloc
+# test fails on any regression).
+obs-allocs:
+	$(GO) test ./internal/obs -run 'TestNilSinkZeroAllocs|TestEnabledSinkZeroAllocsSteadyState' -count=1
+	$(GO) test ./internal/obs -run xxx -benchmem \
+		-bench 'BenchmarkObsNilCounterInc|BenchmarkObsNilTraceEmit'
+
+check: vet build race differential lpdebug examples obs-allocs
 
 # CPU+heap profile of the scheduler-bound experiments (see README
 # "Performance" for reading the output).

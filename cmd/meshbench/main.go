@@ -10,6 +10,7 @@
 //	meshbench -workers 1               # sequential (output is byte-identical)
 //	meshbench -json BENCH_2026-08-05.json  # also record metrics + wall clock
 //	meshbench -only R7 -cpuprofile cpu.prof -memprofile mem.prof
+//	meshbench -only R6 -metrics-out metrics.json -trace trace.jsonl
 //
 // Experiments (and their scenario points) are independent deterministic
 // simulations, so -workers changes wall-clock only: tables are collected
@@ -31,6 +32,7 @@ import (
 	"time"
 
 	"wimesh/internal/experiments"
+	"wimesh/internal/obs"
 )
 
 func main() {
@@ -49,27 +51,69 @@ type jsonExperiment struct {
 	Rows   [][]string `json:"rows"`
 }
 
+// jsonFailure records one experiment that errored, so a partially failed run
+// still ships machine-readable evidence of what broke.
+type jsonFailure struct {
+	ID    string `json:"id"`
+	Error string `json:"error"`
+}
+
 // jsonReport is the -json output: the headline metrics and wall clock of
 // every experiment run. Committing one per PR (BENCH_<date>.json) makes the
 // performance trajectory machine-readable PR-over-PR.
 type jsonReport struct {
 	Generated   string           `json:"generated"`
 	Experiments []jsonExperiment `json:"experiments"`
+	Failures    []jsonFailure    `json:"failures,omitempty"`
+}
+
+// metricsReport is the -metrics-out output: one obs counter snapshot per
+// experiment, keyed by experiment ID (the registry is reset between
+// experiments, so each snapshot is self-contained).
+type metricsReport struct {
+	Generated   string                  `json:"generated"`
+	Experiments map[string]obs.Snapshot `json:"experiments"`
 }
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("meshbench", flag.ContinueOnError)
 	var (
-		only    = fs.String("only", "", "run a subset of experiments, comma-separated (e.g. R3 or R3,R4)")
-		list    = fs.Bool("list", false, "list experiments and exit")
-		csvOut  = fs.Bool("csv", false, "emit CSV instead of aligned tables")
-		jsonOut = fs.String("json", "", "also write metrics and per-experiment wall clock to this file (convention: BENCH_<date>.json)")
-		workers = fs.Int("workers", runtime.GOMAXPROCS(0), "how many experiments/scenario points run concurrently; 1 = sequential (results are bit-identical either way)")
-		cpuProf = fs.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with go tool pprof)")
-		memProf = fs.String("memprofile", "", "write an allocation profile taken after the run to this file")
+		only       = fs.String("only", "", "run a subset of experiments, comma-separated (e.g. R3 or R3,R4)")
+		list       = fs.Bool("list", false, "list experiments and exit")
+		csvOut     = fs.Bool("csv", false, "emit CSV instead of aligned tables")
+		jsonOut    = fs.String("json", "", "also write metrics and per-experiment wall clock to this file (convention: BENCH_<date>.json)")
+		workers    = fs.Int("workers", runtime.GOMAXPROCS(0), "how many experiments/scenario points run concurrently; 1 = sequential (results are bit-identical either way)")
+		cpuProf    = fs.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with go tool pprof)")
+		memProf    = fs.String("memprofile", "", "write an allocation profile taken after the run to this file")
+		metricsOut = fs.String("metrics-out", "", "write per-experiment obs counter snapshots (JSON) to this file; forces -workers 1")
+		tracePath  = fs.String("trace", "", "write a per-slot/per-frame event trace (JSON lines) to this file; forces -workers 1")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	// Observability sinks are process-global (the sim kernels deep inside each
+	// experiment find them via obs.Default), so enabling either flag forces a
+	// sequential run: with concurrent experiments the counters could not be
+	// attributed to one experiment. With both flags unset nothing is installed
+	// and the hot paths keep their nil-sink zero-cost fast path — tables stay
+	// byte-identical to an uninstrumented run either way, because observation
+	// never perturbs simulation state.
+	var (
+		reg *obs.Registry
+		tr  *obs.Trace
+	)
+	if *metricsOut != "" || *tracePath != "" {
+		*workers = 1
+		if *metricsOut != "" {
+			reg = obs.NewRegistry()
+			obs.SetDefault(reg)
+			defer obs.SetDefault(nil)
+		}
+		if *tracePath != "" {
+			tr = obs.NewTrace(obs.DefaultTraceCap)
+			obs.SetDefaultTrace(tr)
+			defer obs.SetDefaultTrace(nil)
+		}
 	}
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -155,10 +199,22 @@ func run(args []string, out io.Writer) error {
 		err   error
 	}
 	results := make([]result, len(ids))
+	metrics := metricsReport{Experiments: make(map[string]obs.Snapshot)}
 	runOne := func(i int) {
+		if tr != nil {
+			// A mark separates each experiment's events in the shared trace.
+			tr.Emit(obs.Event{Kind: obs.KindMark, Node: -1, Link: -1, Slot: -1,
+				Frame: -1, Label: ids[i]})
+		}
 		start := time.Now()
 		results[i].table, results[i].err = experiments.ByID(ids[i])
 		results[i].wall = time.Since(start)
+		if reg != nil {
+			// Scope the snapshot to this experiment (the run is sequential
+			// whenever reg is installed); Reset keeps live handles valid.
+			metrics.Experiments[ids[i]] = reg.Snapshot()
+			reg.Reset()
+		}
 	}
 	if w := min(*workers, len(ids)); w > 1 {
 		var next atomic.Int64
@@ -183,9 +239,14 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	report := jsonReport{Generated: time.Now().UTC().Format(time.RFC3339)}
-	for _, r := range results {
+	// One failed experiment must not discard the completed ones: render every
+	// success, record every failure, write the (partial) reports, and only
+	// then exit nonzero naming all the failures.
+	for i, r := range results {
 		if r.err != nil {
-			return r.err
+			report.Failures = append(report.Failures, jsonFailure{
+				ID: ids[i], Error: r.err.Error()})
+			continue
 		}
 		if err := render(r.table); err != nil {
 			return err
@@ -207,5 +268,41 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("write json report: %w", err)
 		}
 	}
-	return nil
+	if reg != nil {
+		metrics.Generated = report.Generated
+		buf, err := json.MarshalIndent(&metrics, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*metricsOut, append(buf, '\n'), 0o644); err != nil {
+			return fmt.Errorf("write metrics: %w", err)
+		}
+	}
+	if tr != nil {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return err
+		}
+		if err := tr.WriteJSONL(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return failuresError(report.Failures)
+}
+
+// failuresError folds the failed experiments into one error naming each, or
+// nil when everything succeeded.
+func failuresError(failures []jsonFailure) error {
+	if len(failures) == 0 {
+		return nil
+	}
+	parts := make([]string, len(failures))
+	for i, f := range failures {
+		parts[i] = fmt.Sprintf("%s: %s", f.ID, f.Error)
+	}
+	return fmt.Errorf("%d experiment(s) failed: %s", len(failures), strings.Join(parts, "; "))
 }

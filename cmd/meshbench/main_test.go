@@ -157,3 +157,78 @@ func TestOnlyCommaSeparated(t *testing.T) {
 		t.Errorf("subset output wrong (R5 at %d, R10 at %d):\n%s", i5, i10, out)
 	}
 }
+
+func TestFailuresError(t *testing.T) {
+	if err := failuresError(nil); err != nil {
+		t.Errorf("no failures produced error %v", err)
+	}
+	err := failuresError([]jsonFailure{
+		{ID: "R3", Error: "boom"},
+		{ID: "R7", Error: "bang"},
+	})
+	if err == nil {
+		t.Fatal("failures produced nil error")
+	}
+	for _, want := range []string{"2 experiment(s) failed", "R3: boom", "R7: bang"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+}
+
+func TestRunMetricsAndTrace(t *testing.T) {
+	dir := t.TempDir()
+	mPath := filepath.Join(dir, "metrics.json")
+	tPath := filepath.Join(dir, "trace.jsonl")
+	var sb strings.Builder
+	if err := run([]string{"-only", "R6", "-metrics-out", mPath, "-trace", tPath}, &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(sb.String(), "== R6:") {
+		t.Errorf("table output missing R6 header:\n%s", sb.String())
+	}
+	buf, err := os.ReadFile(mPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mr metricsReport
+	if err := json.Unmarshal(buf, &mr); err != nil {
+		t.Fatalf("metrics not valid JSON: %v", err)
+	}
+	snap, ok := mr.Experiments["R6"]
+	if !ok {
+		t.Fatalf("metrics missing R6 snapshot (keys: %v)", len(mr.Experiments))
+	}
+	// R6 drives the emulation MAC with sync error, so the tdmaemu counters
+	// must be populated, including guard overruns at the 200us error points.
+	if snap.Counters["tdmaemu.slots_served"] == 0 {
+		t.Error("R6 snapshot has no tdmaemu.slots_served")
+	}
+	if snap.Counters["tdmaemu.guard_overruns"] == 0 {
+		t.Error("R6 snapshot has no tdmaemu.guard_overruns")
+	}
+	tb, err := os.ReadFile(tPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(tb), "\n"), "\n")
+	if len(lines) == 0 {
+		t.Fatal("empty trace")
+	}
+	kinds := map[string]bool{}
+	for _, ln := range lines {
+		var ev struct {
+			Kind  string `json:"kind"`
+			Label string `json:"label"`
+		}
+		if err := json.Unmarshal([]byte(ln), &ev); err != nil {
+			t.Fatalf("trace line not valid JSON: %v\n%s", err, ln)
+		}
+		kinds[ev.Kind] = true
+	}
+	for _, want := range []string{"slot_start", "tx"} {
+		if !kinds[want] {
+			t.Errorf("trace has no %s events (kinds: %v)", want, kinds)
+		}
+	}
+}

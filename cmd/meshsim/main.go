@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"wimesh/internal/core"
+	"wimesh/internal/obs"
 	"wimesh/internal/scenario"
 	"wimesh/internal/timesync"
 	"wimesh/internal/voip"
@@ -32,21 +33,43 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("meshsim", flag.ContinueOnError)
 	var (
-		macKind  = fs.String("mac", "tdma", "MAC: tdma (emulation) or dcf (baseline)")
-		topoName = fs.String("topology", "chain", "topology: chain, ring, grid, tree, random")
-		nodes    = fs.Int("nodes", 6, "number of nodes")
-		calls    = fs.Int("calls", 2, "number of VoIP calls to the gateway")
-		method   = fs.String("method", "path-major", "TDMA scheduler: ilp, minmax-delay, path-major, tree-order, greedy")
-		codec    = fs.String("codec", "g711", "voice codec: g711, g729, g723")
-		duration = fs.Duration("duration", 10*time.Second, "simulated duration")
-		seed     = fs.Int64("seed", 1, "simulation seed")
-		withSync = fs.Bool("sync", false, "enable the clock-error model (tdma only)")
-		guard    = fs.Duration("guard", 100*time.Microsecond, "TDMA slot guard interval")
-		spurts   = fs.Bool("talkspurt", false, "use on/off talk-spurt sources instead of CBR")
-		loadPath = fs.String("load", "", "replay a plan saved by meshplan -save (tdma only)")
+		macKind    = fs.String("mac", "tdma", "MAC: tdma (emulation) or dcf (baseline)")
+		topoName   = fs.String("topology", "chain", "topology: chain, ring, grid, tree, random")
+		nodes      = fs.Int("nodes", 6, "number of nodes")
+		calls      = fs.Int("calls", 2, "number of VoIP calls to the gateway")
+		method     = fs.String("method", "path-major", "TDMA scheduler: ilp, minmax-delay, path-major, tree-order, greedy")
+		codec      = fs.String("codec", "g711", "voice codec: g711, g729, g723")
+		duration   = fs.Duration("duration", 10*time.Second, "simulated duration")
+		seed       = fs.Int64("seed", 1, "simulation seed")
+		withSync   = fs.Bool("sync", false, "enable the clock-error model (tdma only)")
+		guard      = fs.Duration("guard", 100*time.Microsecond, "TDMA slot guard interval")
+		spurts     = fs.Bool("talkspurt", false, "use on/off talk-spurt sources instead of CBR")
+		loadPath   = fs.String("load", "", "replay a plan saved by meshplan -save (tdma only)")
+		metricsOut = fs.String("metrics-out", "", "write a JSON counter snapshot to this file after the run")
+		tracePath  = fs.String("trace", "", "write a per-slot/per-frame event trace (JSON lines) to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// Observability is opt-in per flag: installing the process defaults here
+	// lets the sim kernel, medium and timesync (built deep inside RunTDMA /
+	// RunDCF) find the sinks without threading handles through every layer.
+	// With both flags unset nothing is installed and the hot paths stay on
+	// their nil-sink zero-cost fast path.
+	var (
+		reg *obs.Registry
+		tr  *obs.Trace
+	)
+	if *metricsOut != "" {
+		reg = obs.NewRegistry()
+		obs.SetDefault(reg)
+		defer obs.SetDefault(nil)
+	}
+	if *tracePath != "" {
+		tr = obs.NewTrace(obs.DefaultTraceCap)
+		obs.SetDefaultTrace(tr)
+		defer obs.SetDefaultTrace(nil)
 	}
 
 	var (
@@ -96,6 +119,9 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	sys.MAC.Guard = *guard
+	// The flag always carries an explicit value, so -guard 0 must mean a true
+	// zero-guard run rather than the 100 us default.
+	sys.MAC.GuardSet = true
 	cdc, err := spec.BuildCodec()
 	if err != nil {
 		return err
@@ -104,7 +130,8 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	runCfg := core.RunConfig{Duration: *duration, Codec: cdc, Seed: *seed}
+	runCfg := core.RunConfig{Duration: *duration, Codec: cdc, Seed: *seed,
+		Metrics: reg, Trace: tr}
 	if *spurts {
 		runCfg.Mode = voip.ModeTalkSpurt
 	}
@@ -151,7 +178,46 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("unknown mac %q", *macKind)
 	}
 	report(out, *macKind, res)
+	if reg != nil {
+		if err := writeMetrics(*metricsOut, reg); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "metrics: %s\n", *metricsOut)
+	}
+	if tr != nil {
+		if err := writeTrace(*tracePath, tr); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "trace: %s (%d events, %d dropped)\n",
+			*tracePath, len(tr.Events()), tr.Dropped())
+	}
 	return nil
+}
+
+// writeMetrics dumps the registry snapshot as indented JSON.
+func writeMetrics(path string, reg *obs.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.Snapshot().WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeTrace dumps the trace ring as JSON lines, oldest first.
+func writeTrace(path string, tr *obs.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func report(out io.Writer, macKind string, res *core.RunResult) {

@@ -1,0 +1,45 @@
+// Package examples holds runnable example programs, one per subdirectory.
+// This test makes tier-1 (`go test ./...`) compile every example, so a
+// refactor that breaks an example's use of the public API fails the suite
+// instead of rotting silently.
+package examples
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+func TestExamplesBuild(t *testing.T) {
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := filepath.Abs("..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		found++
+		dir := e.Name()
+		t.Run(dir, func(t *testing.T) {
+			t.Parallel()
+			// -o to a discard path: build each example binary without
+			// littering the tree.
+			out := filepath.Join(t.TempDir(), dir)
+			cmd := exec.Command("go", "build", "-o", out, "./examples/"+dir)
+			cmd.Dir = root
+			if msg, err := cmd.CombinedOutput(); err != nil {
+				t.Errorf("go build ./examples/%s: %v\n%s", dir, err, msg)
+			}
+		})
+	}
+	if found == 0 {
+		t.Fatal("no example directories found")
+	}
+}

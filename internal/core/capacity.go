@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"wimesh/internal/obs"
 	"wimesh/internal/topology"
 	"wimesh/internal/voip"
 )
@@ -255,7 +256,10 @@ func (s *System) capacitySearch(cfg CapacityConfig, tdma bool) (*CapacityResult,
 	if cfg.Search == SearchLinear {
 		workers = 1
 	}
+	reg := obs.Or(cfg.Run.Metrics)
+	tr := obs.OrTrace(cfg.Run.Trace)
 	p := newProber(mkProbe(probeRun), prepare, workers)
+	p.instrument("full", reg, tr)
 	defer p.drain()
 	if cfg.Search == SearchLinear {
 		return linearScan(p, cfg.MaxCalls)
@@ -270,6 +274,7 @@ func (s *System) capacitySearch(cfg CapacityConfig, tdma bool) (*CapacityResult,
 		pilotRun.WarmUp = pilotDur / 10
 		pilotRun.abortHeuristically = true
 		pp := newProber(mkProbe(pilotRun), prepare, workers)
+		pp.instrument("pilot", reg, tr)
 		defer pp.drain()
 		return pilotedSearch(p, pp, cfg.MaxCalls)
 	}

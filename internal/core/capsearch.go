@@ -1,6 +1,9 @@
 package core
 
-import "wimesh/internal/topology"
+import (
+	"wimesh/internal/obs"
+	"wimesh/internal/topology"
+)
 
 // probeOutcome is the verdict of probing one candidate call count.
 type probeOutcome struct {
@@ -27,6 +30,52 @@ type prober struct {
 	workers int
 	sem     chan struct{}
 	memo    map[int]*probeTask
+
+	// Observability (see instrument): per-verdict counters, the live search
+	// bracket, and probe trace events labeled with the probe phase. All
+	// handles are nil (no-op) on an uninstrumented prober; counter/trace
+	// updates are atomic/locked, so worker goroutines report safely.
+	label       string
+	obsProbes   *obs.Counter
+	obsPass     *obs.Counter
+	obsFail     *obs.Counter
+	obsFallback *obs.Counter
+	bracketLo   *obs.Gauge
+	bracketHi   *obs.Gauge
+	trace       *obs.Trace
+}
+
+// instrument attaches observability to the prober: label distinguishes the
+// probe phase ("full" vs "pilot") in counter names and trace events.
+func (p *prober) instrument(label string, reg *obs.Registry, tr *obs.Trace) {
+	if reg == nil && tr == nil {
+		return
+	}
+	p.label = label
+	p.obsProbes = reg.Counter("core.probes." + label)
+	p.obsPass = reg.Counter("core.probe_pass." + label)
+	p.obsFail = reg.Counter("core.probe_fail." + label)
+	p.obsFallback = reg.Counter("core.gallop_fallbacks")
+	p.bracketLo = reg.Gauge("core.bracket_lo." + label)
+	p.bracketHi = reg.Gauge("core.bracket_hi." + label)
+	p.trace = tr
+}
+
+// observe records one finished probe verdict.
+func (p *prober) observe(k int, t *probeTask) {
+	if t.err != nil {
+		return
+	}
+	p.obsProbes.Inc()
+	pass := int64(0)
+	if t.out.pass {
+		pass = 1
+		p.obsPass.Inc()
+	} else {
+		p.obsFail.Inc()
+	}
+	p.trace.Emit(obs.Event{Kind: obs.KindProbe, Node: -1, Link: -1, Slot: -1,
+		Frame: -1, A: int64(k), B: pass, Label: p.label})
 }
 
 func newProber(probe func(int, *topology.FlowSet) (probeOutcome, error),
@@ -60,6 +109,7 @@ func (p *prober) start(k int) *probeTask {
 	}
 	if p.workers <= 1 {
 		t.out, t.err = p.probe(k, fs)
+		p.observe(k, t)
 		close(t.done)
 		return t
 	}
@@ -67,6 +117,7 @@ func (p *prober) start(k int) *probeTask {
 		p.sem <- struct{}{}
 		defer func() { <-p.sem }()
 		t.out, t.err = p.probe(k, fs)
+		p.observe(k, t)
 		close(t.done)
 	}()
 	return t
@@ -131,6 +182,8 @@ func gallopSearch(p *prober, maxCalls int) (*CapacityResult, error) {
 			break
 		}
 	}
+	p.bracketLo.Set(int64(lo))
+	p.bracketHi.Set(int64(hi))
 	if hi == 0 {
 		// Every ladder rung up to maxCalls passed.
 		return &CapacityResult{Calls: maxCalls, StoppedBy: StopMaxCalls, LastGood: loOut.run}, nil
@@ -153,9 +206,12 @@ func gallopSearch(p *prober, maxCalls int) (*CapacityResult, error) {
 		} else {
 			hi, hiOut = mid, out
 		}
+		p.bracketLo.Set(int64(lo))
+		p.bracketHi.Set(int64(hi))
 	}
 	if hi != lo+1 || hiOut.pass || (lo > 0 && !loOut.pass) {
 		// Bracket-edge verification miss: fall back to the exact scan.
+		p.obsFallback.Inc()
 		return linearScan(p, maxCalls)
 	}
 	return &CapacityResult{Calls: lo, StoppedBy: hiOut.stop, LastGood: loOut.run}, nil

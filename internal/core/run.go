@@ -7,6 +7,7 @@ import (
 
 	"wimesh/internal/mac/dcf"
 	"wimesh/internal/mac/tdmaemu"
+	"wimesh/internal/obs"
 	"wimesh/internal/sim"
 	"wimesh/internal/timesync"
 	"wimesh/internal/topology"
@@ -41,6 +42,13 @@ type RunConfig struct {
 	// never consumed for the result, so an unsound abort can cost a
 	// fallback, never correctness.
 	abortHeuristically bool
+	// Metrics, when set, receives the run's counters (MAC metrics, abort
+	// verdicts). Nil falls back to the process default (obs.Default); with
+	// neither, observability is off at zero cost.
+	Metrics *obs.Registry
+	// Trace, when set, receives the run's structured slot/abort events. Nil
+	// falls back to obs.DefaultTrace.
+	Trace *obs.Trace
 }
 
 func (c *RunConfig) applyDefaults() {
@@ -172,7 +180,14 @@ func (s *System) RunTDMA(plan *Plan, fs *topology.FlowSet, cfg RunConfig) (*RunR
 	if cfg.AbortOnProvableFailure {
 		mon = newQualityMonitor(cfg.Codec, lo, hi, fs.Flows, cs, cfg.abortHeuristically)
 	}
-	nw, err := tdmaemu.New(s.MAC, s.Topo, kernel, plan.Schedule, ts, s.InterferenceRange,
+	macCfg := s.MAC
+	if cfg.Metrics != nil {
+		macCfg.Metrics = cfg.Metrics
+	}
+	if cfg.Trace != nil {
+		macCfg.Trace = cfg.Trace
+	}
+	nw, err := tdmaemu.New(macCfg, s.Topo, kernel, plan.Schedule, ts, s.InterferenceRange,
 		func(p *tdmaemu.Packet, at time.Duration) {
 			if p.Created < lo || p.Created >= hi {
 				return
@@ -206,6 +221,7 @@ func (s *System) RunTDMA(plan *Plan, fs *topology.FlowSet, cfg RunConfig) (*RunR
 	}
 	st := nw.Stats()
 	if aborted {
+		observeAbort(cfg, at)
 		return &RunResult{Aborted: true, AbortedAt: at, TDMA: &st}, nil
 	}
 	res, err := assemble(fs, cs, cfg)
@@ -246,6 +262,8 @@ func (s *System) RunDCF(fs *topology.FlowSet, cfg RunConfig) (*RunResult, error)
 		PHY:         s.MAC.PHY,
 		DataRateBps: s.MAC.DataRateBps,
 		Seed:        cfg.Seed,
+		Metrics:     cfg.Metrics,
+		Trace:       cfg.Trace,
 	}
 	nw, err := dcf.New(dcfCfg, s.Topo, kernel, s.InterferenceRange,
 		func(p *dcf.Packet, at time.Duration) {
@@ -276,6 +294,7 @@ func (s *System) RunDCF(fs *topology.FlowSet, cfg RunConfig) (*RunResult, error)
 	}
 	st := nw.Stats()
 	if aborted {
+		observeAbort(cfg, at)
 		return &RunResult{Aborted: true, AbortedAt: at, DCF: &st}, nil
 	}
 	res, err := assemble(fs, cs, cfg)
@@ -284,6 +303,21 @@ func (s *System) RunDCF(fs *topology.FlowSet, cfg RunConfig) (*RunResult, error)
 	}
 	res.DCF = &st
 	return res, nil
+}
+
+// observeAbort records a quality-monitor abort: heuristic (pilot) aborts and
+// provable ones are distinguishable because only the former may be unsound.
+func observeAbort(cfg RunConfig, at time.Duration) {
+	reg := obs.Or(cfg.Metrics)
+	heur := int64(0)
+	if cfg.abortHeuristically {
+		heur = 1
+		reg.Counter("core.pilot_aborts").Inc()
+	} else {
+		reg.Counter("core.monitor_aborts").Inc()
+	}
+	obs.OrTrace(cfg.Trace).Emit(obs.Event{T: at, Kind: obs.KindAbort,
+		Node: -1, Link: -1, Slot: -1, Frame: -1, A: heur})
 }
 
 // startSources creates and starts one voice source per flow, staggered by a
@@ -345,8 +379,10 @@ func assemble(fs *topology.FlowSet, cs *collectorSet, cfg RunConfig) (*RunResult
 			// seconds-to-duration conversion is monotone, so converting the
 			// sorted floats yields the same ascending durations the old
 			// copy-and-sort path produced.
+			// SortedView (not Sorted): the floats are consumed into durs
+			// before the next observation, so the zero-copy view is safe.
 			durs := cs.durs[:0]
-			for _, x := range pr.delays.Sorted() {
+			for _, x := range pr.delays.SortedView() {
 				durs = append(durs, time.Duration(x*float64(time.Second)))
 			}
 			cs.durs = durs

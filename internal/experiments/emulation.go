@@ -36,7 +36,9 @@ func R5EmulationOverhead() (*Table, error) {
 		frame := tdma.FrameConfig{FrameDuration: 16 * slot, DataSlots: 16}
 		row := []any{slot.String()}
 		for _, guard := range []time.Duration{0, 100 * time.Microsecond, 200 * time.Microsecond} {
-			eff, err := tdmaemu.SlotEfficiency(tdmaemu.Config{Guard: guard}, frame, 200)
+			// GuardSet makes the g=0 column a true zero-guard config instead
+			// of silently inheriting the 100 us default.
+			eff, err := tdmaemu.SlotEfficiency(tdmaemu.Config{Guard: guard, GuardSet: true}, frame, 200)
 			if err != nil {
 				return nil, err
 			}

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"wimesh/internal/mac"
+	"wimesh/internal/obs"
 	"wimesh/internal/phy"
 	"wimesh/internal/sim"
 	"wimesh/internal/topology"
@@ -55,6 +56,12 @@ type Config struct {
 	// carrier sense reserves the medium around the receiver, mitigating
 	// hidden terminals at the cost of the handshake overhead.
 	RTSCTS bool
+	// Metrics, when set, receives the MAC's counters (attempts, defers,
+	// collisions, retry drops); nil falls back to the process default.
+	Metrics *obs.Registry
+	// Trace, when set, receives tx_attempt/defer structured events; nil
+	// falls back to obs.DefaultTrace.
+	Trace *obs.Trace
 }
 
 func (c *Config) applyDefaults() {
@@ -102,6 +109,13 @@ type Network struct {
 
 	onDelivered DeliveredFunc
 	stats       Stats
+
+	// Observability handles; nil (no-op) unless a sink is configured.
+	trace        *obs.Trace
+	obsAttempts  *obs.Counter
+	obsDefers    *obs.Counter
+	obsCollided  *obs.Counter
+	obsRetryDrop *obs.Counter
 }
 
 type node struct {
@@ -186,6 +200,12 @@ func New(cfg Config, topo *topology.Network, kernel *sim.Kernel, interferenceRan
 			return nil, err
 		}
 	}
+	reg := obs.Or(cfg.Metrics)
+	nw.trace = obs.OrTrace(cfg.Trace)
+	nw.obsAttempts = reg.Counter("dcf.tx_attempts")
+	nw.obsDefers = reg.Counter("dcf.defers")
+	nw.obsCollided = reg.Counter("dcf.collisions")
+	nw.obsRetryDrop = reg.Counter("dcf.retry_drops")
 	for i := range nw.rates {
 		nw.rates[i] = cfg.DataRateBps
 	}
@@ -248,6 +268,9 @@ func (n *node) kick() {
 func (n *node) access() {
 	m := n.nw.medium
 	if m.Busy(n.id) {
+		n.nw.obsDefers.Inc()
+		n.nw.trace.Emit(obs.Event{T: n.nw.kernel.Now(), Kind: obs.KindDefer,
+			Node: int32(n.id), Link: -1, Slot: -1, Frame: -1, A: 0})
 		if err := m.WhenIdle(n.id, n.accessFn); err != nil {
 			n.accessing = false
 		}
@@ -264,6 +287,9 @@ func (n *node) difsEnd() {
 	// The epoch was captured while idle and increments on every idle->busy
 	// transition, so a changed epoch is exactly "busy now or busy since".
 	if m.BusyEpoch(n.id) != n.stepEpoch {
+		n.nw.obsDefers.Inc()
+		n.nw.trace.Emit(obs.Event{T: n.nw.kernel.Now(), Kind: obs.KindDefer,
+			Node: int32(n.id), Link: -1, Slot: -1, Frame: -1, A: 1})
 		n.access() // interrupted: wait for idle again
 		return
 	}
@@ -294,6 +320,9 @@ func (n *node) slot() {
 // alone covers both "busy now" and "was busy meanwhile".
 func (n *node) slotEnd() {
 	if n.nw.medium.BusyEpoch(n.id) != n.stepEpoch {
+		n.nw.obsDefers.Inc()
+		n.nw.trace.Emit(obs.Event{T: n.nw.kernel.Now(), Kind: obs.KindDefer,
+			Node: int32(n.id), Link: -1, Slot: -1, Frame: -1, A: 1})
 		n.access()
 		return
 	}
@@ -329,6 +358,9 @@ func (n *node) transmit() {
 	n.transmitting = true
 	n.retries++
 	n.nw.stats.Transmissions++
+	n.nw.obsAttempts.Inc()
+	n.nw.trace.Emit(obs.Event{T: n.nw.kernel.Now(), Kind: obs.KindTXAttempt,
+		Node: int32(n.id), Link: -1, Slot: -1, Frame: -1, A: int64(n.retries - 1)})
 	n.ctx.pkt = p
 	frame := mac.Frame{
 		From:    n.id,
@@ -359,6 +391,7 @@ func (nw *Network) onDelivery(d mac.Delivery) {
 	if d.Collided || d.Lost {
 		if d.Collided {
 			nw.stats.Collisions++
+			nw.obsCollided.Inc()
 		} else {
 			nw.stats.ChannelLosses++
 		}
@@ -381,6 +414,7 @@ func (n *node) onFail() {
 	if n.retries > n.nw.cfg.RetryLimit {
 		n.queue = n.queue[1:]
 		n.nw.stats.DroppedRetries++
+		n.nw.obsRetryDrop.Inc()
 		n.retries = 0
 		n.cw = n.nw.cfg.PHY.CWMin
 	} else if n.cw*2+1 <= n.nw.cfg.PHY.CWMax {

@@ -208,8 +208,8 @@ type channel interface {
 	TransmitProtected(Frame, time.Duration) error
 }
 
-// obs is one observed delivery.
-type obs struct {
+// obsDelivery is one observed delivery.
+type obsDelivery struct {
 	at       time.Duration
 	from, to topology.NodeID
 	collided bool
@@ -222,7 +222,7 @@ type mediumState struct {
 	airtime                         time.Duration
 	busyTime                        []time.Duration
 	epochs                          []uint64
-	deliveries                      []obs
+	deliveries                      []obsDelivery
 }
 
 func randomTopo(rng *rand.Rand, n int) *topology.Network {
@@ -338,7 +338,7 @@ func driveTDMALike(t *testing.T, k *sim.Kernel, ch channel, links [][2]topology.
 	k.Run()
 }
 
-func snapshotDense(m *Medium, n int, deliveries []obs) mediumState {
+func snapshotDense(m *Medium, n int, deliveries []obsDelivery) mediumState {
 	s := mediumState{deliveries: deliveries, airtime: m.Airtime()}
 	s.sent, s.delivered, s.collided = m.Stats()
 	s.lost = m.LostFrames()
@@ -349,7 +349,7 @@ func snapshotDense(m *Medium, n int, deliveries []obs) mediumState {
 	return s
 }
 
-func snapshotRef(m *refMedium, n int, deliveries []obs) mediumState {
+func snapshotRef(m *refMedium, n int, deliveries []obsDelivery) mediumState {
 	s := mediumState{deliveries: deliveries, airtime: m.airtime,
 		sent: m.sent, delivered: m.delivered, collided: m.collided, lost: m.lost}
 	for i := 0; i < n; i++ {
@@ -390,7 +390,7 @@ func compareStates(t *testing.T, tag string, got, want mediumState) {
 
 // buildPair constructs a dense and a reference medium over the same
 // geometry, each on its own kernel, with recording receivers on every node.
-func buildPair(t *testing.T, net *topology.Network, rangeM float64, lossSeed int64) (*sim.Kernel, *Medium, *[]obs, *sim.Kernel, *refMedium, *[]obs) {
+func buildPair(t *testing.T, net *topology.Network, rangeM float64, lossSeed int64) (*sim.Kernel, *Medium, *[]obsDelivery, *sim.Kernel, *refMedium, *[]obsDelivery) {
 	t.Helper()
 	n := net.NumNodes()
 	kd := sim.NewKernel()
@@ -400,16 +400,16 @@ func buildPair(t *testing.T, net *topology.Network, rangeM float64, lossSeed int
 	}
 	kr := sim.NewKernel()
 	mr := newRefMedium(net, kr, rangeM)
-	var gotObs, refObs []obs
+	var gotObs, refObs []obsDelivery
 	for i := 0; i < n; i++ {
 		i := i
 		if err := md.SetReceiver(topology.NodeID(i), func(d Delivery) {
-			gotObs = append(gotObs, obs{d.At, d.Frame.From, d.Frame.To, d.Collided, d.Lost})
+			gotObs = append(gotObs, obsDelivery{d.At, d.Frame.From, d.Frame.To, d.Collided, d.Lost})
 		}); err != nil {
 			t.Fatal(err)
 		}
 		mr.SetReceiver(topology.NodeID(i), func(d Delivery) {
-			refObs = append(refObs, obs{d.At, d.Frame.From, d.Frame.To, d.Collided, d.Lost})
+			refObs = append(refObs, obsDelivery{d.At, d.Frame.From, d.Frame.To, d.Collided, d.Lost})
 		})
 	}
 	if lossSeed != 0 {

@@ -22,6 +22,7 @@ import (
 	"math/rand"
 	"time"
 
+	"wimesh/internal/obs"
 	"wimesh/internal/sim"
 	"wimesh/internal/topology"
 )
@@ -125,6 +126,15 @@ type Medium struct {
 	lost      uint64
 	// airtime accumulates transmission durations network-wide.
 	airtime time.Duration
+
+	// Observability handles, captured from the process default at
+	// construction; nil (no-op) when observability is off. The trace emits
+	// tx/collision events with frame endpoints.
+	obsSent      *obs.Counter
+	obsDelivered *obs.Counter
+	obsCollided  *obs.Counter
+	obsLost      *obs.Counter
+	trace        *obs.Trace
 }
 
 // NewMedium creates a medium over the network with the given interference
@@ -154,6 +164,13 @@ func NewMedium(net *topology.Network, kernel *sim.Kernel, interferenceRange floa
 		audBits:     make([]uint64, n*words),
 		audience:    make([][]topology.NodeID, n),
 		mark:        make([]uint64, n),
+	}
+	if reg := obs.Default(); reg != nil {
+		m.obsSent = reg.Counter("mac.tx_started")
+		m.obsDelivered = reg.Counter("mac.tx_delivered")
+		m.obsCollided = reg.Counter("mac.tx_collided")
+		m.obsLost = reg.Counter("mac.tx_lost")
+		m.trace = obs.DefaultTrace()
 	}
 	for a := 0; a < n; a++ {
 		for b := 0; b < n; b++ {
@@ -322,6 +339,10 @@ func (m *Medium) transmit(frame Frame, airtime time.Duration, protect bool) erro
 	tx.idx = len(m.active)
 	m.active = append(m.active, tx)
 	m.sent++
+	m.obsSent.Inc()
+	m.trace.Emit(obs.Event{T: now, Kind: obs.KindTX,
+		Node: int32(frame.From), Link: int32(frame.To), Slot: -1, Frame: -1,
+		A: int64(frame.Bytes), B: int64(airtime)})
 
 	// Raise busy at every node that hears the transmitter (and, for a
 	// protected exchange, the receiver).
@@ -410,10 +431,16 @@ func (m *Medium) finish(tx *transmission) {
 	switch {
 	case tx.hit:
 		m.collided++
+		m.obsCollided.Inc()
+		m.trace.Emit(obs.Event{T: now, Kind: obs.KindCollision,
+			Node: int32(tx.frame.From), Link: int32(tx.frame.To), Slot: -1, Frame: -1,
+			A: int64(tx.frame.Bytes)})
 	case lost:
 		m.lost++
+		m.obsLost.Inc()
 	default:
 		m.delivered++
+		m.obsDelivered.Inc()
 	}
 	if fn := m.deliver[tx.frame.To]; fn != nil {
 		fn(Delivery{Frame: tx.frame, At: now, Collided: tx.hit, Lost: lost})

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"wimesh/internal/mac"
+	"wimesh/internal/obs"
 	"wimesh/internal/phy"
 	"wimesh/internal/sim"
 	"wimesh/internal/tdma"
@@ -61,8 +62,13 @@ type Config struct {
 	// DataRateBps is the data frame rate (default 11 Mb/s).
 	DataRateBps float64
 	// Guard is the guard interval at the start of each slot window
-	// (default 100 us).
+	// (default 100 us). An explicit zero guard (no margin for clock error —
+	// the slot-leakage experiments) must be requested by also setting
+	// GuardSet, because zero is the "use the default" sentinel otherwise.
 	Guard time.Duration
+	// GuardSet marks Guard as explicitly configured, so Guard == 0 means a
+	// true zero-guard MAC instead of the 100 us default.
+	GuardSet bool
 	// QueueCap bounds each link queue (default 64).
 	QueueCap int
 	// AggregateLimit packs up to this many queued packets into one 802.11
@@ -75,6 +81,14 @@ type Config struct {
 	// immediate (the 802.16 ARQ feedback IE arrives well before the next
 	// frame's window).
 	ARQRetries int
+	// Metrics, when set, receives the MAC's counters (per-node guard
+	// overruns, sync-error gauges, slot/transmission totals). Nil falls back
+	// to the process default (obs.Default); with neither, metrics are off at
+	// zero cost.
+	Metrics *obs.Registry
+	// Trace, when set, receives per-slot structured events (slot_start,
+	// guard_overrun, violation). Nil falls back to obs.DefaultTrace.
+	Trace *obs.Trace
 }
 
 // Defaulted returns the configuration with all defaults filled in, so
@@ -91,7 +105,7 @@ func (c *Config) applyDefaults() {
 	if c.DataRateBps == 0 {
 		c.DataRateBps = 11e6
 	}
-	if c.Guard == 0 {
+	if c.Guard == 0 && !c.GuardSet {
 		c.Guard = 100 * time.Microsecond
 	}
 	if c.QueueCap == 0 {
@@ -153,6 +167,20 @@ type Network struct {
 	gen uint64
 	// failed[l] marks links that lose every frame transmitted over them.
 	failed []bool
+
+	// Observability. obsOn gates the per-window observation block (it reads
+	// the clock-error model a second time, which is pure but not free);
+	// handle updates themselves are nil-safe. Per-node slices are only
+	// allocated when obsOn.
+	obsOn         bool
+	trace         *obs.Trace
+	guardOverrun  []*obs.Counter // per node: tdmaemu.guard_overrun.node<N>
+	syncErrGauge  []*obs.Gauge   // per node: tdmaemu.sync_error_ns.node<N>
+	syncErrHist   *obs.Histogram
+	obsSlots      *obs.Counter
+	obsOverruns   *obs.Counter
+	obsTx         *obs.Counter
+	obsViolations *obs.Counter
 }
 
 // New creates the emulation network. sync may be nil for ideal clocks;
@@ -185,6 +213,26 @@ func New(cfg Config, topo *topology.Network, kernel *sim.Kernel, sched *tdma.Sch
 		if err := medium.SetReceiver(nd.ID, nw.onDelivery); err != nil {
 			return nil, err
 		}
+	}
+	reg := obs.Or(cfg.Metrics)
+	tr := obs.OrTrace(cfg.Trace)
+	if reg != nil || tr != nil {
+		nw.obsOn = true
+		nw.trace = tr
+		n := topo.NumNodes()
+		nw.guardOverrun = make([]*obs.Counter, n)
+		nw.syncErrGauge = make([]*obs.Gauge, n)
+		for i := 0; i < n; i++ {
+			nw.guardOverrun[i] = reg.Counter(fmt.Sprintf("tdmaemu.guard_overrun.node%d", i))
+			nw.syncErrGauge[i] = reg.Gauge(fmt.Sprintf("tdmaemu.sync_error_ns.node%d", i))
+		}
+		// +-1 ms covers the sync errors of every R6-style scenario; wider
+		// excursions clamp into the edge bins.
+		nw.syncErrHist = reg.Histogram("tdmaemu.sync_error_ns", -1e6, 1e6, 64)
+		nw.obsSlots = reg.Counter("tdmaemu.slots_served")
+		nw.obsOverruns = reg.Counter("tdmaemu.guard_overruns")
+		nw.obsTx = reg.Counter("tdmaemu.transmissions")
+		nw.obsViolations = reg.Counter("tdmaemu.violations")
 	}
 	return nw, nil
 }
@@ -281,6 +329,9 @@ func (nw *Network) scheduleWindow(a tdma.Assignment, lk topology.Link, frame int
 		if nw.gen != gen {
 			return // schedule swapped: this window chain is dead
 		}
+		if nw.obsOn {
+			nw.observeWindow(a, lk, frame, localTarget)
+		}
 		nw.serveWindow(a, lk, windowEndLocal)
 		if err := nw.armNext(a, lk, frame, gen); err != nil {
 			// Kernel time only moves forward; scheduling the next frame
@@ -293,6 +344,37 @@ func (nw *Network) scheduleWindow(a tdma.Assignment, lk topology.Link, frame int
 
 func (nw *Network) armNext(a tdma.Assignment, lk topology.Link, frame int64, gen uint64) error {
 	return nw.scheduleWindow(a, lk, frame+1, gen)
+}
+
+// observeWindow records the slot-open observables: the transmitter's clock
+// error (re-read from the sync model, which is pure arithmetic — observation
+// never perturbs simulation state), the queue depth, and whether the error
+// exceeded the guard (the R6 guard-overrun criterion). Only called when
+// obsOn.
+func (nw *Network) observeWindow(a tdma.Assignment, lk topology.Link, frame int64, localTarget time.Duration) {
+	var errAt time.Duration
+	if nw.sync != nil {
+		if e, err := nw.sync.ErrorAt(lk.From, localTarget); err == nil {
+			errAt = e
+		}
+	}
+	nw.syncErrGauge[lk.From].Set(errAt.Nanoseconds())
+	nw.syncErrHist.Observe(float64(errAt.Nanoseconds()))
+	nw.obsSlots.Inc()
+	nw.trace.Emit(obs.Event{T: nw.kernel.Now(), Kind: obs.KindSlotStart,
+		Node: int32(lk.From), Link: int32(a.Link), Slot: int32(a.Start), Frame: frame,
+		A: errAt.Nanoseconds(), B: int64(len(nw.queues[a.Link]))})
+	mag := errAt
+	if mag < 0 {
+		mag = -mag
+	}
+	if mag > nw.cfg.Guard {
+		nw.guardOverrun[lk.From].Inc()
+		nw.obsOverruns.Inc()
+		nw.trace.Emit(obs.Event{T: nw.kernel.Now(), Kind: obs.KindGuardOverrun,
+			Node: int32(lk.From), Link: int32(a.Link), Slot: int32(a.Start), Frame: frame,
+			A: errAt.Nanoseconds(), B: int64(nw.cfg.Guard)})
+	}
 }
 
 // localToTrue converts a node-local clock reading into true time using the
@@ -325,6 +407,7 @@ func (nw *Network) serveWindow(a tdma.Assignment, lk topology.Link, windowEndLoc
 	}
 	nw.queues[a.Link] = q[len(batch):]
 	nw.stats.Transmissions++
+	nw.obsTx.Inc()
 	frame := mac.Frame{From: lk.From, To: lk.To, Bytes: frameBytes, Payload: batch}
 	if err := nw.medium.Transmit(frame, airtime); err != nil {
 		return
@@ -492,6 +575,12 @@ func (nw *Network) onDelivery(d mac.Delivery) {
 	}
 	if d.Collided {
 		nw.stats.Violations++
+		nw.obsViolations.Inc()
+		if nw.trace != nil && len(batch) > 0 {
+			nw.trace.Emit(obs.Event{T: d.At, Kind: obs.KindViolation,
+				Node: int32(d.Frame.From), Link: int32(batch[0].Path[batch[0].Hop]),
+				Slot: -1, Frame: -1, A: int64(d.Frame.Bytes)})
+		}
 		return
 	}
 	if len(batch) > 0 && nw.hasLink(batch[0].Path[batch[0].Hop]) && nw.failed[batch[0].Path[batch[0].Hop]] {

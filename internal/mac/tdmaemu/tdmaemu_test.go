@@ -318,6 +318,47 @@ func TestValidation(t *testing.T) {
 	}
 }
 
+func TestGuardZeroExplicit(t *testing.T) {
+	// An unset guard takes the 100 us default ...
+	if got := (Config{}).Defaulted().Guard; got != 100*time.Microsecond {
+		t.Errorf("zero-value Config guard = %v, want 100us default", got)
+	}
+	// ... but an explicit zero guard must survive defaulting.
+	if got := (Config{Guard: 0, GuardSet: true}).Defaulted().Guard; got != 0 {
+		t.Errorf("explicit Guard=0 replaced by %v", got)
+	}
+	// A non-zero guard is explicit with or without the flag.
+	if got := (Config{Guard: 42 * time.Microsecond}).Defaulted().Guard; got != 42*time.Microsecond {
+		t.Errorf("explicit Guard=42us replaced by %v", got)
+	}
+	// Negative guards are still rejected, flag or not.
+	frame := testFrame()
+	net, sched, _ := chainSetup(t, 3, frame)
+	k := sim.NewKernel()
+	if _, err := New(Config{Guard: -time.Microsecond, GuardSet: true}, net, k, sched, nil, 250, nil); err == nil {
+		t.Error("negative guard accepted")
+	}
+	// And a zero-guard network builds and runs.
+	if _, err := New(Config{GuardSet: true}, net, k, sched, nil, 250, nil); err != nil {
+		t.Errorf("explicit zero-guard config rejected: %v", err)
+	}
+	// SlotEfficiency must distinguish g=0 from the default. A 1000-byte
+	// packet's airtime (192 us preamble + 1036 B at 11 Mb/s = ~945 us) fits
+	// a 1 ms slot only when the guard really is zero.
+	f := tdma.FrameConfig{FrameDuration: 16 * time.Millisecond, DataSlots: 16}
+	e0, err := SlotEfficiency(Config{GuardSet: true}, f, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e100, err := SlotEfficiency(Config{}, f, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e0 <= e100 {
+		t.Errorf("zero-guard efficiency %v not above defaulted %v", e0, e100)
+	}
+}
+
 func TestPacketsPerSlotArithmetic(t *testing.T) {
 	frame := testFrame() // 1 ms slots
 	cfg := Config{Guard: 100 * time.Microsecond}

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"wimesh/internal/mac"
+	"wimesh/internal/obs"
 	"wimesh/internal/phy"
 	"wimesh/internal/sim"
 	"wimesh/internal/tdma"
@@ -59,6 +60,12 @@ type Config struct {
 	Modulation phy.Modulation
 	// QueueCap bounds each link queue (default 64).
 	QueueCap int
+	// Metrics, when set, receives the MAC's counters; nil falls back to the
+	// process default (obs.Default).
+	Metrics *obs.Registry
+	// Trace, when set, receives per-slot structured events; nil falls back
+	// to obs.DefaultTrace.
+	Trace *obs.Trace
 }
 
 func (c *Config) applyDefaults() {
@@ -101,6 +108,14 @@ type Network struct {
 	onDelivered DeliveredFunc
 	stats       Stats
 	started     bool
+
+	// Observability handles; nil (no-op) unless a sink is configured. The
+	// native PHY has no guard, so only slot service, transmissions and
+	// violations are observable.
+	trace         *obs.Trace
+	obsSlots      *obs.Counter
+	obsTx         *obs.Counter
+	obsViolations *obs.Counter
 }
 
 // New creates the native network over the topology and schedule.
@@ -137,6 +152,11 @@ func New(cfg Config, topo *topology.Network, kernel *sim.Kernel, sched *tdma.Sch
 			return nil, err
 		}
 	}
+	reg := obs.Or(cfg.Metrics)
+	nw.trace = obs.OrTrace(cfg.Trace)
+	nw.obsSlots = reg.Counter("wimax.slots_served")
+	nw.obsTx = reg.Counter("wimax.transmissions")
+	nw.obsViolations = reg.Counter("wimax.violations")
 	return nw, nil
 }
 
@@ -169,6 +189,10 @@ func (nw *Network) armWindow(a tdma.Assignment, lk topology.Link, frame int64) e
 	start := time.Duration(frame)*nw.schedule.Config.FrameDuration + offset
 	length := time.Duration(a.Length) * nw.schedule.Config.SlotDuration()
 	_, err = nw.kernel.At(start, func() {
+		nw.obsSlots.Inc()
+		nw.trace.Emit(obs.Event{T: start, Kind: obs.KindSlotStart,
+			Node: int32(lk.From), Link: int32(a.Link), Slot: int32(a.Start), Frame: frame,
+			B: int64(len(nw.queues[a.Link]))})
 		nw.serveWindow(a, lk, start+length)
 		if err := nw.armWindow(a, lk, frame+1); err != nil {
 			nw.started = false
@@ -211,6 +235,7 @@ func (nw *Network) serveWindow(a tdma.Assignment, lk topology.Link, windowEnd ti
 	}
 	nw.queues[a.Link] = q[len(batch):]
 	nw.stats.Transmissions++
+	nw.obsTx.Inc()
 	// Airtime: preamble symbol + payload symbols (rounded up).
 	paySyms := (used + bytesPerSym - 1) / bytesPerSym
 	airtime := time.Duration(1+paySyms) * nw.symbol
@@ -250,6 +275,12 @@ func (nw *Network) onDelivery(d mac.Delivery) {
 	}
 	if d.Collided {
 		nw.stats.Violations++
+		nw.obsViolations.Inc()
+		if nw.trace != nil && len(batch) > 0 {
+			nw.trace.Emit(obs.Event{T: d.At, Kind: obs.KindViolation,
+				Node: int32(d.Frame.From), Link: int32(batch[0].Path[batch[0].Hop]),
+				Slot: -1, Frame: -1, A: int64(d.Frame.Bytes)})
+		}
 		return
 	}
 	for _, p := range batch {

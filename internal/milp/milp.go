@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"wimesh/internal/lp"
+	"wimesh/internal/obs"
 )
 
 // VarType classifies a model variable.
@@ -314,6 +315,12 @@ type search struct {
 	incumbentObj float64 // minimization form
 	incumbentKey []byte
 	haveInc      bool
+
+	// Observability handles, captured from the process default in Solve; nil
+	// (no-op) when none is installed. Updates are atomic, so the worker pool
+	// reports without extra locking.
+	obsWarm *obs.Counter
+	obsCold *obs.Counter
 }
 
 // Solve runs branch-and-bound and returns the best integral solution. It
@@ -363,6 +370,9 @@ func (m *Model) Solve(opts Options) (*Solution, error) {
 		incumbentObj:  math.Inf(1),
 	}
 	s.cond = sync.NewCond(&s.mu)
+	reg := obs.Default()
+	s.obsWarm = reg.Counter("milp.warm_solves")
+	s.obsCold = reg.Counter("milp.cold_solves")
 
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -387,6 +397,8 @@ func (m *Model) Solve(opts Options) (*Solution, error) {
 	for j, v := range m.vars {
 		obj += v.objCoef * s.incumbent[j]
 	}
+	reg.Counter("milp.solves").Inc()
+	reg.Counter("milp.nodes").Add(uint64(s.nodes))
 	return &Solution{X: s.incumbent, Objective: obj, Optimal: !s.limitHit, Nodes: s.nodes}, nil
 }
 
@@ -471,6 +483,9 @@ func (s *search) expand(cur node, solver *lp.Solver, changes []lp.BoundChange) (
 		// only the node's own branch is new.
 		warm = cur.parent.st
 		changes = changes[len(changes)-1:]
+		s.obsWarm.Inc()
+	} else {
+		s.obsCold.Inc()
 	}
 	sol, err := solver.Solve(s.compiled, warm, changes)
 	if errors.Is(err, lp.ErrInfeasible) {

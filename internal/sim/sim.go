@@ -19,6 +19,8 @@ import (
 	"fmt"
 	"math/rand"
 	"time"
+
+	"wimesh/internal/obs"
 )
 
 // EventID identifies a scheduled event for cancellation. It encodes a slab
@@ -64,11 +66,23 @@ type Kernel struct {
 	nextSeq    uint64
 	// processed counts executed (non-canceled) events.
 	processed uint64
+	// Observability handles, captured from the process default at
+	// construction. Nil (no-op) unless a registry is installed, so the hot
+	// path pays one branch per update — pinned at 0 allocs/op by
+	// BenchmarkKernelAfterStep.
+	obsScheduled *obs.Counter
+	obsExecuted  *obs.Counter
+	obsCanceled  *obs.Counter
 }
 
 // NewKernel returns a kernel at virtual time zero.
 func NewKernel() *Kernel {
-	return &Kernel{}
+	reg := obs.Default()
+	return &Kernel{
+		obsScheduled: reg.Counter("sim.events_scheduled"),
+		obsExecuted:  reg.Counter("sim.events_executed"),
+		obsCanceled:  reg.Counter("sim.events_canceled"),
+	}
 }
 
 // Now returns the current virtual time.
@@ -104,6 +118,7 @@ func (k *Kernel) At(t time.Duration, fn func()) (EventID, error) {
 	se.canceled = false
 	k.nextSeq++
 	k.heapPush(heapEntry{time: t, seq: k.nextSeq, slot: slot})
+	k.obsScheduled.Inc()
 	return EventID(uint64(se.gen)<<32 | uint64(slot)), nil
 }
 
@@ -132,6 +147,7 @@ func (k *Kernel) Cancel(id EventID) bool {
 	se.canceled = true
 	se.fn = nil
 	k.tombstones++
+	k.obsCanceled.Inc()
 	if k.tombstones > compactMinTombstones && k.tombstones*2 > len(k.heap) {
 		k.compact()
 	}
@@ -150,6 +166,7 @@ func (k *Kernel) Step() bool {
 	k.freeSlot(e.slot)
 	k.now = e.time
 	k.processed++
+	k.obsExecuted.Inc()
 	fn()
 	return true
 }

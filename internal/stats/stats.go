@@ -201,10 +201,19 @@ func (s *Sample) sort() {
 	s.sortedLen = len(out)
 }
 
-// Sorted returns the observations in ascending order as a view of the
-// collector's backing array: valid (and immutable) until the next Add or
-// Reset.
+// Sorted returns the observations in ascending order as a freshly allocated
+// copy, safe to retain across later Adds or Resets. Hot paths that consume
+// the order immediately should use SortedView, which does not allocate.
 func (s *Sample) Sorted() []float64 {
+	s.sort()
+	return append([]float64(nil), s.xs...)
+}
+
+// SortedView returns the observations in ascending order as a view of the
+// collector's backing array. The view is only valid until the next Add or
+// Reset: a later observation may reorder or reallocate the backing array
+// under the caller. Callers that keep the slice must use Sorted instead.
+func (s *Sample) SortedView() []float64 {
 	s.sort()
 	return s.xs
 }

@@ -244,3 +244,38 @@ func TestPropertyQuantileMonotone(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestSortedIsACopy pins the ownership contract: the slice Sorted returns
+// must survive later observations unchanged (a live view would be reordered
+// or reallocated under the caller by the next Add — the bug this guards
+// against), while SortedView documents itself as invalidated by Add.
+func TestSortedIsACopy(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{3, 1, 2} {
+		s.Add(x)
+	}
+	got := s.Sorted()
+	want := []float64{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Sorted = %v, want %v", got, want)
+		}
+	}
+	// Adds that reorder and grow the backing array must not disturb the copy.
+	for _, x := range []float64{0, -1, 0.5, 7, -2, 4} {
+		s.Add(x)
+	}
+	if _, err := s.Quantile(0.5); err != nil { // forces an in-place re-sort
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("retained Sorted slice changed after Adds: %v, want %v", got, want)
+		}
+	}
+	// SortedView reflects the collector's current (re-sorted) state.
+	view := s.SortedView()
+	if len(view) != 9 || view[0] != -2 || view[8] != 7 {
+		t.Errorf("SortedView = %v, want 9 ascending values from -2 to 7", view)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"math/rand"
 	"time"
 
+	"wimesh/internal/obs"
 	"wimesh/internal/sim"
 	"wimesh/internal/topology"
 )
@@ -103,6 +104,14 @@ type Sync struct {
 	clocks  []Clock
 	present []bool
 	rng     *rand.Rand
+
+	// Observability handles, captured from the process default at
+	// construction; nil (no-op) unless a registry/trace is installed. The
+	// RNG draw sequence is identical either way — observation only reads the
+	// post-resync state.
+	obsRounds  *obs.Counter
+	obsErrHist *obs.Histogram
+	obsTrace   *obs.Trace
 }
 
 // New creates the synchronization model for nodes with the given tree
@@ -134,6 +143,11 @@ func New(cfg Config, depths map[topology.NodeID]int, seed int64) (*Sync, error) 
 		present: make([]bool, maxID+1),
 		rng:     rng,
 	}
+	if reg := obs.Default(); reg != nil {
+		s.obsRounds = reg.Counter("timesync.resync_rounds")
+		s.obsErrHist = reg.Histogram("timesync.post_resync_error_ns", -1e6, 1e6, 64)
+	}
+	s.obsTrace = obs.DefaultTrace()
 	// Draw initial clock state in ascending node order for determinism.
 	for n := topology.NodeID(0); n <= maxID; n++ {
 		d, ok := depths[n]
@@ -184,6 +198,7 @@ func (s *Sync) Start(k *sim.Kernel) (stop func(), err error) {
 // timestamping error, and applies an offset correction. Nodes are processed
 // in ascending ID order so the RNG draw sequence is reproducible.
 func (s *Sync) Resync(t time.Duration) {
+	s.obsRounds.Inc()
 	for n := range s.clocks {
 		if !s.present[n] {
 			continue
@@ -201,6 +216,13 @@ func (s *Sync) Resync(t time.Duration) {
 		}
 		// The node aligns its clock to reference + accumulated error.
 		c.AdjustTo(t, t+time.Duration(errSum))
+		if s.obsErrHist != nil || s.obsTrace != nil {
+			residual := c.Error(t)
+			s.obsErrHist.Observe(float64(residual.Nanoseconds()))
+			s.obsTrace.Emit(obs.Event{T: t, Kind: obs.KindResync,
+				Node: int32(n), Link: -1, Slot: -1, Frame: -1,
+				A: residual.Nanoseconds()})
+		}
 	}
 }
 
