@@ -22,9 +22,10 @@ race:
 # vs. heap kernel, dense bitset medium vs. map-based medium, parallel
 # meshbench vs. sequential, bounded-variable simplex vs. the dense two-phase
 # oracle, warm-started branch-and-bound vs. cold, incremental window
-# mutation vs. fresh builds — all under the race detector.
+# mutation vs. fresh builds, analytic-screened capacity search vs. the
+# linear reference scan — all under the race detector.
 differential:
-	$(GO) test -race -count=1 -run 'TestDifferential|TestWorkersByteIdentical|TestPilotedSearchMatchesLinear|TestGallopSearchWorkers' \
+	$(GO) test -race -count=1 -run 'TestDifferential|TestWorkersByteIdentical|TestScreenedSearchMatchesLinear|TestGallopSearchWorkers|TestAnalyticSearchMatchesLinear|TestAnalyticVsSimulated' \
 		./internal/sim ./internal/mac ./cmd/meshbench ./internal/core \
 		./internal/lp ./internal/milp ./internal/schedule
 
@@ -44,11 +45,16 @@ examples:
 
 # The observability layer must cost nothing when disabled: nil-sink counter,
 # gauge, histogram and trace calls are pinned at 0 allocs/op (and the alloc
-# test fails on any regression).
+# test fails on any regression). The analytic screen rides the same budget:
+# a steady-state closed-form probe must not allocate, or screening thousands
+# of candidate call counts would feed the GC.
 obs-allocs:
 	$(GO) test ./internal/obs -run 'TestNilSinkZeroAllocs|TestEnabledSinkZeroAllocsSteadyState' -count=1
 	$(GO) test ./internal/obs -run xxx -benchmem \
 		-bench 'BenchmarkObsNilCounterInc|BenchmarkObsNilTraceEmit'
+	$(GO) test ./internal/analytic -run TestPredictZeroAllocsSteadyState -count=1
+	$(GO) test ./internal/analytic -run xxx -benchmem \
+		-bench 'BenchmarkAnalyticScreen'
 
 check: vet build race differential lpdebug examples obs-allocs
 

@@ -15,6 +15,11 @@
 // relative threshold and an absolute floor, so the sub-millisecond
 // experiments don't trip the check on scheduler jitter.
 //
+// The report's top-level "generated" timestamp is likewise exempt from the
+// comparison: it records when the run happened, not what it computed, so two
+// otherwise byte-identical reports never differ on it. These are the only
+// two exemptions — everything else in the schema must match exactly.
+//
 // Exit status: 0 when tables match and no regression is flagged, 1 otherwise.
 package main
 
@@ -29,7 +34,7 @@ import (
 
 // report mirrors the cmd/meshbench -json schema.
 type report struct {
-	Generated   string       `json:"generated"`
+	Generated   string       `json:"generated"` // run timestamp; never compared (see doc comment)
 	Experiments []experiment `json:"experiments"`
 }
 

@@ -31,6 +31,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"wimesh/internal/core"
 	"wimesh/internal/experiments"
 	"wimesh/internal/obs"
 )
@@ -87,10 +88,18 @@ func run(args []string, out io.Writer) error {
 		memProf    = fs.String("memprofile", "", "write an allocation profile taken after the run to this file")
 		metricsOut = fs.String("metrics-out", "", "write per-experiment obs counter snapshots (JSON) to this file; forces -workers 1")
 		tracePath  = fs.String("trace", "", "write a per-slot/per-frame event trace (JSON lines) to this file; forces -workers 1")
+		screen     = fs.String("screen", "auto", "capacity-search screening tier: auto|analytic|pilot|none; affects wall clock only (the C/C+1 edge is always confirmed by full-length simulation)")
+		queueCap   = fs.Int("queue-cap", 0, "finite per-link queue depth in packets for capacity-search experiments; 0 keeps each MAC's default (changes physics: shallower queues drop sooner)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	mode, err := parseScreen(*screen)
+	if err != nil {
+		return err
+	}
+	experiments.SetScreen(mode)
+	experiments.SetQueueCap(*queueCap)
 	// Observability sinks are process-global (the sim kernels deep inside each
 	// experiment find them via obs.Default), so enabling either flag forces a
 	// sequential run: with concurrent experiments the counters could not be
@@ -206,6 +215,14 @@ func run(args []string, out io.Writer) error {
 			tr.Emit(obs.Event{Kind: obs.KindMark, Node: -1, Link: -1, Slot: -1,
 				Frame: -1, Label: ids[i]})
 		}
+		if *workers == 1 {
+			// Sequential runs time each experiment in isolation: collect the
+			// predecessors' garbage before starting the clock so an
+			// experiment's wall time does not include GC debt inherited from
+			// whatever ran before it (the same hygiene testing.B applies
+			// between benchmarks). Virtual-time results are unaffected.
+			runtime.GC()
+		}
 		start := time.Now()
 		results[i].table, results[i].err = experiments.ByID(ids[i])
 		results[i].wall = time.Since(start)
@@ -305,4 +322,20 @@ func failuresError(failures []jsonFailure) error {
 		parts[i] = fmt.Sprintf("%s: %s", f.ID, f.Error)
 	}
 	return fmt.Errorf("%d experiment(s) failed: %s", len(failures), strings.Join(parts, "; "))
+}
+
+// parseScreen maps the -screen flag to a core.ScreenMode.
+func parseScreen(s string) (core.ScreenMode, error) {
+	switch s {
+	case "auto", "":
+		return core.ScreenAuto, nil
+	case "analytic":
+		return core.ScreenAnalytic, nil
+	case "pilot":
+		return core.ScreenPilot, nil
+	case "none":
+		return core.ScreenNone, nil
+	default:
+		return 0, fmt.Errorf("unknown -screen %q (want auto, analytic, pilot or none)", s)
+	}
 }

@@ -16,6 +16,7 @@ import (
 	"os"
 	"time"
 
+	"wimesh/internal/analytic"
 	"wimesh/internal/core"
 	"wimesh/internal/obs"
 	"wimesh/internal/scenario"
@@ -47,6 +48,8 @@ func run(args []string, out io.Writer) error {
 		loadPath   = fs.String("load", "", "replay a plan saved by meshplan -save (tdma only)")
 		metricsOut = fs.String("metrics-out", "", "write a JSON counter snapshot to this file after the run")
 		tracePath  = fs.String("trace", "", "write a per-slot/per-frame event trace (JSON lines) to this file")
+		queueCap   = fs.Int("queue-cap", 0, "finite per-link (tdma) / per-node (dcf) queue depth in packets; 0 keeps the MAC default")
+		analyticOn = fs.Bool("analytic", false, "also print the closed-form model's per-flow prediction next to the simulation")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -131,7 +134,7 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	runCfg := core.RunConfig{Duration: *duration, Codec: cdc, Seed: *seed,
-		Metrics: reg, Trace: tr}
+		QueueCap: *queueCap, Metrics: reg, Trace: tr}
 	if *spurts {
 		runCfg.Mode = voip.ModeTalkSpurt
 	}
@@ -169,10 +172,24 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
+		if *analyticOn {
+			pred, err := sys.AnalyticTDMA(plan, flows, runCfg)
+			if err != nil {
+				return err
+			}
+			reportPrediction(out, pred)
+		}
 	case "dcf":
 		res, err = sys.RunDCF(flows, runCfg)
 		if err != nil {
 			return err
+		}
+		if *analyticOn {
+			pred, err := sys.AnalyticDCF(flows, runCfg)
+			if err != nil {
+				return err
+			}
+			reportPrediction(out, pred)
 		}
 	default:
 		return fmt.Errorf("unknown mac %q", *macKind)
@@ -218,6 +235,24 @@ func writeTrace(path string, tr *obs.Trace) error {
 		return err
 	}
 	return f.Close()
+}
+
+// reportPrediction prints the closed-form model's per-flow view in the same
+// shape as the simulation report, so the two are eyeball-diffable.
+func reportPrediction(out io.Writer, pred analytic.Prediction) {
+	fmt.Fprintln(out, "analytic model (closed form, no packets simulated):")
+	fmt.Fprintf(out, "%-5s %7s %10s %10s %10s %6s %5s\n",
+		"flow", "loss%", "mean", "p95", "max", "R", "MOS")
+	for _, f := range pred.Flows {
+		fmt.Fprintf(out, "%-5d %7.2f %10v %10v %10v %6.1f %5.2f\n",
+			f.FlowID, f.Loss*100,
+			f.MeanDelay.Round(time.Microsecond),
+			f.P95Delay.Round(time.Microsecond),
+			f.MaxDelay.Round(time.Microsecond),
+			f.Quality.R, f.Quality.MOS)
+	}
+	fmt.Fprintf(out, "predicted worst R-factor: %.1f  all-toll-quality: %t  max utilization: %.2f\n\n",
+		pred.MinR, pred.AllAcceptable, pred.MaxUtilization)
 }
 
 func report(out io.Writer, macKind string, res *core.RunResult) {

@@ -1,0 +1,512 @@
+// Package analytic predicts per-flow VoIP quality over a mesh without
+// running the event kernel, in the style of Kauer & Turau's analytical model
+// for collision-free TDMA mesh networks with finite queues (PAPERS.md): given
+// a periodic slot schedule, fixed per-flow routes, a codec packet rate and a
+// finite per-link queue depth, it derives per-flow end-to-end delay quantiles
+// and loss probability in closed form.
+//
+// The model is the screening tier of the capacity search
+// (internal/core/capsearch.go): it brackets the admissible call count before
+// any packet is simulated, and full-length simulation then confirms the C/C+1
+// bracket edge. A misprediction therefore costs extra simulation time, never
+// a wrong verdict — which is why the model may use deliberately coarse
+// approximations where the exact behavior depends on event-level detail.
+//
+// # TDMA model
+//
+// Each link l is a deterministic batch-service queue emptied during its
+// scheduled transmit windows, which repeat every frame:
+//
+//   - arrivals per frame a_l  = sum over flows crossing l of F/I (frame
+//     duration F over codec packet interval I),
+//   - service per frame  s_l  = packets the link's windows fit, back to back
+//     with SIFS spacing after the guard interval, at the link's PHY rate,
+//   - utilization        rho_l = a_l / s_l.
+//
+// When rho_l <= 1 the queue is stable and the delay of a packet is dominated
+// by the wait for the link's next transmit window: the model sweeps packet
+// creation phases across one frame and chains each phase through the
+// windows of every hop (the same window-chaining rule as
+// schedule.PathDelay), adding a cross-traffic queueing term that spreads
+// packets of the same frame over queue positions. When rho_l > 1 the queue
+// saturates: the overflow fraction 1 - 1/rho_l is lost and survivors see the
+// full finite queue ahead of them (QueueCap/s_l frames of backlog drain).
+//
+// Finite queues also lose packets without persistent overload: if a frame's
+// arrival batch a_l exceeds the queue capacity plus what the frame's windows
+// drain, the excess is dropped on arrival (tail drop), exactly the
+// tdmaemu behavior the emulator enforces per link.
+//
+// Flow loss composes per-hop survival probabilities; the per-flow delay
+// sample set feeds the same playout-buffer planning and ITU-T G.107 E-model
+// scoring the simulator applies to measured delays (internal/voip), so a
+// prediction is comparable field by field with a measured RunResult.
+//
+// Assumptions (all conservative for screening): CBR sources (talk-spurt
+// gating is ignored), no 802.11 aggregation (AggregateLimit > 1 only adds
+// capacity), ideal clocks (sync wobble is covered by the guard interval),
+// and no ARQ retransmissions.
+package analytic
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"wimesh/internal/tdma"
+	"wimesh/internal/topology"
+	"wimesh/internal/voip"
+)
+
+// DefaultPhaseSamples is the number of packet creation phases swept across
+// one frame per flow when TDMAConfig.PhaseSamples is zero.
+const DefaultPhaseSamples = 32
+
+// unserved marks a hop that can never transmit (no usable window).
+const unserved = time.Duration(math.MaxInt64)
+
+// TDMAConfig parameterizes the closed-form TDMA prediction.
+type TDMAConfig struct {
+	// Frame is the TDMA frame layout of the schedule.
+	Frame tdma.FrameConfig
+	// Guard is the guard interval at the start of each transmit window.
+	Guard time.Duration
+	// SIFS is the inter-frame gap between back-to-back transmissions
+	// inside one window.
+	SIFS time.Duration
+	// LinkAirtime is the one-packet airtime per link (indexed by LinkID),
+	// at the link's PHY rate for the codec's packet size.
+	LinkAirtime []time.Duration
+	// QueueCap is the finite per-link queue depth in packets (> 0).
+	QueueCap int
+	// Codec supplies the packet interval and the E-model impairment
+	// parameters.
+	Codec voip.Codec
+	// LateTarget is the playout late-loss target the jitter buffer is
+	// planned against (the core measurement pipeline uses 0.01).
+	LateTarget float64
+	// PhaseSamples is the number of creation phases swept per flow
+	// (default DefaultPhaseSamples).
+	PhaseSamples int
+}
+
+// FlowPrediction is the closed-form analogue of core.FlowResult.
+type FlowPrediction struct {
+	FlowID topology.FlowID
+	// MeanDelay, P95Delay and MaxDelay summarize the predicted network
+	// delay over the swept creation phases.
+	MeanDelay, P95Delay, MaxDelay time.Duration
+	// JitterBuffer is the planned playout depth: the (1 - LateTarget)
+	// order statistic of the predicted delays.
+	JitterBuffer time.Duration
+	// LateLoss is the predicted fraction of delivered packets missing the
+	// playout instant.
+	LateLoss float64
+	// Loss is the predicted network loss (queue overflow).
+	Loss float64
+	// MouthToEar is the E-model delay input.
+	MouthToEar time.Duration
+	// Quality is the E-model score of the prediction.
+	Quality voip.Quality
+}
+
+// Prediction aggregates the closed-form verdict for one flow set.
+type Prediction struct {
+	// Flows holds per-flow predictions, in flow order. The slice is owned
+	// by the Predictor and valid until its next Predict call.
+	Flows []FlowPrediction
+	// MinR is the worst predicted flow R-factor.
+	MinR float64
+	// AllAcceptable reports that every flow is predicted at toll quality.
+	AllAcceptable bool
+	// MaxUtilization is the largest per-link rho (arrivals over service).
+	MaxUtilization float64
+}
+
+// window is one transmit window of a link within frame 0: service begins at
+// start (slot start plus guard) and must finish by end.
+type window struct {
+	start, end time.Duration
+}
+
+// Predictor evaluates predictions, reusing internal scratch across calls: a
+// steady-state Predict over the same topology allocates nothing, so the
+// capacity search can probe dozens of call counts for less than the cost of
+// simulating a single frame.
+//
+// A Predictor is not safe for concurrent use.
+type Predictor struct {
+	// Per-link scratch, indexed by LinkID.
+	winCount  []int32
+	winStart  []int32
+	wins      []window
+	arrivals  []float64
+	service   []float64
+	linkLoss  []float64
+	satWait   []time.Duration // queue-drain penalty of a saturated link
+	occupancy []time.Duration // per-packet service occupancy (airtime+SIFS)
+
+	// Per-prediction scratch.
+	samples []time.Duration
+	flows   []FlowPrediction
+
+	// DCF scratch (see dcf.go). The audibility bitset caches the node-level
+	// carrier-sense relation per (network, range) pair.
+	audBits    []uint64
+	audWords   int
+	audNet     *topology.Network
+	audRange   float64
+	linkEx     []float64
+	nodeRate   []float64
+	nodeAir    []float64
+	nodeAtt    []float64
+	inflAir    []float64
+	inflRate   []float64
+	attAcc     []float64
+	nodeU      []float64
+	nodeUOther []float64
+	nodeServ   []float64
+	nodeWq     []float64
+	nodeQLoss  []float64
+}
+
+// NewPredictor returns an empty predictor; scratch grows on first use.
+func NewPredictor() *Predictor { return &Predictor{} }
+
+// sizeLinks (re)sizes per-link scratch for n links without reallocating when
+// capacity suffices.
+func (pd *Predictor) sizeLinks(n int) {
+	if cap(pd.winCount) < n {
+		pd.winCount = make([]int32, n)
+		pd.winStart = make([]int32, n+1)
+		pd.arrivals = make([]float64, n)
+		pd.service = make([]float64, n)
+		pd.linkLoss = make([]float64, n)
+		pd.satWait = make([]time.Duration, n)
+		pd.occupancy = make([]time.Duration, n)
+	}
+	pd.winCount = pd.winCount[:n]
+	pd.winStart = pd.winStart[:n+1]
+	pd.arrivals = pd.arrivals[:n]
+	pd.service = pd.service[:n]
+	pd.linkLoss = pd.linkLoss[:n]
+	pd.satWait = pd.satWait[:n]
+	pd.occupancy = pd.occupancy[:n]
+	for i := 0; i < n; i++ {
+		pd.winCount[i] = 0
+		pd.arrivals[i] = 0
+	}
+}
+
+// PredictTDMA evaluates the closed-form model for the flow set over the
+// schedule. The returned Prediction's Flows slice is reused by the next call.
+func (pd *Predictor) PredictTDMA(sched *tdma.Schedule, flows []topology.Flow, cfg TDMAConfig) (Prediction, error) {
+	if sched == nil {
+		return Prediction{}, errors.New("analytic: nil schedule")
+	}
+	if len(flows) == 0 {
+		return Prediction{}, errors.New("analytic: no flows")
+	}
+	if cfg.QueueCap <= 0 {
+		return Prediction{}, fmt.Errorf("analytic: non-positive queue cap %d", cfg.QueueCap)
+	}
+	if cfg.Codec.PacketInterval <= 0 {
+		return Prediction{}, fmt.Errorf("analytic: codec %q has no packet interval", cfg.Codec.Name)
+	}
+	if cfg.LateTarget < 0 || cfg.LateTarget >= 1 {
+		return Prediction{}, fmt.Errorf("analytic: late-loss target %g outside [0,1)", cfg.LateTarget)
+	}
+	phases := cfg.PhaseSamples
+	if phases <= 0 {
+		phases = DefaultPhaseSamples
+	}
+	nLinks := 0
+	for _, a := range sched.Assignments {
+		if int(a.Link) >= nLinks {
+			nLinks = int(a.Link) + 1
+		}
+	}
+	for _, f := range flows {
+		for _, l := range f.Path {
+			if int(l) >= nLinks {
+				nLinks = int(l) + 1
+			}
+		}
+	}
+	if need := nLinks; len(cfg.LinkAirtime) < need {
+		return Prediction{}, fmt.Errorf("analytic: airtime table covers %d links, schedule/flows use %d",
+			len(cfg.LinkAirtime), need)
+	}
+	pd.sizeLinks(nLinks)
+	if err := pd.buildWindows(sched, nLinks); err != nil {
+		return Prediction{}, err
+	}
+	frame := cfg.Frame.FrameDuration
+
+	// Per-link arrivals per frame (packets) from the flows crossing it.
+	perFlow := float64(frame) / float64(cfg.Codec.PacketInterval)
+	for i := range flows {
+		for _, l := range flows[i].Path {
+			pd.arrivals[l] += perFlow
+		}
+	}
+
+	// Per-link service per frame, queueing spread and overflow loss.
+	maxRho := 0.0
+	for l := 0; l < nLinks; l++ {
+		air := cfg.LinkAirtime[l]
+		occ := air + cfg.SIFS
+		pd.occupancy[l] = occ
+		s := 0.0
+		ws := pd.linkWindows(l)
+		for _, w := range ws {
+			usable := w.end - w.start - cfg.Guard
+			if usable >= air {
+				// First packet right after the guard, then back to back
+				// with SIFS spacing while another airtime fits.
+				s += 1 + math.Floor(float64(usable-air)/float64(occ))
+			}
+		}
+		pd.service[l] = s
+		a := pd.arrivals[l]
+		loss := 0.0
+		pd.satWait[l] = 0
+		switch {
+		case a == 0:
+			// untraversed link
+		case s == 0:
+			// Scheduled capacity cannot carry a single packet: the link
+			// drops everything once its queue fills.
+			loss = 1
+			pd.satWait[l] = unserved
+		default:
+			rho := a / s
+			if rho > maxRho {
+				maxRho = rho
+			}
+			if rho > 1 {
+				// Persistent overload: the overflow fraction is dropped
+				// and survivors drain behind a full queue.
+				loss = 1 - 1/rho
+				pd.satWait[l] = time.Duration(math.Ceil(float64(cfg.QueueCap)/s)) * frame
+			}
+			// Tail drop within a frame: arrivals beyond the queue plus
+			// what the frame's own windows drain are rejected on arrival.
+			if burst := a - float64(cfg.QueueCap) - s; burst > 0 {
+				if bl := burst / a; bl > loss {
+					loss = bl
+				}
+			}
+		}
+		pd.linkLoss[l] = loss
+	}
+
+	// Per-flow phase sweep.
+	if cap(pd.samples) < phases {
+		pd.samples = make([]time.Duration, phases)
+	}
+	pd.samples = pd.samples[:phases]
+	if cap(pd.flows) < len(flows) {
+		pd.flows = make([]FlowPrediction, len(flows))
+	}
+	pd.flows = pd.flows[:len(flows)]
+
+	res := Prediction{MinR: 100, AllAcceptable: true, MaxUtilization: maxRho}
+	for i := range flows {
+		fp, err := pd.predictFlow(&flows[i], cfg, frame, phases)
+		if err != nil {
+			return Prediction{}, err
+		}
+		pd.flows[i] = fp
+		if fp.Quality.R < res.MinR {
+			res.MinR = fp.Quality.R
+		}
+		if !fp.Quality.Acceptable() {
+			res.AllAcceptable = false
+		}
+	}
+	res.Flows = pd.flows
+	return res, nil
+}
+
+// buildWindows buckets the schedule's assignments into per-link window lists
+// sorted by start, stored in one flat slice (counting sort by link).
+func (pd *Predictor) buildWindows(sched *tdma.Schedule, nLinks int) error {
+	for _, a := range sched.Assignments {
+		pd.winCount[a.Link]++
+	}
+	total := 0
+	for l := 0; l < nLinks; l++ {
+		pd.winStart[l] = int32(total)
+		total += int(pd.winCount[l])
+	}
+	pd.winStart[nLinks] = int32(total)
+	if cap(pd.wins) < total {
+		pd.wins = make([]window, total)
+	}
+	pd.wins = pd.wins[:total]
+	// Cursor reuses winCount: it is consumed while placing windows.
+	for l := 0; l < nLinks; l++ {
+		pd.winCount[l] = pd.winStart[l]
+	}
+	for _, a := range sched.Assignments {
+		start, err := sched.Config.SlotStart(a.Start)
+		if err != nil {
+			return err
+		}
+		end := start + time.Duration(a.Length)*sched.Config.SlotDuration()
+		at := pd.winCount[a.Link]
+		pd.wins[at] = window{start: start, end: end}
+		pd.winCount[a.Link] = at + 1
+	}
+	// Insertion sort per link (window counts are tiny).
+	for l := 0; l < nLinks; l++ {
+		ws := pd.wins[pd.winStart[l]:pd.winStart[l+1]]
+		for i := 1; i < len(ws); i++ {
+			for j := i; j > 0 && ws[j].start < ws[j-1].start; j-- {
+				ws[j], ws[j-1] = ws[j-1], ws[j]
+			}
+		}
+	}
+	return nil
+}
+
+func (pd *Predictor) linkWindows(l int) []window {
+	return pd.wins[pd.winStart[l]:pd.winStart[l+1]]
+}
+
+// departAfter returns the completion time of a one-packet transmission on
+// link l entering its queue at t with ahead cross-traffic packets queued in
+// front of it: service begins at the next window start (plus guard) no
+// earlier than t, mirroring the emulator's once-per-window service pickup,
+// and each window drains its back-to-back capacity of the queue before the
+// packet advances to the next window. Returns unserved when no window fits
+// the packet.
+func (pd *Predictor) departAfter(l int, t time.Duration, ahead float64, cfg *TDMAConfig) time.Duration {
+	ws := pd.linkWindows(l)
+	if len(ws) == 0 {
+		return unserved
+	}
+	air := cfg.LinkAirtime[l]
+	occ := pd.occupancy[l]
+	frame := cfg.Frame.FrameDuration
+	base := (t / frame) * frame
+	// Two frame iterations suffice to find the first usable window; the
+	// queued cross traffic drains at service[l] packets per frame on top of
+	// that (service > 0 is guaranteed by the caller: links that cannot
+	// carry a packet are marked unserved before the sweep).
+	iters := 2
+	if ahead > 0 && pd.service[l] > 0 {
+		iters += int(math.Ceil(ahead / pd.service[l]))
+	}
+	for iter := 0; iter < iters; iter++ {
+		for _, w := range ws {
+			s := base + w.start + cfg.Guard
+			usable := w.end - w.start - cfg.Guard
+			if s < t || usable < air {
+				continue
+			}
+			fits := 1 + math.Floor(float64(usable-air)/float64(occ))
+			if ahead < fits {
+				return s + time.Duration(ahead*float64(occ)) + air
+			}
+			ahead -= fits
+		}
+		base += frame
+	}
+	return unserved
+}
+
+// predictFlow sweeps creation phases for one flow and scores the resulting
+// delay distribution with the playout/E-model pipeline.
+func (pd *Predictor) predictFlow(f *topology.Flow, cfg TDMAConfig, frame time.Duration, phases int) (FlowPrediction, error) {
+	fp := FlowPrediction{FlowID: f.ID}
+	// Network loss composes per-hop survival.
+	survive := 1.0
+	for _, l := range f.Path {
+		survive *= 1 - pd.linkLoss[l]
+	}
+	fp.Loss = 1 - survive
+
+	served := true
+	var sum time.Duration
+	for i := 0; i < phases; i++ {
+		phase := frame * time.Duration(2*i+1) / time.Duration(2*phases)
+		// Queue-position fraction: sample i models a packet that finds
+		// posFrac of the frame's cross traffic ahead of it at every hop.
+		posFrac := 0.0
+		if phases > 1 {
+			posFrac = float64(i) / float64(phases-1)
+		}
+		t := phase
+		for _, l := range f.Path {
+			if pd.satWait[l] == unserved {
+				served = false
+				break
+			}
+			// Queue position: posFrac of the frame's cross traffic is
+			// ahead of this sample at every hop, draining through the
+			// link's windows before it.
+			ahead := 0.0
+			if a := pd.arrivals[l]; a > 1 {
+				ahead = posFrac * (a - 1)
+			}
+			t += pd.satWait[l]
+			d := pd.departAfter(int(l), t, ahead, &cfg)
+			if d == unserved {
+				served = false
+				break
+			}
+			t = d
+		}
+		if !served {
+			break
+		}
+		pd.samples[i] = t - phase
+		sum += t - phase
+	}
+	if !served {
+		// A hop cannot carry the packet at all: total loss, floor quality.
+		fp.Loss = 1
+		fp.Quality = voip.Quality{R: 0, MOS: 1}
+		return fp, nil
+	}
+	sortDurations(pd.samples)
+	n := len(pd.samples)
+	fp.MeanDelay = sum / time.Duration(n)
+	fp.P95Delay = pd.samples[quantileIndex(n, 0.95)]
+	fp.MaxDelay = pd.samples[n-1]
+
+	q, po, err := voip.EvaluateWithPlayoutSorted(cfg.Codec, pd.samples, fp.Loss, cfg.LateTarget)
+	if err != nil {
+		return FlowPrediction{}, err
+	}
+	fp.JitterBuffer = po.Buffer
+	fp.LateLoss = po.LateLoss
+	fp.MouthToEar = voip.EndToEndDelay(cfg.Codec, po.Buffer, 0)
+	fp.Quality = q
+	return fp, nil
+}
+
+// quantileIndex returns the index of the ceil(q*n)-th order statistic.
+func quantileIndex(n int, q float64) int {
+	i := int(math.Ceil(q*float64(n))) - 1
+	if i < 0 {
+		return 0
+	}
+	if i >= n {
+		return n - 1
+	}
+	return i
+}
+
+// sortDurations insertion-sorts in place (sample sets are small and nearly
+// sorted; avoids the sort package's closure allocation).
+func sortDurations(ds []time.Duration) {
+	for i := 1; i < len(ds); i++ {
+		for j := i; j > 0 && ds[j] < ds[j-1]; j-- {
+			ds[j], ds[j-1] = ds[j-1], ds[j]
+		}
+	}
+}

@@ -1,0 +1,311 @@
+package analytic
+
+import (
+	"testing"
+	"time"
+
+	"wimesh/internal/conflict"
+	"wimesh/internal/phy"
+	"wimesh/internal/tdma"
+	"wimesh/internal/topology"
+	"wimesh/internal/voip"
+)
+
+// chainFixture builds an n-node chain with k uplink calls to the gateway and
+// a round-robin schedule giving every traversed link slotsPer slots.
+type chainFixture struct {
+	net   *topology.Network
+	graph *conflict.Graph
+	fs    *topology.FlowSet
+	sched *tdma.Schedule
+	cfg   TDMAConfig
+}
+
+func newChainFixture(t testing.TB, nodes, calls, slotsPer int, codec voip.Codec, queueCap int) *chainFixture {
+	t.Helper()
+	net, err := topology.Chain(nodes, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := conflict.Build(net, conflict.Options{Model: conflict.ModelGeometric, InterferenceRange: 250})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw, ok := net.Gateway()
+	if !ok {
+		t.Fatal("chain has no gateway")
+	}
+	fs := topology.NewFlowSet(net)
+	var callers []topology.NodeID
+	for _, nd := range net.Nodes() {
+		if nd.ID != gw {
+			callers = append(callers, nd.ID)
+		}
+	}
+	for i := 0; i < calls; i++ {
+		src := callers[i%len(callers)]
+		if _, err := fs.Add(src, gw, codec.BandwidthBps(), 150*time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	frame := tdma.DefaultEmulationFrame()
+	sched, err := tdma.NewSchedule(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One slot block per traversed link, furthest link first (so a packet
+	// chains hop to hop within one frame where slots allow).
+	seen := map[topology.LinkID]bool{}
+	var order []topology.LinkID
+	for _, f := range fs.Flows {
+		for _, l := range f.Path {
+			if !seen[l] {
+				seen[l] = true
+				order = append(order, l)
+			}
+		}
+	}
+	slot := 0
+	for _, l := range order {
+		if slot+slotsPer > frame.DataSlots {
+			t.Fatalf("fixture needs %d slots, frame has %d", slot+slotsPer, frame.DataSlots)
+		}
+		if err := sched.Add(tdma.Assignment{Link: l, Start: slot, Length: slotsPer}); err != nil {
+			t.Fatal(err)
+		}
+		slot += slotsPer
+	}
+	p := phy.IEEE80211b()
+	air, err := p.DataFrameTime(codec.PacketBytes(), 11e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	airs := make([]time.Duration, net.NumLinks())
+	for i := range airs {
+		airs[i] = air
+	}
+	return &chainFixture{
+		net:   net,
+		graph: g,
+		fs:    fs,
+		sched: sched,
+		cfg: TDMAConfig{
+			Frame:       frame,
+			Guard:       100 * time.Microsecond,
+			SIFS:        p.SIFS,
+			LinkAirtime: airs,
+			QueueCap:    queueCap,
+			Codec:       codec,
+			LateTarget:  0.01,
+		},
+	}
+}
+
+func TestPredictTDMALightLoad(t *testing.T) {
+	fx := newChainFixture(t, 4, 3, 2, voip.G711(), 64)
+	pred, err := NewPredictor().PredictTDMA(fx.sched, fx.fs.Flows, fx.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pred.AllAcceptable {
+		t.Fatalf("light load predicted unacceptable: MinR=%.1f", pred.MinR)
+	}
+	if len(pred.Flows) != 3 {
+		t.Fatalf("got %d flow predictions, want 3", len(pred.Flows))
+	}
+	frame := fx.cfg.Frame.FrameDuration
+	for _, fp := range pred.Flows {
+		if fp.Loss != 0 {
+			t.Errorf("flow %d: predicted loss %g under light load", fp.FlowID, fp.Loss)
+		}
+		if fp.MeanDelay <= 0 || fp.MaxDelay < fp.MeanDelay || fp.P95Delay > fp.MaxDelay {
+			t.Errorf("flow %d: inconsistent delay stats mean=%v p95=%v max=%v",
+				fp.FlowID, fp.MeanDelay, fp.P95Delay, fp.MaxDelay)
+		}
+		if fp.MaxDelay > 3*frame {
+			t.Errorf("flow %d: max delay %v exceeds 3 frames under light load", fp.FlowID, fp.MaxDelay)
+		}
+		if fp.Quality.R < voip.TollQualityR {
+			t.Errorf("flow %d: R=%.1f below toll quality", fp.FlowID, fp.Quality.R)
+		}
+	}
+	if pred.MaxUtilization <= 0 || pred.MaxUtilization > 1 {
+		t.Errorf("utilization %g outside (0,1] under stable load", pred.MaxUtilization)
+	}
+}
+
+func TestPredictTDMAOverload(t *testing.T) {
+	// 14 calls over a 4-node chain with a single slot per link: the
+	// gateway link sees 14 packets per frame against a 2-3 packet service.
+	fx := newChainFixture(t, 4, 14, 1, voip.G711(), 64)
+	pred, err := NewPredictor().PredictTDMA(fx.sched, fx.fs.Flows, fx.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.AllAcceptable {
+		t.Fatalf("overload predicted acceptable: MinR=%.1f util=%.2f", pred.MinR, pred.MaxUtilization)
+	}
+	if pred.MaxUtilization <= 1 {
+		t.Errorf("overload utilization %g, want > 1", pred.MaxUtilization)
+	}
+	worst := 0.0
+	for _, fp := range pred.Flows {
+		if fp.Loss > worst {
+			worst = fp.Loss
+		}
+	}
+	if worst <= 0 {
+		t.Error("overload predicted zero loss")
+	}
+}
+
+func TestPredictTDMAQueueCapMonotone(t *testing.T) {
+	// Shrinking the finite queue must never decrease predicted loss.
+	prev := -1.0
+	for _, cap := range []int{64, 8, 2, 1} {
+		fx := newChainFixture(t, 4, 14, 1, voip.G711(), cap)
+		pred, err := NewPredictor().PredictTDMA(fx.sched, fx.fs.Flows, fx.cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		worst := 0.0
+		for _, fp := range pred.Flows {
+			if fp.Loss > worst {
+				worst = fp.Loss
+			}
+		}
+		if prev >= 0 && worst < prev {
+			t.Errorf("queue cap %d: loss %g dropped below larger-queue loss %g", cap, worst, prev)
+		}
+		prev = worst
+	}
+}
+
+func TestPredictTDMAUnscheduledLink(t *testing.T) {
+	fx := newChainFixture(t, 4, 3, 2, voip.G711(), 64)
+	// Drop the schedule of the last flow's first hop: that flow loses
+	// everything, the others keep their service.
+	victim := fx.fs.Flows[2]
+	var kept []tdma.Assignment
+	for _, a := range fx.sched.Assignments {
+		if a.Link != victim.Path[0] {
+			kept = append(kept, a)
+		}
+	}
+	fx.sched.Assignments = kept
+	pred, err := NewPredictor().PredictTDMA(fx.sched, fx.fs.Flows, fx.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.AllAcceptable {
+		t.Fatal("flow over an unscheduled hop predicted acceptable")
+	}
+	fp := pred.Flows[2]
+	if fp.Loss != 1 || fp.Quality.R != 0 {
+		t.Errorf("unserved flow: loss=%g R=%.1f, want 1 and 0", fp.Loss, fp.Quality.R)
+	}
+}
+
+func TestPredictTDMAErrors(t *testing.T) {
+	fx := newChainFixture(t, 4, 3, 2, voip.G711(), 64)
+	pd := NewPredictor()
+	if _, err := pd.PredictTDMA(nil, fx.fs.Flows, fx.cfg); err == nil {
+		t.Error("nil schedule accepted")
+	}
+	if _, err := pd.PredictTDMA(fx.sched, nil, fx.cfg); err == nil {
+		t.Error("empty flow set accepted")
+	}
+	bad := fx.cfg
+	bad.QueueCap = 0
+	if _, err := pd.PredictTDMA(fx.sched, fx.fs.Flows, bad); err == nil {
+		t.Error("zero queue cap accepted")
+	}
+	short := fx.cfg
+	short.LinkAirtime = short.LinkAirtime[:1]
+	if _, err := pd.PredictTDMA(fx.sched, fx.fs.Flows, short); err == nil {
+		t.Error("short airtime table accepted")
+	}
+}
+
+func dcfConfig(codec voip.Codec) DCFConfig {
+	return DCFConfig{
+		PHY:               phy.IEEE80211b(),
+		DataRateBps:       11e6,
+		Codec:             codec,
+		InterferenceRange: 250,
+		RetryLimit:        7,
+		QueueCap:          64,
+		LateTarget:        0.01,
+	}
+}
+
+func TestPredictDCFMonotone(t *testing.T) {
+	// The DCF screen's verdict must be monotone in the call count: once a
+	// call count fails, every larger one fails too (the capacity search
+	// brackets assuming monotonicity).
+	codec := voip.G711()
+	pd := NewPredictor()
+	failedAt := 0
+	for k := 1; k <= 30; k++ {
+		fx := newChainFixture(t, 4, k, 1, codec, 64)
+		pred, err := pd.PredictDCF(fx.graph, fx.fs.Flows, dcfConfig(codec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !pred.AllAcceptable && failedAt == 0 {
+			failedAt = k
+		}
+		if pred.AllAcceptable && failedAt > 0 {
+			t.Fatalf("k=%d acceptable after k=%d failed", k, failedAt)
+		}
+	}
+	if failedAt == 0 {
+		t.Error("DCF screen never predicts failure up to 30 calls on a 4-node chain")
+	}
+	if failedAt <= 2 {
+		t.Errorf("DCF screen fails already at %d calls — far too pessimistic", failedAt)
+	}
+}
+
+func TestPredictDCFErrors(t *testing.T) {
+	codec := voip.G711()
+	fx := newChainFixture(t, 4, 3, 1, codec, 64)
+	pd := NewPredictor()
+	if _, err := pd.PredictDCF(nil, fx.fs.Flows, dcfConfig(codec)); err == nil {
+		t.Error("nil graph accepted")
+	}
+	if _, err := pd.PredictDCF(fx.graph, nil, dcfConfig(codec)); err == nil {
+		t.Error("empty flow set accepted")
+	}
+}
+
+// TestPredictZeroAllocsSteadyState pins the screening hot path at zero
+// allocations per prediction once the predictor's scratch has grown to the
+// topology (enforced by make obs-allocs alongside the obs sinks).
+func TestPredictZeroAllocsSteadyState(t *testing.T) {
+	fx := newChainFixture(t, 6, 8, 2, voip.G711(), 64)
+	pd := NewPredictor()
+	if _, err := pd.PredictTDMA(fx.sched, fx.fs.Flows, fx.cfg); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := pd.PredictTDMA(fx.sched, fx.fs.Flows, fx.cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("PredictTDMA steady state: %.1f allocs/op, want 0", allocs)
+	}
+	cfg := dcfConfig(voip.G711())
+	if _, err := pd.PredictDCF(fx.graph, fx.fs.Flows, cfg); err != nil {
+		t.Fatal(err)
+	}
+	allocs = testing.AllocsPerRun(100, func() {
+		if _, err := pd.PredictDCF(fx.graph, fx.fs.Flows, cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("PredictDCF steady state: %.1f allocs/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,44 @@
+package analytic
+
+import (
+	"testing"
+
+	"wimesh/internal/voip"
+)
+
+// BenchmarkAnalyticScreen measures one closed-form capacity probe (the unit
+// the screening search runs per call count) on a 6-node chain carrying 8
+// calls. The steady path must stay at 0 allocs/op — the zero-alloc test
+// TestPredictZeroAllocsSteadyState enforces it, this benchmark tracks the
+// latency (make obs-allocs runs both).
+func BenchmarkAnalyticScreen(b *testing.B) {
+	fx := newChainFixture(b, 6, 8, 2, voip.G711(), 64)
+	pd := NewPredictor()
+	if _, err := pd.PredictTDMA(fx.sched, fx.fs.Flows, fx.cfg); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pd.PredictTDMA(fx.sched, fx.fs.Flows, fx.cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnalyticScreenDCF is the DCF-side screening probe.
+func BenchmarkAnalyticScreenDCF(b *testing.B) {
+	fx := newChainFixture(b, 6, 8, 2, voip.G711(), 64)
+	cfg := dcfConfig(voip.G711())
+	pd := NewPredictor()
+	if _, err := pd.PredictDCF(fx.graph, fx.fs.Flows, cfg); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pd.PredictDCF(fx.graph, fx.fs.Flows, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,441 @@
+package analytic
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"wimesh/internal/conflict"
+	"wimesh/internal/phy"
+	"wimesh/internal/topology"
+	"wimesh/internal/voip"
+)
+
+// DefaultDCFUtilizationLimit is the serialized-airtime threshold above which
+// the DCF screen predicts queue saturation. Data exchanges within one
+// carrier-sense neighbourhood serialize (DIFS and backoff gaps overlap across
+// contenders, so only the exchange plus a short post-busy gap occupies the
+// channel); once the retry-inflated sum of those exchange times approaches
+// the threshold, interface queues grow without bound and the simulation shows
+// exactly the queue-drop failures the screen must anticipate. The value is a
+// screening calibration, not a guarantee — the capacity search always
+// confirms the bracket edge with full-length simulation.
+const DefaultDCFUtilizationLimit = 0.9
+
+const (
+	// dcfPCollCap bounds the per-attempt collision probability: past it the
+	// fixed point has long since lost the flow, and capping keeps the retry
+	// series finite. Calibrated against simulated collision rates near the
+	// capacity edge (the sim tops out around 0.4-0.5 per attempt on the
+	// hidden-terminal-heavy random topologies; the cap leaves headroom for
+	// the fixed point without letting it run away).
+	dcfPCollCap = 0.8
+	// dcfVulnFactor scales the hidden-terminal vulnerability window in
+	// units of the hidden transmitter's exchange time. The geometric value
+	// is 2 (any overlap of two exchanges); partial overlaps still often
+	// capture the frame, so the effective window calibrates slightly lower.
+	dcfVulnFactor = 1.75
+	// dcfIters is the number of fixed-point sweeps coupling collision
+	// probability and retry-inflated attempt rates.
+	dcfIters = 6
+	// dcfIdleFloor bounds the idle fraction used to inflate backoff
+	// countdown (which freezes while the medium is busy).
+	dcfIdleFloor = 0.05
+	// dcfPostBusyGapSlots approximates the dead air after each busy period:
+	// the winning contender's residual backoff, a few slots on average.
+	dcfPostBusyGapSlots = 5
+)
+
+// DCFConfig parameterizes the DCF contention screen.
+type DCFConfig struct {
+	// PHY supplies the timing constants (exchange, DIFS, backoff slots).
+	PHY phy.WiFiPHY
+	// DataRateBps is the default data rate; links with a supported
+	// per-link rate use their own (matching the DCF MAC's adaptation).
+	DataRateBps float64
+	// Codec supplies packet size, rate and E-model parameters.
+	Codec voip.Codec
+	// InterferenceRange is the carrier-sense/interference radius in meters
+	// (the same radius the simulated medium uses for audibility). Hidden
+	// terminals — transmitters audible at a hop's receiver but not at its
+	// sender — are derived from it.
+	InterferenceRange float64
+	// RetryLimit is the maximum retransmissions before the MAC drops a
+	// packet (default 7, matching the DCF MAC).
+	RetryLimit int
+	// QueueCap is the finite per-node interface queue depth in packets
+	// (default 64, matching the DCF MAC).
+	QueueCap int
+	// UtilizationLimit overrides DefaultDCFUtilizationLimit when > 0.
+	UtilizationLimit float64
+	// LateTarget is the playout late-loss target used to size the
+	// predicted jitter buffer from the delay spread.
+	LateTarget float64
+}
+
+// PredictDCF screens a flow set over plain 802.11 DCF with a two-mechanism
+// contention model matching how the simulated MAC actually fails:
+//
+//   - Queue saturation: data exchanges within a carrier-sense neighbourhood
+//     serialize, so node s sees channel occupancy
+//     U_s = sum over o with o == s or audible(o, s) of
+//     rate_o * attempts_o * exchange_o  (+ per-transmission dead air).
+//     Past the utilization limit the interface queues grow without bound and
+//     the screen predicts queue-overflow loss against the finite queue.
+//
+//   - Hidden-terminal loss: a transmitter audible at hop (s -> r)'s receiver
+//     but not at s collides with the hop whenever their exchanges overlap
+//     (vulnerability window 2 * exchange). Collisions trigger retries —
+//     which inflate every neighbour's attempt rate, closed as a fixed
+//     point — and retry-limit exhaustion surfaces as per-hop loss
+//     p^(RetryLimit+1) even while utilization looks moderate.
+//
+// Per-flow delay sums retry-inflated access times and M/D/1 queue waits; the
+// E-model verdict over predicted mouth-to-ear delay and loss decides
+// acceptability, mirroring the simulated scorer.
+func (pd *Predictor) PredictDCF(g *conflict.Graph, flows []topology.Flow, cfg DCFConfig) (Prediction, error) {
+	if g == nil {
+		return Prediction{}, errors.New("analytic: nil conflict graph")
+	}
+	if len(flows) == 0 {
+		return Prediction{}, errors.New("analytic: no flows")
+	}
+	if cfg.Codec.PacketInterval <= 0 {
+		return Prediction{}, fmt.Errorf("analytic: codec %q has no packet interval", cfg.Codec.Name)
+	}
+	limit := cfg.UtilizationLimit
+	if limit <= 0 {
+		limit = DefaultDCFUtilizationLimit
+	}
+	retryLimit := cfg.RetryLimit
+	if retryLimit <= 0 {
+		retryLimit = 7
+	}
+	queueCap := cfg.QueueCap
+	if queueCap <= 0 {
+		queueCap = 64
+	}
+	net := g.Network()
+	if err := pd.ensureAudibility(net, cfg.InterferenceRange); err != nil {
+		return Prediction{}, err
+	}
+	nl := net.NumLinks()
+	nn := net.NumNodes()
+	pd.sizeDCF(nl, nn)
+
+	// Per-link exchange time (DATA + SIFS + ACK at the link's rate) and
+	// per-node offered packet rate.
+	pktBytes := cfg.Codec.PacketBytes()
+	pktRate := 1 / cfg.Codec.PacketInterval.Seconds()
+	for i := 0; i < nl; i++ {
+		lk, err := net.Link(topology.LinkID(i))
+		if err != nil {
+			return Prediction{}, err
+		}
+		rate := cfg.DataRateBps
+		if lk.RateBps > 0 && cfg.PHY.SupportsRate(lk.RateBps) {
+			rate = lk.RateBps
+		}
+		ex, err := cfg.PHY.DataExchangeTime(pktBytes, rate)
+		if err != nil {
+			return Prediction{}, err
+		}
+		pd.linkEx[lk.ID] = ex.Seconds()
+	}
+	for i := range flows {
+		for _, l := range flows[i].Path {
+			lk, err := net.Link(l)
+			if err != nil {
+				return Prediction{}, err
+			}
+			pd.nodeRate[lk.From] += pktRate
+			pd.nodeAir[lk.From] += pktRate * pd.linkEx[l]
+		}
+	}
+
+	slot := cfg.PHY.SlotTime.Seconds()
+	difs := cfg.PHY.DIFS().Seconds()
+	gap := difs + dcfPostBusyGapSlots*slot
+
+	// Fixed point: per-hop collision probability -> attempts per packet ->
+	// retry-inflated neighbour rates -> collision probability.
+	for i := range pd.nodeAtt {
+		pd.nodeAtt[i] = 1
+	}
+	for iter := 0; iter < dcfIters; iter++ {
+		// Retry-inflated per-node exchange airtime and attempt rate.
+		for n := 0; n < nn; n++ {
+			pd.inflAir[n] = pd.nodeAir[n] * pd.nodeAtt[n]
+			pd.inflRate[n] = pd.nodeRate[n] * pd.nodeAtt[n]
+			pd.attAcc[n] = 0
+		}
+		for i := range flows {
+			for _, l := range flows[i].Path {
+				lk, _ := net.Link(l)
+				p := pd.hopCollision(lk, slot)
+				pd.attAcc[lk.From] += pktRate * attemptsPerPacket(p, retryLimit)
+			}
+		}
+		for n := 0; n < nn; n++ {
+			if pd.nodeRate[n] > 0 {
+				pd.nodeAtt[n] = pd.attAcc[n] / pd.nodeRate[n]
+			}
+		}
+	}
+
+	// Converged neighbourhood occupancy (serialized exchange airtime plus
+	// post-busy dead air per transmission) and per-node service model.
+	maxU := 0.0
+	for n := 0; n < nn; n++ {
+		u := pd.inflAir[n] + pd.inflRate[n]*gap
+		row := pd.audBits[n*pd.audWords:]
+		for o := 0; o < nn; o++ {
+			if o != n && row[o>>6]&(1<<(uint(o)&63)) != 0 {
+				u += pd.inflAir[o] + pd.inflRate[o]*gap
+			}
+		}
+		pd.nodeU[n] = u
+		// Backoff countdown freezes only while *others* occupy the medium:
+		// a node's own transmissions are its service, not its wait.
+		pd.nodeUOther[n] = u - pd.inflAir[n] - pd.inflRate[n]*gap
+		if pd.nodeRate[n] > 0 && u > maxU {
+			maxU = u
+		}
+	}
+	// Mean per-packet service time per node (attempts-weighted over its
+	// hops), then M/D/1 queue wait against the finite interface queue.
+	for n := 0; n < nn; n++ {
+		pd.attAcc[n] = 0
+	}
+	for i := range flows {
+		for _, l := range flows[i].Path {
+			lk, _ := net.Link(l)
+			p := pd.hopCollision(lk, slot)
+			pd.attAcc[lk.From] += pktRate * pd.hopService(lk, p, difs, slot, retryLimit)
+		}
+	}
+	for n := 0; n < nn; n++ {
+		if pd.nodeRate[n] == 0 {
+			pd.nodeServ[n] = 0
+			pd.nodeWq[n] = 0
+			pd.nodeQLoss[n] = 0
+			continue
+		}
+		serv := pd.attAcc[n] / pd.nodeRate[n]
+		pd.nodeServ[n] = serv
+		rho := pd.nodeRate[n] * serv
+		// Past the utilization limit the neighbourhood cannot carry the
+		// offered exchange airtime: the interface queue grows without
+		// bound, so the effective server load is at least the occupancy
+		// overshoot u/limit (> 1), surfacing overflow loss and a
+		// full-queue wait exactly like the simulated queue drops.
+		if over := pd.nodeU[n] / limit; over > 1 && over > rho {
+			rho = over
+		}
+		full := float64(queueCap) * serv
+		if rho >= 1 {
+			pd.nodeQLoss[n] = 1 - 1/rho
+			pd.nodeWq[n] = full
+		} else {
+			wq := rho * serv / (2 * (1 - rho))
+			if wq > full {
+				wq = full
+			}
+			pd.nodeWq[n] = wq
+			pd.nodeQLoss[n] = 0
+		}
+	}
+
+	if cap(pd.flows) < len(flows) {
+		pd.flows = make([]FlowPrediction, len(flows))
+	}
+	pd.flows = pd.flows[:len(flows)]
+	res := Prediction{MinR: 100, AllAcceptable: true, MaxUtilization: maxU}
+	for i := range flows {
+		f := &flows[i]
+		fp := FlowPrediction{FlowID: f.ID}
+		deliver := 1.0
+		var mean, spread float64
+		for _, l := range f.Path {
+			lk, _ := net.Link(l)
+			p := pd.hopCollision(lk, slot)
+			deliver *= 1 - math.Pow(p, float64(retryLimit+1))
+			deliver *= 1 - pd.nodeQLoss[lk.From]
+			serv := pd.hopService(lk, p, difs, slot, retryLimit)
+			wq := pd.nodeWq[lk.From]
+			mean += serv + wq
+			// Queue waits and retry bursts dominate the delay spread;
+			// exponential-tail assumption for the high quantiles.
+			spread += wq + serv - pd.linkEx[l]
+		}
+		fp.Loss = 1 - deliver
+		fp.MeanDelay = time.Duration(mean * float64(time.Second))
+		fp.P95Delay = time.Duration((mean + 2*spread) * float64(time.Second))
+		fp.MaxDelay = time.Duration((mean + 4*spread) * float64(time.Second))
+		fp.JitterBuffer = fp.P95Delay
+		fp.MouthToEar = voip.EndToEndDelay(cfg.Codec, fp.JitterBuffer, 0)
+		q, err := voip.Evaluate(cfg.Codec, fp.MouthToEar, fp.Loss)
+		if err != nil {
+			return Prediction{}, err
+		}
+		fp.Quality = q
+		pd.flows[i] = fp
+		if q.R < res.MinR {
+			res.MinR = q.R
+		}
+		if !q.Acceptable() {
+			res.AllAcceptable = false
+		}
+	}
+	res.Flows = pd.flows
+	return res, nil
+}
+
+// hopCollision is the per-attempt collision probability of hop lk: hidden
+// terminals overlap the exchange within a 2*exchange vulnerability window,
+// and carrier-sensing contenders collide when backoffs expire in the same
+// slot. Rates are the retry-inflated fixed-point values.
+func (pd *Predictor) hopCollision(lk topology.Link, slot float64) float64 {
+	sRow := pd.audBits[int(lk.From)*pd.audWords:]
+	rRow := pd.audBits[int(lk.To)*pd.audWords:]
+	nn := len(pd.nodeRate)
+	p := 0.0
+	for o := 0; o < nn; o++ {
+		if o == int(lk.From) || pd.inflRate[o] == 0 {
+			continue
+		}
+		w := 1 << (uint(o) & 63)
+		audSender := sRow[o>>6]&uint64(w) != 0
+		if o != int(lk.To) && rRow[o>>6]&uint64(w) != 0 && !audSender {
+			p += dcfVulnFactor * pd.inflAir[o] // rate * exchange overlap, retry-inflated
+		} else if audSender {
+			p += pd.inflRate[o] * slot
+		}
+	}
+	if p > dcfPCollCap {
+		p = dcfPCollCap
+	}
+	return p
+}
+
+// hopService is the mean per-packet channel access time of hop lk at
+// collision probability p: every attempt spends DIFS plus the exchange, and
+// the escalating backoff counts down only while the neighbourhood is idle.
+func (pd *Predictor) hopService(lk topology.Link, p, difs, slot float64, retryLimit int) float64 {
+	att := attemptsPerPacket(p, retryLimit)
+	idle := 1 - pd.nodeUOther[lk.From]
+	if idle < dcfIdleFloor {
+		idle = dcfIdleFloor
+	}
+	return att*(difs+pd.linkEx[lk.ID]) + expectedBackoff(p, retryLimit, slot)/idle
+}
+
+// attemptsPerPacket is the expected transmission count per packet at
+// per-attempt collision probability p with the given retry limit:
+// sum of p^i for i in [0, retryLimit].
+func attemptsPerPacket(p float64, retryLimit int) float64 {
+	att, pw := 0.0, 1.0
+	for i := 0; i <= retryLimit; i++ {
+		att += pw
+		pw *= p
+	}
+	return att
+}
+
+// expectedBackoff is the expected total backoff time per packet: attempt i
+// (reached with probability p^i) draws uniformly from a window doubling from
+// CWMin up to CWMax.
+func expectedBackoff(p float64, retryLimit int, slot float64) float64 {
+	const cwMin, cwMax = 31, 1023
+	b, pw := 0.0, 1.0
+	cw := float64(cwMin)
+	for i := 0; i <= retryLimit; i++ {
+		b += pw * cw / 2 * slot
+		pw *= p
+		cw = cw*2 + 1
+		if cw > cwMax {
+			cw = cwMax
+		}
+	}
+	return b
+}
+
+// ensureAudibility (re)builds the node-level audibility bitset — linked
+// neighbours plus any node within the interference range, exactly the
+// simulated medium's rule — caching it per (network, range).
+func (pd *Predictor) ensureAudibility(net *topology.Network, rangeM float64) error {
+	if rangeM <= 0 {
+		return fmt.Errorf("analytic: non-positive interference range %g", rangeM)
+	}
+	if pd.audNet == net && pd.audRange == rangeM {
+		return nil
+	}
+	nn := net.NumNodes()
+	words := (nn + 63) / 64
+	if cap(pd.audBits) < nn*words {
+		pd.audBits = make([]uint64, nn*words)
+	}
+	pd.audBits = pd.audBits[:nn*words]
+	for i := range pd.audBits {
+		pd.audBits[i] = 0
+	}
+	for a := 0; a < nn; a++ {
+		for b := 0; b < nn; b++ {
+			if a == b {
+				continue
+			}
+			d, err := net.Distance(topology.NodeID(a), topology.NodeID(b))
+			if err != nil {
+				return err
+			}
+			if d <= rangeM {
+				pd.audBits[a*words+b>>6] |= 1 << (uint(b) & 63)
+			}
+		}
+	}
+	for _, lk := range net.Links() {
+		pd.audBits[int(lk.From)*words+int(lk.To)>>6] |= 1 << (uint(lk.To) & 63)
+		pd.audBits[int(lk.To)*words+int(lk.From)>>6] |= 1 << (uint(lk.From) & 63)
+	}
+	pd.audWords = words
+	pd.audNet = net
+	pd.audRange = rangeM
+	return nil
+}
+
+// sizeDCF (re)sizes the DCF scratch for nl links and nn nodes.
+func (pd *Predictor) sizeDCF(nl, nn int) {
+	if cap(pd.linkEx) < nl {
+		pd.linkEx = make([]float64, nl)
+	}
+	pd.linkEx = pd.linkEx[:nl]
+	if cap(pd.nodeRate) < nn {
+		pd.nodeRate = make([]float64, nn)
+		pd.nodeAir = make([]float64, nn)
+		pd.nodeAtt = make([]float64, nn)
+		pd.inflAir = make([]float64, nn)
+		pd.inflRate = make([]float64, nn)
+		pd.attAcc = make([]float64, nn)
+		pd.nodeU = make([]float64, nn)
+		pd.nodeUOther = make([]float64, nn)
+		pd.nodeServ = make([]float64, nn)
+		pd.nodeWq = make([]float64, nn)
+		pd.nodeQLoss = make([]float64, nn)
+	}
+	pd.nodeRate = pd.nodeRate[:nn]
+	pd.nodeAir = pd.nodeAir[:nn]
+	pd.nodeAtt = pd.nodeAtt[:nn]
+	pd.inflAir = pd.inflAir[:nn]
+	pd.inflRate = pd.inflRate[:nn]
+	pd.attAcc = pd.attAcc[:nn]
+	pd.nodeU = pd.nodeU[:nn]
+	pd.nodeUOther = pd.nodeUOther[:nn]
+	pd.nodeServ = pd.nodeServ[:nn]
+	pd.nodeWq = pd.nodeWq[:nn]
+	pd.nodeQLoss = pd.nodeQLoss[:nn]
+	for i := 0; i < nn; i++ {
+		pd.nodeRate[i] = 0
+		pd.nodeAir[i] = 0
+	}
+}

@@ -24,7 +24,7 @@ package conflict
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"wimesh/internal/topology"
 )
@@ -260,18 +260,21 @@ func (g *Graph) GreedyClique(weight map[topology.LinkID]float64) ([]topology.Lin
 			verts = append(verts, l)
 		}
 	}
-	sort.Slice(verts, func(i, j int) bool { return verts[i] < verts[j] })
+	slices.Sort(verts)
 
 	// Candidates, heaviest first; ties by ID for determinism. The same
 	// ordering serves every seed (dropping the seed does not change the
 	// relative order of the rest).
 	cands := append([]topology.LinkID(nil), verts...)
-	sort.Slice(cands, func(i, j int) bool {
-		wi, wj := weight[cands[i]], weight[cands[j]]
-		if wi != wj {
-			return wi > wj
+	slices.SortFunc(cands, func(a, b topology.LinkID) int {
+		wa, wb := weight[a], weight[b]
+		if wa != wb {
+			if wa > wb {
+				return -1
+			}
+			return 1
 		}
-		return cands[i] < cands[j]
+		return int(a) - int(b)
 	})
 
 	var (
@@ -303,6 +306,6 @@ func (g *Graph) GreedyClique(weight map[topology.LinkID]float64) ([]topology.Lin
 			best, bestWeight = clique, total
 		}
 	}
-	sort.Slice(best, func(i, j int) bool { return best[i] < best[j] })
+	slices.Sort(best)
 	return best, bestWeight
 }

@@ -44,6 +44,12 @@ type CapacityConfig struct {
 	Downlink bool
 	// Search selects the probe strategy (default SearchGalloping).
 	Search SearchStrategy
+	// Screen selects the screening predictor of the galloping search
+	// (default ScreenAuto: the closed-form analytic model). The screen
+	// only brackets the capacity; full-length simulation always confirms
+	// the C/C+1 edge, so every mode returns identical results. Ignored by
+	// SearchLinear.
+	Screen ScreenMode
 	// Workers caps concurrent speculative probes (default 1: sequential).
 	// Probe outcomes are pure functions of the call count, so any worker
 	// count yields identical results. Ignored by SearchLinear.
@@ -264,21 +270,40 @@ func (s *System) capacitySearch(cfg CapacityConfig, tdma bool) (*CapacityResult,
 	if cfg.Search == SearchLinear {
 		return linearScan(p, cfg.MaxCalls)
 	}
-	// A short pilot search predicts the capacity so the full-length search
-	// usually probes just the bracket edge; the pilot's outcomes are never
-	// consumed for the result (see pilotedSearch). Skipped when the run is
-	// already cheap enough that the pilot would cost more than it saves.
-	if pilotDur := probeRun.Duration / pilotDivisor; pilotDur >= minPilotDuration {
-		pilotRun := probeRun
-		pilotRun.Duration = pilotDur
-		pilotRun.WarmUp = pilotDur / 10
-		pilotRun.abortHeuristically = true
-		pp := newProber(mkProbe(pilotRun), prepare, workers)
-		pp.instrument("pilot", reg, tr)
-		defer pp.drain()
-		return pilotedSearch(p, pp, cfg.MaxCalls)
+	switch cfg.Screen {
+	case ScreenNone:
+		return gallopSearch(p, cfg.MaxCalls)
+	case ScreenPilot:
+		// A short pilot search predicts the capacity so the full-length
+		// search usually probes just the bracket edge; the pilot's outcomes
+		// are never consumed for the result (see screenedSearch). Skipped
+		// when the run is already cheap enough that the pilot would cost
+		// more than it saves.
+		if pilotDur := probeRun.Duration / pilotDivisor; pilotDur >= minPilotDuration {
+			pilotRun := probeRun
+			pilotRun.Duration = pilotDur
+			pilotRun.WarmUp = pilotDur / 10
+			pilotRun.abortHeuristically = true
+			pp := newProber(mkProbe(pilotRun), prepare, workers)
+			pp.instrument("pilot", reg, tr)
+			pp.instrumentScreen(reg)
+			defer pp.drain()
+			return screenedSearch(p, pp, cfg.MaxCalls)
+		}
+		return gallopSearch(p, cfg.MaxCalls)
+	default: // ScreenAuto, ScreenAnalytic
+		// The closed-form screen costs microseconds per probe, so it pays
+		// off at every run duration; the verified bracket edge (one full
+		// passing run at C, one failing at C+1) is the only simulation the
+		// search needs when the prediction holds.
+		ap, err := s.analyticProber(cfg, tdma, prepare)
+		if err != nil {
+			return nil, err
+		}
+		ap.instrument("analytic", reg, tr)
+		ap.instrumentScreen(reg)
+		return screenedSearch(p, ap, cfg.MaxCalls)
 	}
-	return gallopSearch(p, cfg.MaxCalls)
 }
 
 // Pilot sizing: pilot runs simulate 1/pilotDivisor of the configured

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"wimesh/internal/obs"
 	"wimesh/internal/topology"
 )
@@ -43,6 +45,13 @@ type prober struct {
 	bracketLo   *obs.Gauge
 	bracketHi   *obs.Gauge
 	trace       *obs.Trace
+
+	// Screen-only observability (instrumentScreen): whether the screen's
+	// predicted bracket survived full-length verification, and the
+	// screen-vs-simulation P95 delay residual when it did.
+	obsBracketHit  *obs.Counter
+	obsBracketMiss *obs.Counter
+	residual       *obs.Histogram
 }
 
 // instrument attaches observability to the prober: label distinguishes the
@@ -59,6 +68,31 @@ func (p *prober) instrument(label string, reg *obs.Registry, tr *obs.Trace) {
 	p.bracketLo = reg.Gauge("core.bracket_lo." + label)
 	p.bracketHi = reg.Gauge("core.bracket_hi." + label)
 	p.trace = tr
+}
+
+// instrumentScreen additionally attaches the screening-quality observables to
+// a screen prober: core.screen_bracket_hit counts searches whose predicted
+// bracket edge was confirmed by full-length simulation, core.screen_bracket_miss
+// counts fallbacks to the full gallop, and core.screen_residual_ms records the
+// predicted-minus-simulated worst P95 delay (milliseconds) of confirmed
+// brackets.
+func (p *prober) instrumentScreen(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	p.obsBracketHit = reg.Counter("core.screen_bracket_hit")
+	p.obsBracketMiss = reg.Counter("core.screen_bracket_miss")
+	p.residual = reg.Histogram("core.screen_residual_ms", -50, 50, 50)
+}
+
+// observeResidual records the screen's delay prediction error against the
+// verifying full-length run at the same call count.
+func (p *prober) observeResidual(pred, meas *RunResult) {
+	if p.residual == nil || pred == nil || meas == nil {
+		return
+	}
+	d := worstP95(pred) - worstP95(meas)
+	p.residual.Observe(float64(d) / float64(time.Millisecond))
 }
 
 // observe records one finished probe verdict.
@@ -161,6 +195,10 @@ func (p *prober) drain() {
 // memoized outcome. With workers available, the whole gallop ladder and the
 // likely next binary midpoints are probed speculatively.
 func gallopSearch(p *prober, maxCalls int) (*CapacityResult, error) {
+	// Every return path waits for speculative probes: no worker goroutine
+	// may outlive the search, even on error returns (drain is idempotent,
+	// so the caller's own deferred drain stays harmless).
+	defer p.drain()
 	var ladder []int
 	for k := 1; k < maxCalls; k *= 2 {
 		ladder = append(ladder, k)
@@ -217,20 +255,25 @@ func gallopSearch(p *prober, maxCalls int) (*CapacityResult, error) {
 	return &CapacityResult{Calls: lo, StoppedBy: hiOut.stop, LastGood: loOut.run}, nil
 }
 
-// pilotedSearch first gallops over cheap short-duration pilot probes to
-// predict the capacity, then verifies the predicted bracket edge with
-// full-length probes: the result is built exclusively from full-probe
-// outcomes (prediction c needs just one passing full run at c and one failing
-// at c+1), so the pilot's accuracy only affects speed, never the result. A
-// verification miss — the full-length verdict disagrees with the pilot —
-// falls back to the full gallop search, which reuses the memoized full-length
-// outcomes already probed.
-func pilotedSearch(full, pilot *prober, maxCalls int) (*CapacityResult, error) {
-	guess, err := gallopSearch(pilot, maxCalls)
-	pilot.drain()
+// screenedSearch first gallops over cheap screening probes — closed-form
+// analytic predictions (internal/analytic) or short-duration pilot
+// simulations — to predict the capacity, then verifies the predicted bracket
+// edge with full-length probes: the result is built exclusively from
+// full-probe outcomes (prediction c needs just one passing full run at c and
+// one failing at c+1), so the screen's accuracy only affects speed, never the
+// result. A verification miss — the full-length verdict disagrees with the
+// screen — falls back to the full gallop search, which reuses the memoized
+// full-length outcomes already probed. Hits and misses are counted on the
+// screen prober (instrumentScreen), and a confirmed bracket also records the
+// predicted-vs-simulated delay residual.
+func screenedSearch(full, screen *prober, maxCalls int) (*CapacityResult, error) {
+	defer full.drain()
+	guess, err := gallopSearch(screen, maxCalls)
+	screen.drain()
 	if err != nil {
-		// Pilot failures are never fatal: if the error is real, the full
+		// Screen failures are never fatal: if the error is real, the full
 		// search will hit it itself.
+		screen.obsBracketMiss.Inc()
 		return gallopSearch(full, maxCalls)
 	}
 	switch c := guess.Calls; {
@@ -240,6 +283,8 @@ func pilotedSearch(full, pilot *prober, maxCalls int) (*CapacityResult, error) {
 			return nil, err
 		}
 		if out.pass {
+			screen.obsBracketHit.Inc()
+			screen.observeResidual(guess.LastGood, out.run)
 			return &CapacityResult{Calls: maxCalls, StoppedBy: StopMaxCalls, LastGood: out.run}, nil
 		}
 	case c == 0:
@@ -248,6 +293,7 @@ func pilotedSearch(full, pilot *prober, maxCalls int) (*CapacityResult, error) {
 			return nil, err
 		}
 		if !out.pass {
+			screen.obsBracketHit.Inc()
 			return &CapacityResult{StoppedBy: out.stop}, nil
 		}
 	default:
@@ -261,9 +307,12 @@ func pilotedSearch(full, pilot *prober, maxCalls int) (*CapacityResult, error) {
 			return nil, err
 		}
 		if loOut.pass && !hiOut.pass {
+			screen.obsBracketHit.Inc()
+			screen.observeResidual(guess.LastGood, loOut.run)
 			return &CapacityResult{Calls: c, StoppedBy: hiOut.stop, LastGood: loOut.run}, nil
 		}
 	}
+	screen.obsBracketMiss.Inc()
 	return gallopSearch(full, maxCalls)
 }
 

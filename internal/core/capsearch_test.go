@@ -121,16 +121,16 @@ func TestGallopSearchWorkers(t *testing.T) {
 	}
 }
 
-// TestPilotedSearchMatchesLinear sweeps pilot predictions from exact to
+// TestScreenedSearchMatchesLinear sweeps screen predictions from exact to
 // wildly wrong: the result must always equal the linear reference, because
-// the pilot only picks which full probes run first.
-func TestPilotedSearchMatchesLinear(t *testing.T) {
+// the screen only picks which full probes run first.
+func TestScreenedSearchMatchesLinear(t *testing.T) {
 	for _, pilotCap := range []int{0, 3, 9, 20, 25} {
 		for capacity := 0; capacity <= 21; capacity++ {
 			var nFull, n int
 			full := syntheticProber(capacity, StopQuality, 1, &nFull)
 			pilot := syntheticProber(pilotCap, StopQuality, 1, new(int))
-			got, err := pilotedSearch(full, pilot, 20)
+			got, err := screenedSearch(full, pilot, 20)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"time"
 
 	"wimesh/internal/mac/dcf"
@@ -30,6 +31,11 @@ type RunConfig struct {
 	// WarmUp excludes initial packets from the measurements (default
 	// Duration/10).
 	WarmUp time.Duration
+	// QueueCap overrides the finite per-link MAC queue depth in packets
+	// for both MACs (0 = the MAC's own default, 64). The analytic screen
+	// models the same bound, so predictions and simulations agree on when
+	// tail drops start.
+	QueueCap int
 	// AbortOnProvableFailure arms the quality monitor: the run terminates
 	// as soon as some flow provably cannot recover toll quality (see
 	// qualityMonitor). An aborted run reports Aborted with AllAcceptable
@@ -181,18 +187,24 @@ func (s *System) RunTDMA(plan *Plan, fs *topology.FlowSet, cfg RunConfig) (*RunR
 		mon = newQualityMonitor(cfg.Codec, lo, hi, fs.Flows, cs, cfg.abortHeuristically)
 	}
 	macCfg := s.MAC
+	if cfg.QueueCap > 0 {
+		macCfg.QueueCap = cfg.QueueCap
+	}
 	if cfg.Metrics != nil {
 		macCfg.Metrics = cfg.Metrics
 	}
 	if cfg.Trace != nil {
 		macCfg.Trace = cfg.Trace
 	}
+	// Delivered packets are recycled into a pool (the MAC hands over
+	// ownership at the callback); only packets the MAC drops are garbage.
+	var pktPool []*tdmaemu.Packet
 	nw, err := tdmaemu.New(macCfg, s.Topo, kernel, plan.Schedule, ts, s.InterferenceRange,
 		func(p *tdmaemu.Packet, at time.Duration) {
-			if p.Created < lo || p.Created >= hi {
-				return
+			if p.Created >= lo && p.Created < hi {
+				cs.observeDelivery(p.FlowID, p.Seq, at-p.Created)
 			}
-			cs.observeDelivery(p.FlowID, p.Seq, at-p.Created)
+			pktPool = append(pktPool, p)
 		})
 	if err != nil {
 		return nil, err
@@ -205,7 +217,14 @@ func (s *System) RunTDMA(plan *Plan, fs *topology.FlowSet, cfg RunConfig) (*RunR
 		if pkt.Sent >= lo && pkt.Sent < hi {
 			cs.observeSend(int(f.ID), pkt.Seq, pkt.Sent)
 		}
-		p := &tdmaemu.Packet{FlowID: int(f.ID), Seq: pkt.Seq, Path: f.Path, Bytes: pkt.Bytes}
+		var p *tdmaemu.Packet
+		if n := len(pktPool); n > 0 {
+			p = pktPool[n-1]
+			pktPool = pktPool[:n-1]
+		} else {
+			p = &tdmaemu.Packet{}
+		}
+		*p = tdmaemu.Packet{FlowID: int(f.ID), Seq: pkt.Seq, Path: f.Path, Bytes: pkt.Bytes}
 		if err := nw.Inject(p); err != nil {
 			// Injection only fails for malformed packets; surface loudly in
 			// measurements by counting nothing.
@@ -261,16 +280,18 @@ func (s *System) RunDCF(fs *topology.FlowSet, cfg RunConfig) (*RunResult, error)
 	dcfCfg := dcf.Config{
 		PHY:         s.MAC.PHY,
 		DataRateBps: s.MAC.DataRateBps,
+		QueueCap:    cfg.QueueCap,
 		Seed:        cfg.Seed,
 		Metrics:     cfg.Metrics,
 		Trace:       cfg.Trace,
 	}
+	var pktPool []*dcf.Packet
 	nw, err := dcf.New(dcfCfg, s.Topo, kernel, s.InterferenceRange,
 		func(p *dcf.Packet, at time.Duration) {
-			if p.Created < lo || p.Created >= hi {
-				return
+			if p.Created >= lo && p.Created < hi {
+				cs.observeDelivery(p.FlowID, p.Seq, at-p.Created)
 			}
-			cs.observeDelivery(p.FlowID, p.Seq, at-p.Created)
+			pktPool = append(pktPool, p)
 		})
 	if err != nil {
 		return nil, err
@@ -280,7 +301,14 @@ func (s *System) RunDCF(fs *topology.FlowSet, cfg RunConfig) (*RunResult, error)
 		if pkt.Sent >= lo && pkt.Sent < hi {
 			cs.observeSend(int(f.ID), pkt.Seq, pkt.Sent)
 		}
-		p := &dcf.Packet{FlowID: int(f.ID), Seq: pkt.Seq, Route: routes[int(f.ID)], Bytes: pkt.Bytes}
+		var p *dcf.Packet
+		if n := len(pktPool); n > 0 {
+			p = pktPool[n-1]
+			pktPool = pktPool[:n-1]
+		} else {
+			p = &dcf.Packet{}
+		}
+		*p = dcf.Packet{FlowID: int(f.ID), Seq: pkt.Seq, Route: routes[int(f.ID)], Bytes: pkt.Bytes}
 		if err := nw.Inject(p); err != nil {
 			return
 		}
@@ -327,7 +355,12 @@ func startSources(kernel *sim.Kernel, fs *topology.FlowSet, cfg RunConfig,
 	sources := make([]*voip.Source, 0, len(fs.Flows))
 	for i, f := range fs.Flows {
 		f := f
-		rng := sim.NewRNG(cfg.Seed, int64(i)+5000)
+		// CBR sources never draw from their rng; skip seeding it. The
+		// talk-spurt stream derivation (seed, i+5000) is unchanged.
+		var rng *rand.Rand
+		if cfg.Mode == voip.ModeTalkSpurt {
+			rng = sim.NewRNG(cfg.Seed, int64(i)+5000)
+		}
 		src, err := voip.NewSource(cfg.Codec, cfg.Mode, func(pkt voip.Packet) {
 			inject(f, pkt)
 		}, rng)

@@ -44,7 +44,8 @@ func R3VoIPCapacity() (*Table, error) {
 		}
 		capCfg := core.CapacityConfig{
 			MaxCalls: 40,
-			Run:      core.RunConfig{Duration: 3 * time.Second, Seed: 11},
+			Run:      core.RunConfig{Duration: 3 * time.Second, Seed: 11, QueueCap: QueueCap()},
+			Screen:   Screen(),
 			Workers:  Workers(),
 		}
 		if i%2 == 0 {

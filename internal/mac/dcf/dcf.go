@@ -79,7 +79,9 @@ func (c *Config) applyDefaults() {
 	}
 }
 
-// DeliveredFunc receives packets that reach their final destination.
+// DeliveredFunc receives packets that reach their final destination. The MAC
+// never touches a packet again after the callback returns, so the callback
+// owns it and may recycle it into a pool.
 type DeliveredFunc func(p *Packet, at time.Duration)
 
 // Stats aggregates network-wide counters.
@@ -124,6 +126,10 @@ type node struct {
 	rng *rand.Rand
 
 	queue []*Packet
+	// qhead indexes the head of line within queue: pops advance the head
+	// and the dead prefix is compacted away amortized-O(1), so huge
+	// saturated queues never pay per-pop copies or lose their capacity.
+	qhead int
 	cw    int
 	// retries counts transmissions of the head-of-line packet.
 	retries int
@@ -187,6 +193,7 @@ func New(cfg Config, topo *topology.Network, kernel *sim.Kernel, interferenceRan
 			nw:      nw,
 			id:      nd.ID,
 			rng:     sim.NewRNG(cfg.Seed, int64(nd.ID)+1000),
+			queue:   make([]*Packet, 0, queuePrealloc(cfg.QueueCap)),
 			cw:      cfg.PHY.CWMin,
 			backoff: -1,
 		}
@@ -246,7 +253,7 @@ func (nw *Network) Inject(p *Packet) error {
 }
 
 func (nw *Network) enqueue(n *node, p *Packet) {
-	if len(n.queue) >= nw.cfg.QueueCap {
+	if n.qlen() >= nw.cfg.QueueCap {
 		nw.stats.DroppedQueue++
 		return
 	}
@@ -257,7 +264,7 @@ func (nw *Network) enqueue(n *node, p *Packet) {
 // kick starts the channel-access procedure if the node has work and is not
 // already contending or transmitting.
 func (n *node) kick() {
-	if n.accessing || n.transmitting || len(n.queue) == 0 {
+	if n.accessing || n.transmitting || n.qlen() == 0 {
 		return
 	}
 	n.accessing = true
@@ -269,8 +276,10 @@ func (n *node) access() {
 	m := n.nw.medium
 	if m.Busy(n.id) {
 		n.nw.obsDefers.Inc()
-		n.nw.trace.Emit(obs.Event{T: n.nw.kernel.Now(), Kind: obs.KindDefer,
-			Node: int32(n.id), Link: -1, Slot: -1, Frame: -1, A: 0})
+		if n.nw.trace != nil {
+			n.nw.trace.Emit(obs.Event{T: n.nw.kernel.Now(), Kind: obs.KindDefer,
+				Node: int32(n.id), Link: -1, Slot: -1, Frame: -1, A: 0})
+		}
 		if err := m.WhenIdle(n.id, n.accessFn); err != nil {
 			n.accessing = false
 		}
@@ -288,8 +297,10 @@ func (n *node) difsEnd() {
 	// transition, so a changed epoch is exactly "busy now or busy since".
 	if m.BusyEpoch(n.id) != n.stepEpoch {
 		n.nw.obsDefers.Inc()
-		n.nw.trace.Emit(obs.Event{T: n.nw.kernel.Now(), Kind: obs.KindDefer,
-			Node: int32(n.id), Link: -1, Slot: -1, Frame: -1, A: 1})
+		if n.nw.trace != nil {
+			n.nw.trace.Emit(obs.Event{T: n.nw.kernel.Now(), Kind: obs.KindDefer,
+				Node: int32(n.id), Link: -1, Slot: -1, Frame: -1, A: 1})
+		}
 		n.access() // interrupted: wait for idle again
 		return
 	}
@@ -321,8 +332,10 @@ func (n *node) slot() {
 func (n *node) slotEnd() {
 	if n.nw.medium.BusyEpoch(n.id) != n.stepEpoch {
 		n.nw.obsDefers.Inc()
-		n.nw.trace.Emit(obs.Event{T: n.nw.kernel.Now(), Kind: obs.KindDefer,
-			Node: int32(n.id), Link: -1, Slot: -1, Frame: -1, A: 1})
+		if n.nw.trace != nil {
+			n.nw.trace.Emit(obs.Event{T: n.nw.kernel.Now(), Kind: obs.KindDefer,
+				Node: int32(n.id), Link: -1, Slot: -1, Frame: -1, A: 1})
+		}
 		n.access()
 		return
 	}
@@ -332,11 +345,11 @@ func (n *node) slotEnd() {
 
 // transmit sends the head-of-line packet as an acknowledged exchange.
 func (n *node) transmit() {
-	if len(n.queue) == 0 {
+	if n.qlen() == 0 {
 		n.accessing = false
 		return
 	}
-	p := n.queue[0]
+	p := n.queue[n.qhead]
 	rate := n.nw.linkRate(n.id, p.Route[p.Hop+1])
 	var (
 		airtime time.Duration
@@ -349,7 +362,7 @@ func (n *node) transmit() {
 	}
 	if err != nil {
 		// Unreachable with a validated config; drop the packet defensively.
-		n.queue = n.queue[1:]
+		n.popHead()
 		n.accessing = false
 		n.kick()
 		return
@@ -359,8 +372,10 @@ func (n *node) transmit() {
 	n.retries++
 	n.nw.stats.Transmissions++
 	n.nw.obsAttempts.Inc()
-	n.nw.trace.Emit(obs.Event{T: n.nw.kernel.Now(), Kind: obs.KindTXAttempt,
-		Node: int32(n.id), Link: -1, Slot: -1, Frame: -1, A: int64(n.retries - 1)})
+	if n.nw.trace != nil {
+		n.nw.trace.Emit(obs.Event{T: n.nw.kernel.Now(), Kind: obs.KindTXAttempt,
+			Node: int32(n.id), Link: -1, Slot: -1, Frame: -1, A: int64(n.retries - 1)})
+	}
 	n.ctx.pkt = p
 	frame := mac.Frame{
 		From:    n.id,
@@ -403,7 +418,7 @@ func (nw *Network) onDelivery(d mac.Delivery) {
 }
 
 func (n *node) onSuccess() {
-	n.queue = n.queue[1:]
+	n.popHead()
 	n.retries = 0
 	n.cw = n.nw.cfg.PHY.CWMin
 	n.backoff = -1
@@ -412,7 +427,7 @@ func (n *node) onSuccess() {
 
 func (n *node) onFail() {
 	if n.retries > n.nw.cfg.RetryLimit {
-		n.queue = n.queue[1:]
+		n.popHead()
 		n.nw.stats.DroppedRetries++
 		n.nw.obsRetryDrop.Inc()
 		n.retries = 0
@@ -424,6 +439,47 @@ func (n *node) onFail() {
 	}
 	n.backoff = -1
 	n.kick()
+}
+
+// popHead removes the head-of-line packet by advancing the head index. The
+// dead prefix is reclaimed when the queue drains, or slid away once it
+// reaches half the backing array — amortized O(1) per pop, and the array
+// keeps its capacity for future enqueues.
+func (n *node) popHead() {
+	q := n.queue
+	q[n.qhead] = nil
+	n.qhead++
+	switch h := n.qhead; {
+	case h == len(q):
+		n.queue = q[:0]
+		n.qhead = 0
+	case h*2 >= len(q):
+		rest := copy(q, q[h:])
+		clearTail(q, rest)
+		n.queue = q[:rest]
+		n.qhead = 0
+	}
+}
+
+// qlen is the live queue length (head index excluded).
+func (n *node) qlen() int { return len(n.queue) - n.qhead }
+
+// clearTail nils queue slots beyond the live region so popped packets do not
+// linger for the garbage collector.
+func clearTail(q []*Packet, from int) {
+	for i := from; i < len(q); i++ {
+		q[i] = nil
+	}
+}
+
+// queuePrealloc bounds the up-front queue capacity: typical voice runs use
+// small caps that are worth preallocating; saturation experiments pass huge
+// caps that must grow on demand instead.
+func queuePrealloc(queueCap int) int {
+	if queueCap > 64 {
+		return 64
+	}
+	return queueCap
 }
 
 func (nw *Network) receive(at topology.NodeID, p *Packet) {
@@ -443,7 +499,7 @@ func (nw *Network) receive(at topology.NodeID, p *Packet) {
 // QueueLen reports the interface queue length of a node (tests).
 func (nw *Network) QueueLen(id topology.NodeID) int {
 	if id >= 0 && int(id) < len(nw.nodes) {
-		return len(nw.nodes[id].queue)
+		return nw.nodes[id].qlen()
 	}
 	return 0
 }

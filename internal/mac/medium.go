@@ -298,10 +298,14 @@ func (m *Medium) transmit(frame Frame, airtime time.Duration, protect bool) erro
 	if airtime <= 0 {
 		return fmt.Errorf("mac: non-positive airtime %v", airtime)
 	}
-	if _, err := m.net.Node(frame.From); err != nil {
+	// Dense-ID bounds check on the hot path; the topology lookup runs only
+	// to produce the detailed error.
+	if !m.hasNode(frame.From) {
+		_, err := m.net.Node(frame.From)
 		return err
 	}
-	if _, err := m.net.Node(frame.To); err != nil {
+	if !m.hasNode(frame.To) {
+		_, err := m.net.Node(frame.To)
 		return err
 	}
 	now := m.kernel.Now()
@@ -340,9 +344,11 @@ func (m *Medium) transmit(frame Frame, airtime time.Duration, protect bool) erro
 	m.active = append(m.active, tx)
 	m.sent++
 	m.obsSent.Inc()
-	m.trace.Emit(obs.Event{T: now, Kind: obs.KindTX,
-		Node: int32(frame.From), Link: int32(frame.To), Slot: -1, Frame: -1,
-		A: int64(frame.Bytes), B: int64(airtime)})
+	if m.trace != nil {
+		m.trace.Emit(obs.Event{T: now, Kind: obs.KindTX,
+			Node: int32(frame.From), Link: int32(frame.To), Slot: -1, Frame: -1,
+			A: int64(frame.Bytes), B: int64(airtime)})
+	}
 
 	// Raise busy at every node that hears the transmitter (and, for a
 	// protected exchange, the receiver).
@@ -432,9 +438,11 @@ func (m *Medium) finish(tx *transmission) {
 	case tx.hit:
 		m.collided++
 		m.obsCollided.Inc()
-		m.trace.Emit(obs.Event{T: now, Kind: obs.KindCollision,
-			Node: int32(tx.frame.From), Link: int32(tx.frame.To), Slot: -1, Frame: -1,
-			A: int64(tx.frame.Bytes)})
+		if m.trace != nil {
+			m.trace.Emit(obs.Event{T: now, Kind: obs.KindCollision,
+				Node: int32(tx.frame.From), Link: int32(tx.frame.To), Slot: -1, Frame: -1,
+				A: int64(tx.frame.Bytes)})
+		}
 	case lost:
 		m.lost++
 		m.obsLost.Inc()

@@ -128,8 +128,39 @@ func (c Config) validate(frame tdma.FrameConfig) error {
 	return nil
 }
 
-// DeliveredFunc receives packets that complete their path.
+// DeliveredFunc receives packets that complete their path. The MAC never
+// touches a packet again after the callback returns, so the callback owns it
+// and may recycle it into a pool.
 type DeliveredFunc func(p *Packet, at time.Duration)
+
+// txBatch is a pooled transmission payload: the packets of one (possibly
+// aggregated) 802.11 frame, copied out of the link queue so the queue array
+// can be compacted and reused while the frame is in flight.
+type txBatch struct {
+	pkts []*Packet
+}
+
+// winServe is the pooled state of one slot window's service chain: the
+// back-to-back transmissions within a single window share one record and one
+// kernel closure, released when the chain ends.
+type winServe struct {
+	a              tdma.Assignment
+	lk             topology.Link
+	windowEndLocal time.Duration
+	run            func()
+}
+
+// armChain re-arms one assignment's window frame after frame. A chain is
+// allocated per assignment per schedule generation (Start/SetSchedule), so
+// the per-frame arming path allocates nothing.
+type armChain struct {
+	a      tdma.Assignment
+	lk     topology.Link
+	offset time.Duration // SlotStart(a.Start), fixed per assignment
+	frame  int64
+	gen    uint64
+	fire   func()
+}
 
 // Stats aggregates counters.
 type Stats struct {
@@ -158,8 +189,12 @@ type Network struct {
 	// sync supplies per-node clock errors; nil means perfect clocks.
 	sync *timesync.Sync
 
-	// queues is indexed by LinkID (dense, see topology.LinkID).
+	// queues is indexed by LinkID (dense, see topology.LinkID); qhead[l]
+	// indexes the head of line within queues[l]: serving advances the head
+	// and the dead prefix is compacted away amortized-O(1), so saturated
+	// queues never pay per-serve copies or lose their capacity.
 	queues      [][]*Packet
+	qhead       []int
 	onDelivered DeliveredFunc
 	stats       Stats
 	started     bool
@@ -167,6 +202,17 @@ type Network struct {
 	gen uint64
 	// failed[l] marks links that lose every frame transmitted over them.
 	failed []bool
+
+	// batchPool and servePool recycle transmission payloads and window
+	// service records, so steady-state slot service allocates nothing.
+	batchPool []*txBatch
+	servePool []*winServe
+	// One-entry airtime cache for (bytes, rate): voice traffic is uniform,
+	// so repeated DataFrameTime lookups collapse into a compare.
+	airBytes int
+	airRate  float64
+	airTime  time.Duration
+	airOK    bool
 
 	// Observability. obsOn gates the per-window observation block (it reads
 	// the clock-error model a second time, which is pure but not free);
@@ -208,6 +254,16 @@ func New(cfg Config, topo *topology.Network, kernel *sim.Kernel, sched *tdma.Sch
 		queues:      make([][]*Packet, topo.NumLinks()),
 		onDelivered: delivered,
 		failed:      make([]bool, topo.NumLinks()),
+		qhead:       make([]int, topo.NumLinks()),
+	}
+	// Preallocate the typical voice-run queue capacity; saturation
+	// experiments pass huge caps that grow on demand instead.
+	prealloc := cfg.QueueCap
+	if prealloc > 64 {
+		prealloc = 64
+	}
+	for i := range nw.queues {
+		nw.queues[i] = make([]*Packet, 0, prealloc)
 	}
 	for _, nd := range topo.Nodes() {
 		if err := medium.SetReceiver(nd.ID, nw.onDelivery); err != nil {
@@ -280,7 +336,13 @@ func (nw *Network) armAll(frame int64) error {
 		if err != nil {
 			return fmt.Errorf("tdmaemu: schedule references %w", err)
 		}
-		if err := nw.scheduleWindow(a, lk, frame, nw.gen); err != nil {
+		offset, err := nw.schedule.Config.SlotStart(a.Start)
+		if err != nil {
+			return err
+		}
+		c := &armChain{a: a, lk: lk, offset: offset, frame: frame, gen: nw.gen}
+		c.fire = func() { nw.fireWindow(c) }
+		if err := nw.armWindow(c); err != nil {
 			return err
 		}
 	}
@@ -308,42 +370,44 @@ func (nw *Network) hasLink(l topology.LinkID) bool {
 	return l >= 0 && int(l) < len(nw.queues)
 }
 
-// scheduleWindow arms the service event of one assignment in the given
-// frame, then re-arms itself for the next frame while the generation
-// matches.
-func (nw *Network) scheduleWindow(a tdma.Assignment, lk topology.Link, frame int64, gen uint64) error {
-	offset, err := nw.schedule.Config.SlotStart(a.Start)
-	if err != nil {
+// armWindow arms the service event of the chain's current frame, skipping
+// frames whose window the clock error moved into the past (startup
+// transient).
+func (nw *Network) armWindow(c *armChain) error {
+	for {
+		frameStart := time.Duration(c.frame) * nw.schedule.Config.FrameDuration
+		localTarget := frameStart + c.offset + nw.cfg.Guard
+		trueAt := nw.localToTrue(c.lk.From, localTarget)
+		if trueAt < nw.kernel.Now() {
+			c.frame++
+			continue
+		}
+		_, err := nw.kernel.At(trueAt, c.fire)
 		return err
 	}
-	frameStart := time.Duration(frame) * nw.schedule.Config.FrameDuration
-	localTarget := frameStart + offset + nw.cfg.Guard
-	trueAt := nw.localToTrue(lk.From, localTarget)
-	windowEndLocal := frameStart + offset + time.Duration(a.Length)*nw.schedule.Config.SlotDuration()
-	if trueAt < nw.kernel.Now() {
-		// Clock error moved the window into the past (startup transient):
-		// skip this frame.
-		return nw.armNext(a, lk, frame, gen)
-	}
-	_, err = nw.kernel.At(trueAt, func() {
-		if nw.gen != gen {
-			return // schedule swapped: this window chain is dead
-		}
-		if nw.obsOn {
-			nw.observeWindow(a, lk, frame, localTarget)
-		}
-		nw.serveWindow(a, lk, windowEndLocal)
-		if err := nw.armNext(a, lk, frame, gen); err != nil {
-			// Kernel time only moves forward; scheduling the next frame
-			// cannot fail except at shutdown. Stop servicing this link.
-			nw.started = false
-		}
-	})
-	return err
 }
 
-func (nw *Network) armNext(a tdma.Assignment, lk topology.Link, frame int64, gen uint64) error {
-	return nw.scheduleWindow(a, lk, frame+1, gen)
+// fireWindow opens one window: observe, serve the queue, and re-arm the
+// chain for the next frame while the generation matches.
+func (nw *Network) fireWindow(c *armChain) {
+	if nw.gen != c.gen {
+		return // schedule swapped: this window chain is dead
+	}
+	frameStart := time.Duration(c.frame) * nw.schedule.Config.FrameDuration
+	if nw.obsOn {
+		nw.observeWindow(c.a, c.lk, c.frame, frameStart+c.offset+nw.cfg.Guard)
+	}
+	st := nw.getServe()
+	st.a = c.a
+	st.lk = c.lk
+	st.windowEndLocal = frameStart + c.offset + time.Duration(c.a.Length)*nw.schedule.Config.SlotDuration()
+	nw.serveWindow(st)
+	c.frame++
+	if err := nw.armWindow(c); err != nil {
+		// Kernel time only moves forward; scheduling the next frame
+		// cannot fail except at shutdown. Stop servicing this link.
+		nw.started = false
+	}
 }
 
 // observeWindow records the slot-open observables: the transmitter's clock
@@ -361,9 +425,11 @@ func (nw *Network) observeWindow(a tdma.Assignment, lk topology.Link, frame int6
 	nw.syncErrGauge[lk.From].Set(errAt.Nanoseconds())
 	nw.syncErrHist.Observe(float64(errAt.Nanoseconds()))
 	nw.obsSlots.Inc()
-	nw.trace.Emit(obs.Event{T: nw.kernel.Now(), Kind: obs.KindSlotStart,
-		Node: int32(lk.From), Link: int32(a.Link), Slot: int32(a.Start), Frame: frame,
-		A: errAt.Nanoseconds(), B: int64(len(nw.queues[a.Link]))})
+	if nw.trace != nil {
+		nw.trace.Emit(obs.Event{T: nw.kernel.Now(), Kind: obs.KindSlotStart,
+			Node: int32(lk.From), Link: int32(a.Link), Slot: int32(a.Start), Frame: frame,
+			A: errAt.Nanoseconds(), B: int64(len(nw.queues[a.Link]) - nw.qhead[a.Link])})
+	}
 	mag := errAt
 	if mag < 0 {
 		mag = -mag
@@ -393,31 +459,101 @@ func (nw *Network) localToTrue(n topology.NodeID, local time.Duration) time.Dura
 // serveWindow transmits queued packets of the assignment's link back to back
 // until the window (in the transmitter's local clock) cannot fit another
 // frame. With aggregation enabled, several queued packets share one 802.11
-// frame.
-func (nw *Network) serveWindow(a tdma.Assignment, lk topology.Link, windowEndLocal time.Duration) {
-	q := nw.queues[a.Link]
-	if len(q) == 0 {
+// frame. Every terminating path releases the pooled service state; a
+// continuing transmission hands it to the chained kernel event instead.
+func (nw *Network) serveWindow(st *winServe) {
+	live := nw.queues[st.a.Link][nw.qhead[st.a.Link]:]
+	if len(live) == 0 {
+		nw.putServe(st)
 		return
 	}
-	nowLocal := nw.trueToLocal(lk.From, nw.kernel.Now())
-	budget := windowEndLocal - nowLocal
-	batch, frameBytes, airtime := nw.buildBatch(q, budget, nw.rateFor(lk))
-	if len(batch) == 0 {
+	nowLocal := nw.trueToLocal(st.lk.From, nw.kernel.Now())
+	budget := st.windowEndLocal - nowLocal
+	n, frameBytes, airtime := nw.batchSize(live, budget, nw.rateFor(st.lk))
+	if n == 0 {
+		nw.putServe(st)
 		return
 	}
-	nw.queues[a.Link] = q[len(batch):]
+	b := nw.getBatch()
+	b.pkts = append(b.pkts[:0], live[:n]...)
+	nw.popFront(st.a.Link, n)
 	nw.stats.Transmissions++
 	nw.obsTx.Inc()
-	frame := mac.Frame{From: lk.From, To: lk.To, Bytes: frameBytes, Payload: batch}
+	frame := mac.Frame{From: st.lk.From, To: st.lk.To, Bytes: frameBytes, Payload: b}
 	if err := nw.medium.Transmit(frame, airtime); err != nil {
+		nw.putBatch(b)
+		nw.putServe(st)
 		return
 	}
 	// Next frame after this one plus SIFS spacing.
-	if _, err := nw.kernel.After(airtime+nw.cfg.PHY.SIFS, func() {
-		nw.serveWindow(a, lk, windowEndLocal)
-	}); err != nil {
+	if _, err := nw.kernel.After(airtime+nw.cfg.PHY.SIFS, st.run); err != nil {
+		nw.putServe(st)
 		return
 	}
+}
+
+// popFront removes the first n live packets of a link queue by advancing the
+// head index. The dead prefix is reclaimed when the queue drains, or slid
+// away once it reaches half the backing array — amortized O(1) per packet,
+// and the array keeps its capacity for future enqueues (the served batch
+// holds its own copies).
+func (nw *Network) popFront(l topology.LinkID, n int) {
+	q := nw.queues[l]
+	h := nw.qhead[l]
+	for i := h; i < h+n; i++ {
+		q[i] = nil
+	}
+	h += n
+	switch {
+	case h == len(q):
+		nw.queues[l] = q[:0]
+		nw.qhead[l] = 0
+	case h*2 >= len(q):
+		rest := copy(q, q[h:])
+		for i := rest; i < len(q); i++ {
+			q[i] = nil
+		}
+		nw.queues[l] = q[:rest]
+		nw.qhead[l] = 0
+	default:
+		nw.qhead[l] = h
+	}
+}
+
+// getServe pops a pooled window service record (or builds one, wiring its
+// reusable kernel closure).
+func (nw *Network) getServe() *winServe {
+	if n := len(nw.servePool); n > 0 {
+		st := nw.servePool[n-1]
+		nw.servePool = nw.servePool[:n-1]
+		return st
+	}
+	st := &winServe{}
+	st.run = func() { nw.serveWindow(st) }
+	return st
+}
+
+func (nw *Network) putServe(st *winServe) {
+	nw.servePool = append(nw.servePool, st)
+}
+
+// getBatch pops a pooled transmission payload.
+func (nw *Network) getBatch() *txBatch {
+	if n := len(nw.batchPool); n > 0 {
+		b := nw.batchPool[n-1]
+		nw.batchPool = nw.batchPool[:n-1]
+		return b
+	}
+	return &txBatch{}
+}
+
+// putBatch returns a payload to the pool, dropping its packet references.
+func (nw *Network) putBatch(b *txBatch) {
+	for i := range b.pkts {
+		b.pkts[i] = nil
+	}
+	b.pkts = b.pkts[:0]
+	nw.batchPool = append(nw.batchPool, b)
 }
 
 // rateFor returns the PHY rate used on a link: the link's own rate when the
@@ -430,11 +566,11 @@ func (nw *Network) rateFor(lk topology.Link) float64 {
 	return nw.cfg.DataRateBps
 }
 
-// buildBatch selects the head-of-line packets (up to the aggregation limit)
-// whose combined frame fits in the remaining local window budget at the
-// given rate, returning the batch, its MAC payload size and airtime. An
-// empty batch means even one packet does not fit.
-func (nw *Network) buildBatch(q []*Packet, budget time.Duration, rateBps float64) ([]*Packet, int, time.Duration) {
+// batchSize selects how many head-of-line packets (up to the aggregation
+// limit) fit one frame in the remaining local window budget at the given
+// rate, returning the count, the MAC payload size and the airtime. A zero
+// count means even one packet does not fit.
+func (nw *Network) batchSize(q []*Packet, budget time.Duration, rateBps float64) (int, int, time.Duration) {
 	limit := nw.cfg.AggregateLimit
 	if limit < 1 {
 		limit = 1
@@ -443,7 +579,7 @@ func (nw *Network) buildBatch(q []*Packet, budget time.Duration, rateBps float64
 		limit = len(q)
 	}
 	var (
-		batch   []*Packet
+		n       int
 		bytes   int
 		airtime time.Duration
 	)
@@ -452,15 +588,28 @@ func (nw *Network) buildBatch(q []*Packet, budget time.Duration, rateBps float64
 		if limit > 1 {
 			nextBytes += AggregateSubheaderBytes
 		}
-		at, err := nw.cfg.PHY.DataFrameTime(nextBytes, rateBps)
+		at, err := nw.frameTime(nextBytes, rateBps)
 		if err != nil || at > budget {
 			break
 		}
-		batch = q[:k+1]
+		n = k + 1
 		bytes = nextBytes
 		airtime = at
 	}
-	return batch, bytes, airtime
+	return n, bytes, airtime
+}
+
+// frameTime is DataFrameTime behind the one-entry (bytes, rate) cache.
+func (nw *Network) frameTime(bytes int, rateBps float64) (time.Duration, error) {
+	if nw.airOK && nw.airBytes == bytes && nw.airRate == rateBps {
+		return nw.airTime, nil
+	}
+	at, err := nw.cfg.PHY.DataFrameTime(bytes, rateBps)
+	if err != nil {
+		return 0, err
+	}
+	nw.airBytes, nw.airRate, nw.airTime, nw.airOK = bytes, rateBps, at, true
+	return at, nil
 }
 
 func (nw *Network) trueToLocal(n topology.NodeID, t time.Duration) time.Duration {
@@ -486,6 +635,7 @@ func (nw *Network) Inject(p *Packet) error {
 		return fmt.Errorf("tdmaemu: %w", err)
 	}
 	p.Created = nw.kernel.Now()
+	p.arq = 0 // recycled packets must start with a fresh ARQ budget
 	nw.stats.Injected++
 	nw.enqueue(p.Path[0], p)
 	return nil
@@ -498,20 +648,29 @@ func (nw *Network) requeueHead(l topology.LinkID, p *Packet) {
 		return
 	}
 	q := nw.queues[l]
-	if len(q) >= nw.cfg.QueueCap {
+	h := nw.qhead[l]
+	if len(q)-h >= nw.cfg.QueueCap {
 		nw.stats.DroppedQueue++
 		return
 	}
-	pos := 0
+	pos := h
 	if p.BestEffort {
 		// First best-effort position.
 		pos = len(q)
-		for i, existing := range q {
-			if existing.BestEffort {
+		for i := h; i < len(q); i++ {
+			if q[i].BestEffort {
 				pos = i
 				break
 			}
 		}
+	}
+	if pos == h && h > 0 {
+		// A reclaimed slot sits right before the head: reuse it instead of
+		// shifting the whole queue.
+		h--
+		q[h] = p
+		nw.qhead[l] = h
+		return
 	}
 	q = append(q, nil)
 	copy(q[pos+1:], q[pos:])
@@ -529,13 +688,14 @@ func (nw *Network) enqueue(l topology.LinkID, p *Packet) {
 		return
 	}
 	q := nw.queues[l]
-	if len(q) >= nw.cfg.QueueCap {
+	h := nw.qhead[l]
+	if len(q)-h >= nw.cfg.QueueCap {
 		if p.BestEffort {
 			nw.stats.DroppedQueue++
 			return
 		}
 		evict := -1
-		for i := len(q) - 1; i >= 0; i-- {
+		for i := len(q) - 1; i >= h; i-- {
 			if q[i].BestEffort {
 				evict = i
 				break
@@ -554,8 +714,8 @@ func (nw *Network) enqueue(l topology.LinkID, p *Packet) {
 	}
 	// Insert before the first best-effort packet.
 	pos := len(q)
-	for i, existing := range q {
-		if existing.BestEffort {
+	for i := h; i < len(q); i++ {
+		if q[i].BestEffort {
 			pos = i
 			break
 		}
@@ -566,13 +726,20 @@ func (nw *Network) enqueue(l topology.LinkID, p *Packet) {
 	nw.queues[l] = q
 }
 
-// onDelivery forwards or completes packets; collided receptions lose the
-// whole (possibly aggregated) frame.
+// onDelivery unwraps the pooled payload, dispatches the outcome and recycles
+// the payload record (the medium delivers each frame exactly once).
 func (nw *Network) onDelivery(d mac.Delivery) {
-	batch, ok := d.Frame.Payload.([]*Packet)
+	b, ok := d.Frame.Payload.(*txBatch)
 	if !ok {
 		return
 	}
+	nw.deliverBatch(d, b.pkts)
+	nw.putBatch(b)
+}
+
+// deliverBatch forwards or completes packets; collided receptions lose the
+// whole (possibly aggregated) frame.
+func (nw *Network) deliverBatch(d mac.Delivery, batch []*Packet) {
 	if d.Collided {
 		nw.stats.Violations++
 		nw.obsViolations.Inc()
@@ -624,7 +791,7 @@ func (nw *Network) QueueLen(l topology.LinkID) int {
 	if !nw.hasLink(l) {
 		return 0
 	}
-	return len(nw.queues[l])
+	return len(nw.queues[l]) - nw.qhead[l]
 }
 
 // PacketsPerSlot returns how many packets of the given IP size fit in one

@@ -20,7 +20,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -139,7 +139,7 @@ func (m *Model) AddConstraint(coef map[VarID]float64, rel Rel, rhs float64) erro
 			ids = append(ids, v)
 		}
 	}
-	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	slices.Sort(ids)
 	vals := make([]float64, len(ids))
 	for k, v := range ids {
 		vals[k] = coef[v]
@@ -634,6 +634,6 @@ func (m *Model) SortedVarIDs() []VarID {
 	for i := range out {
 		out[i] = VarID(i)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }

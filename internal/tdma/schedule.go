@@ -2,7 +2,7 @@ package tdma
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 	"time"
 
@@ -25,6 +25,14 @@ func (a Assignment) End() int { return a.Start + a.Length }
 type Schedule struct {
 	Config      FrameConfig
 	Assignments []Assignment
+
+	// byLink / winsByLink lazily cache the per-link query results; both are
+	// valid only while cacheLen matches len(Assignments), and Add drops them.
+	// Planner delay evaluation queries the same few links once per flow, so
+	// the grouping and sorting work is paid once per schedule, not per call.
+	byLink     map[topology.LinkID][]Assignment
+	winsByLink map[topology.LinkID][][2]time.Duration
+	cacheLen   int
 }
 
 // NewSchedule returns an empty schedule with the given frame layout.
@@ -46,6 +54,7 @@ func (s *Schedule) Add(a Assignment) error {
 			ErrBadAssignment, a.Start, a.End(), s.Config.DataSlots, a.Link)
 	}
 	s.Assignments = append(s.Assignments, a)
+	s.byLink, s.winsByLink = nil, nil
 	return nil
 }
 
@@ -61,15 +70,20 @@ func (s *Schedule) LinkSlots(l topology.LinkID) int {
 }
 
 // LinkAssignments returns the assignments of link l sorted by start slot.
+// The slice is shared with the schedule's internal cache; callers must not
+// modify it.
 func (s *Schedule) LinkAssignments(l topology.LinkID) []Assignment {
-	var out []Assignment
-	for _, a := range s.Assignments {
-		if a.Link == l {
-			out = append(out, a)
+	if s.byLink == nil || s.cacheLen != len(s.Assignments) {
+		byLink := make(map[topology.LinkID][]Assignment)
+		for _, a := range s.Assignments {
+			byLink[a.Link] = append(byLink[a.Link], a)
 		}
+		for _, as := range byLink {
+			slices.SortFunc(as, func(x, y Assignment) int { return x.Start - y.Start })
+		}
+		s.byLink, s.winsByLink, s.cacheLen = byLink, nil, len(s.Assignments)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
-	return out
+	return s.byLink[l]
 }
 
 // SlotOwners returns, per data slot, the links transmitting in it (sorted).
@@ -81,7 +95,7 @@ func (s *Schedule) SlotOwners() [][]topology.LinkID {
 		}
 	}
 	for i := range owners {
-		sort.Slice(owners[i], func(a, b int) bool { return owners[i][a] < owners[i][b] })
+		slices.Sort(owners[i])
 	}
 	return owners
 }
@@ -122,16 +136,25 @@ func (s *Schedule) CapacityBps(l topology.LinkID, bytesPerSlot int) float64 {
 }
 
 // TxWindows returns the absolute transmit windows of link l within frame 0:
-// [offset, offset+len) pairs from the frame start.
+// [offset, offset+len) pairs from the frame start. The slice is shared with
+// the schedule's internal cache; callers must not modify it.
 func (s *Schedule) TxWindows(l topology.LinkID) ([][2]time.Duration, error) {
+	as := s.LinkAssignments(l) // validates/refreshes the cache generation
+	if ws, ok := s.winsByLink[l]; ok {
+		return ws, nil
+	}
 	var out [][2]time.Duration
-	for _, a := range s.LinkAssignments(l) {
+	for _, a := range as {
 		start, err := s.Config.SlotStart(a.Start)
 		if err != nil {
 			return nil, err
 		}
 		out = append(out, [2]time.Duration{start, start + time.Duration(a.Length)*s.Config.SlotDuration()})
 	}
+	if s.winsByLink == nil {
+		s.winsByLink = make(map[topology.LinkID][][2]time.Duration)
+	}
+	s.winsByLink[l] = out
 	return out, nil
 }
 

@@ -43,9 +43,12 @@ const (
 // Source generates voice packets on a simulation kernel.
 type Source struct {
 	codec Codec
-	mode  SourceMode
-	emit  EmitFunc
-	rng   *rand.Rand
+	// pktBytes caches codec.PacketBytes(), recomputed from float bitrate
+	// math otherwise on every tick.
+	pktBytes int
+	mode     SourceMode
+	emit     EmitFunc
+	rng      *rand.Rand
 
 	talkMean    time.Duration
 	silenceMean time.Duration
@@ -75,6 +78,7 @@ func NewSource(codec Codec, mode SourceMode, emit EmitFunc, rng *rand.Rand) (*So
 	}
 	return &Source{
 		codec:       codec,
+		pktBytes:    codec.PacketBytes(),
 		mode:        mode,
 		emit:        emit,
 		rng:         rng,
@@ -98,17 +102,24 @@ func (s *Source) Start(k *sim.Kernel, offset time.Duration) error {
 	if offset < 0 {
 		return errors.New("voip: negative start offset")
 	}
+	// One closure per Start instead of one per event: each continuation
+	// re-arms itself, so a multi-minute call schedules thousands of ticks
+	// without allocating.
+	var tickFn func()
+	tickFn = func() { s.tick(k, tickFn) }
 	switch s.mode {
 	case ModeCBR:
 		s.talking = true
-		_, err := k.After(offset, func() { s.tick(k) })
+		_, err := k.After(offset, tickFn)
 		return err
 	case ModeTalkSpurt:
 		s.talking = true
-		if _, err := k.After(offset, func() { s.tick(k) }); err != nil {
+		if _, err := k.After(offset, tickFn); err != nil {
 			return err
 		}
-		_, err := k.After(offset+s.expDur(s.talkMean), func() { s.toggle(k) })
+		var toggleFn func()
+		toggleFn = func() { s.toggle(k, toggleFn) }
+		_, err := k.After(offset+s.expDur(s.talkMean), toggleFn)
 		return err
 	default:
 		return fmt.Errorf("voip: unknown source mode %d", int(s.mode))
@@ -121,20 +132,20 @@ func (s *Source) Stop() { s.stopped = true }
 // Emitted returns the number of packets generated so far.
 func (s *Source) Emitted() int { return s.seq }
 
-func (s *Source) tick(k *sim.Kernel) {
+func (s *Source) tick(k *sim.Kernel, self func()) {
 	if s.stopped {
 		return
 	}
 	if s.talking {
-		s.emit(Packet{Seq: s.seq, Sent: k.Now(), Bytes: s.codec.PacketBytes()})
+		s.emit(Packet{Seq: s.seq, Sent: k.Now(), Bytes: s.pktBytes})
 		s.seq++
 	}
-	if _, err := k.After(s.codec.PacketInterval, func() { s.tick(k) }); err != nil {
+	if _, err := k.After(s.codec.PacketInterval, self); err != nil {
 		s.stopped = true
 	}
 }
 
-func (s *Source) toggle(k *sim.Kernel) {
+func (s *Source) toggle(k *sim.Kernel, self func()) {
 	if s.stopped {
 		return
 	}
@@ -143,7 +154,7 @@ func (s *Source) toggle(k *sim.Kernel) {
 	if !s.talking {
 		mean = s.silenceMean
 	}
-	if _, err := k.After(s.expDur(mean), func() { s.toggle(k) }); err != nil {
+	if _, err := k.After(s.expDur(mean), self); err != nil {
 		s.stopped = true
 	}
 }
