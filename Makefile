@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check differential lpdebug examples obs-allocs profile bench bench-full bench-json bench-compare clean
+.PHONY: all build test vet race check differential lpdebug examples obs-allocs scale-smoke profile bench bench-full bench-json bench-compare clean
 
 all: check
 
@@ -23,11 +23,13 @@ race:
 # meshbench vs. sequential, bounded-variable simplex vs. the dense two-phase
 # oracle, warm-started branch-and-bound vs. cold, incremental window
 # mutation vs. fresh builds, analytic-screened capacity search vs. the
-# linear reference scan — all under the race detector.
+# linear reference scan, partitioned zone scheduling vs. the monolithic
+# ILP (window within 10%, bit-identical at any worker count) — all under
+# the race detector.
 differential:
 	$(GO) test -race -count=1 -run 'TestDifferential|TestWorkersByteIdentical|TestScreenedSearchMatchesLinear|TestGallopSearchWorkers|TestAnalyticSearchMatchesLinear|TestAnalyticVsSimulated' \
 		./internal/sim ./internal/mac ./cmd/meshbench ./internal/core \
-		./internal/lp ./internal/milp ./internal/schedule
+		./internal/lp ./internal/milp ./internal/schedule ./internal/partition
 
 # Re-run the solver packages with the lpdebug build tag: every simplex
 # terminates through an invariant check (basis consistency, B^-1 B = I,
@@ -55,6 +57,14 @@ obs-allocs:
 	$(GO) test ./internal/analytic -run TestPredictZeroAllocsSteadyState -count=1
 	$(GO) test ./internal/analytic -run xxx -benchmem \
 		-bench 'BenchmarkAnalyticScreen'
+
+# A reduced city-scale R18 (200 nodes, 1000 offered flows) through the full
+# partitioned pipeline — generate, admit, decompose, zone ILPs, stitch —
+# under go vet and the race detector. Fast enough for every push; the full
+# sweep lives in `meshbench -only R18`.
+scale-smoke:
+	$(GO) vet ./...
+	$(GO) test -race -count=1 -run TestScaleSmoke ./internal/experiments
 
 check: vet build race differential lpdebug examples obs-allocs
 

@@ -508,6 +508,19 @@ func BenchmarkR17FrameDuration(b *testing.B) {
 	b.ReportMetric(metric(last, len(last.Rows)-1, 3), "calls/64ms-frame")
 }
 
+func BenchmarkR18PartitionedScale(b *testing.B) {
+	var last *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.R18PartitionedScale()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	b.ReportMetric(metric(last, 4, 7), "window/1000nodes")
+	b.ReportMetric(metric(last, 4, 3), "flows/1000nodes")
+}
+
 // BenchmarkKernelAfterStep measures the kernel's schedule+execute hot path;
 // steady state must be allocation-free (slab + free list + value heap).
 func BenchmarkKernelAfterStep(b *testing.B) {

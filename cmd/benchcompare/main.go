@@ -10,15 +10,20 @@
 //
 // Experiments in this repository are deterministic simulations, so any cell
 // difference is a correctness change — except cells that measure host wall
-// clock (the scheduler timing columns of R7), which vary run to run and are
-// skipped via -volatile. Wall-clock regressions are flagged only past both a
-// relative threshold and an absolute floor, so the sub-millisecond
-// experiments don't trip the check on scheduler jitter.
+// clock (the scheduler timing columns of R7 and R18's solve column), which
+// vary run to run and are skipped via -volatile. Wall-clock regressions are
+// flagged only past both a relative threshold and an absolute floor, so the
+// sub-millisecond experiments don't trip the check on scheduler jitter.
 //
 // The report's top-level "generated" timestamp is likewise exempt from the
 // comparison: it records when the run happened, not what it computed, so two
-// otherwise byte-identical reports never differ on it. These are the only
-// two exemptions — everything else in the schema must match exactly.
+// otherwise byte-identical reports never differ on it. Together with the
+// volatile cells these are the only exemptions from byte identity.
+//
+// Experiments present only in the new report are additions — the expected
+// shape of a baseline that predates a new experiment — so they are listed
+// informationally and do not fail the comparison. An experiment missing from
+// the new report is still an error: results must never silently disappear.
 //
 // Exit status: 0 when tables match and no regression is flagged, 1 otherwise.
 package main
@@ -58,7 +63,7 @@ func run(args []string, out io.Writer) error {
 	var (
 		threshold = fs.Float64("threshold", 0.20, "flag wall-clock regressions beyond this fraction (0.20 = 20% slower)")
 		minDelta  = fs.Float64("mindelta", 5, "ignore wall-clock regressions smaller than this many milliseconds")
-		volatile  = fs.String("volatile", "R7:ILP search,R7:order+BF,R7:greedy",
+		volatile  = fs.String("volatile", "R7:ILP search,R7:order+BF,R7:greedy,R18:wall ms",
 			"comma-separated ID:column cells that measure host wall clock and may differ")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -83,7 +88,17 @@ func run(args []string, out io.Writer) error {
 	for i := range newRep.Experiments {
 		newByID[newRep.Experiments[i].ID] = &newRep.Experiments[i]
 	}
+	oldIDs := make(map[string]bool, len(oldRep.Experiments))
+	for i := range oldRep.Experiments {
+		oldIDs[oldRep.Experiments[i].ID] = true
+	}
 	var problems []string
+	var added []string
+	for i := range newRep.Experiments {
+		if id := newRep.Experiments[i].ID; !oldIDs[id] {
+			added = append(added, id)
+		}
+	}
 	for i := range oldRep.Experiments {
 		o := &oldRep.Experiments[i]
 		n, ok := newByID[o.ID]
@@ -103,11 +118,18 @@ func run(args []string, out io.Writer) error {
 				o.ID, o.WallMS, n.WallMS, n.WallMS/o.WallMS)
 		}
 	}
+	for _, id := range added {
+		fmt.Fprintf(out, "%-4s new in %s (addition, not compared)\n", id, fs.Arg(1))
+	}
 	if len(problems) > 0 {
 		return fmt.Errorf("%d problem(s):\n  %s", len(problems), strings.Join(problems, "\n  "))
 	}
-	fmt.Fprintf(out, "ok: %d experiments, tables identical, no wall-clock regression beyond %.0f%%\n",
+	fmt.Fprintf(out, "ok: %d experiments, tables identical, no wall-clock regression beyond %.0f%%",
 		len(oldRep.Experiments), *threshold*100)
+	if len(added) > 0 {
+		fmt.Fprintf(out, " (%d new)", len(added))
+	}
+	fmt.Fprintln(out)
 	return nil
 }
 

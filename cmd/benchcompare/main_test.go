@@ -117,3 +117,22 @@ func TestMissingExperimentFails(t *testing.T) {
 		t.Fatal("missing experiment accepted")
 	}
 }
+
+func TestNewExperimentIsAddition(t *testing.T) {
+	old := writeReport(t, "old.json", baseReport())
+	grown := baseReport()
+	grown.Experiments = append(grown.Experiments, experiment{
+		ID: "R18", WallMS: 7, Header: []string{"nodes", "wall ms"},
+		Rows: [][]string{{"1000", "115.1"}}})
+	now := writeReport(t, "new.json", grown)
+	var sb strings.Builder
+	if err := run([]string{old, now}, &sb); err != nil {
+		t.Fatalf("candidate-only experiment flagged: %v", err)
+	}
+	if !strings.Contains(sb.String(), "R18") || !strings.Contains(sb.String(), "addition") {
+		t.Errorf("addition not reported:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "(1 new)") {
+		t.Errorf("ok summary does not count the addition:\n%s", sb.String())
+	}
+}

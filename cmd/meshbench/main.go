@@ -1,5 +1,5 @@
 // Command meshbench regenerates the paper's evaluation: every reconstructed
-// experiment R1-R17 indexed in DESIGN.md, printed as aligned tables.
+// experiment R1-R18 indexed in DESIGN.md, printed as aligned tables.
 //
 // Usage:
 //
@@ -167,6 +167,7 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintln(out, "R15 routing metric under lossy links: hop-count vs ETX, ARQ ablation")
 		fmt.Fprintln(out, "R16 interference-model ablation: planned window vs on-air violations")
 		fmt.Fprintln(out, "R17 frame-duration trade-off: capacity vs delay")
+		fmt.Fprintln(out, "R18 partitioned scheduling at city scale: window and wall clock vs zone size")
 		return nil
 	}
 	render := func(t *experiments.Table) error {

@@ -7,7 +7,8 @@
 //	meshplan -topology grid -nodes 9 -calls 5 -save plan.json
 //
 // Topologies: chain, ring, grid (square), tree (binary), random.
-// Methods: ilp, minmax-delay, path-major, tree-order, greedy.
+// Methods: ilp, minmax-delay, path-major, tree-order, greedy, partitioned
+// (spatial zones with parallel per-zone ILPs; see README "Scaling").
 // A saved plan can be replayed with meshsim -load.
 package main
 
@@ -37,7 +38,7 @@ func run(args []string, out io.Writer) error {
 		topoName = fs.String("topology", "chain", "topology: chain, ring, grid, tree, random")
 		nodes    = fs.Int("nodes", 6, "number of nodes (grid uses the nearest square, tree rounds to a full binary tree)")
 		calls    = fs.Int("calls", 2, "number of VoIP calls to the gateway")
-		method   = fs.String("method", "path-major", "scheduler: ilp, minmax-delay, path-major, tree-order, greedy")
+		method   = fs.String("method", "path-major", "scheduler: ilp, minmax-delay, path-major, tree-order, greedy, partitioned")
 		codec    = fs.String("codec", "g711", "voice codec: g711, g729, g723")
 		bound    = fs.Duration("delay-bound", 150*time.Millisecond, "per-call delay bound")
 		seed     = fs.Int64("seed", 1, "random topology seed")

@@ -311,3 +311,140 @@ func TestPropertySolveSatisfiesConstraints(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// twoIslands builds a network of two far-apart 3-node chains plus one
+// isolated unidirectional link, all in a single Network — the disconnected
+// shape per-zone subgraphs take under spatial partitioning.
+func twoIslands(t *testing.T) *topology.Network {
+	t.Helper()
+	net := topology.NewNetwork()
+	// Island A: nodes 0-1-2 around the origin.
+	for i := 0; i < 3; i++ {
+		net.AddNode(float64(i)*100, 0)
+	}
+	// Island B: nodes 3-4-5, 50 km away.
+	for i := 0; i < 3; i++ {
+		net.AddNode(50_000+float64(i)*100, 0)
+	}
+	// Island C: nodes 6,7 with a single one-way link, 100 km away.
+	net.AddNode(100_000, 0)
+	net.AddNode(100_100, 0)
+	for _, pair := range [][2]topology.NodeID{{0, 1}, {1, 2}, {3, 4}, {4, 5}} {
+		if _, _, err := net.AddBidirectional(pair[0], pair[1], topology.DefaultRateBps); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := net.AddLink(6, 7, topology.DefaultRateBps); err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// islandOf maps each link of twoIslands to its component: transmitters 0-2
+// are island A, 3-5 island B, 6-7 island C.
+func islandOf(t *testing.T, net *topology.Network, l topology.LinkID) int {
+	t.Helper()
+	lk, err := net.Link(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	switch {
+	case lk.From <= 2:
+		return 0
+	case lk.From <= 5:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// TestBuildDisconnectedComponents: conflicts must never cross connectivity
+// components, and a link with no interferer at all must have an empty
+// adjacency row under every model.
+func TestBuildDisconnectedComponents(t *testing.T) {
+	net := twoIslands(t)
+	iso, err := net.FindLink(6, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []Model{ModelPrimary, ModelTwoHop, ModelGeometric} {
+		g := mustBuild(t, net, m)
+		if g.NumVertices() != net.NumLinks() {
+			t.Fatalf("%v: NumVertices = %d, want %d", m, g.NumVertices(), net.NumLinks())
+		}
+		for a := topology.LinkID(0); int(a) < g.NumVertices(); a++ {
+			for b := topology.LinkID(0); int(b) < g.NumVertices(); b++ {
+				if a != b && g.Conflicts(a, b) && islandOf(t, net, a) != islandOf(t, net, b) {
+					t.Errorf("%v: cross-island conflict %d vs %d", m, a, b)
+				}
+			}
+		}
+		// The isolated one-way link interferes with nothing: empty row.
+		if d := g.Degree(iso); d != 0 {
+			t.Errorf("%v: isolated link degree = %d, want 0", m, d)
+		}
+		visited := 0
+		g.VisitNeighbors(iso, func(topology.LinkID) bool { visited++; return true })
+		if visited != 0 {
+			t.Errorf("%v: VisitNeighbors on empty row visited %d links", m, visited)
+		}
+		// Within an island the chain links do conflict, so the graph is
+		// multi-component rather than edgeless.
+		a01 := link(t, net, 0, 1)
+		a12 := link(t, net, 1, 2)
+		if !g.Conflicts(a01, a12) {
+			t.Errorf("%v: in-island links %d,%d should conflict", m, a01, a12)
+		}
+	}
+}
+
+// TestGreedyCliqueDisconnected: the clique heuristic must stay inside one
+// component (a clique cannot span components), handle weight maps touching
+// several components, and cope with empty-row vertices.
+func TestGreedyCliqueDisconnected(t *testing.T) {
+	net := twoIslands(t)
+	g := mustBuild(t, net, ModelTwoHop)
+	iso, err := net.FindLink(6, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weight := make(map[topology.LinkID]float64)
+	for _, l := range net.Links() {
+		weight[l.ID] = 1
+	}
+	clique, w := g.GreedyClique(weight)
+	if len(clique) == 0 {
+		t.Fatal("empty clique on a graph with edges")
+	}
+	if w != float64(len(clique)) {
+		t.Errorf("clique weight = %g, want %d", w, len(clique))
+	}
+	isl := islandOf(t, net, clique[0])
+	for _, a := range clique {
+		if got := islandOf(t, net, a); got != isl {
+			t.Fatalf("clique spans islands %d and %d", isl, got)
+		}
+		for _, b := range clique {
+			if a != b && !g.Conflicts(a, b) {
+				t.Fatalf("returned set is not a clique: %d and %d do not conflict", a, b)
+			}
+		}
+	}
+	// All four links of one chain island: the two middle-hop pairs all
+	// mutually conflict under two-hop, so the clique must cover the island.
+	if len(clique) != 4 {
+		t.Errorf("clique size = %d, want 4 (all links of one chain island)", len(clique))
+	}
+	// Weight only on the empty-row link: the clique is that single vertex.
+	clique, w = g.GreedyClique(map[topology.LinkID]float64{iso: 2.5})
+	if len(clique) != 1 || clique[0] != iso || w != 2.5 {
+		t.Errorf("isolated clique = %v weight %g, want [%d] weight 2.5", clique, w, iso)
+	}
+	// Empty and all-zero weight maps yield an empty clique.
+	if clique, w = g.GreedyClique(nil); len(clique) != 0 || w != 0 {
+		t.Errorf("nil weights: clique = %v weight %g, want empty", clique, w)
+	}
+	if clique, w = g.GreedyClique(map[topology.LinkID]float64{iso: 0}); len(clique) != 0 || w != 0 {
+		t.Errorf("zero weights: clique = %v weight %g, want empty", clique, w)
+	}
+}

@@ -71,7 +71,7 @@ func TestPlanMethodsOnChain(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, m := range []PlanMethod{MethodILP, MethodMinMaxDelay, MethodPathMajor, MethodTreeOrder, MethodGreedy} {
+	for _, m := range []PlanMethod{MethodILP, MethodMinMaxDelay, MethodPathMajor, MethodTreeOrder, MethodGreedy, MethodPartitioned} {
 		t.Run(m.String(), func(t *testing.T) {
 			plan, err := sys.PlanVoIP(fs, m, voip.G711())
 			if err != nil {

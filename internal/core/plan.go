@@ -7,6 +7,7 @@ import (
 
 	"wimesh/internal/mac/tdmaemu"
 	"wimesh/internal/milp"
+	"wimesh/internal/partition"
 	"wimesh/internal/schedule"
 	"wimesh/internal/tdma"
 	"wimesh/internal/topology"
@@ -32,6 +33,11 @@ const (
 	MethodTreeOrder
 	// MethodGreedy is the delay-oblivious first-fit coloring baseline.
 	MethodGreedy
+	// MethodPartitioned cuts the mesh into interference zones, solves the
+	// per-zone ILPs concurrently and stitches the results — the city-scale
+	// path (see internal/partition). Throughput demands are met exactly;
+	// delay bounds only steer the in-zone solves.
+	MethodPartitioned
 )
 
 func (m PlanMethod) String() string {
@@ -46,6 +52,8 @@ func (m PlanMethod) String() string {
 		return "tree-order"
 	case MethodGreedy:
 		return "greedy"
+	case MethodPartitioned:
+		return "partitioned"
 	default:
 		return fmt.Sprintf("PlanMethod(%d)", int(m))
 	}
@@ -61,7 +69,8 @@ type Plan struct {
 	// MaxSchedulingDelay is the largest end-to-end scheduling delay over
 	// the planned flows (excludes the initial up-to-one-frame wait).
 	MaxSchedulingDelay time.Duration
-	// ILPsSolved counts integer programs solved (MethodILP).
+	// ILPsSolved counts integer programs solved (MethodILP,
+	// MethodPartitioned).
 	ILPsSolved int
 }
 
@@ -159,6 +168,15 @@ func (s *System) Plan(fs *topology.FlowSet, method PlanMethod, packetBytes int) 
 			return nil, fmt.Errorf("core: plan %v: %w", method, err)
 		}
 		plan.Schedule, plan.WindowSlots = sched, schedule.GreedyLength(sched)
+	case MethodPartitioned:
+		res, err := partition.MinSlots(p, s.Frame, partition.Options{
+			ZoneSize: s.ZoneSize,
+			MILP:     DefaultMILPOptions(),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: plan %v: %w", method, err)
+		}
+		plan.Schedule, plan.WindowSlots, plan.ILPsSolved = res.Schedule, res.WindowSlots, res.ILPsSolved
 	default:
 		return nil, fmt.Errorf("core: unknown plan method %d", int(method))
 	}

@@ -117,9 +117,10 @@ var registry = []struct {
 	{"R15", R15RoutingMetric},
 	{"R16", R16ConflictModel},
 	{"R17", R17FrameDuration},
+	{"R18", R18PartitionedScale},
 }
 
-// IDs returns the experiment identifiers in canonical order (R1..R17).
+// IDs returns the experiment identifiers in canonical order (R1..R18).
 func IDs() []string {
 	out := make([]string, len(registry))
 	for i, g := range registry {
@@ -150,5 +151,6 @@ func ByID(id string) (*Table, error) {
 			return g.fn()
 		}
 	}
-	return nil, fmt.Errorf("experiments: unknown id %q (want R1..R17)", id)
+	return nil, fmt.Errorf("experiments: unknown id %q (want R1..%s)",
+		id, registry[len(registry)-1].name)
 }

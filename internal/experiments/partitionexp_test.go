@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+// TestScaleSmoke is the reduced R18 the `make scale-smoke` target runs
+// under the race detector: a 200-node city slice through the full
+// partitioned pipeline (generate, admit, decompose, zone ILPs, stitch).
+func TestScaleSmoke(t *testing.T) {
+	tab, err := r18Table("R18S", []r18Point{
+		{nodes: 200, flows: 1000, zoneSizes: []float64{0, 2 * r18CommRange}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		admitted, err := strconv.Atoi(row[3])
+		if err != nil || admitted <= 0 {
+			t.Errorf("admitted = %q, want positive int", row[3])
+		}
+		window, err := strconv.Atoi(row[7])
+		if err != nil || window <= 0 || window > 256 {
+			t.Errorf("window = %q, want 1..256", row[7])
+		}
+		zones, err := strconv.Atoi(row[5])
+		if err != nil || zones < 2 {
+			t.Errorf("zones = %q, want >= 2", row[5])
+		}
+	}
+	// The two zone sizes must agree on everything the decomposition does
+	// not change: same topology, same admitted demand.
+	if tab.Rows[0][3] != tab.Rows[1][3] || tab.Rows[0][1] != tab.Rows[1][1] {
+		t.Errorf("rows disagree on admitted/links: %v vs %v", tab.Rows[0], tab.Rows[1])
+	}
+}

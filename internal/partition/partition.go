@@ -1,0 +1,740 @@
+// Package partition scales the exact TDMA planner past paper-size meshes by
+// spatial decomposition. Interference is geometrically local, so the conflict
+// graph of a large mesh decomposes into near-independent zones: the package
+// cuts the topology into square interference zones from the node positions,
+// solves each zone's minimum-window scheduling ILP independently (and
+// concurrently, on a deterministic worker pool), and stitches the per-zone
+// schedules into one global conflict-free frame.
+//
+// The stitch is a deterministic list schedule seeded by the zone solutions:
+// links are merged in ascending zone-local start order and each is placed at
+// its earliest conflict-free interval under the full conflict graph. Within
+// one zone that order reproduces the zone's optimal structure (the sweep
+// never exceeds a zone's own window); across zones it interleaves the
+// locally optimal orderings, and the earliest-fit placement doubles as a
+// compaction pass that removes boundary slack. Halo links — links with at
+// least one cross-zone conflict, found by exact probes of the conflict
+// graph — that end up off their zone-local slot are counted as repairs by
+// the outer coordination pass.
+//
+// The result is bit-identical for any worker count: the per-zone solves are
+// pure functions of their subproblem (the MILP worker pool is itself
+// deterministic) and the stitch consumes them in zone order.
+package partition
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"time"
+
+	"wimesh/internal/conflict"
+	"wimesh/internal/milp"
+	"wimesh/internal/obs"
+	"wimesh/internal/schedule"
+	"wimesh/internal/tdma"
+	"wimesh/internal/topology"
+)
+
+// Package errors.
+var (
+	// ErrBadZone reports invalid decomposition parameters.
+	ErrBadZone = errors.New("partition: bad zone parameters")
+	// ErrInfeasible reports that a zone subproblem or the stitched frame
+	// cannot fit the demands.
+	ErrInfeasible = errors.New("partition: infeasible")
+)
+
+// DefaultMaxZonePairs is the zone-ILP size gate used when
+// Options.MaxZonePairs is zero: zones whose subproblem has more conflicting
+// active-link pairs (= binary ordering variables) skip the exact search and
+// are scheduled by the greedy coloring. The threshold is calibrated to where
+// the branch-and-bound stops paying for itself: beyond a couple hundred
+// ordering variables a saturated zone exhausts any node budget without a
+// feasible incumbent (burning seconds per zone), while the greedy coloring
+// finishes in milliseconds. At city scale a dense zone can reach thousands
+// of pairs, where even the root LP relaxation is slower than colouring the
+// whole zone.
+const DefaultMaxZonePairs = 150
+
+// Options configures the partitioned solver.
+type Options struct {
+	// ZoneSize is the edge length of the square zones in meters. Zero
+	// selects an automatic size of three times the longest active link, so
+	// a zone spans several hops and two-hop interference rarely reaches
+	// beyond the neighbouring zone.
+	ZoneSize float64
+	// Workers is the number of zone ILPs solved concurrently (0 =
+	// GOMAXPROCS). The stitched schedule is bit-identical for any value.
+	Workers int
+	// MaxZonePairs caps the size of zone ILPs. A zone whose subproblem has
+	// more conflicting active-link pairs than this — each pair is one
+	// binary ordering variable in the formulation, so the count is the
+	// model size — skips the exact search and goes straight to the greedy
+	// coloring. Zero selects DefaultMaxZonePairs; negative disables the
+	// gate. The gate depends only on the subproblem, so it is
+	// deterministic.
+	MaxZonePairs int
+	// MILP bounds each per-zone branch-and-bound search. A zone that
+	// exhausts the budget (milp.ErrLimit) falls back to the greedy coloring
+	// for that zone instead of failing the whole solve; MaxNodes defaults
+	// to 100k per zone.
+	MILP milp.Options
+}
+
+// Zone is one spatial cell of a decomposition, holding the active links
+// whose transmitter lies in the cell.
+type Zone struct {
+	ID       int
+	Col, Row int
+	// Links are the zone's active links, ascending. Interior links conflict
+	// only with links of the same zone; Halo links have at least one
+	// conflict in another zone.
+	Links    []topology.LinkID
+	Interior []topology.LinkID
+	Halo     []topology.LinkID
+}
+
+// Decomposition is a spatial cut of a scheduling problem into zones.
+type Decomposition struct {
+	ZoneSize   float64
+	Cols, Rows int
+	// Zones holds the non-empty zones in row-major cell order.
+	Zones []Zone
+	// zoneOf maps each dense link ID to its index in Zones, -1 for links
+	// with no demand.
+	zoneOf []int
+}
+
+// ZoneOf returns the index in Zones of the zone owning link l, or -1 when
+// the link carries no demand.
+func (d *Decomposition) ZoneOf(l topology.LinkID) int {
+	if l < 0 || int(l) >= len(d.zoneOf) {
+		return -1
+	}
+	return d.zoneOf[l]
+}
+
+// NumHalo returns the total number of halo links across all zones.
+func (d *Decomposition) NumHalo() int {
+	n := 0
+	for i := range d.Zones {
+		n += len(d.Zones[i].Halo)
+	}
+	return n
+}
+
+// Decompose cuts the problem's active links into square zones of zoneSize
+// meters (0 = automatic, see Options.ZoneSize) keyed by the transmitter
+// position, and classifies each link as interior or halo by probing the
+// conflict graph: a link is halo iff it conflicts with an active link owned
+// by another zone. The classification is exact — it uses the same conflict
+// graph the schedule must satisfy, not a distance heuristic.
+func Decompose(p *schedule.Problem, zoneSize float64) (*Decomposition, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	net := p.Graph.Network()
+	active := p.ActiveLinks()
+	if zoneSize < 0 {
+		return nil, fmt.Errorf("%w: negative zone size %g", ErrBadZone, zoneSize)
+	}
+	if zoneSize == 0 {
+		zoneSize = autoZoneSize(net, active)
+	}
+	// Bounding box over the transmitters of active links.
+	minX, minY := math.Inf(1), math.Inf(1)
+	txOf := make([]topology.Node, len(active))
+	for i, l := range active {
+		lk, err := net.Link(l)
+		if err != nil {
+			return nil, err
+		}
+		nd, err := net.Node(lk.From)
+		if err != nil {
+			return nil, err
+		}
+		txOf[i] = nd
+		minX = math.Min(minX, nd.X)
+		minY = math.Min(minY, nd.Y)
+	}
+	d := &Decomposition{ZoneSize: zoneSize, zoneOf: make([]int, p.Graph.NumVertices())}
+	for i := range d.zoneOf {
+		d.zoneOf[i] = -1
+	}
+	if len(active) == 0 {
+		return d, nil
+	}
+	// Cell keys in row-major order; zones are the sorted distinct keys, so
+	// zone IDs are independent of link iteration order.
+	cellOf := make([]int, len(active))
+	maxCol, maxRow := 0, 0
+	for i := range active {
+		col := int((txOf[i].X - minX) / zoneSize)
+		row := int((txOf[i].Y - minY) / zoneSize)
+		if col > maxCol {
+			maxCol = col
+		}
+		if row > maxRow {
+			maxRow = row
+		}
+		cellOf[i] = col<<32 | row // packed; re-split below
+	}
+	d.Cols, d.Rows = maxCol+1, maxRow+1
+	keys := make([]int, 0, len(active))
+	seen := make(map[int]int) // packed cell -> zone index
+	for i := range active {
+		col, row := cellOf[i]>>32, cellOf[i]&0xffffffff
+		key := row*d.Cols + col
+		cellOf[i] = key
+		if _, ok := seen[key]; !ok {
+			seen[key] = -1
+			keys = append(keys, key)
+		}
+	}
+	sort.Ints(keys)
+	d.Zones = make([]Zone, len(keys))
+	for zi, key := range keys {
+		seen[key] = zi
+		d.Zones[zi] = Zone{ID: zi, Col: key % d.Cols, Row: key / d.Cols}
+	}
+	for i, l := range active {
+		zi := seen[cellOf[i]]
+		d.zoneOf[l] = zi
+		d.Zones[zi].Links = append(d.Zones[zi].Links, l)
+	}
+	// Halo classification: probe the conflict graph against active links of
+	// other zones only (conflicts with undemanded links cannot affect the
+	// schedule).
+	for zi := range d.Zones {
+		z := &d.Zones[zi]
+		for _, l := range z.Links {
+			halo := false
+			p.Graph.VisitNeighbors(l, func(nb topology.LinkID) bool {
+				if zo := d.zoneOf[nb]; zo >= 0 && zo != zi {
+					halo = true
+					return false
+				}
+				return true
+			})
+			if halo {
+				z.Halo = append(z.Halo, l)
+			} else {
+				z.Interior = append(z.Interior, l)
+			}
+		}
+	}
+	return d, nil
+}
+
+// autoZoneSize picks a zone edge from the topology: three times the longest
+// active link, floored at 1 m so degenerate co-located layouts still zone.
+func autoZoneSize(net *topology.Network, active []topology.LinkID) float64 {
+	longest := 0.0
+	for _, l := range active {
+		lk, err := net.Link(l)
+		if err != nil {
+			continue
+		}
+		if d, err := net.Distance(lk.From, lk.To); err == nil && d > longest {
+			longest = d
+		}
+	}
+	if longest <= 0 {
+		return 1
+	}
+	return 3 * longest
+}
+
+// Result is the outcome of a partitioned minimum-slots solve.
+type Result struct {
+	// Schedule is the stitched global conflict-free schedule.
+	Schedule *tdma.Schedule
+	// WindowSlots is the makespan of the stitched schedule.
+	WindowSlots int
+	// ZoneWindows holds each zone's locally optimal window, in zone order.
+	ZoneWindows []int
+	// Zones, InteriorLinks and HaloLinks describe the decomposition.
+	Zones         int
+	InteriorLinks int
+	HaloLinks     int
+	// Repairs counts halo links the coordination pass had to move off
+	// their zone-local slots to resolve a cross-zone conflict.
+	Repairs int
+	// ILPsSolved is the total number of integer programs solved across all
+	// zone window searches.
+	ILPsSolved int
+	// GreedyFallbacks counts zones scheduled by the greedy coloring, either
+	// because their branch-and-bound budget ran out or because the
+	// subproblem exceeded the MaxZonePairs size gate.
+	GreedyFallbacks int
+}
+
+// MinSlots is the partitioned counterpart of schedule.MinSlots: it
+// decomposes the problem into interference zones, finds each zone's minimum
+// window with the exact ILP search (concurrently across zones), and stitches
+// the zone schedules into one conflict-free frame. The stitched window is
+// near — but not provably equal to — the monolithic optimum; the
+// differential tests bound the gap on sizes both paths can solve.
+//
+// The partitioned path is a throughput planner: slot demands are met
+// exactly, but flow delay bounds (Problem.Flows with BoundSlots > 0) only
+// steer the zone solves of fully in-zone flows — the stitch re-packs slots
+// and does not re-check them. Use the monolithic MinSlots when delay bounds
+// must be guaranteed.
+//
+// The result is deterministic for any Options.Workers value.
+func MinSlots(p *schedule.Problem, cfg tdma.FrameConfig, opts Options) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.DataSlots != p.FrameSlots {
+		return nil, fmt.Errorf("%w: frame config has %d slots, problem says %d",
+			schedule.ErrBadDemand, cfg.DataSlots, p.FrameSlots)
+	}
+	dec, err := Decompose(p, opts.ZoneSize)
+	if err != nil {
+		return nil, err
+	}
+	reg := obs.Default()
+	var (
+		obsZones     = reg.Counter("partition.zones")
+		obsInterior  = reg.Counter("partition.links_interior")
+		obsHalo      = reg.Counter("partition.links_halo")
+		obsILPs      = reg.Counter("partition.zone_ilps")
+		obsFallbacks = reg.Counter("partition.greedy_fallbacks")
+		obsRepairs   = reg.Counter("partition.stitch_repairs")
+		obsSolves    = reg.Counter("partition.solves")
+		obsSolveMS   = reg.Histogram("partition.zone_solve_ms", 0, 1000, 100)
+	)
+
+	subs := make([]*schedule.Problem, len(dec.Zones))
+	for zi := range dec.Zones {
+		subs[zi] = zoneProblem(p, dec, zi)
+	}
+	milpOpts := opts.MILP
+	if milpOpts.MaxNodes == 0 {
+		milpOpts.MaxNodes = 100_000
+	}
+	// Zone ILPs run on their own pool; each zone's branch-and-bound stays
+	// sequential so concurrency lives where the parallelism is widest.
+	milpOpts.Workers = 1
+	maxPairs := opts.MaxZonePairs
+	if maxPairs == 0 {
+		maxPairs = DefaultMaxZonePairs
+	}
+
+	type zoneResult struct {
+		win    int
+		sched  *tdma.Schedule
+		solved int
+		greedy bool
+		err    error
+	}
+	results := make([]zoneResult, len(dec.Zones))
+	solveZone := func(zi int) {
+		start := time.Now()
+		if maxPairs > 0 && activePairs(subs[zi]) > maxPairs {
+			// The ILP would be too large to even relax profitably; colour
+			// the zone greedily without touching the exact search.
+			gs, gerr := schedule.Greedy(subs[zi], cfg)
+			if gerr != nil {
+				results[zi] = zoneResult{err: gerr}
+			} else {
+				results[zi] = zoneResult{win: schedule.GreedyLength(gs), sched: gs, greedy: true}
+			}
+			obsSolveMS.Observe(float64(time.Since(start).Milliseconds()))
+			return
+		}
+		win, sched, solved, err := schedule.MinSlots(subs[zi], cfg, milpOpts)
+		if err != nil && errors.Is(err, milp.ErrLimit) {
+			// Budget exhausted: the greedy coloring still yields a valid
+			// (if longer) zone schedule.
+			gs, gerr := schedule.Greedy(subs[zi], cfg)
+			if gerr == nil {
+				results[zi] = zoneResult{win: schedule.GreedyLength(gs), sched: gs,
+					solved: solved, greedy: true}
+				obsSolveMS.Observe(float64(time.Since(start).Milliseconds()))
+				return
+			}
+			err = gerr
+		}
+		results[zi] = zoneResult{win: win, sched: sched, solved: solved, err: err}
+		obsSolveMS.Observe(float64(time.Since(start).Milliseconds()))
+	}
+	forEachZone(len(dec.Zones), opts.Workers, solveZone)
+
+	res := &Result{
+		Zones:       len(dec.Zones),
+		ZoneWindows: make([]int, len(dec.Zones)),
+	}
+	for zi := range results {
+		if err := results[zi].err; err != nil {
+			z := &dec.Zones[zi]
+			if errors.Is(err, schedule.ErrInfeasible) {
+				return nil, fmt.Errorf("%w: zone %d (cell %d,%d; %d links): %v",
+					ErrInfeasible, zi, z.Col, z.Row, len(z.Links), err)
+			}
+			return nil, fmt.Errorf("partition: zone %d: %w", zi, err)
+		}
+		res.ZoneWindows[zi] = results[zi].win
+		res.ILPsSolved += results[zi].solved
+		if results[zi].greedy {
+			res.GreedyFallbacks++
+		}
+		res.InteriorLinks += len(dec.Zones[zi].Interior)
+		res.HaloLinks += len(dec.Zones[zi].Halo)
+	}
+
+	zoneScheds := make([]*tdma.Schedule, len(results))
+	for zi := range results {
+		zoneScheds[zi] = results[zi].sched
+	}
+	sched, repairs, err := stitch(p, dec, zoneScheds, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res.Schedule = sched
+	res.Repairs = repairs
+	res.WindowSlots = makespan(sched)
+
+	// Defensive verification, mirroring what the monolithic solvers do
+	// before returning: the stitched schedule must be conflict-free under
+	// the full conflict graph and meet every demand.
+	if err := sched.Validate(p.Graph); err != nil {
+		return nil, fmt.Errorf("partition: stitched schedule invalid: %w", err)
+	}
+	for l, d := range p.Demand {
+		if got := sched.LinkSlots(l); got < d {
+			return nil, fmt.Errorf("%w: stitched link %d got %d slots, demand %d",
+				ErrInfeasible, l, got, d)
+		}
+	}
+
+	obsSolves.Inc()
+	obsZones.Add(uint64(res.Zones))
+	obsInterior.Add(uint64(res.InteriorLinks))
+	obsHalo.Add(uint64(res.HaloLinks))
+	obsILPs.Add(uint64(res.ILPsSolved))
+	obsFallbacks.Add(uint64(res.GreedyFallbacks))
+	obsRepairs.Add(uint64(res.Repairs))
+	return res, nil
+}
+
+// zoneProblem restricts p to one zone: the zone's demands, plus the delay
+// requirements of flows whose full path stays in the zone.
+func zoneProblem(p *schedule.Problem, dec *Decomposition, zi int) *schedule.Problem {
+	z := &dec.Zones[zi]
+	demand := make(map[topology.LinkID]int, len(z.Links))
+	for _, l := range z.Links {
+		demand[l] = p.Demand[l]
+	}
+	var flows []schedule.FlowRequirement
+	for _, f := range p.Flows {
+		inside := len(f.Path) > 0
+		for _, l := range f.Path {
+			if dec.zoneOf[l] != zi {
+				inside = false
+				break
+			}
+		}
+		if inside {
+			flows = append(flows, f)
+		}
+	}
+	return &schedule.Problem{
+		Graph:      p.Graph,
+		Demand:     demand,
+		FrameSlots: p.FrameSlots,
+		Flows:      flows,
+	}
+}
+
+// activePairs counts conflicting pairs among a subproblem's demanded links —
+// exactly the binary ordering variables its ILP formulation would need, and
+// hence the model size the MaxZonePairs gate compares against.
+func activePairs(p *schedule.Problem) int {
+	n := 0
+	for l, d := range p.Demand {
+		if d <= 0 {
+			continue
+		}
+		p.Graph.VisitNeighbors(l, func(nb topology.LinkID) bool {
+			if nb > l && p.Demand[nb] > 0 {
+				n++
+			}
+			return true
+		})
+	}
+	return n
+}
+
+// forEachZone runs fn(0..n-1) on up to workers goroutines (0 = GOMAXPROCS).
+// Each index owns its result slot, so the outcome is order-independent.
+func forEachZone(n, workers int, fn func(int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	next := make(chan int)
+	done := make(chan struct{})
+	for g := 0; g < workers; g++ {
+		go func() {
+			for i := range next {
+				fn(i)
+			}
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	for g := 0; g < workers; g++ {
+		<-done
+	}
+}
+
+// placedSlots tracks, per link, the slot intervals fixed so far during the
+// stitch. Links are placed as one contiguous block each by both zone
+// generators, but the tracker accepts several intervals per link.
+type placedSlots struct {
+	ivals [][][2]int // link -> [start, end) intervals
+}
+
+func newPlacedSlots(numLinks int) *placedSlots {
+	return &placedSlots{ivals: make([][][2]int, numLinks)}
+}
+
+func (ps *placedSlots) add(l topology.LinkID, start, end int) {
+	ps.ivals[l] = append(ps.ivals[l], [2]int{start, end})
+}
+
+// conflictEnd returns the largest end slot among placed intervals of links
+// conflicting with l that overlap [start, start+d), or -1 when the interval
+// is free.
+func (ps *placedSlots) conflictEnd(g *conflict.Graph, l topology.LinkID, start, d int) int {
+	end := -1
+	g.VisitNeighbors(l, func(nb topology.LinkID) bool {
+		for _, iv := range ps.ivals[nb] {
+			if iv[0] < start+d && start < iv[1] && iv[1] > end {
+				end = iv[1]
+			}
+		}
+		return true
+	})
+	return end
+}
+
+// firstFit returns the earliest start at which l's d slots avoid every
+// placed conflicting interval, or -1 when no start fits within frameSlots.
+func (ps *placedSlots) firstFit(g *conflict.Graph, l topology.LinkID, d, frameSlots int) int {
+	start := 0
+	for start+d <= frameSlots {
+		ce := ps.conflictEnd(g, l, start, d)
+		if ce < 0 {
+			return start
+		}
+		start = ce
+	}
+	return -1
+}
+
+// stitchEntry is one link awaiting global placement: its total slot demand
+// and its start slot in the zone-local schedule (the hint).
+type stitchEntry struct {
+	link   topology.LinkID
+	demand int
+	hint   int
+	halo   bool
+}
+
+// stitch merges the per-zone schedules into one global conflict-free
+// schedule. No single merge heuristic dominates — preserving zone slots
+// wins when zones are loosely coupled, global re-packing wins when most
+// links are halo — so the stitch runs a small deterministic portfolio of
+// first-fit placements (all linear sweeps, no integer programming) and
+// keeps the shortest:
+//
+//   - hint order: links sorted by zone-local start, each placed at its
+//     earliest conflict-free interval. Within one zone this reproduces the
+//     zone's structure (never exceeds the zone's own window — every link
+//     can fall back to its local slot, so earliest-fit only moves links
+//     earlier); across zones it interleaves the locally optimal orderings.
+//   - hint-preserving: interior links keep their zone slots verbatim
+//     (interior links of different zones never conflict), halo links are
+//     coordinated heaviest-first into their hint slot when still free and
+//     the earliest free interval otherwise, and a final compaction sweep
+//     re-packs everything in start order.
+//   - link-ID order: first-fit along the dense link numbering. Link IDs
+//     follow the construction order of the topology, which for linear and
+//     grid-like layouts approximates a perfect elimination order of the
+//     near-interval conflict graph, where greedy coloring is optimal.
+//   - heaviest-first: the classic first-fit-decreasing order of the greedy
+//     baseline.
+//
+// Ties go to the earliest candidate in the list above, so the choice is
+// deterministic. The repair count reports halo links whose slot in the
+// winning schedule differs from their zone-local hint: the links the outer
+// coordination pass had to move (or could pull earlier) because of
+// cross-zone contention.
+func stitch(p *schedule.Problem, dec *Decomposition, zoneScheds []*tdma.Schedule, cfg tdma.FrameConfig) (*tdma.Schedule, int, error) {
+	var entries []stitchEntry
+	for zi, zs := range zoneScheds {
+		z := &dec.Zones[zi]
+		isHalo := make(map[topology.LinkID]bool, len(z.Halo))
+		for _, l := range z.Halo {
+			isHalo[l] = true
+		}
+		for _, l := range z.Links {
+			as := zs.LinkAssignments(l)
+			if len(as) == 0 {
+				continue
+			}
+			entries = append(entries, stitchEntry{
+				link:   l,
+				demand: zs.LinkSlots(l),
+				hint:   as[0].Start,
+				halo:   isHalo[l],
+			})
+		}
+	}
+	byHint := func(a, b *stitchEntry) bool {
+		if a.hint != b.hint {
+			return a.hint < b.hint
+		}
+		if a.demand != b.demand {
+			return a.demand > b.demand
+		}
+		return a.link < b.link
+	}
+	byID := func(a, b *stitchEntry) bool { return a.link < b.link }
+	byDemand := func(a, b *stitchEntry) bool {
+		if a.demand != b.demand {
+			return a.demand > b.demand
+		}
+		return a.link < b.link
+	}
+	var best *tdma.Schedule
+	var firstErr error
+	consider := func(s *tdma.Schedule, err error) {
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			return
+		}
+		if best == nil || makespan(s) < makespan(best) {
+			best = s
+		}
+	}
+	consider(placeList(p, cfg, sortedEntries(entries, byHint)))
+	consider(placeHintPreserve(p, cfg, entries, byHint))
+	consider(placeList(p, cfg, sortedEntries(entries, byID)))
+	consider(placeList(p, cfg, sortedEntries(entries, byDemand)))
+	if best == nil {
+		return nil, 0, firstErr
+	}
+	repairs := 0
+	for _, e := range entries {
+		if e.halo && len(best.LinkAssignments(e.link)) > 0 &&
+			best.LinkAssignments(e.link)[0].Start != e.hint {
+			repairs++
+		}
+	}
+	return best, repairs, nil
+}
+
+// sortedEntries returns a copy of entries ordered by less.
+func sortedEntries(entries []stitchEntry, less func(a, b *stitchEntry) bool) []stitchEntry {
+	out := make([]stitchEntry, len(entries))
+	copy(out, entries)
+	sort.Slice(out, func(i, j int) bool { return less(&out[i], &out[j]) })
+	return out
+}
+
+// placeList first-fit places the entries in the given order: each link's
+// block goes to the earliest interval that avoids every conflicting block
+// placed before it.
+func placeList(p *schedule.Problem, cfg tdma.FrameConfig, entries []stitchEntry) (*tdma.Schedule, error) {
+	ps := newPlacedSlots(p.Graph.NumVertices())
+	out, err := tdma.NewSchedule(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		start := ps.firstFit(p.Graph, e.link, e.demand, p.FrameSlots)
+		if start < 0 {
+			return nil, fmt.Errorf(
+				"%w: link %d (demand %d) does not fit in %d slots after stitching",
+				ErrInfeasible, e.link, e.demand, p.FrameSlots)
+		}
+		if err := out.Add(tdma.Assignment{Link: e.link, Start: start, Length: e.demand}); err != nil {
+			return nil, err
+		}
+		ps.add(e.link, start, start+e.demand)
+	}
+	return out, nil
+}
+
+// placeHintPreserve keeps interior links on their zone-local slots,
+// coordinates halo links heaviest-first (hint slot when free, earliest fit
+// otherwise), then compacts the union with a start-order re-pack.
+func placeHintPreserve(p *schedule.Problem, cfg tdma.FrameConfig, entries []stitchEntry, byHint func(a, b *stitchEntry) bool) (*tdma.Schedule, error) {
+	ps := newPlacedSlots(p.Graph.NumVertices())
+	placed := make([]stitchEntry, 0, len(entries))
+	var halos []stitchEntry
+	for _, e := range entries {
+		if e.halo {
+			halos = append(halos, e)
+			continue
+		}
+		ps.add(e.link, e.hint, e.hint+e.demand)
+		placed = append(placed, e)
+	}
+	sort.Slice(halos, func(i, j int) bool {
+		if halos[i].demand != halos[j].demand {
+			return halos[i].demand > halos[j].demand
+		}
+		return halos[i].link < halos[j].link
+	})
+	for _, h := range halos {
+		start := h.hint
+		if ps.conflictEnd(p.Graph, h.link, start, h.demand) >= 0 {
+			start = ps.firstFit(p.Graph, h.link, h.demand, p.FrameSlots)
+			if start < 0 {
+				return nil, fmt.Errorf(
+					"%w: halo link %d (demand %d) does not fit in %d slots",
+					ErrInfeasible, h.link, h.demand, p.FrameSlots)
+			}
+		}
+		ps.add(h.link, start, start+h.demand)
+		h.hint = start
+		placed = append(placed, h)
+	}
+	// Compaction: re-pack the union in start order (the hints now hold the
+	// assigned starts). Every link can fall back to its current slot, so
+	// the sweep never grows the makespan.
+	return placeList(p, cfg, sortedEntries(placed, byHint))
+}
+
+// makespan returns the last used slot + 1.
+func makespan(s *tdma.Schedule) int {
+	end := 0
+	for _, a := range s.Assignments {
+		if a.End() > end {
+			end = a.End()
+		}
+	}
+	return end
+}

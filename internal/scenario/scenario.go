@@ -89,6 +89,8 @@ func (s Spec) BuildMethod() (core.PlanMethod, error) {
 		return core.MethodTreeOrder, nil
 	case "greedy":
 		return core.MethodGreedy, nil
+	case "partitioned":
+		return core.MethodPartitioned, nil
 	default:
 		return 0, fmt.Errorf("scenario: unknown method %q", s.Method)
 	}

@@ -14,6 +14,11 @@ const DefaultRateBps = 11e6
 // ErrBadParameter reports an invalid generator parameter.
 var ErrBadParameter = errors.New("topology: bad generator parameter")
 
+// ErrNoPlacement reports that RandomDisk exhausted its placement attempts
+// (including the densified retry rounds) without finding a connected
+// topology.
+var ErrNoPlacement = errors.New("topology: no connected placement")
+
 // Chain builds an n-node chain 0-1-2-...-(n-1) with bidirectional links and
 // node spacing of spacing meters. Node 0 is the gateway.
 func Chain(n int, spacing float64) (*Network, error) {
@@ -119,48 +124,96 @@ func Tree(arity, depth int) (*Network, error) {
 	return net, nil
 }
 
+// RandomDisk retry/densify policy: each round makes diskAttempts(n)
+// placement attempts; when a round stays disconnected, the next round draws
+// a fresh seed-derived RNG stream and widens the communication range by
+// densifyFactor, up to densifyRounds extra rounds (~2.3x the requested
+// range in total). Everything is a pure function of the arguments, so a
+// given (n, side, commRange, seed) always yields the same network.
+const (
+	densifyRounds = 6
+	densifyFactor = 1.15
+)
+
+// diskAttempts bounds the placements per round: the historical 1000 for
+// paper-scale meshes, scaled down for large n where each attempt costs
+// O(n^2) and connectivity is decided by density, not luck.
+func diskAttempts(n int) int {
+	if n <= 64 {
+		return 1000
+	}
+	if a := 64000 / n; a > 50 {
+		return a
+	}
+	return 50
+}
+
 // RandomDisk places n nodes uniformly at random in a side x side square and
-// connects every pair within commRange with bidirectional links. It retries
-// until the topology is connected (up to 1000 placements). The node closest
-// to the center is the gateway. The generator is deterministic for a given
-// seed.
+// connects every pair within commRange with bidirectional links, retrying
+// until the topology is connected. When every attempt at the requested
+// density stays disconnected (sparse parameters), it densifies
+// deterministically: further seed-derived rounds widen the communication
+// range by 15% per round, up to ~2.3x the requested range, before giving up
+// with an error wrapping ErrNoPlacement. The node closest to the center is
+// the gateway. The generator is deterministic for a given seed.
 func RandomDisk(n int, side, commRange float64, seed int64) (*Network, error) {
 	if n < 2 || side <= 0 || commRange <= 0 {
 		return nil, fmt.Errorf("random disk n=%d side=%g range=%g: %w", n, side, commRange, ErrBadParameter)
 	}
-	rng := rand.New(rand.NewSource(seed))
-	for attempt := 0; attempt < 1000; attempt++ {
-		net := NewNetwork()
-		for i := 0; i < n; i++ {
-			net.AddNode(rng.Float64()*side, rng.Float64()*side)
+	attempts := diskAttempts(n)
+	r := commRange
+	for round := 0; round <= densifyRounds; round++ {
+		// Round 0 replays the historical single-round stream (seed alone),
+		// keeping every pre-densify caller byte-identical; later rounds
+		// derive fresh streams from (seed, round).
+		rng := rand.New(rand.NewSource(seed + int64(round)*0x9E3779B9))
+		for attempt := 0; attempt < attempts; attempt++ {
+			net, err := placeDisk(rng, n, side, r)
+			if err != nil {
+				return nil, err
+			}
+			if net != nil {
+				return net, nil
+			}
 		}
-		for i := 0; i < n; i++ {
-			for j := i + 1; j < n; j++ {
-				d, err := net.Distance(NodeID(i), NodeID(j))
-				if err != nil {
+		r *= densifyFactor
+	}
+	return nil, fmt.Errorf("%w after %d attempts over %d rounds (n=%d side=%g range=%g, densified to %g)",
+		ErrNoPlacement, attempts*(densifyRounds+1), densifyRounds+1, n, side, commRange, r/densifyFactor)
+}
+
+// placeDisk makes one placement attempt at the given range and returns the
+// gatewayed network, or (nil, nil) when the placement is disconnected.
+func placeDisk(rng *rand.Rand, n int, side, commRange float64) (*Network, error) {
+	net := NewNetwork()
+	for i := 0; i < n; i++ {
+		net.AddNode(rng.Float64()*side, rng.Float64()*side)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d, err := net.Distance(NodeID(i), NodeID(j))
+			if err != nil {
+				return nil, err
+			}
+			if d <= commRange {
+				if _, _, err := net.AddBidirectional(NodeID(i), NodeID(j), DefaultRateBps); err != nil {
 					return nil, err
 				}
-				if d <= commRange {
-					if _, _, err := net.AddBidirectional(NodeID(i), NodeID(j), DefaultRateBps); err != nil {
-						return nil, err
-					}
-				}
 			}
 		}
-		if !net.Connected() {
-			continue
-		}
-		best, bestDist := NodeID(0), math.Inf(1)
-		for _, nd := range net.Nodes() {
-			dx, dy := nd.X-side/2, nd.Y-side/2
-			if d := math.Hypot(dx, dy); d < bestDist {
-				best, bestDist = nd.ID, d
-			}
-		}
-		if err := net.SetGateway(best); err != nil {
-			return nil, err
-		}
-		return net, nil
 	}
-	return nil, fmt.Errorf("random disk: no connected placement found after 1000 attempts (n=%d side=%g range=%g)", n, side, commRange)
+	if !net.Connected() {
+		return nil, nil
+	}
+	best, bestDist := NodeID(0), math.Inf(1)
+	for _, nd := range net.Nodes() {
+		dx, dy := nd.X-side/2, nd.Y-side/2
+		if d := math.Hypot(dx, dy); d < bestDist {
+			best, bestDist = nd.ID, d
+		}
+	}
+	if err := net.SetGateway(best); err != nil {
+		return nil, err
+	}
+	return net, nil
 }

@@ -194,6 +194,67 @@ func TestRandomDiskDeterministicAndConnected(t *testing.T) {
 	}
 }
 
+// TestRandomDiskSparseDensifies pins the densify path: at these sparse
+// parameters no placement at the requested range is connected (the
+// historical single-round generator always failed here), so the generator
+// must widen the range deterministically and still return a connected mesh.
+func TestRandomDiskSparseDensifies(t *testing.T) {
+	const (
+		n    = 12
+		side = 1000.0
+		r    = 160.0
+		seed = 4
+	)
+	a, err := RandomDisk(n, side, r, seed)
+	if err != nil {
+		t.Fatalf("RandomDisk sparse: %v", err)
+	}
+	if !a.Connected() {
+		t.Error("densified disk not connected")
+	}
+	if a.NumNodes() != n {
+		t.Errorf("NumNodes = %d, want %d", a.NumNodes(), n)
+	}
+	// Densification must widen links beyond the requested range — at least
+	// one link longer than r proves the round-0 stream was exhausted.
+	longer := 0
+	for _, l := range a.Links() {
+		d, err := a.Distance(l.From, l.To)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d > r {
+			longer++
+		}
+	}
+	if longer == 0 {
+		t.Error("no link exceeds the requested range; densify round did not run")
+	}
+	// Same seed, same network: the retry rounds are seed-derived.
+	b, err := RandomDisk(n, side, r, seed)
+	if err != nil {
+		t.Fatalf("RandomDisk sparse (second call): %v", err)
+	}
+	if a.NumLinks() != b.NumLinks() {
+		t.Errorf("same seed produced different link counts: %d vs %d", a.NumLinks(), b.NumLinks())
+	}
+	for i := range a.Nodes() {
+		na, nb := a.Nodes()[i], b.Nodes()[i]
+		if na.X != nb.X || na.Y != nb.Y {
+			t.Fatalf("same seed produced different node %d position", i)
+		}
+	}
+}
+
+// TestRandomDiskNoPlacement: a range far too short for any densified round
+// must surface ErrNoPlacement, not hang or return a disconnected mesh.
+func TestRandomDiskNoPlacement(t *testing.T) {
+	_, err := RandomDisk(12, 10_000, 1, 3)
+	if !errors.Is(err, ErrNoPlacement) {
+		t.Fatalf("got %v, want ErrNoPlacement", err)
+	}
+}
+
 func TestShortestPathChain(t *testing.T) {
 	net, err := Chain(6, 100)
 	if err != nil {
