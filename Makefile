@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check differential lpdebug examples obs-allocs scale-smoke profile bench bench-full bench-json bench-compare clean
+.PHONY: all build test vet race check differential lpdebug examples obs-allocs scale-smoke admit-smoke profile bench bench-full bench-json bench-compare clean
 
 all: check
 
@@ -24,12 +24,14 @@ race:
 # oracle, warm-started branch-and-bound vs. cold, incremental window
 # mutation vs. fresh builds, analytic-screened capacity search vs. the
 # linear reference scan, partitioned zone scheduling vs. the monolithic
-# ILP (window within 10%, bit-identical at any worker count) — all under
-# the race detector.
+# ILP (window within 10%, bit-identical at any worker count), admission
+# engine verdicts vs. cold schedule.MinSlots re-plans — all under the race
+# detector.
 differential:
 	$(GO) test -race -count=1 -run 'TestDifferential|TestWorkersByteIdentical|TestScreenedSearchMatchesLinear|TestGallopSearchWorkers|TestAnalyticSearchMatchesLinear|TestAnalyticVsSimulated' \
 		./internal/sim ./internal/mac ./cmd/meshbench ./internal/core \
-		./internal/lp ./internal/milp ./internal/schedule ./internal/partition
+		./internal/lp ./internal/milp ./internal/schedule ./internal/partition \
+		./internal/admit
 
 # Re-run the solver packages with the lpdebug build tag: every simplex
 # terminates through an invariant check (basis consistency, B^-1 B = I,
@@ -66,7 +68,15 @@ scale-smoke:
 	$(GO) vet ./...
 	$(GO) test -race -count=1 -run TestScaleSmoke ./internal/experiments
 
-check: vet build race differential lpdebug examples obs-allocs
+# A reduced R19 (village grid + 200-node zoned city) through the full serving
+# pipeline — workload generation, three-tier admission, release churn,
+# compaction — under go vet and the race detector. The full sweep lives in
+# `meshbench -only R19`.
+admit-smoke:
+	$(GO) vet ./...
+	$(GO) test -race -count=1 -run TestAdmitSmoke ./internal/experiments
+
+check: vet build race differential lpdebug examples obs-allocs admit-smoke
 
 # CPU+heap profile of the scheduler-bound experiments (see README
 # "Performance" for reading the output).
@@ -91,8 +101,9 @@ bench-json:
 	$(GO) run ./cmd/meshbench -workers 1 -json BENCH_$$(date +%F).json
 
 # Re-run the experiments and compare tables + wall clock against the newest
-# committed BENCH_<date>.json: any table cell change (outside R7's host
-# wall-clock columns) or a >20% wall-clock regression fails the target.
+# committed BENCH_<date>.json: any table cell change (outside the
+# wall-clock-dependent columns of R7, R18 and R19 — R19's time-budgeted
+# verdict split included) or a >20% wall-clock regression fails the target.
 bench-compare:
 	$(GO) run ./cmd/meshbench -workers 1 -json /tmp/bench-compare.json > /dev/null
 	$(GO) run ./cmd/benchcompare $(lastword $(sort $(wildcard BENCH_*.json))) /tmp/bench-compare.json

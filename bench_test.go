@@ -521,6 +521,19 @@ func BenchmarkR18PartitionedScale(b *testing.B) {
 	b.ReportMetric(metric(last, 4, 3), "flows/1000nodes")
 }
 
+func BenchmarkR19AdmissionServing(b *testing.B) {
+	var last *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.R19AdmissionServing()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	b.ReportMetric(metric(last, 0, 9), "adm/s-village")
+	b.ReportMetric(metric(last, 2, 4), "admitted/1000nodes")
+}
+
 // BenchmarkKernelAfterStep measures the kernel's schedule+execute hot path;
 // steady state must be allocation-free (slab + free list + value heap).
 func BenchmarkKernelAfterStep(b *testing.B) {

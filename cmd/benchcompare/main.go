@@ -9,11 +9,15 @@
 //	benchcompare -threshold 0.5 old.json new.json
 //
 // Experiments in this repository are deterministic simulations, so any cell
-// difference is a correctness change — except cells that measure host wall
-// clock (the scheduler timing columns of R7 and R18's solve column), which
-// vary run to run and are skipped via -volatile. Wall-clock regressions are
-// flagged only past both a relative threshold and an absolute floor, so the
-// sub-millisecond experiments don't trip the check on scheduler jitter.
+// difference is a correctness change — except cells that depend on host wall
+// clock (the scheduler timing columns of R7, R18's solve column, and R19's
+// throughput, latency quantiles, and verdict/tier split: R19's admission
+// solves run under a wall-clock budget, so borderline verdicts flip run to
+// run), which are skipped via -volatile. Both halves of a -volatile entry accept
+// path.Match globs, so one entry like R19:*latency* can cover a family of
+// columns. Wall-clock regressions are flagged only past both a relative
+// threshold and an absolute floor, so the sub-millisecond experiments don't
+// trip the check on scheduler jitter.
 //
 // The report's top-level "generated" timestamp is likewise exempt from the
 // comparison: it records when the run happened, not what it computed, so two
@@ -34,6 +38,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path"
 	"strings"
 )
 
@@ -63,8 +68,9 @@ func run(args []string, out io.Writer) error {
 	var (
 		threshold = fs.Float64("threshold", 0.20, "flag wall-clock regressions beyond this fraction (0.20 = 20% slower)")
 		minDelta  = fs.Float64("mindelta", 5, "ignore wall-clock regressions smaller than this many milliseconds")
-		volatile  = fs.String("volatile", "R7:ILP search,R7:order+BF,R7:greedy,R18:wall ms",
-			"comma-separated ID:column cells that measure host wall clock and may differ")
+		volatile  = fs.String("volatile", "R7:ILP search,R7:order+BF,R7:greedy,R18:wall ms,"+
+			"R19:*latency*,R19:adm/s,R19:admitted,R19:rejected,R19:fastpath,R19:warm,R19:cold",
+			"comma-separated ID:column cells that depend on host wall clock and may differ; both halves accept path.Match globs")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -148,10 +154,18 @@ func load(path string) (*report, error) {
 	return &r, nil
 }
 
-// parseVolatile turns "R7:ILP search,R7:greedy" into a per-experiment set of
-// column names whose cells are excluded from the byte-identity check.
-func parseVolatile(spec string) (map[string]map[string]bool, error) {
-	skip := make(map[string]map[string]bool)
+// volatilePat is one -volatile entry: path.Match patterns for the experiment
+// ID and the column name (a pattern without metacharacters is an exact match).
+type volatilePat struct {
+	id, col string
+}
+
+// parseVolatile turns "R7:ILP search,R19:*latency*" into patterns whose
+// matching cells are excluded from the byte-identity check. Patterns are
+// validated eagerly so a malformed glob fails the run instead of silently
+// never matching.
+func parseVolatile(spec string) ([]volatilePat, error) {
+	var pats []volatilePat
 	for _, ent := range strings.Split(spec, ",") {
 		if ent = strings.TrimSpace(ent); ent == "" {
 			continue
@@ -160,17 +174,31 @@ func parseVolatile(spec string) (map[string]map[string]bool, error) {
 		if !ok || id == "" || col == "" {
 			return nil, fmt.Errorf("-volatile: want ID:column, got %q", ent)
 		}
-		if skip[id] == nil {
-			skip[id] = make(map[string]bool)
+		for _, p := range []string{id, col} {
+			if _, err := path.Match(p, ""); err != nil {
+				return nil, fmt.Errorf("-volatile: bad pattern %q in %q: %w", p, ent, err)
+			}
 		}
-		skip[id][col] = true
+		pats = append(pats, volatilePat{id: id, col: col})
 	}
-	return skip, nil
+	return pats, nil
+}
+
+// isVolatile reports whether any pattern covers the (experiment, column) cell.
+func isVolatile(pats []volatilePat, id, col string) bool {
+	for _, p := range pats {
+		idOK, _ := path.Match(p.id, id)
+		colOK, _ := path.Match(p.col, col)
+		if idOK && colOK {
+			return true
+		}
+	}
+	return false
 }
 
 // diffTables reports every cell where the two runs of one experiment
 // disagree, excluding the experiment's volatile columns.
-func diffTables(o, n *experiment, skip map[string]map[string]bool) []string {
+func diffTables(o, n *experiment, skip []volatilePat) []string {
 	var problems []string
 	if !equalStrings(o.Header, n.Header) {
 		return []string{fmt.Sprintf("%s: header changed: %v -> %v", o.ID, o.Header, n.Header)}
@@ -178,7 +206,6 @@ func diffTables(o, n *experiment, skip map[string]map[string]bool) []string {
 	if len(o.Rows) != len(n.Rows) {
 		return []string{fmt.Sprintf("%s: row count changed: %d -> %d", o.ID, len(o.Rows), len(n.Rows))}
 	}
-	volatileCols := skip[o.ID]
 	for r := range o.Rows {
 		if len(o.Rows[r]) != len(n.Rows[r]) {
 			problems = append(problems, fmt.Sprintf("%s row %d: cell count changed", o.ID, r))
@@ -188,7 +215,7 @@ func diffTables(o, n *experiment, skip map[string]map[string]bool) []string {
 			if o.Rows[r][c] == n.Rows[r][c] {
 				continue
 			}
-			if c < len(o.Header) && volatileCols[o.Header[c]] {
+			if c < len(o.Header) && isVolatile(skip, o.ID, o.Header[c]) {
 				continue
 			}
 			col := fmt.Sprintf("col %d", c)

@@ -71,6 +71,55 @@ func TestVolatileCellsIgnored(t *testing.T) {
 	}
 }
 
+// TestVolatileGlobCellsIgnored checks the glob form of -volatile: the default
+// R19 entries must cover the wall-clock-dependent columns (throughput, latency
+// quantiles, and the verdict/tier split — R19's solves run under a time budget,
+// so borderline verdicts flip run to run) while the deterministic workload
+// columns stay byte-checked.
+func TestVolatileGlobCellsIgnored(t *testing.T) {
+	withR19 := func() *report {
+		r := baseReport()
+		r.Experiments = append(r.Experiments, experiment{
+			ID: "R19", WallMS: 40,
+			Header: []string{"nodes", "offered", "admitted", "adm/s", "p50 latency us", "p99 latency us"},
+			Rows:   [][]string{{"24", "400", "380", "1200", "55.1", "840.2"}}})
+		return r
+	}
+	old := writeReport(t, "old.json", withR19())
+	jittered := withR19()
+	jittered.Experiments[2].Rows[0][2] = "379"   // admitted: budget-sensitive verdict
+	jittered.Experiments[2].Rows[0][3] = "900"   // adm/s
+	jittered.Experiments[2].Rows[0][4] = "71.0"  // p50 latency us
+	jittered.Experiments[2].Rows[0][5] = "910.5" // p99 latency us
+	now := writeReport(t, "new.json", jittered)
+	var sb strings.Builder
+	if err := run([]string{old, now}, &sb); err != nil {
+		t.Fatalf("volatile R19 wall-clock cells flagged: %v", err)
+	}
+	// The offered load is a deterministic seeded workload: a change must
+	// still fail.
+	workload := withR19()
+	workload.Experiments[2].Rows[0][1] = "399"
+	now = writeReport(t, "new2.json", workload)
+	sb.Reset()
+	err := run([]string{old, now}, &sb)
+	if err == nil {
+		t.Fatal("changed R19 workload cell accepted")
+	}
+	if !strings.Contains(err.Error(), `"400" -> "399"`) {
+		t.Errorf("error does not name the changed cell: %v", err)
+	}
+}
+
+func TestBadVolatilePatternRejected(t *testing.T) {
+	old := writeReport(t, "old.json", baseReport())
+	now := writeReport(t, "new.json", baseReport())
+	var sb strings.Builder
+	if err := run([]string{"-volatile", `R19:[`, old, now}, &sb); err == nil {
+		t.Fatal("malformed glob pattern accepted")
+	}
+}
+
 func TestWallClockRegressionFails(t *testing.T) {
 	old := writeReport(t, "old.json", baseReport())
 	slow := baseReport()

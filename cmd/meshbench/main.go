@@ -1,5 +1,5 @@
 // Command meshbench regenerates the paper's evaluation: every reconstructed
-// experiment R1-R18 indexed in DESIGN.md, printed as aligned tables.
+// experiment R1-R19 indexed in DESIGN.md, printed as aligned tables.
 //
 // Usage:
 //
@@ -63,7 +63,12 @@ type jsonFailure struct {
 // every experiment run. Committing one per PR (BENCH_<date>.json) makes the
 // performance trajectory machine-readable PR-over-PR.
 type jsonReport struct {
-	Generated   string           `json:"generated"`
+	Generated string `json:"generated"`
+	// Workers is the effective concurrency the run used; WorkersNote records
+	// why it differs from the -workers flag (e.g. -metrics-out/-trace force a
+	// sequential run), so a recorded report is honest about its own settings.
+	Workers     int              `json:"workers"`
+	WorkersNote string           `json:"workers_note,omitempty"`
 	Experiments []jsonExperiment `json:"experiments"`
 	Failures    []jsonFailure    `json:"failures,omitempty"`
 }
@@ -108,10 +113,15 @@ func run(args []string, out io.Writer) error {
 	// byte-identical to an uninstrumented run either way, because observation
 	// never perturbs simulation state.
 	var (
-		reg *obs.Registry
-		tr  *obs.Trace
+		reg         *obs.Registry
+		tr          *obs.Trace
+		workersNote string
 	)
 	if *metricsOut != "" || *tracePath != "" {
+		if *workers != 1 {
+			workersNote = fmt.Sprintf("-workers %d overridden to 1: -metrics-out/-trace need sequential runs to attribute events per experiment", *workers)
+			fmt.Fprintln(os.Stderr, "meshbench:", workersNote)
+		}
 		*workers = 1
 		if *metricsOut != "" {
 			reg = obs.NewRegistry()
@@ -168,6 +178,7 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintln(out, "R16 interference-model ablation: planned window vs on-air violations")
 		fmt.Fprintln(out, "R17 frame-duration trade-off: capacity vs delay")
 		fmt.Fprintln(out, "R18 partitioned scheduling at city scale: window and wall clock vs zone size")
+		fmt.Fprintln(out, "R19 incremental admission serving: throughput and decision latency vs scale")
 		return nil
 	}
 	render := func(t *experiments.Table) error {
@@ -256,7 +267,11 @@ func run(args []string, out io.Writer) error {
 			runOne(i)
 		}
 	}
-	report := jsonReport{Generated: time.Now().UTC().Format(time.RFC3339)}
+	report := jsonReport{
+		Generated:   time.Now().UTC().Format(time.RFC3339),
+		Workers:     *workers,
+		WorkersNote: workersNote,
+	}
 	// One failed experiment must not discard the completed ones: render every
 	// success, record every failure, write the (partial) reports, and only
 	// then exit nonzero naming all the failures.

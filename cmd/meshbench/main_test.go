@@ -13,7 +13,7 @@ func TestRunList(t *testing.T) {
 	if err := run([]string{"-list"}, &sb); err != nil {
 		t.Fatalf("run -list: %v", err)
 	}
-	for _, id := range []string{"R1", "R4", "R8"} {
+	for _, id := range []string{"R1", "R4", "R8", "R19"} {
 		if !strings.Contains(sb.String(), id) {
 			t.Errorf("list missing %s", id)
 		}
@@ -173,6 +173,52 @@ func TestFailuresError(t *testing.T) {
 		if !strings.Contains(err.Error(), want) {
 			t.Errorf("error %q missing %q", err, want)
 		}
+	}
+}
+
+// TestWorkersOverrideRecorded checks that a -metrics-out run requested with
+// -workers > 1 records the forced sequential override in the JSON report, so
+// a committed report is honest about the concurrency it actually used.
+func TestWorkersOverrideRecorded(t *testing.T) {
+	dir := t.TempDir()
+	mPath := filepath.Join(dir, "metrics.json")
+	jPath := filepath.Join(dir, "bench.json")
+	var sb strings.Builder
+	if err := run([]string{"-only", "R5", "-workers", "4", "-metrics-out", mPath, "-json", jPath}, &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	buf, err := os.ReadFile(jPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report jsonReport
+	if err := json.Unmarshal(buf, &report); err != nil {
+		t.Fatal(err)
+	}
+	if report.Workers != 1 {
+		t.Errorf("workers = %d, want 1 (forced by -metrics-out)", report.Workers)
+	}
+	if !strings.Contains(report.WorkersNote, "overridden to 1") {
+		t.Errorf("workers_note = %q, want override explanation", report.WorkersNote)
+	}
+	// Without instrumentation flags the requested concurrency stands and no
+	// note is recorded.
+	jPath2 := filepath.Join(dir, "bench2.json")
+	sb.Reset()
+	if err := run([]string{"-only", "R5", "-workers", "4", "-json", jPath2}, &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	buf, err = os.ReadFile(jPath2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report2 jsonReport
+	if err := json.Unmarshal(buf, &report2); err != nil {
+		t.Fatal(err)
+	}
+	if report2.Workers != 4 || report2.WorkersNote != "" {
+		t.Errorf("uninstrumented run: workers = %d note = %q, want 4 and empty",
+			report2.Workers, report2.WorkersNote)
 	}
 }
 

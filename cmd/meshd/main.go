@@ -1,0 +1,156 @@
+// Command meshd is the serving daemon counterpart of cmd/meshbench's batch
+// planner: it keeps one incremental admission engine alive and feeds it a
+// deterministic Poisson call workload (exponential holding times, random
+// shortest-path routes), admitting and releasing calls one at a time through
+// warm-started schedule repair instead of re-planning the mesh per call.
+//
+// Usage:
+//
+//	meshd                                   # 24-node village, 200 calls
+//	meshd -nodes 96 -calls 1000 -rate 40    # bigger mesh, heavier load
+//	meshd -zoned -zone-size 400             # per-zone models (city mode)
+//	meshd -max-window 24                    # tighter admission (more rejects)
+//	meshd -metrics-out metrics.json         # dump admit.* counters
+//
+// The workload is derived purely from the flags (same flags, same calls,
+// byte-identical replay); only the latency numbers are host-dependent.
+// SIGINT/SIGTERM interrupt an in-flight solve, roll the schedule back and
+// exit cleanly with the statistics accumulated so far.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"wimesh/internal/admit"
+	"wimesh/internal/core"
+	"wimesh/internal/milp"
+	"wimesh/internal/obs"
+	"wimesh/internal/tdma"
+	"wimesh/internal/topology"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "meshd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("meshd", flag.ContinueOnError)
+	var (
+		nodes      = fs.Int("nodes", 24, "mesh size; nodes are laid out as a 4-wide grid at 100 m spacing")
+		calls      = fs.Int("calls", 200, "number of call arrivals to serve")
+		rate       = fs.Float64("rate", 20, "Poisson arrival rate in calls per second")
+		holding    = fs.Duration("holding", 500*time.Millisecond, "mean exponential call holding time")
+		slots      = fs.Int("slots-per-link", 1, "slot demand each call adds on every link of its route")
+		seed       = fs.Int64("seed", 42, "workload seed (same flags + seed = byte-identical replay)")
+		frameSlots = fs.Int("frame-slots", 64, "TDMA data slots per frame")
+		maxWindow  = fs.Int("max-window", 0, "serving window cap in slots (0 = whole frame); tighter caps reject more")
+		zoned      = fs.Bool("zoned", false, "use per-zone incremental models (city-scale mode)")
+		zoneSize   = fs.Float64("zone-size", 0, "zone edge in meters for -zoned (0 = automatic)")
+		budget     = fs.Int("budget", 200_000, "branch-and-bound node budget per admission solve")
+		timeLimit  = fs.Duration("time-limit", 250*time.Millisecond, "wall-clock cap per admission solve (0 = none); a blown budget falls back to a feasibility probe at the window cap, then rejects conservatively")
+		metricsOut = fs.String("metrics-out", "", "write the admit.* counter snapshot (JSON) to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *nodes < 8 {
+		return fmt.Errorf("-nodes %d: need at least 8", *nodes)
+	}
+	height := (*nodes + 3) / 4
+	topo, err := topology.Grid(4, height, 100)
+	if err != nil {
+		return err
+	}
+	frame := tdma.FrameConfig{
+		FrameDuration: time.Duration(*frameSlots) * 1250 * time.Microsecond,
+		DataSlots:     *frameSlots,
+	}
+	sys, err := core.NewSystem(topo, core.WithFrame(frame), core.WithZoneSize(*zoneSize))
+	if err != nil {
+		return err
+	}
+	reg := obs.NewRegistry()
+	sess, err := sys.NewSession(core.SessionConfig{
+		MaxWindow:     *maxWindow,
+		MILP:          milp.Options{MaxNodes: *budget, TimeLimit: *timeLimit, Workers: 1},
+		BudgetRejects: true,
+		Zoned:         *zoned,
+		Registry:      reg,
+	})
+	if err != nil {
+		return err
+	}
+	w, err := admit.Generate(admit.WorkloadConfig{
+		Topo: topo, Calls: *calls, ArrivalRate: *rate,
+		MeanHolding: *holding, SlotsPerLink: *slots, Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "mesh: %d nodes (4x%d grid), %d links, frame %d slots, window cap %d\n",
+		topo.NumNodes(), height, topo.NumLinks(), frame.DataSlots, windowCap(*maxWindow, frame.DataSlots))
+	fmt.Fprintf(out, "workload: %d calls, %.1f/s arrivals, %v mean holding (%.1f Erlang), seed %d\n",
+		*calls, *rate, *holding, w.Erlang, *seed)
+
+	st, serveErr := admit.Serve(ctx, sess.Engine(), w)
+	interrupted := errors.Is(serveErr, context.Canceled) || errors.Is(serveErr, context.DeadlineExceeded)
+	if serveErr != nil && !interrupted {
+		return serveErr
+	}
+	if interrupted {
+		fmt.Fprintf(out, "interrupted after %d offered calls; schedule rolled back cleanly\n", st.Offered)
+	}
+	admPerSec := 0.0
+	if st.Elapsed > 0 {
+		admPerSec = float64(st.Offered) / st.Elapsed.Seconds()
+	}
+	fmt.Fprintf(out, "served: %d offered, %d admitted, %d rejected in %v (%.0f decisions/s)\n",
+		st.Offered, st.Admitted, st.Rejected, st.Elapsed.Round(time.Millisecond), admPerSec)
+	fmt.Fprintf(out, "tiers: %d fastpath, %d warm, %d cold\n", st.Fast, st.Warm, st.Cold)
+	es := sess.Stats()
+	fmt.Fprintf(out, "engine: %d releases, %d compactions, %d memo hits, %d satisficed, %d budget rejects; %d live calls, window %d\n",
+		es.Releases, es.Compactions, es.MemoHits, es.Satisficed, es.BudgetRejected, sess.NumCalls(), sess.Window())
+	if st.Latency.Len() > 0 {
+		p50, err := st.Latency.Quantile(0.50)
+		if err != nil {
+			return err
+		}
+		p99, err := st.Latency.Quantile(0.99)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "decision latency: p50 %.1fus, p99 %.1fus\n", p50*1e6, p99*1e6)
+	}
+	if *metricsOut != "" {
+		buf, err := json.MarshalIndent(reg.Snapshot(), "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*metricsOut, append(buf, '\n'), 0o644); err != nil {
+			return fmt.Errorf("write metrics: %w", err)
+		}
+	}
+	return nil
+}
+
+// windowCap resolves the effective serving window for the banner.
+func windowCap(maxWindow, frameSlots int) int {
+	if maxWindow <= 0 || maxWindow > frameSlots {
+		return frameSlots
+	}
+	return maxWindow
+}

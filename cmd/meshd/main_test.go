@@ -1,0 +1,107 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSummary(t *testing.T) {
+	var sb strings.Builder
+	err := run(context.Background(), []string{
+		"-nodes", "16", "-calls", "40", "-rate", "50", "-holding", "100ms", "-max-window", "32",
+	}, &sb)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"mesh: 16 nodes (4x4 grid)",
+		"workload: 40 calls",
+		"served: 40 offered",
+		"tiers:",
+		"engine:",
+		"decision latency: p50",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunDeterministicWorkload checks the replay guarantee the doc comment
+// makes: the same flags print the same workload banner (the served/latency
+// lines are wall clock and may differ).
+func TestRunDeterministicWorkload(t *testing.T) {
+	banner := func() string {
+		var sb strings.Builder
+		if err := run(context.Background(), []string{
+			"-nodes", "12", "-calls", "30", "-rate", "50", "-holding", "80ms",
+		}, &sb); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		lines := strings.SplitN(sb.String(), "\n", 3)
+		if len(lines) < 2 {
+			t.Fatalf("short output:\n%s", sb.String())
+		}
+		return lines[0] + "\n" + lines[1]
+	}
+	if a, b := banner(), banner(); a != b {
+		t.Errorf("same flags, different workload banner:\n%s\n---\n%s", a, b)
+	}
+}
+
+// TestRunInterrupted checks the signal path: a cancelled context must end the
+// run cleanly (exit status 0) with the interruption reported, not as an error.
+func TestRunInterrupted(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var sb strings.Builder
+	err := run(ctx, []string{"-nodes", "16", "-calls", "200", "-max-window", "8"}, &sb)
+	if err != nil {
+		t.Fatalf("cancelled run errored: %v", err)
+	}
+	if !strings.Contains(sb.String(), "interrupted after") {
+		t.Errorf("output does not report the interruption:\n%s", sb.String())
+	}
+}
+
+func TestRunMetricsOut(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	var sb strings.Builder
+	err := run(context.Background(), []string{
+		"-nodes", "16", "-calls", "40", "-rate", "50", "-holding", "100ms",
+		"-max-window", "32", "-metrics-out", path,
+	}, &sb)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Counters map[string]uint64 `json:"counters"`
+	}
+	if err := json.Unmarshal(buf, &snap); err != nil {
+		t.Fatalf("metrics not valid JSON: %v", err)
+	}
+	if snap.Counters["admit.fastpath_hit"] == 0 {
+		t.Errorf("no admit.fastpath_hit in snapshot (counters: %v)", snap.Counters)
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-nodes", "4"},
+		{"-not-a-flag"},
+	} {
+		var sb strings.Builder
+		if err := run(context.Background(), args, &sb); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

@@ -1,0 +1,946 @@
+// Package admit is the long-lived admission-control engine: it holds the
+// live TDMA schedule of a serving mesh and answers a stream of Admit/Release
+// calls by incremental repair instead of from-scratch re-planning. Three
+// tiers, cheapest first:
+//
+//   - Fast: pure first-fit placement of the new flow's slots into the free
+//     space of the current schedule window, checked against a per-link
+//     interval index — O(conflict degree), no solver. Fill-in only: the
+//     window never grows on this tier, so every fastpath admit keeps the
+//     incumbent window exact.
+//   - Warm: re-solve of a persistent, mutation-driven ILP model
+//     (schedule.Incremental) hinted at the incumbent window — typically one
+//     integer program of a few dual pivots. The tier also keeps an exact
+//     memo of solved aggregate demand vectors: serving churn revisits the
+//     same states constantly (a call arrives, holds, departs, and the mesh
+//     is back where it was), and a revisit replays the remembered exact
+//     schedule and verdict without touching the solver at all.
+//   - Cold: the model's support set does not cover the new demand; rebuild
+//     it over the widened support and solve. Support only ever grows, so
+//     cold admits become rarer as the engine warms up.
+//
+// Rejections are always solver verdicts (the fast tier only admits), so the
+// engine's accept/reject answers match a cold schedule.MinSlots re-plan —
+// the differential tests pin this. In zoned mode (city scale) the engine
+// instead keeps one persistent model per spatial zone (internal/partition)
+// and re-solves only the zones an admission touches; zoned verdicts are
+// conservative, as for the partitioned planner.
+package admit
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"slices"
+	"sync"
+	"time"
+
+	"wimesh/internal/conflict"
+	"wimesh/internal/milp"
+	"wimesh/internal/obs"
+	"wimesh/internal/partition"
+	"wimesh/internal/schedule"
+	"wimesh/internal/tdma"
+	"wimesh/internal/topology"
+)
+
+// ErrUnknownFlow reports a Release of a flow ID the engine is not serving.
+var ErrUnknownFlow = errors.New("admit: unknown flow")
+
+// ErrBadFlow reports a malformed admission request.
+var ErrBadFlow = errors.New("admit: bad flow")
+
+// Tier identifies which repair tier decided an admission.
+type Tier int
+
+const (
+	// TierNone marks decisions that needed no tier: structurally impossible
+	// requests (per-link demand beyond the window cap) rejected up front.
+	TierNone Tier = iota
+	// TierFast is first-fit placement into the current window, no solver.
+	TierFast
+	// TierWarm is a re-solve of the persistent incremental ILP model.
+	TierWarm
+	// TierCold is a model rebuild (support growth) followed by a solve.
+	TierCold
+)
+
+func (t Tier) String() string {
+	switch t {
+	case TierFast:
+		return "fast"
+	case TierWarm:
+		return "warm"
+	case TierCold:
+		return "cold"
+	default:
+		return "none"
+	}
+}
+
+// FlowID names an admitted flow for later release.
+type FlowID string
+
+// Flow is an admission request: Slots[i] data slots per frame on link
+// Path[i]. A link appearing twice contributes the sum of its entries.
+type Flow struct {
+	ID    FlowID
+	Path  []topology.LinkID
+	Slots []int
+}
+
+// demand folds the flow into a per-link slot map.
+func (f Flow) demand() map[topology.LinkID]int {
+	d := make(map[topology.LinkID]int, len(f.Path))
+	for i, l := range f.Path {
+		d[l] += f.Slots[i]
+	}
+	return d
+}
+
+// Decision reports the outcome of one Admit call.
+type Decision struct {
+	Admitted bool
+	Tier     Tier
+	// Window is the schedule makespan in slots after the call.
+	Window int
+	// Solved and Pivots count the integer programs and simplex pivots the
+	// decision spent (zero on the fast tier).
+	Solved int
+	Pivots int
+	// Latency is the in-engine decision time.
+	Latency time.Duration
+}
+
+// Stats is a snapshot of the engine's lifetime tallies.
+type Stats struct {
+	Admitted, Rejected    uint64
+	Fast, Warm, Cold      uint64
+	Releases, Compactions uint64
+	ZoneGreedy            uint64
+	WarmPivots            uint64
+	// MemoHits counts warm admissions answered from the exact-solve memo.
+	MemoHits uint64
+	// Satisficed counts admissions decided by the satisficing fallback: the
+	// exact min-window search blew its budget and a single probe at the
+	// window cap found a feasible (not necessarily minimal) schedule.
+	Satisficed uint64
+	// BudgetRejected counts rejections issued because a solve exhausted its
+	// branch-and-bound budget — with Config.BudgetRejects, after the
+	// satisficing fallback also failed to decide in time.
+	BudgetRejected uint64
+}
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Graph is the link conflict graph; Frame the TDMA frame layout.
+	Graph *conflict.Graph
+	Frame tdma.FrameConfig
+	// MaxWindow caps the schedule makespan in slots (0 = all data slots).
+	// Admissions that cannot fit within it are rejected.
+	MaxWindow int
+	// MILP configures the branch-and-bound solves. Admit overrides
+	// Interrupt with the call context's Done channel.
+	MILP milp.Options
+	// BudgetRejects trades exactness for bounded decision latency when a
+	// solve exhausts its branch-and-bound budget (milp.ErrLimit with a live
+	// context). The blown exact search — almost always stuck in an
+	// infeasibility proof at the incumbent window — first falls back to a
+	// single feasibility probe at the window cap: admission needs *a*
+	// window within the cap, not the minimum, and the loose probe is cheap
+	// exactly where the tight proof is hard. A feasible witness admits the
+	// call with its window marked unproven; only if the fallback also blows
+	// its budget is the call rejected conservatively. Differential tests
+	// leave this off so a blown budget fails loudly.
+	BudgetRejects bool
+	// Zoned switches to per-zone incremental models over a spatial
+	// decomposition of ZoneSize meters (0 = automatic): city-scale mode.
+	Zoned    bool
+	ZoneSize float64
+	// MaxZonePairs gates zone ILP size as in internal/partition; larger
+	// zones fall back to greedy packing (0 = partition default).
+	MaxZonePairs int
+	// CompactEvery re-packs the schedule after that many releases to
+	// reclaim fragmented slots (0 = 64, negative = never).
+	CompactEvery int
+	// MemoSize bounds the exact-solve memo of the monolithic warm tier
+	// (0 = 256, negative = disabled). Entries are keyed by the full
+	// aggregate demand vector, so a hit is always exact.
+	MemoSize int
+	// Registry receives admit.* counters and the decision-latency
+	// histogram; nil disables metrics.
+	Registry *obs.Registry
+}
+
+const (
+	defaultCompactEvery = 64
+	defaultMemoSize     = 256
+)
+
+// memoEntry is one remembered exact verdict: the minimum window and a
+// witness schedule for a specific aggregate demand vector, or its proven
+// infeasibility.
+type memoEntry struct {
+	feasible bool
+	win      int
+	assigns  []tdma.Assignment
+}
+
+// Engine is the long-lived admission engine. All methods are safe for
+// concurrent use; admissions serialize on one internal lock (the schedule
+// and the persistent solver model are single live objects).
+type Engine struct {
+	cfg    Config
+	maxWin int
+
+	mu     sync.Mutex
+	sched  *tdma.Schedule
+	occ    [][][2]int // per-link [start,end) intervals, sorted by start
+	demand map[topology.LinkID]int
+	flows  map[FlowID]Flow
+	win    int
+	// Monolithic mode: one persistent model over a grow-only support set.
+	inc     *schedule.Incremental
+	support []topology.LinkID
+	// solverDirty is set by Release: the incumbent window is no longer a
+	// proven minimum, so warm solves may not use it as a lower bound.
+	solverDirty bool
+	releases    int
+	// Zoned mode: static decomposition over the full link set, one lazily
+	// built model per zone over that zone's grow-only demand support (a
+	// dense city zone can hold tens of thousands of conflicting link pairs,
+	// so a model over all zone links would be intractable; the links that
+	// ever carry demand are few).
+	dec         *partition.Decomposition
+	zoneInc     map[int]*schedule.Incremental
+	zoneSupport map[int][]topology.LinkID
+	// Exact-solve memo (monolithic mode): demand fingerprint -> verdict,
+	// FIFO-evicted at memoCap entries.
+	memo      map[string]memoEntry
+	memoOrder []string
+	memoCap   int
+
+	stats   Stats
+	scratch [][2]int
+
+	cFast, cWarm, cCold, cReject *obs.Counter
+	cRelease, cCompact           *obs.Counter
+	cZoneGreedy, cWarmPivots     *obs.Counter
+	cMemo, cSatisfice, cBudget   *obs.Counter
+	hDecision                    *obs.Histogram
+}
+
+// New builds an engine serving an empty schedule.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Graph == nil {
+		return nil, fmt.Errorf("%w: nil conflict graph", ErrBadFlow)
+	}
+	if err := cfg.Frame.Validate(); err != nil {
+		return nil, err
+	}
+	maxWin := cfg.MaxWindow
+	if maxWin <= 0 || maxWin > cfg.Frame.DataSlots {
+		maxWin = cfg.Frame.DataSlots
+	}
+	s, err := tdma.NewSchedule(cfg.Frame)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:    cfg,
+		maxWin: maxWin,
+		sched:  s,
+		occ:    make([][][2]int, cfg.Graph.NumVertices()),
+		demand: make(map[topology.LinkID]int),
+		flows:  make(map[FlowID]Flow),
+	}
+	e.memoCap = cfg.MemoSize
+	if e.memoCap == 0 {
+		e.memoCap = defaultMemoSize
+	}
+	if e.memoCap > 0 {
+		e.memo = make(map[string]memoEntry, e.memoCap)
+	}
+	if cfg.Zoned {
+		// Static zoning over the full link universe: decompose a synthetic
+		// all-active problem so every link has a zone for the engine's
+		// lifetime, whatever the demand pattern does.
+		synth := &schedule.Problem{
+			Graph:      cfg.Graph,
+			Demand:     make(map[topology.LinkID]int, cfg.Graph.NumVertices()),
+			FrameSlots: cfg.Frame.DataSlots,
+		}
+		for l := 0; l < cfg.Graph.NumVertices(); l++ {
+			synth.Demand[topology.LinkID(l)] = 1
+		}
+		dec, err := partition.Decompose(synth, cfg.ZoneSize)
+		if err != nil {
+			return nil, err
+		}
+		e.dec = dec
+		e.zoneInc = make(map[int]*schedule.Incremental, len(dec.Zones))
+		e.zoneSupport = make(map[int][]topology.LinkID, len(dec.Zones))
+	}
+	if r := cfg.Registry; r != nil {
+		e.cFast = r.Counter("admit.fastpath_hit")
+		e.cWarm = r.Counter("admit.warm_hit")
+		e.cCold = r.Counter("admit.cold_hit")
+		e.cReject = r.Counter("admit.reject")
+		e.cRelease = r.Counter("admit.release")
+		e.cCompact = r.Counter("admit.compact")
+		e.cZoneGreedy = r.Counter("admit.zone_greedy")
+		e.cWarmPivots = r.Counter("admit.warm_pivots")
+		e.cMemo = r.Counter("admit.memo_hit")
+		e.cSatisfice = r.Counter("admit.satisfice")
+		e.cBudget = r.Counter("admit.budget_reject")
+		e.hDecision = r.Histogram("admit.decision_us", 0, 100_000, 50)
+	}
+	return e, nil
+}
+
+// Window returns the current schedule makespan in slots.
+func (e *Engine) Window() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.win
+}
+
+// NumFlows returns the number of flows currently admitted.
+func (e *Engine) NumFlows() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.flows)
+}
+
+// Stats returns a snapshot of the lifetime tallies.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// Snapshot returns a copy of the live schedule.
+func (e *Engine) Snapshot() *tdma.Schedule {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	cp := &tdma.Schedule{Config: e.sched.Config,
+		Assignments: slices.Clone(e.sched.Assignments)}
+	cp.Invalidate()
+	return cp
+}
+
+func (f Flow) validate(numLinks int) error {
+	if f.ID == "" {
+		return fmt.Errorf("%w: empty flow ID", ErrBadFlow)
+	}
+	if len(f.Path) == 0 || len(f.Path) != len(f.Slots) {
+		return fmt.Errorf("%w: flow %s has %d links, %d slot counts",
+			ErrBadFlow, f.ID, len(f.Path), len(f.Slots))
+	}
+	for i, l := range f.Path {
+		if l < 0 || int(l) >= numLinks {
+			return fmt.Errorf("%w: flow %s link %d outside graph", ErrBadFlow, f.ID, l)
+		}
+		if f.Slots[i] <= 0 {
+			return fmt.Errorf("%w: flow %s slot count %d on link %d",
+				ErrBadFlow, f.ID, f.Slots[i], l)
+		}
+	}
+	return nil
+}
+
+// Admit decides one admission request. Rejections return Admitted=false
+// with a nil error; errors are reserved for malformed requests, solver
+// resource exhaustion, and context cancellation (ctx.Err() once the
+// in-flight solve has been interrupted and rolled back).
+func (e *Engine) Admit(ctx context.Context, f Flow) (Decision, error) {
+	start := time.Now()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	if err := f.validate(len(e.occ)); err != nil {
+		return Decision{}, err
+	}
+	if _, dup := e.flows[f.ID]; dup {
+		return Decision{}, fmt.Errorf("%w: flow %s already admitted", ErrBadFlow, f.ID)
+	}
+	delta := f.demand()
+	for l, d := range delta {
+		if e.demand[l]+d > e.maxWin {
+			// No window within the cap can carry this link's demand:
+			// structurally impossible, no solver needed.
+			return e.finish(start, Decision{Tier: TierNone}), nil
+		}
+	}
+
+	if pending := e.tryFastpath(delta); pending != nil {
+		for _, a := range pending {
+			if err := e.sched.Add(a); err != nil {
+				return Decision{}, err
+			}
+			e.occAdd(a.Link, a.Start, a.End())
+		}
+		for l, d := range delta {
+			e.demand[l] += d
+		}
+		e.flows[f.ID] = f
+		e.stats.Fast++
+		e.cFast.Inc()
+		return e.finish(start, Decision{Admitted: true, Tier: TierFast, Window: e.win}), nil
+	}
+
+	newDemand := make(map[topology.LinkID]int, len(e.demand)+len(delta))
+	for l, d := range e.demand {
+		newDemand[l] = d
+	}
+	for l, d := range delta {
+		newDemand[l] += d
+	}
+	opts := e.cfg.MILP
+	if ctx != nil {
+		opts.Interrupt = ctx.Done()
+	}
+
+	var (
+		dec Decision
+		err error
+	)
+	if e.cfg.Zoned {
+		dec, err = e.admitZoned(ctx, delta, newDemand, opts)
+	} else {
+		dec, err = e.admitMono(ctx, newDemand, opts)
+	}
+	if err != nil {
+		return Decision{}, err
+	}
+	if dec.Admitted {
+		e.demand = newDemand
+		e.flows[f.ID] = f
+		switch dec.Tier {
+		case TierWarm:
+			e.stats.Warm++
+			e.stats.WarmPivots += uint64(dec.Pivots)
+			e.cWarm.Inc()
+			e.cWarmPivots.Add(uint64(dec.Pivots))
+		case TierCold:
+			e.stats.Cold++
+			e.cCold.Inc()
+		}
+	}
+	return e.finish(start, dec), nil
+}
+
+// finish stamps the latency and the shared admit/reject tallies.
+func (e *Engine) finish(start time.Time, d Decision) Decision {
+	d.Latency = time.Since(start)
+	if d.Admitted {
+		e.stats.Admitted++
+	} else {
+		e.stats.Rejected++
+		e.cReject.Inc()
+	}
+	e.hDecision.Observe(float64(d.Latency.Microseconds()))
+	return d
+}
+
+// solverErr folds a solver failure into the engine's error contract:
+// infeasibility is a rejection (nil error), an interrupt surfaces the
+// context's error, budget exhaustion rejects conservatively when configured,
+// anything else passes through.
+func (e *Engine) solverErr(ctx context.Context, tier Tier, err error) (Decision, error) {
+	if errors.Is(err, schedule.ErrInfeasible) {
+		return Decision{Tier: tier, Window: e.win}, nil
+	}
+	if ctx != nil && ctx.Err() != nil && errors.Is(err, milp.ErrLimit) {
+		return Decision{}, ctx.Err()
+	}
+	if e.cfg.BudgetRejects && errors.Is(err, milp.ErrLimit) {
+		e.stats.BudgetRejected++
+		e.cBudget.Inc()
+		return Decision{Tier: tier, Window: e.win}, nil
+	}
+	return Decision{}, err
+}
+
+// minSlotsServing wraps Incremental.MinSlots with the satisficing fallback
+// of Config.BudgetRejects: when the exact search blows its budget under a
+// live context, probe the window cap once — lo = hint = maxWin makes it a
+// single feasibility check — and return that schedule with satisficed=true
+// (the window is then the probe schedule's makespan, feasible but not proven
+// minimal). Called with e.mu held.
+func (e *Engine) minSlotsServing(ctx context.Context, inc *schedule.Incremental, p *schedule.Problem, hint, lo int, opts milp.Options) (win int, s *tdma.Schedule, solved, pivots int, satisficed bool, err error) {
+	win, s, solved, pivots, err = inc.MinSlots(p, hint, lo, e.maxWin, opts)
+	if err == nil || !e.cfg.BudgetRejects || !errors.Is(err, milp.ErrLimit) ||
+		(ctx != nil && ctx.Err() != nil) {
+		return win, s, solved, pivots, false, err
+	}
+	_, s2, solved2, piv2, err2 := inc.MinSlots(p, e.maxWin, e.maxWin, e.maxWin, opts)
+	solved += solved2
+	pivots += piv2
+	if err2 != nil {
+		// ErrInfeasible here is still exact — nothing fits within the cap —
+		// and a second ErrLimit becomes the conservative budget rejection.
+		return 0, nil, solved, pivots, false, err2
+	}
+	e.stats.Satisficed++
+	e.cSatisfice.Inc()
+	return makespanOf(s2), s2, solved, pivots, true, nil
+}
+
+// admitMono is the monolithic solver tier: one persistent model over a
+// grow-only support set. Called with e.mu held.
+func (e *Engine) admitMono(ctx context.Context, newDemand map[topology.LinkID]int, opts milp.Options) (Decision, error) {
+	fp := fingerprint(newDemand)
+	if ent, ok := e.memo[fp]; ok {
+		e.stats.MemoHits++
+		e.cMemo.Inc()
+		if !ent.feasible {
+			return Decision{Tier: TierWarm, Window: e.win}, nil
+		}
+		e.sched = &tdma.Schedule{Config: e.cfg.Frame, Assignments: slices.Clone(ent.assigns)}
+		e.sched.Invalidate()
+		e.rebuildOcc()
+		e.win = ent.win
+		e.solverDirty = false
+		return Decision{Admitted: true, Tier: TierWarm, Window: ent.win}, nil
+	}
+	tier := TierWarm
+	if e.inc == nil || !e.inc.Supports(newDemand) {
+		support := e.support
+		for l, d := range newDemand {
+			if d > 0 && !slices.Contains(support, l) {
+				support = append(support, l)
+			}
+		}
+		inc, err := schedule.NewIncremental(e.cfg.Graph, support, e.cfg.Frame)
+		if err != nil {
+			return Decision{}, err
+		}
+		slices.Sort(support)
+		e.inc, e.support = inc, support
+		tier = TierCold
+	}
+	lo := 0
+	if tier == TierWarm && !e.solverDirty {
+		// Demand has only grown since the last exact solve, so its window
+		// is a sound lower bound; with the hint equal to it, the common
+		// case is a single warm probe.
+		lo = e.win
+	}
+	p := &schedule.Problem{Graph: e.cfg.Graph, Demand: newDemand, FrameSlots: e.cfg.Frame.DataSlots}
+	win, s, solved, pivots, sat, err := e.minSlotsServing(ctx, e.inc, p, e.win, lo, opts)
+	if err != nil {
+		if errors.Is(err, schedule.ErrInfeasible) {
+			e.memoStore(fp, memoEntry{})
+		}
+		return e.solverErr(ctx, tier, err)
+	}
+	if !sat {
+		// Satisficed windows are feasible but not proven minimal, so they
+		// never enter the exact memo.
+		e.memoStore(fp, memoEntry{feasible: true, win: win, assigns: slices.Clone(s.Assignments)})
+	}
+	e.sched = s
+	e.rebuildOcc()
+	e.win = win
+	e.solverDirty = sat
+	return Decision{Admitted: true, Tier: tier, Window: win, Solved: solved, Pivots: pivots}, nil
+}
+
+// fingerprint serializes a demand vector into a memo key: links ascending.
+func fingerprint(demand map[topology.LinkID]int) string {
+	links := make([]topology.LinkID, 0, len(demand))
+	for l, d := range demand {
+		if d > 0 {
+			links = append(links, l)
+		}
+	}
+	slices.Sort(links)
+	var b []byte
+	for _, l := range links {
+		b = binary.AppendVarint(b, int64(l))
+		b = binary.AppendVarint(b, int64(demand[l]))
+	}
+	return string(b)
+}
+
+// memoStore inserts an exact verdict, evicting FIFO at capacity. Called
+// with e.mu held.
+func (e *Engine) memoStore(fp string, ent memoEntry) {
+	if e.memoCap <= 0 {
+		return
+	}
+	if _, ok := e.memo[fp]; !ok {
+		if len(e.memoOrder) >= e.memoCap {
+			delete(e.memo, e.memoOrder[0])
+			e.memoOrder = e.memoOrder[1:]
+		}
+		e.memoOrder = append(e.memoOrder, fp)
+	}
+	e.memo[fp] = ent
+}
+
+// admitZoned re-solves only the zones the delta touches and first-fits their
+// new blocks back against the rest of the schedule. Called with e.mu held.
+func (e *Engine) admitZoned(ctx context.Context, delta, newDemand map[topology.LinkID]int, opts milp.Options) (Decision, error) {
+	snapshot := slices.Clone(e.sched.Assignments)
+	snapWin := e.win
+	restore := func() {
+		e.sched.Assignments = snapshot
+		e.sched.Invalidate()
+		e.win = snapWin
+		e.rebuildOcc()
+	}
+	maxPairs := e.cfg.MaxZonePairs
+	if maxPairs <= 0 {
+		maxPairs = partition.DefaultMaxZonePairs
+	}
+
+	var zones []int
+	for l := range delta {
+		if zi := e.dec.ZoneOf(l); zi >= 0 && !slices.Contains(zones, zi) {
+			zones = append(zones, zi)
+		}
+	}
+	slices.Sort(zones)
+
+	tier, solved, pivots := TierWarm, 0, 0
+	full := &schedule.Problem{Graph: e.cfg.Graph, Demand: newDemand, FrameSlots: e.cfg.Frame.DataSlots}
+	for _, zi := range zones {
+		zp := partition.ZoneProblem(full, e.dec, zi)
+		zoneLinks := e.dec.Zones[zi].Links
+
+		var blocks []tdma.Assignment
+		if partition.ActivePairs(zp) > maxPairs {
+			gs, err := schedule.Greedy(zp, e.cfg.Frame)
+			if err != nil {
+				restore()
+				return e.solverErr(ctx, tier, err)
+			}
+			blocks = gs.Assignments
+			e.stats.ZoneGreedy++
+			e.cZoneGreedy.Inc()
+		} else {
+			zinc := e.zoneInc[zi]
+			if zinc == nil || !zinc.Supports(zp.Demand) {
+				support := e.zoneSupport[zi]
+				for l, d := range zp.Demand {
+					if d > 0 && !slices.Contains(support, l) {
+						support = append(support, l)
+					}
+				}
+				var err error
+				zinc, err = schedule.NewIncremental(e.cfg.Graph, support, e.cfg.Frame)
+				if err != nil {
+					restore()
+					return Decision{}, err
+				}
+				slices.Sort(support)
+				e.zoneInc[zi], e.zoneSupport[zi] = zinc, support
+				tier = TierCold
+			}
+			hint := 0
+			for _, l := range zoneLinks {
+				for _, iv := range e.occ[l] {
+					hint = max(hint, iv[1])
+				}
+			}
+			_, zs, zsolved, zpiv, _, err := e.minSlotsServing(ctx, zinc, zp, hint, 0, opts)
+			if err != nil {
+				restore()
+				return e.solverErr(ctx, tier, err)
+			}
+			blocks = zs.Assignments
+			solved += zsolved
+			pivots += zpiv
+		}
+
+		// Swap the zone's allocation: drop its old blocks, then first-fit
+		// the new ones in ascending start order (the solver's layout is the
+		// placement hint; conflicts against other zones are re-checked
+		// against the live occupancy, so halo links stay safe).
+		e.dropLinks(zoneLinks)
+		slices.SortFunc(blocks, func(a, b tdma.Assignment) int {
+			if a.Start != b.Start {
+				return a.Start - b.Start
+			}
+			if a.Length != b.Length {
+				return b.Length - a.Length
+			}
+			return int(a.Link - b.Link)
+		})
+		for _, b := range blocks {
+			s := e.firstFit(b.Link, b.Length, e.maxWin, nil)
+			if s < 0 {
+				// Cross-zone packing failure: conservative rejection, like
+				// the partitioned planner's stitch failures.
+				restore()
+				return Decision{Tier: tier, Window: e.win}, nil
+			}
+			if err := e.sched.Add(tdma.Assignment{Link: b.Link, Start: s, Length: b.Length}); err != nil {
+				restore()
+				return Decision{}, err
+			}
+			e.occAdd(b.Link, s, s+b.Length)
+		}
+	}
+	e.win = makespanOf(e.sched)
+	return Decision{Admitted: true, Tier: tier, Window: e.win, Solved: solved, Pivots: pivots}, nil
+}
+
+// Release returns a flow's slots. The schedule shrinks in place (highest
+// start blocks first); every CompactEvery releases the engine re-packs all
+// blocks first-fit to reclaim fragmentation — the re-pack provably never
+// grows the makespan.
+func (e *Engine) Release(id FlowID) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	f, ok := e.flows[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownFlow, id)
+	}
+	for l, d := range f.demand() {
+		if err := e.sched.TrimLink(l, d); err != nil {
+			return err
+		}
+		if e.demand[l] -= d; e.demand[l] <= 0 {
+			delete(e.demand, l)
+		}
+	}
+	delete(e.flows, id)
+	e.rebuildOcc()
+	e.win = makespanOf(e.sched)
+	e.solverDirty = true
+	e.stats.Releases++
+	e.cRelease.Inc()
+	e.releases++
+	every := e.cfg.CompactEvery
+	if every == 0 {
+		every = defaultCompactEvery
+	}
+	if every > 0 && e.releases >= every {
+		e.releases = 0
+		if err := e.compact(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// compact re-packs every block first-fit in ascending (start, length desc)
+// order. Sorted re-insertion can only move a block to an earlier slot: all
+// earlier-starting conflicting blocks end at or before this block's old
+// start and are re-placed no later than they were, so the old position is
+// always still free. Hence the makespan never grows. Called with e.mu held.
+func (e *Engine) compact() error {
+	blocks := slices.Clone(e.sched.Assignments)
+	slices.SortFunc(blocks, func(a, b tdma.Assignment) int {
+		if a.Start != b.Start {
+			return a.Start - b.Start
+		}
+		if a.Length != b.Length {
+			return b.Length - a.Length
+		}
+		return int(a.Link - b.Link)
+	})
+	e.sched.Assignments = e.sched.Assignments[:0]
+	e.sched.Invalidate()
+	for i := range e.occ {
+		e.occ[i] = e.occ[i][:0]
+	}
+	for _, b := range blocks {
+		s := e.firstFit(b.Link, b.Length, e.maxWin, nil)
+		if s < 0 || s > b.Start {
+			return fmt.Errorf("admit: compaction moved link %d block from %d to %d", b.Link, b.Start, s)
+		}
+		if err := e.sched.Add(tdma.Assignment{Link: b.Link, Start: s, Length: b.Length}); err != nil {
+			return err
+		}
+		e.occAdd(b.Link, s, s+b.Length)
+	}
+	e.win = makespanOf(e.sched)
+	e.stats.Compactions++
+	e.cCompact.Inc()
+	return nil
+}
+
+// Check verifies the engine's internal invariants: the schedule is
+// conflict-free, carries exactly the aggregate demand, and the occupancy
+// index and makespan mirror it. Test hook.
+func (e *Engine) Check() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.sched.Validate(e.cfg.Graph); err != nil {
+		return err
+	}
+	slots := make(map[topology.LinkID]int)
+	for _, a := range e.sched.Assignments {
+		slots[a.Link] += a.Length
+	}
+	for l, d := range e.demand {
+		if slots[l] != d {
+			return fmt.Errorf("admit: link %d carries %d slots, demand %d", l, slots[l], d)
+		}
+	}
+	for l, n := range slots {
+		if e.demand[l] != n {
+			return fmt.Errorf("admit: link %d carries %d slots, demand %d", l, n, e.demand[l])
+		}
+	}
+	if got := makespanOf(e.sched); got != e.win {
+		return fmt.Errorf("admit: window %d, makespan %d", e.win, got)
+	}
+	if e.win > e.maxWin {
+		return fmt.Errorf("admit: window %d beyond cap %d", e.win, e.maxWin)
+	}
+	occSlots := 0
+	for _, ivs := range e.occ {
+		for _, iv := range ivs {
+			occSlots += iv[1] - iv[0]
+		}
+	}
+	schedSlots := 0
+	for _, a := range e.sched.Assignments {
+		schedSlots += a.Length
+	}
+	if occSlots != schedSlots {
+		return fmt.Errorf("admit: occupancy index holds %d slots, schedule %d", occSlots, schedSlots)
+	}
+	return nil
+}
+
+// tryFastpath attempts first-fit placement of the delta entirely within the
+// current window. Returns the placements to commit, or nil when any link
+// does not fit (the solver tiers take over). Called with e.mu held.
+func (e *Engine) tryFastpath(delta map[topology.LinkID]int) []tdma.Assignment {
+	if e.win == 0 {
+		return nil
+	}
+	links := make([]topology.LinkID, 0, len(delta))
+	for l := range delta {
+		links = append(links, l)
+	}
+	slices.Sort(links)
+	var pending []tdma.Assignment
+	for _, l := range links {
+		need := delta[l]
+		for need > 0 {
+			s := e.firstFit(l, need, e.win, pending)
+			n := need
+			if s < 0 {
+				// No room for the full run; take the largest leading free
+				// gap instead, splitting the demand across blocks.
+				s, n = e.firstGap(l, e.win, pending)
+				if s < 0 {
+					return nil
+				}
+				if n > need {
+					n = need
+				}
+			}
+			pending = append(pending, tdma.Assignment{Link: l, Start: s, Length: n})
+			need -= n
+		}
+	}
+	return pending
+}
+
+// occAdd inserts [s,end) into link l's interval index, keeping start order.
+func (e *Engine) occAdd(l topology.LinkID, s, end int) {
+	ivs := e.occ[l]
+	i, _ := slices.BinarySearchFunc(ivs, s, func(iv [2]int, s int) int { return iv[0] - s })
+	e.occ[l] = slices.Insert(ivs, i, [2]int{s, end})
+}
+
+// rebuildOcc regenerates the interval index from the live schedule.
+func (e *Engine) rebuildOcc() {
+	for i := range e.occ {
+		e.occ[i] = e.occ[i][:0]
+	}
+	for _, a := range e.sched.Assignments {
+		e.occ[a.Link] = append(e.occ[a.Link], [2]int{a.Start, a.End()})
+	}
+	for i := range e.occ {
+		slices.SortFunc(e.occ[i], func(a, b [2]int) int { return a[0] - b[0] })
+	}
+}
+
+// dropLinks removes every assignment of the given links from the schedule
+// and the occupancy index. Called with e.mu held.
+func (e *Engine) dropLinks(links []topology.LinkID) {
+	e.sched.Assignments = slices.DeleteFunc(e.sched.Assignments, func(a tdma.Assignment) bool {
+		return slices.Contains(links, a.Link)
+	})
+	e.sched.Invalidate()
+	for _, l := range links {
+		e.occ[l] = e.occ[l][:0]
+	}
+}
+
+// blockers collects the intervals that constrain link l — its own and its
+// conflict neighbors', plus pending placements — sorted by start.
+func (e *Engine) blockers(l topology.LinkID, pending []tdma.Assignment) [][2]int {
+	bs := e.scratch[:0]
+	bs = append(bs, e.occ[l]...)
+	e.cfg.Graph.VisitNeighbors(l, func(nb topology.LinkID) bool {
+		bs = append(bs, e.occ[nb]...)
+		return true
+	})
+	for _, p := range pending {
+		if p.Link == l || e.cfg.Graph.Conflicts(p.Link, l) {
+			bs = append(bs, [2]int{p.Start, p.End()})
+		}
+	}
+	slices.SortFunc(bs, func(a, b [2]int) int { return a[0] - b[0] })
+	e.scratch = bs
+	return bs
+}
+
+// firstFit returns the earliest start for a length-d block of link l ending
+// at or before limit, or -1. O(conflict degree × blocks).
+func (e *Engine) firstFit(l topology.LinkID, d, limit int, pending []tdma.Assignment) int {
+	cur := 0
+	for _, b := range e.blockers(l, pending) {
+		if b[0]-cur >= d {
+			break
+		}
+		cur = max(cur, b[1])
+		if cur+d > limit {
+			return -1
+		}
+	}
+	if cur+d > limit {
+		return -1
+	}
+	return cur
+}
+
+// firstGap returns the earliest free gap for link l within limit as (start,
+// length), or (-1, 0).
+func (e *Engine) firstGap(l topology.LinkID, limit int, pending []tdma.Assignment) (int, int) {
+	cur := 0
+	for _, b := range e.blockers(l, pending) {
+		if b[0] > cur {
+			return cur, min(b[0], limit) - cur
+		}
+		cur = max(cur, b[1])
+		if cur >= limit {
+			return -1, 0
+		}
+	}
+	if cur >= limit {
+		return -1, 0
+	}
+	return cur, limit - cur
+}
+
+func makespanOf(s *tdma.Schedule) int {
+	end := 0
+	for _, a := range s.Assignments {
+		if a.End() > end {
+			end = a.End()
+		}
+	}
+	return end
+}

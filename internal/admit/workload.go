@@ -1,0 +1,167 @@
+package admit
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"slices"
+	"time"
+
+	"wimesh/internal/stats"
+	"wimesh/internal/topology"
+)
+
+// Event is one arrival or departure of a serving workload, ordered by
+// virtual time.
+type Event struct {
+	// At is the virtual occurrence time from the workload start.
+	At time.Duration
+	// Arrive distinguishes arrivals (carrying Flow) from departures
+	// (carrying only Flow.ID).
+	Arrive bool
+	Flow   Flow
+}
+
+// Workload is a deterministic call sequence: Poisson arrivals with
+// exponential holding times over random shortest-path routes. The same
+// WorkloadConfig always generates the byte-identical event list — every
+// random draw happens in a fixed order from one seeded source, and
+// departures are emitted for every arrival whether or not an engine later
+// admits it, so replay does not depend on admission outcomes.
+type Workload struct {
+	Events []Event
+	// Erlang is the offered load: arrival rate times mean holding time.
+	Erlang float64
+}
+
+// WorkloadConfig parameterizes Generate.
+type WorkloadConfig struct {
+	Topo *topology.Network
+	// Calls is the number of arrivals to generate.
+	Calls int
+	// ArrivalRate is the Poisson arrival intensity in calls per second.
+	ArrivalRate float64
+	// MeanHolding is the mean exponential call duration.
+	MeanHolding time.Duration
+	// SlotsPerLink is the demand one call adds on each link of its route.
+	SlotsPerLink int
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// Generate builds the workload. Calls between nodes with no route are
+// dropped after their draws are consumed, keeping the sequence of random
+// numbers — and hence every later call — independent of routing outcomes.
+func Generate(cfg WorkloadConfig) (*Workload, error) {
+	if cfg.Topo == nil {
+		return nil, fmt.Errorf("%w: nil topology", ErrBadFlow)
+	}
+	n := cfg.Topo.NumNodes()
+	if n < 2 {
+		return nil, fmt.Errorf("%w: %d nodes, need at least 2", ErrBadFlow, n)
+	}
+	if cfg.Calls <= 0 || cfg.ArrivalRate <= 0 || cfg.MeanHolding <= 0 || cfg.SlotsPerLink <= 0 {
+		return nil, fmt.Errorf("%w: non-positive workload parameter", ErrBadFlow)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	w := &Workload{Erlang: cfg.ArrivalRate * cfg.MeanHolding.Seconds()}
+	now := time.Duration(0)
+	for i := 0; i < cfg.Calls; i++ {
+		// Fixed draw order: interarrival, src, dst (redrawn while == src),
+		// holding. Nothing else consumes rng.
+		now += time.Duration(rng.ExpFloat64() / cfg.ArrivalRate * float64(time.Second))
+		src := topology.NodeID(rng.Intn(n))
+		dst := topology.NodeID(rng.Intn(n))
+		for dst == src {
+			dst = topology.NodeID(rng.Intn(n))
+		}
+		holding := time.Duration(rng.ExpFloat64() * float64(cfg.MeanHolding))
+		path, err := cfg.Topo.ShortestPath(src, dst)
+		if err != nil || len(path) == 0 {
+			continue
+		}
+		slots := make([]int, len(path))
+		for j := range slots {
+			slots[j] = cfg.SlotsPerLink
+		}
+		f := Flow{ID: FlowID(fmt.Sprintf("call-%d", i)), Path: path, Slots: slots}
+		w.Events = append(w.Events,
+			Event{At: now, Arrive: true, Flow: f},
+			Event{At: now + holding, Flow: Flow{ID: f.ID}})
+	}
+	// Order by time; at equal times departures go first (they free
+	// capacity), then generation order keeps ties deterministic.
+	slices.SortStableFunc(w.Events, func(a, b Event) int {
+		if a.At != b.At {
+			if a.At < b.At {
+				return -1
+			}
+			return 1
+		}
+		if a.Arrive != b.Arrive {
+			if a.Arrive {
+				return 1
+			}
+			return -1
+		}
+		return 0
+	})
+	return w, nil
+}
+
+// ServeStats summarizes one Serve run.
+type ServeStats struct {
+	Offered, Admitted, Rejected int
+	Fast, Warm, Cold            int
+	// Latency collects per-decision latencies in seconds.
+	Latency stats.Sample
+	// Elapsed is the wall time spent inside Admit/Release calls.
+	Elapsed time.Duration
+}
+
+// Serve replays the workload against the engine as fast as possible (event
+// times only order the replay, they are not slept). It stops early when ctx
+// is cancelled — including mid-solve, via the engine's solver interrupt —
+// and returns ctx.Err() with the stats accumulated so far.
+func Serve(ctx context.Context, e *Engine, w *Workload) (ServeStats, error) {
+	var st ServeStats
+	admitted := make(map[FlowID]bool)
+	for _, ev := range w.Events {
+		if err := ctx.Err(); err != nil {
+			return st, err
+		}
+		if !ev.Arrive {
+			if admitted[ev.Flow.ID] {
+				start := time.Now()
+				if err := e.Release(ev.Flow.ID); err != nil {
+					return st, err
+				}
+				st.Elapsed += time.Since(start)
+				delete(admitted, ev.Flow.ID)
+			}
+			continue
+		}
+		st.Offered++
+		dec, err := e.Admit(ctx, ev.Flow)
+		if err != nil {
+			return st, err
+		}
+		st.Elapsed += dec.Latency
+		st.Latency.AddDuration(dec.Latency)
+		if dec.Admitted {
+			st.Admitted++
+			admitted[ev.Flow.ID] = true
+		} else {
+			st.Rejected++
+		}
+		switch dec.Tier {
+		case TierFast:
+			st.Fast++
+		case TierWarm:
+			st.Warm++
+		case TierCold:
+			st.Cold++
+		}
+	}
+	return st, nil
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"wimesh/internal/admit"
+	"wimesh/internal/schedule"
+	"wimesh/internal/topology"
+	"wimesh/internal/voip"
+)
+
+// TestSessionAdmitMatchesPlanDemand admits one call and checks the engine's
+// per-link demand equals what Plan's SlotDemand conversion computes for the
+// identical flow — the serving path and the planning path must price a call
+// the same way.
+func TestSessionAdmitMatchesPlanDemand(t *testing.T) {
+	topo, err := topology.Grid(3, 3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := sys.NewSession(SessionConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec := voip.G711()
+	ctx := context.Background()
+	dec, path, err := sess.AdmitCall(ctx, "call-a", 0, 8, codec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Admitted {
+		t.Fatalf("one call rejected: %+v", dec)
+	}
+	if dec.Window <= 0 || sess.Window() != dec.Window {
+		t.Fatalf("window %d, session window %d", dec.Window, sess.Window())
+	}
+	if sess.NumCalls() != 1 {
+		t.Fatalf("NumCalls = %d, want 1", sess.NumCalls())
+	}
+
+	// Oracle: the planner's demand conversion over a one-flow set.
+	fs := topology.NewFlowSet(topo)
+	if _, err := fs.AddOnPath(0, 8, codec.BandwidthBps(), 0, path); err != nil {
+		t.Fatal(err)
+	}
+	perLink := make(map[topology.LinkID]int)
+	slots, err := sys.CallSlots(path, codec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, l := range path {
+		perLink[l] = slots[i]
+	}
+	want, err := schedule.SlotDemand(fs, sys.Frame, func(l topology.LinkID) int {
+		b, err := sys.BytesPerSlot(codec.PacketBytes())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(perLink) {
+		t.Fatalf("demand links: CallSlots %d, SlotDemand %d", len(perLink), len(want))
+	}
+	for l, d := range want {
+		if perLink[l] != d {
+			t.Errorf("link %d: CallSlots %d, SlotDemand %d", l, perLink[l], d)
+		}
+	}
+
+	if err := sess.ReleaseCall("call-a"); err != nil {
+		t.Fatal(err)
+	}
+	if sess.NumCalls() != 0 || sess.Window() != 0 {
+		t.Fatalf("after release: %d calls, window %d", sess.NumCalls(), sess.Window())
+	}
+	st := sess.Stats()
+	if st.Admitted != 1 || st.Releases != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestSessionRejectsBeyondMaxWindow pins the rejection path: a one-slot
+// window cannot hold a multi-hop call (its hops conflict pairwise), so the
+// engine must reject without error.
+func TestSessionRejectsBeyondMaxWindow(t *testing.T) {
+	topo, err := topology.Grid(1, 4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := sys.NewSession(SessionConfig{MaxWindow: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, _, err := sess.AdmitCall(context.Background(), "big", 0, 3, voip.G711())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Admitted {
+		t.Fatalf("3-hop call admitted into a 1-slot window: %+v", dec)
+	}
+	if sess.NumCalls() != 0 {
+		t.Fatalf("rejected call left state: %d calls", sess.NumCalls())
+	}
+	if _, _, err := sess.AdmitCall(context.Background(), "x", 0, 99, voip.G711()); err == nil {
+		t.Fatal("routing to a nonexistent node succeeded")
+	}
+	if err := sess.ReleaseCall("missing"); err == nil {
+		t.Fatal("releasing an unknown call succeeded")
+	}
+	var _ admit.Stats = sess.Stats()
+}

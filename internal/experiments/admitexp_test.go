@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+	"time"
+)
+
+// TestAdmitSmoke is the reduced R19 the `make admit-smoke` target runs under
+// the race detector: a short serving run through both engine modes — one
+// monolithic village mesh and one zoned city slice — exercising the full
+// admit/release path (workload generation, tier repair, zone stitching).
+func TestAdmitSmoke(t *testing.T) {
+	tab, err := r19Table("R19S", []r19Point{
+		{nodes: 24, calls: 120, zoned: false, rate: 16, holding: 300 * time.Millisecond, maxWin: 32},
+		{nodes: 200, calls: 80, zoned: true, rate: 30, holding: 500 * time.Millisecond, maxWin: 32},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		offered, err := strconv.Atoi(row[3])
+		if err != nil || offered <= 0 {
+			t.Errorf("offered = %q, want positive int", row[3])
+		}
+		admitted, err := strconv.Atoi(row[4])
+		if err != nil || admitted <= 0 {
+			t.Errorf("admitted = %q, want positive int", row[4])
+		}
+		rejected, err := strconv.Atoi(row[5])
+		if err != nil || rejected < 0 {
+			t.Errorf("rejected = %q, want non-negative int", row[5])
+		}
+		fast, _ := strconv.Atoi(row[6])
+		warm, _ := strconv.Atoi(row[7])
+		cold, _ := strconv.Atoi(row[8])
+		if fast+warm+cold != offered {
+			t.Errorf("tier mix %d+%d+%d != offered %d", fast, warm, cold, offered)
+		}
+	}
+	// The monolithic village run must exercise the warm tier (its whole
+	// point), and the fastpath must absorb a share of the churn.
+	warm, _ := strconv.Atoi(tab.Rows[0][7])
+	fast, _ := strconv.Atoi(tab.Rows[0][6])
+	if warm == 0 || fast == 0 {
+		t.Errorf("village row never hit warm (%d) or fast (%d) tier", warm, fast)
+	}
+}

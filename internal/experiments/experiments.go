@@ -118,9 +118,10 @@ var registry = []struct {
 	{"R16", R16ConflictModel},
 	{"R17", R17FrameDuration},
 	{"R18", R18PartitionedScale},
+	{"R19", R19AdmissionServing},
 }
 
-// IDs returns the experiment identifiers in canonical order (R1..R18).
+// IDs returns the experiment identifiers in canonical order (R1..R19).
 func IDs() []string {
 	out := make([]string, len(registry))
 	for i, g := range registry {

@@ -61,7 +61,16 @@ type Solver struct {
 	alpha   []float64 // pivot-row coefficients of nonbasic columns
 	acol    []float64 // pivot column B^-1 A_q
 	rhs     []float64 // scratch for recomputing xB
+
+	pivots uint64 // cumulative pivot count across Solve calls
 }
+
+// Pivots returns the cumulative simplex pivot count across every Solve call
+// on this workspace, including solves that ended infeasible. Per-solve counts
+// are in Solution.Iterations; the cumulative form lets a caller that issues
+// many solves (a branch-and-bound search, an admission engine) report total
+// pivot work without threading every Solution through.
+func (s *Solver) Pivots() uint64 { return s.pivots }
 
 // NewSolver returns an empty workspace; it sizes itself to each Compiled it
 // solves.
@@ -297,6 +306,7 @@ func (s *Solver) Solve(c *Compiled, warm *State, changes []BoundChange) (*Soluti
 	}
 	s.recomputeXB(c)
 	iters, err := s.dualSimplex(c)
+	s.pivots += uint64(iters)
 	if err != nil {
 		return nil, err
 	}

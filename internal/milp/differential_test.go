@@ -2,6 +2,7 @@ package milp
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
@@ -143,5 +144,136 @@ func TestDifferentialIncrementalMutation(t *testing.T) {
 				t.Fatalf("win %g: X[%d] mutated %g != fresh %g", win, j, mutSol.X[j], freshSol.X[j])
 			}
 		}
+	}
+}
+
+// TestDifferentialMutationSoak hammers one persistent model with 500 rounds
+// of randomized SetUpper / SetRHS / SetCoef batches, pinning every round's
+// solve against a model built from scratch with the same effective data. The
+// admission engine in internal/admit keeps a model alive across thousands of
+// mutations, so the single-edit equivalence above has to hold over arbitrary
+// mutation histories too — any drift in the persistent row/bound state shows
+// up here as a verdict or solution mismatch. Runs under -race from `make
+// differential`.
+func TestDifferentialMutationSoak(t *testing.T) {
+	type shadowVar struct {
+		typ   VarType
+		upper float64
+		obj   float64
+	}
+	type shadowRow struct {
+		ids   []VarID
+		coefs []float64
+		rel   Rel
+		rhs   float64
+	}
+	rng := rand.New(rand.NewSource(1905))
+
+	// Fixed structure: six variables (two binary, the rest bounded integers)
+	// and five rows whose sparsity patterns never change — exactly the shape
+	// of mutation the incremental scheduler performs.
+	vars := []shadowVar{
+		{Integer, 5, 1}, {Integer, 4, -2}, {Integer, 6, 0},
+		{Integer, 3, 2}, {Binary, 1, -1}, {Binary, 1, 3},
+	}
+	m := NewModel(Minimize)
+	for j, v := range vars {
+		id, err := m.AddVar(fmt.Sprintf("x%d", j), v.typ, v.upper, v.obj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int(id) != j {
+			t.Fatalf("var %d got id %d", j, id)
+		}
+	}
+	rows := []shadowRow{
+		{[]VarID{0, 1, 4}, []float64{1, 1, -3}, GE, 1},
+		{[]VarID{1, 2, 5}, []float64{-1, 2, 4}, LE, 5},
+		{[]VarID{0, 2, 3}, []float64{1, -1, 1}, GE, -2},
+		{[]VarID{3, 4, 5}, []float64{2, 1, 1}, LE, 6},
+		{[]VarID{0, 1, 2, 3}, []float64{1, 1, 1, 1}, GE, 2},
+	}
+	for i, r := range rows {
+		ri, err := m.AddConstraintIdx(r.ids, r.coefs, r.rel, r.rhs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ri != i {
+			t.Fatalf("row %d got index %d", i, ri)
+		}
+	}
+
+	rounds := 500
+	if testing.Short() {
+		rounds = 100
+	}
+	opts := Options{FirstFeasible: true, Workers: 1}
+	feasible, infeasible := 0, 0
+	for round := 0; round < rounds; round++ {
+		// Each round applies a random batch of 1-4 mutations to both the
+		// persistent model and the shadow data.
+		for k := 0; k < 1+rng.Intn(4); k++ {
+			switch rng.Intn(3) {
+			case 0: // SetUpper on a non-binary variable.
+				j := rng.Intn(4)
+				up := float64(rng.Intn(8))
+				if err := m.SetUpper(VarID(j), up); err != nil {
+					t.Fatalf("round %d: SetUpper: %v", round, err)
+				}
+				vars[j].upper = up
+			case 1: // SetRHS on any row.
+				i := rng.Intn(len(rows))
+				rhs := float64(rng.Intn(17) - 8)
+				if err := m.SetRHS(i, rhs); err != nil {
+					t.Fatalf("round %d: SetRHS: %v", round, err)
+				}
+				rows[i].rhs = rhs
+			case 2: // SetCoef on an existing sparsity entry.
+				i := rng.Intn(len(rows))
+				k := rng.Intn(len(rows[i].ids))
+				c := float64(rng.Intn(9) - 4)
+				if c == 0 {
+					c = 1
+				}
+				if err := m.SetCoef(i, rows[i].ids[k], c); err != nil {
+					t.Fatalf("round %d: SetCoef: %v", round, err)
+				}
+				rows[i].coefs[k] = c
+			}
+		}
+		// Oracle: a model built from scratch with the current shadow data.
+		fresh := NewModel(Minimize)
+		for j, v := range vars {
+			if _, err := fresh.AddVar(fmt.Sprintf("x%d", j), v.typ, v.upper, v.obj); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, r := range rows {
+			if _, err := fresh.AddConstraintIdx(r.ids, r.coefs, r.rel, r.rhs); err != nil {
+				t.Fatal(err)
+			}
+		}
+		mutSol, mutErr := m.Solve(opts)
+		freshSol, freshErr := fresh.Solve(opts)
+		if (mutErr == nil) != (freshErr == nil) {
+			t.Fatalf("round %d: mutated err %v, fresh err %v", round, mutErr, freshErr)
+		}
+		if mutErr != nil {
+			if !errors.Is(mutErr, ErrInfeasible) || !errors.Is(freshErr, ErrInfeasible) {
+				t.Fatalf("round %d: error class mismatch: mutated %v, fresh %v", round, mutErr, freshErr)
+			}
+			infeasible++
+			continue
+		}
+		feasible++
+		for j := range mutSol.X {
+			if mutSol.X[j] != freshSol.X[j] {
+				t.Fatalf("round %d: X[%d] mutated %g != fresh %g", round, j, mutSol.X[j], freshSol.X[j])
+			}
+		}
+		checkIntegral(t, fresh, mutSol.X)
+	}
+	if feasible == 0 || infeasible == 0 {
+		t.Fatalf("weak coverage: %d feasible, %d infeasible rounds", feasible, infeasible)
 	}
 }

@@ -230,6 +230,14 @@ type Options struct {
 	// same optimum either way (the differential tests pin this); cold
 	// starts exist as the reference mode for those tests and benchmarks.
 	ColdStart bool
+	// Interrupt aborts the search when the channel closes (or yields a
+	// value): workers stop picking up nodes and Solve returns ErrLimit.
+	// It is the cancellation hook for long-lived callers — the admission
+	// engine wires a context's Done channel here so a daemon shuts down
+	// cleanly mid-solve. Which nodes were explored before the interrupt is
+	// timing-dependent, so an interrupted solve is not deterministic; nil
+	// (the default) keeps the search fully deterministic.
+	Interrupt <-chan struct{}
 }
 
 // Solution is the result of a Solve call.
@@ -241,6 +249,14 @@ type Solution struct {
 	Optimal bool
 	// Nodes is the number of branch-and-bound nodes explored.
 	Nodes int
+	// Pivots is the total simplex pivot count across the node relaxations
+	// (lp.Solution.Iterations summed over the search). It is the honest
+	// cost measure of a warm-started re-solve — a good warm start re-proves
+	// feasibility in a handful of dual pivots where a cold solve pays a full
+	// two-phase run. With Workers > 1 the explored node set (and hence the
+	// pivot count) can vary run to run even though the returned solution
+	// never does.
+	Pivots int
 }
 
 // branch is one bound tightened on the path to a node: variable v rel value.
@@ -301,6 +317,9 @@ type search struct {
 	intTol        float64
 	maxNodes      int
 	deadline      time.Time
+	interrupt     <-chan struct{}
+
+	pivots atomic.Uint64 // simplex pivots across node relaxations
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -366,6 +385,7 @@ func (m *Model) Solve(opts Options) (*Solution, error) {
 		intTol:        intTol,
 		maxNodes:      maxNodes,
 		deadline:      deadline,
+		interrupt:     opts.Interrupt,
 		stack:         []node{{}},
 		incumbentObj:  math.Inf(1),
 	}
@@ -399,7 +419,22 @@ func (m *Model) Solve(opts Options) (*Solution, error) {
 	}
 	reg.Counter("milp.solves").Inc()
 	reg.Counter("milp.nodes").Add(uint64(s.nodes))
-	return &Solution{X: s.incumbent, Objective: obj, Optimal: !s.limitHit, Nodes: s.nodes}, nil
+	return &Solution{X: s.incumbent, Objective: obj, Optimal: !s.limitHit,
+		Nodes: s.nodes, Pivots: int(s.pivots.Load())}, nil
+}
+
+// interrupted reports whether Options.Interrupt has fired. Callers hold s.mu;
+// the select itself is non-blocking.
+func (s *search) interrupted() bool {
+	if s.interrupt == nil {
+		return false
+	}
+	select {
+	case <-s.interrupt:
+		return true
+	default:
+		return false
+	}
 }
 
 // compileRelaxation freezes the LP relaxation of the model without any
@@ -445,7 +480,7 @@ func (s *search) run() {
 			cur.parent.release()
 			continue
 		}
-		if s.nodes >= s.maxNodes || (!s.deadline.IsZero() && time.Now().After(s.deadline)) {
+		if s.nodes >= s.maxNodes || (!s.deadline.IsZero() && time.Now().After(s.deadline)) || s.interrupted() {
 			s.limitHit = true
 			s.stopped = true
 			s.cond.Broadcast()
@@ -487,7 +522,9 @@ func (s *search) expand(cur node, solver *lp.Solver, changes []lp.BoundChange) (
 	} else {
 		s.obsCold.Inc()
 	}
+	before := solver.Pivots()
 	sol, err := solver.Solve(s.compiled, warm, changes)
+	s.pivots.Add(solver.Pivots() - before)
 	if errors.Is(err, lp.ErrInfeasible) {
 		return nil, nil
 	}

@@ -738,3 +738,18 @@ func makespan(s *tdma.Schedule) int {
 	}
 	return end
 }
+
+// ZoneProblem restricts p to the zi'th zone of the decomposition: the zone's
+// demands, plus the delay requirements of flows whose full path stays inside
+// it. Exported for the admission engine, which keeps one persistent ILP
+// model per zone and re-solves only the zones an admission delta touches.
+func ZoneProblem(p *schedule.Problem, dec *Decomposition, zi int) *schedule.Problem {
+	return zoneProblem(p, dec, zi)
+}
+
+// ActivePairs counts conflicting pairs among the problem's demanded links —
+// the binary-variable count of its ILP model, the size measure the
+// MaxZonePairs gate compares against.
+func ActivePairs(p *schedule.Problem) int {
+	return activePairs(p)
+}

@@ -32,10 +32,13 @@ type ilpModel struct {
 // pairRowRef records where a conflicting pair's two ordering rows live so
 // setWindow can rewrite their big-M terms: row1 is
 // s_b - s_a - win*o >= d_a - win and row2 is s_a - s_b + win*o >= d_b.
+// The endpoint links a and b let the incremental model re-derive both
+// right-hand sides when demands change between solves (incremental.go).
 type pairRowRef struct {
 	o          milp.VarID
 	row1, row2 int
 	da         float64
+	a, b       topology.LinkID
 }
 
 // buildILP constructs the integer program of the Djukic-Valaee optimization
@@ -95,7 +98,7 @@ func buildILP(p *Problem, winSlots int, minimizeDelay bool) (*ilpModel, error) {
 		if err != nil {
 			return nil, err
 		}
-		im.pairRows = append(im.pairRows, pairRowRef{o: o, row1: r1, row2: r2, da: da})
+		im.pairRows = append(im.pairRows, pairRowRef{o: o, row1: r1, row2: r2, da: da, a: a, b: b})
 	}
 
 	frame := float64(p.FrameSlots)
@@ -208,24 +211,25 @@ func (im *ilpModel) setWindow(p *Problem, winSlots int) error {
 }
 
 // solveFeasible runs the feasibility search at the model's current window
-// and decodes + validates the schedule.
-func (im *ilpModel) solveFeasible(p *Problem, cfg tdma.FrameConfig, opts milp.Options) (*tdma.Schedule, error) {
+// and decodes + validates the schedule. The second return is the simplex
+// pivot count of the search (0 on the error paths that never reach a solve).
+func (im *ilpModel) solveFeasible(p *Problem, cfg tdma.FrameConfig, opts milp.Options) (*tdma.Schedule, int, error) {
 	opts.FirstFeasible = true
 	sol, err := im.model.Solve(opts)
 	if errors.Is(err, milp.ErrInfeasible) {
-		return nil, fmt.Errorf("%w: window of %d slots", ErrInfeasible, im.win)
+		return nil, 0, fmt.Errorf("%w: window of %d slots", ErrInfeasible, im.win)
 	}
 	if err != nil {
-		return nil, fmt.Errorf("solve window %d: %w", im.win, err)
+		return nil, 0, fmt.Errorf("solve window %d: %w", im.win, err)
 	}
 	s, err := im.decodeSchedule(p, sol.X, cfg)
 	if err != nil {
-		return nil, err
+		return nil, sol.Pivots, err
 	}
 	if err := p.checkSchedule(s); err != nil {
-		return nil, err
+		return nil, sol.Pivots, err
 	}
-	return s, nil
+	return s, sol.Pivots, nil
 }
 
 // decodeSchedule builds a schedule from an ILP solution's start variables.
@@ -262,7 +266,8 @@ func SolveWindow(p *Problem, winSlots int, cfg tdma.FrameConfig, opts milp.Optio
 	if err != nil {
 		return nil, err
 	}
-	return im.solveFeasible(p, cfg, opts)
+	s, _, err := im.solveFeasible(p, cfg, opts)
+	return s, err
 }
 
 // MinSlots finds the smallest window of TDMA slots for which a feasible
@@ -303,7 +308,8 @@ func MinSlots(p *Problem, cfg tdma.FrameConfig, opts milp.Options) (int, *tdma.S
 			return nil, err
 		}
 		solved++
-		return im.solveFeasible(p, cfg, opts)
+		s, _, err := im.solveFeasible(p, cfg, opts)
+		return s, err
 	}
 	// Galloping phase: bracket the smallest feasible window.
 	lastBad := lb - 1

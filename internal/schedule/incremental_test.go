@@ -1,0 +1,167 @@
+package schedule
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"wimesh/internal/conflict"
+	"wimesh/internal/milp"
+	"wimesh/internal/tdma"
+	"wimesh/internal/topology"
+)
+
+// incrementalFixture builds a chain conflict graph and a frame, returning the
+// graph and the full link universe as the support set.
+func incrementalFixture(t *testing.T, nodes, frameSlots int) (*conflict.Graph, []topology.LinkID, tdma.FrameConfig) {
+	t.Helper()
+	topo, err := topology.Chain(nodes, 100)
+	if err != nil {
+		t.Fatalf("chain: %v", err)
+	}
+	g, err := conflict.Build(topo, conflict.Options{Model: conflict.ModelTwoHop})
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	support := make([]topology.LinkID, g.NumVertices())
+	for i := range support {
+		support[i] = topology.LinkID(i)
+	}
+	cfg := tdma.FrameConfig{FrameDuration: 20_000_000, DataSlots: frameSlots}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("frame: %v", err)
+	}
+	return g, support, cfg
+}
+
+// TestDifferentialIncrementalVsMonolithic churns one persistent Incremental
+// model through a random demand sequence — links activating, growing,
+// shrinking, and going fully dormant — and pins every answer to the
+// monolithic MinSlots on a freshly built model: same feasibility verdict,
+// same minimum window, and a valid witness schedule covering the demands.
+func TestDifferentialIncrementalVsMonolithic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	opts := milp.Options{MaxNodes: 50_000, Workers: 1}
+	g, support, cfg := incrementalFixture(t, 8, 12)
+	inc, err := NewIncremental(g, support, cfg)
+	if err != nil {
+		t.Fatalf("NewIncremental: %v", err)
+	}
+
+	rounds := 60
+	if testing.Short() {
+		rounds = 20
+	}
+	demand := make(map[topology.LinkID]int)
+	hint := 0
+	feasible, infeasible := 0, 0
+	for round := 0; round < rounds; round++ {
+		// Mutate a few links: 0 puts a link to sleep, exercising the
+		// vacuous-row path on its pairs.
+		for k := 0; k < 1+rng.Intn(3); k++ {
+			l := support[rng.Intn(len(support))]
+			d := rng.Intn(5) // 0..4, with 0 = dormant
+			if d == 0 {
+				delete(demand, l)
+			} else {
+				demand[l] = d
+			}
+		}
+		if len(demand) == 0 {
+			demand[support[0]] = 1
+		}
+
+		p := &Problem{Graph: g, Demand: demand, FrameSlots: cfg.DataSlots}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("round %d: bad problem: %v", round, err)
+		}
+		win, sched, _, _, err := inc.MinSlots(p, hint, 0, 0, opts)
+
+		refWin, refSched, _, refErr := MinSlots(p, cfg, opts)
+
+		if (err == nil) != (refErr == nil) {
+			t.Fatalf("round %d: incremental err %v, monolithic err %v (demand %v)",
+				round, err, refErr, demand)
+		}
+		if err != nil {
+			if !errors.Is(err, ErrInfeasible) || !errors.Is(refErr, ErrInfeasible) {
+				t.Fatalf("round %d: error class mismatch: %v vs %v", round, err, refErr)
+			}
+			infeasible++
+			hint = 0
+			continue
+		}
+		feasible++
+		if win != refWin {
+			t.Fatalf("round %d: incremental window %d, monolithic window %d (demand %v)",
+				round, win, refWin, demand)
+		}
+		for _, s := range []*tdma.Schedule{sched, refSched} {
+			if err := p.checkSchedule(s); err != nil {
+				t.Fatalf("round %d: bad witness: %v", round, err)
+			}
+		}
+		hint = win
+	}
+	if feasible == 0 || (!testing.Short() && infeasible == 0) {
+		t.Fatalf("degenerate churn: %d feasible, %d infeasible rounds", feasible, infeasible)
+	}
+}
+
+// TestIncrementalHintAtBoundSingleProbe checks the steady-state admission
+// fast case: when the hint equals the effective lower bound and is feasible,
+// the search stops after exactly one integer program.
+func TestIncrementalHintAtBoundSingleProbe(t *testing.T) {
+	g, support, cfg := incrementalFixture(t, 6, 16)
+	inc, err := NewIncremental(g, support, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := milp.Options{MaxNodes: 50_000, Workers: 1}
+	demand := map[topology.LinkID]int{support[0]: 2}
+	p := &Problem{Graph: g, Demand: demand, FrameSlots: cfg.DataSlots}
+	win, sched, solved, _, err := inc.MinSlots(p, 0, 0, 0, opts)
+	if err != nil {
+		t.Fatalf("first solve: %v", err)
+	}
+	if sched == nil || sched.LinkSlots(support[0]) != 2 {
+		t.Fatalf("bad witness for single-link demand: %v", sched)
+	}
+	// Re-solve the same problem hinting the known-exact window as both hint
+	// and lower bound: must be one probe.
+	win2, _, solved2, _, err := inc.MinSlots(p, win, win, 0, opts)
+	if err != nil {
+		t.Fatalf("hinted solve: %v", err)
+	}
+	if win2 != win {
+		t.Fatalf("hinted window %d, want %d", win2, win)
+	}
+	if solved2 != 1 {
+		t.Fatalf("hinted re-solve used %d programs, want 1 (first used %d)", solved2, solved)
+	}
+}
+
+// TestIncrementalSupports covers the support boundary: out-of-support demand
+// is reported by Supports and rejected by MinSlots with ErrUnsupportedLink.
+func TestIncrementalSupports(t *testing.T) {
+	g, support, cfg := incrementalFixture(t, 6, 16)
+	half := support[:len(support)/2]
+	inc, err := NewIncremental(g, half, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc.SupportSize() != len(half) {
+		t.Fatalf("SupportSize = %d, want %d", inc.SupportSize(), len(half))
+	}
+	outside := support[len(support)-1]
+	if inc.Supports(map[topology.LinkID]int{outside: 1}) {
+		t.Fatalf("Supports accepted out-of-support link %d", outside)
+	}
+	if !inc.Supports(map[topology.LinkID]int{half[0]: 1, outside: 0}) {
+		t.Fatal("Supports rejected a zero demand outside the support")
+	}
+	p := &Problem{Graph: g, Demand: map[topology.LinkID]int{outside: 1}, FrameSlots: cfg.DataSlots}
+	if _, _, _, _, err := inc.MinSlots(p, 0, 0, 0, milp.Options{Workers: 1}); !errors.Is(err, ErrUnsupportedLink) {
+		t.Fatalf("MinSlots on out-of-support demand: %v, want ErrUnsupportedLink", err)
+	}
+}

@@ -1,0 +1,119 @@
+package tdma
+
+import (
+	"testing"
+	"time"
+)
+
+func mutateTestFrame(t *testing.T) FrameConfig {
+	t.Helper()
+	cfg := FrameConfig{
+		FrameDuration: 10 * time.Millisecond,
+		DataSlots:     32,
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("test frame config invalid: %v", err)
+	}
+	return cfg
+}
+
+// TestInvalidateAfterInPlaceMutation is the stale-cache regression test: an
+// in-place rewrite of an Assignment keeps len(Assignments) unchanged, so the
+// length-fingerprint cache check cannot see it. Without Invalidate the
+// memoized LinkAssignments/TxWindows would keep serving the pre-mutation
+// values.
+func TestInvalidateAfterInPlaceMutation(t *testing.T) {
+	s, err := NewSchedule(mutateTestFrame(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(Assignment{Link: 3, Start: 0, Length: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(Assignment{Link: 5, Start: 4, Length: 2}); err != nil {
+		t.Fatal(err)
+	}
+	// Populate both caches.
+	if got := s.LinkAssignments(3); len(got) != 1 || got[0].Length != 4 {
+		t.Fatalf("pre-mutation LinkAssignments(3) = %v", got)
+	}
+	preWins, err := s.TxWindows(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preWins) != 1 {
+		t.Fatalf("pre-mutation TxWindows(3) = %v", preWins)
+	}
+
+	// In-place mutation: shrink link 3's block. Slice length is unchanged, so
+	// without an explicit Invalidate the cache fingerprint still matches.
+	for i := range s.Assignments {
+		if s.Assignments[i].Link == 3 {
+			s.Assignments[i].Length = 1
+		}
+	}
+	s.Invalidate()
+
+	if got := s.LinkAssignments(3); len(got) != 1 || got[0].Length != 1 {
+		t.Errorf("post-mutation LinkAssignments(3) = %v, want single block of length 1", got)
+	}
+	wins, err := s.TxWindows(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wins) != 1 || wins[0][1]-wins[0][0] == preWins[0][1]-preWins[0][0] {
+		t.Errorf("post-mutation TxWindows(3) = %v, still the pre-mutation width", wins)
+	}
+	if got := s.LinkSlots(3); got != 1 {
+		t.Errorf("LinkSlots(3) = %d, want 1", got)
+	}
+}
+
+// TestTrimLink covers the self-invalidating release-path mutator: trims come
+// off the highest-start block first, empty blocks are dropped, and the caches
+// refresh without an explicit Invalidate call.
+func TestTrimLink(t *testing.T) {
+	s, err := NewSchedule(mutateTestFrame(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range []Assignment{
+		{Link: 2, Start: 0, Length: 3},
+		{Link: 2, Start: 10, Length: 2},
+		{Link: 7, Start: 3, Length: 1},
+	} {
+		if err := s.Add(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm the cache so a buggy TrimLink would leave it stale.
+	if got := s.LinkAssignments(2); len(got) != 2 {
+		t.Fatalf("LinkAssignments(2) = %v", got)
+	}
+
+	// Trim 3: consumes the [10,12) block entirely and one slot of [0,3).
+	if err := s.TrimLink(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	got := s.LinkAssignments(2)
+	if len(got) != 1 || got[0].Start != 0 || got[0].Length != 2 {
+		t.Errorf("after trim, LinkAssignments(2) = %v, want [{2 0 2}]", got)
+	}
+	if s.LinkSlots(2) != 2 {
+		t.Errorf("LinkSlots(2) = %d, want 2", s.LinkSlots(2))
+	}
+	if s.LinkSlots(7) != 1 {
+		t.Errorf("LinkSlots(7) = %d, want 1 (other links untouched)", s.LinkSlots(7))
+	}
+
+	// Over-trim must fail without modifying anything.
+	if err := s.TrimLink(2, 5); err == nil {
+		t.Error("over-trim accepted")
+	}
+	if s.LinkSlots(2) != 2 {
+		t.Errorf("failed trim modified the schedule: LinkSlots(2) = %d", s.LinkSlots(2))
+	}
+	if err := s.TrimLink(2, 0); err == nil {
+		t.Error("zero trim accepted")
+	}
+}
