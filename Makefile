@@ -70,11 +70,13 @@ scale-smoke:
 
 # A reduced R19 (village grid + 200-node zoned city) through the full serving
 # pipeline — workload generation, three-tier admission, release churn,
-# compaction — under go vet and the race detector. The full sweep lives in
-# `meshbench -only R19`.
+# compaction — plus a reduced R20 through the sharded path at workers 1 and
+# 8 (per-zone locking, joint batches, concurrent dispatcher), all under go
+# vet and the race detector. The full sweeps live in `meshbench -only R19`
+# and `-only R20`.
 admit-smoke:
 	$(GO) vet ./...
-	$(GO) test -race -count=1 -run TestAdmitSmoke ./internal/experiments
+	$(GO) test -race -count=1 -run 'TestAdmitSmoke|TestShardSmoke' ./internal/experiments
 
 check: vet build race differential lpdebug examples obs-allocs admit-smoke
 
@@ -102,8 +104,9 @@ bench-json:
 
 # Re-run the experiments and compare tables + wall clock against the newest
 # committed BENCH_<date>.json: any table cell change (outside the
-# wall-clock-dependent columns of R7, R18 and R19 — R19's time-budgeted
-# verdict split included) or a >20% wall-clock regression fails the target.
+# wall-clock-dependent columns of R7, R18, R19 and R20 — R19's time-budgeted
+# verdict split and all of R20's serial-vs-sharded comparison included) or a
+# >20% wall-clock regression fails the target.
 bench-compare:
 	$(GO) run ./cmd/meshbench -workers 1 -json /tmp/bench-compare.json > /dev/null
 	$(GO) run ./cmd/benchcompare $(lastword $(sort $(wildcard BENCH_*.json))) /tmp/bench-compare.json

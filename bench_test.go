@@ -534,6 +534,24 @@ func BenchmarkR19AdmissionServing(b *testing.B) {
 	b.ReportMetric(metric(last, 2, 4), "admitted/1000nodes")
 }
 
+// BenchmarkR20ShardedServing runs the serial-vs-sharded serving comparison
+// and reports the 1000-node throughput of both modes plus the speedup — the
+// acceptance figure for the sharded engine (rows: 250/w1, 250/w8, 1000/w1,
+// 1000/w8; col 8 = adm/s, col 9 = speedup over the same mesh's serial row).
+func BenchmarkR20ShardedServing(b *testing.B) {
+	var last *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.R20ShardedServing()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	b.ReportMetric(metric(last, 2, 8), "adm/s-serial-1000nodes")
+	b.ReportMetric(metric(last, 3, 8), "adm/s-sharded-1000nodes")
+	b.ReportMetric(metric(last, 3, 9), "speedup/1000nodes")
+}
+
 // BenchmarkKernelAfterStep measures the kernel's schedule+execute hot path;
 // steady state must be allocation-free (slab + free list + value heap).
 func BenchmarkKernelAfterStep(b *testing.B) {

@@ -9,11 +9,18 @@
 //	meshd                                   # 24-node village, 200 calls
 //	meshd -nodes 96 -calls 1000 -rate 40    # bigger mesh, heavier load
 //	meshd -zoned -zone-size 400             # per-zone models (city mode)
+//	meshd -zoned -workers 8 -batch 16       # sharded concurrent admission
+//	meshd -zoned -workers 8 -defrag         # + background solver re-packs
+//	meshd -to-gateway                       # all calls route to the gateway
 //	meshd -max-window 24                    # tighter admission (more rejects)
 //	meshd -metrics-out metrics.json         # dump admit.* counters
 //
 // The workload is derived purely from the flags (same flags, same calls,
-// byte-identical replay); only the latency numbers are host-dependent.
+// byte-identical replay at -workers 1); only the latency numbers are
+// host-dependent. With -workers > 1 admissions shard by zone and decide
+// concurrently — the verdict set matches a serial run, but per-call order
+// does not, so an extra "concurrency:" summary line replaces nothing and
+// the serial lines keep their format.
 // SIGINT/SIGTERM interrupt an in-flight solve, roll the schedule back and
 // exit cleanly with the statistics accumulated so far.
 package main
@@ -56,19 +63,33 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		holding    = fs.Duration("holding", 500*time.Millisecond, "mean exponential call holding time")
 		slots      = fs.Int("slots-per-link", 1, "slot demand each call adds on every link of its route")
 		seed       = fs.Int64("seed", 42, "workload seed (same flags + seed = byte-identical replay)")
+		toGateway  = fs.Bool("to-gateway", false, "route every call to the gateway (node 0) — the WiMAX-mesh base-station pattern; calls drawn at the gateway are dropped")
 		frameSlots = fs.Int("frame-slots", 64, "TDMA data slots per frame")
 		maxWindow  = fs.Int("max-window", 0, "serving window cap in slots (0 = whole frame); tighter caps reject more")
 		zoned      = fs.Bool("zoned", false, "use per-zone incremental models (city-scale mode)")
 		zoneSize   = fs.Float64("zone-size", 0, "zone edge in meters for -zoned (0 = automatic)")
-		budget     = fs.Int("budget", 200_000, "branch-and-bound node budget per admission solve")
-		timeLimit  = fs.Duration("time-limit", 250*time.Millisecond, "wall-clock cap per admission solve (0 = none); a blown budget falls back to a feasibility probe at the window cap, then rejects conservatively")
-		metricsOut = fs.String("metrics-out", "", "write the admit.* counter snapshot (JSON) to this file")
+		budget      = fs.Int("budget", 200_000, "branch-and-bound node budget per admission solve")
+		timeLimit   = fs.Duration("time-limit", 250*time.Millisecond, "wall-clock cap per admission solve (0 = none); a blown budget falls back to a feasibility probe at the window cap, then rejects conservatively")
+		metricsOut  = fs.String("metrics-out", "", "write the admit.* counter snapshot (JSON) to this file")
+		workers     = fs.Int("workers", 1, "admission workers; >1 requires -zoned and shards decisions by zone (per-zone locking). 1 replays byte-identically to the serial engine")
+		batchMax    = fs.Int("batch", 16, "max arrivals decided by one joint solve when workers queue up (workers > 1 only)")
+		defrag      = fs.Bool("defrag", false, "run background solver-driven defragmentation during the replay")
+		milpWorkers = fs.Int("milp-workers", 1, "branch-and-bound worker threads inside each admission solve")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *nodes < 8 {
 		return fmt.Errorf("-nodes %d: need at least 8", *nodes)
+	}
+	if *workers < 1 {
+		return fmt.Errorf("-workers %d: need at least 1", *workers)
+	}
+	if *workers > 1 && !*zoned {
+		return fmt.Errorf("-workers %d needs -zoned: concurrent admissions shard by zone", *workers)
+	}
+	if *milpWorkers < 1 {
+		return fmt.Errorf("-milp-workers %d: need at least 1", *milpWorkers)
 	}
 	height := (*nodes + 3) / 4
 	topo, err := topology.Grid(4, height, 100)
@@ -86,9 +107,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	reg := obs.NewRegistry()
 	sess, err := sys.NewSession(core.SessionConfig{
 		MaxWindow:     *maxWindow,
-		MILP:          milp.Options{MaxNodes: *budget, TimeLimit: *timeLimit, Workers: 1},
+		MILP:          milp.Options{MaxNodes: *budget, TimeLimit: *timeLimit, Workers: *milpWorkers},
 		BudgetRejects: true,
 		Zoned:         *zoned,
+		Sharded:       *workers > 1,
 		Registry:      reg,
 	})
 	if err != nil {
@@ -97,6 +119,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	w, err := admit.Generate(admit.WorkloadConfig{
 		Topo: topo, Calls: *calls, ArrivalRate: *rate,
 		MeanHolding: *holding, SlotsPerLink: *slots, Seed: *seed,
+		ToGateway: *toGateway,
 	})
 	if err != nil {
 		return err
@@ -106,7 +129,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	fmt.Fprintf(out, "workload: %d calls, %.1f/s arrivals, %v mean holding (%.1f Erlang), seed %d\n",
 		*calls, *rate, *holding, w.Erlang, *seed)
 
-	st, serveErr := admit.Serve(ctx, sess.Engine(), w)
+	st, serveErr := admit.ServeConcurrent(ctx, sess.Engine(), w, admit.ServeOptions{
+		Workers:  *workers,
+		BatchMax: *batchMax,
+		Defrag:   *defrag,
+	})
 	interrupted := errors.Is(serveErr, context.Canceled) || errors.Is(serveErr, context.DeadlineExceeded)
 	if serveErr != nil && !interrupted {
 		return serveErr
@@ -124,6 +151,16 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	es := sess.Stats()
 	fmt.Fprintf(out, "engine: %d releases, %d compactions, %d memo hits, %d satisficed, %d budget rejects; %d live calls, window %d\n",
 		es.Releases, es.Compactions, es.MemoHits, es.Satisficed, es.BudgetRejected, sess.NumCalls(), sess.Window())
+	if *workers > 1 || *defrag {
+		// Extra line only off the serial path, so the default -workers 1
+		// output stays byte-identical release to release.
+		throughput := 0.0
+		if st.Wall > 0 {
+			throughput = float64(st.Offered) / st.Wall.Seconds()
+		}
+		fmt.Fprintf(out, "concurrency: %d workers, batch cap %d, %d batched, %d defrag wins (%d slots); wall %v (%.0f adm/s)\n",
+			*workers, *batchMax, es.Batched, es.Defrags, es.DefragSlots, st.Wall.Round(time.Millisecond), throughput)
+	}
 	if st.Latency.Len() > 0 {
 		p50, err := st.Latency.Quantile(0.50)
 		if err != nil {

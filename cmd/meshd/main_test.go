@@ -30,6 +30,11 @@ func TestRunSummary(t *testing.T) {
 			t.Errorf("output missing %q:\n%s", want, out)
 		}
 	}
+	// Byte-identity contract: the serial summary must not grow a concurrency
+	// line, so -workers 1 replays stay comparable release to release.
+	if strings.Contains(out, "concurrency:") {
+		t.Errorf("serial run printed a concurrency line:\n%s", out)
+	}
 }
 
 // TestRunDeterministicWorkload checks the replay guarantee the doc comment
@@ -98,10 +103,59 @@ func TestRunBadFlags(t *testing.T) {
 	for _, args := range [][]string{
 		{"-nodes", "4"},
 		{"-not-a-flag"},
+		{"-workers", "0"},
+		{"-workers", "8"}, // concurrent admission requires -zoned
+		{"-milp-workers", "0"},
 	} {
 		var sb strings.Builder
 		if err := run(context.Background(), args, &sb); err == nil {
 			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+// TestRunToGateway checks the WiMAX-mesh traffic flag: every generated call
+// routes to the gateway, and calls drawn at the gateway itself are dropped,
+// so the offered count may fall below -calls but the replay still serves.
+func TestRunToGateway(t *testing.T) {
+	var sb strings.Builder
+	err := run(context.Background(), []string{
+		"-nodes", "16", "-calls", "40", "-rate", "50", "-holding", "100ms",
+		"-to-gateway",
+	}, &sb)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "served:") || !strings.Contains(out, "admitted") {
+		t.Errorf("output missing serving summary:\n%s", out)
+	}
+	if strings.Contains(out, "served: 0 offered") {
+		t.Errorf("gateway-directed workload offered nothing:\n%s", out)
+	}
+}
+
+// TestRunSharded drives the concurrent serving path end to end: zoned mesh,
+// 8 workers, background defrag. The summary gains a concurrency line and the
+// verdict counts still reconcile.
+func TestRunSharded(t *testing.T) {
+	var sb strings.Builder
+	err := run(context.Background(), []string{
+		"-nodes", "24", "-calls", "60", "-rate", "100", "-holding", "80ms",
+		"-zoned", "-workers", "8", "-batch", "8", "-defrag", "-max-window", "24",
+	}, &sb)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"served: 60 offered",
+		"concurrency: 8 workers, batch cap 8,",
+		"defrag wins",
+		"adm/s",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
 		}
 	}
 }

@@ -120,6 +120,13 @@ type Stats struct {
 	Releases, Compactions uint64
 	ZoneGreedy            uint64
 	WarmPivots            uint64
+	// Batched counts admissions decided jointly: calls whose verdict was
+	// recovered from a shared solve of a batch of two or more arrivals.
+	Batched uint64
+	// Defrags counts background solver-driven re-packs swapped into the live
+	// schedule; DefragSlots is the total window shrinkage they bought.
+	Defrags     uint64
+	DefragSlots uint64
 	// MemoHits counts warm admissions answered from the exact-solve memo.
 	MemoHits uint64
 	// Satisficed counts admissions decided by the satisficing fallback: the
@@ -158,6 +165,15 @@ type Config struct {
 	// decomposition of ZoneSize meters (0 = automatic): city-scale mode.
 	Zoned    bool
 	ZoneSize float64
+	// Sharded switches the zoned engine from one global lock to per-zone
+	// locking: an admission locks only the zones its demand delta touches
+	// (in ascending zone-ID order, so concurrent admissions cannot
+	// deadlock) plus a short critical section on the shared stitch and
+	// occupancy state, letting admissions in disjoint zones solve truly in
+	// parallel. Requires Zoned. Verdicts stay the zoned engine's
+	// conservative ones, but their arrival order under concurrency is
+	// scheduler-dependent; serial replay needs Sharded off.
+	Sharded bool
 	// MaxZonePairs gates zone ILP size as in internal/partition; larger
 	// zones fall back to greedy packing (0 = partition default).
 	MaxZonePairs int
@@ -188,18 +204,34 @@ type memoEntry struct {
 }
 
 // Engine is the long-lived admission engine. All methods are safe for
-// concurrent use; admissions serialize on one internal lock (the schedule
-// and the persistent solver model are single live objects).
+// concurrent use. In the default configuration admissions serialize on one
+// internal lock (the schedule and the persistent solver model are single
+// live objects); with Config.Sharded the zoned engine instead locks only the
+// zones a decision touches, so the solver work of admissions in disjoint
+// zones runs in parallel and just the stitch — commit of the shared
+// schedule, occupancy index and tallies — serializes on e.mu.
 type Engine struct {
-	cfg    Config
-	maxWin int
+	cfg     Config
+	maxWin  int
+	sharded bool
 
+	// mu is the stitch lock: it guards the live schedule, the occupancy
+	// index, the aggregate demand, the flow table, the tallies and the memo.
+	// In sharded mode the solver phase of a decision runs outside it, under
+	// the per-zone locks below.
 	mu     sync.Mutex
 	sched  *tdma.Schedule
 	occ    [][][2]int // per-link [start,end) intervals, sorted by start
 	demand map[topology.LinkID]int
 	flows  map[FlowID]Flow
 	win    int
+	// gen counts committed mutations of the live schedule (admit, release,
+	// compaction, defrag swap). Background defragmentation snapshots it and
+	// discards its candidate when the schedule moved underneath the solve.
+	gen uint64
+	// pending reserves flow IDs whose sharded admission is mid-solve, so a
+	// concurrent duplicate of the same ID fails instead of racing.
+	pending map[FlowID]bool
 	// Monolithic mode: one persistent model over a grow-only support set.
 	inc     *schedule.Incremental
 	support []topology.LinkID
@@ -211,15 +243,27 @@ type Engine struct {
 	// built model per zone over that zone's grow-only demand support (a
 	// dense city zone can hold tens of thousands of conflicting link pairs,
 	// so a model over all zone links would be intractable; the links that
-	// ever carry demand are few).
+	// ever carry demand are few). zoneInc[zi], zoneSupport[zi] and the
+	// demand entries of zone zi's links are guarded by zoneMu[zi] in
+	// sharded mode (writes additionally hold e.mu for the demand map).
 	dec         *partition.Decomposition
-	zoneInc     map[int]*schedule.Incremental
-	zoneSupport map[int][]topology.LinkID
+	zoneInc     []*schedule.Incremental
+	zoneSupport [][]topology.LinkID
+	zoneMu      []sync.Mutex
 	// Exact-solve memo (monolithic mode): demand fingerprint -> verdict,
 	// FIFO-evicted at memoCap entries.
 	memo      map[string]memoEntry
 	memoOrder []string
 	memoCap   int
+
+	// Defragmentation state: dfMu serializes background re-packs (one at a
+	// time); the private models below exist so a defrag solve never touches
+	// the decision-path models.
+	dfMu       sync.Mutex
+	dfInc      *schedule.Incremental
+	dfSupport  []topology.LinkID
+	dfZoneInc  map[int]*schedule.Incremental
+	dfZoneSup  map[int][]topology.LinkID
 
 	stats   Stats
 	scratch [][2]int
@@ -228,7 +272,10 @@ type Engine struct {
 	cRelease, cCompact           *obs.Counter
 	cZoneGreedy, cWarmPivots     *obs.Counter
 	cMemo, cSatisfice, cBudget   *obs.Counter
-	hDecision                    *obs.Histogram
+	cDefrag, cDefragSlots        *obs.Counter
+	hDecision, hCompact          *obs.Histogram
+	hBatch, hLockWait            *obs.Histogram
+	gQueue                       *obs.Gauge
 }
 
 // New builds an engine serving an empty schedule.
@@ -247,13 +294,18 @@ func New(cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Sharded && !cfg.Zoned {
+		return nil, fmt.Errorf("%w: Sharded requires Zoned (per-zone locks need zones)", ErrBadFlow)
+	}
 	e := &Engine{
-		cfg:    cfg,
-		maxWin: maxWin,
-		sched:  s,
-		occ:    make([][][2]int, cfg.Graph.NumVertices()),
-		demand: make(map[topology.LinkID]int),
-		flows:  make(map[FlowID]Flow),
+		cfg:     cfg,
+		maxWin:  maxWin,
+		sharded: cfg.Sharded,
+		sched:   s,
+		occ:     make([][][2]int, cfg.Graph.NumVertices()),
+		demand:  make(map[topology.LinkID]int),
+		flows:   make(map[FlowID]Flow),
+		pending: make(map[FlowID]bool),
 	}
 	e.memoCap = cfg.MemoSize
 	if e.memoCap == 0 {
@@ -279,8 +331,9 @@ func New(cfg Config) (*Engine, error) {
 			return nil, err
 		}
 		e.dec = dec
-		e.zoneInc = make(map[int]*schedule.Incremental, len(dec.Zones))
-		e.zoneSupport = make(map[int][]topology.LinkID, len(dec.Zones))
+		e.zoneInc = make([]*schedule.Incremental, len(dec.Zones))
+		e.zoneSupport = make([][]topology.LinkID, len(dec.Zones))
+		e.zoneMu = make([]sync.Mutex, len(dec.Zones))
 	}
 	if r := cfg.Registry; r != nil {
 		e.cFast = r.Counter("admit.fastpath_hit")
@@ -294,7 +347,13 @@ func New(cfg Config) (*Engine, error) {
 		e.cMemo = r.Counter("admit.memo_hit")
 		e.cSatisfice = r.Counter("admit.satisfice")
 		e.cBudget = r.Counter("admit.budget_reject")
+		e.cDefrag = r.Counter("admit.defrag")
+		e.cDefragSlots = r.Counter("admit.defrag_win_slots")
 		e.hDecision = r.Histogram("admit.decision_us", 0, 100_000, 50)
+		e.hCompact = r.Histogram("admit.compact_us", 0, 100_000, 50)
+		e.hBatch = r.Histogram("admit.batch_size", 0, 64, 32)
+		e.hLockWait = r.Histogram("admit.lock_wait_us", 0, 100_000, 50)
+		e.gQueue = r.Gauge("admit.queue_depth")
 	}
 	return e, nil
 }
@@ -355,10 +414,19 @@ func (f Flow) validate(numLinks int) error {
 // resource exhaustion, and context cancellation (ctx.Err() once the
 // in-flight solve has been interrupted and rolled back).
 func (e *Engine) Admit(ctx context.Context, f Flow) (Decision, error) {
+	if e.sharded {
+		return e.admitSharded(ctx, f)
+	}
 	start := time.Now()
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	return e.admitSerialLocked(ctx, f, start)
+}
 
+// admitSerialLocked is the single-lock decision body: validation, the
+// structural cap, the first-fit fastpath, then the solver tiers. Called
+// with e.mu held.
+func (e *Engine) admitSerialLocked(ctx context.Context, f Flow, start time.Time) (Decision, error) {
 	if err := f.validate(len(e.occ)); err != nil {
 		return Decision{}, err
 	}
@@ -385,6 +453,7 @@ func (e *Engine) Admit(ctx context.Context, f Flow) (Decision, error) {
 			e.demand[l] += d
 		}
 		e.flows[f.ID] = f
+		e.gen++
 		e.stats.Fast++
 		e.cFast.Inc()
 		return e.finish(start, Decision{Admitted: true, Tier: TierFast, Window: e.win}), nil
@@ -417,6 +486,7 @@ func (e *Engine) Admit(ctx context.Context, f Flow) (Decision, error) {
 	if dec.Admitted {
 		e.demand = newDemand
 		e.flows[f.ID] = f
+		e.gen++
 		switch dec.Tier {
 		case TierWarm:
 			e.stats.Warm++
@@ -444,23 +514,36 @@ func (e *Engine) finish(start time.Time, d Decision) Decision {
 	return d
 }
 
-// solverErr folds a solver failure into the engine's error contract:
-// infeasibility is a rejection (nil error), an interrupt surfaces the
-// context's error, budget exhaustion rejects conservatively when configured,
-// anything else passes through.
-func (e *Engine) solverErr(ctx context.Context, tier Tier, err error) (Decision, error) {
+// classifySolverErr folds a solver failure into the engine's error contract
+// without touching engine state: infeasibility is a rejection (nil error),
+// an interrupt surfaces the context's error, budget exhaustion rejects
+// conservatively when configured (budget=true so the caller can count it),
+// anything else passes through as out.
+func (e *Engine) classifySolverErr(ctx context.Context, err error) (reject, budget bool, out error) {
 	if errors.Is(err, schedule.ErrInfeasible) {
-		return Decision{Tier: tier, Window: e.win}, nil
+		return true, false, nil
 	}
 	if ctx != nil && ctx.Err() != nil && errors.Is(err, milp.ErrLimit) {
-		return Decision{}, ctx.Err()
+		return false, false, ctx.Err()
 	}
 	if e.cfg.BudgetRejects && errors.Is(err, milp.ErrLimit) {
+		return true, true, nil
+	}
+	return false, false, err
+}
+
+// solverErr applies classifySolverErr and books the budget-rejection
+// tallies. Called with e.mu held.
+func (e *Engine) solverErr(ctx context.Context, tier Tier, err error) (Decision, error) {
+	_, budget, out := e.classifySolverErr(ctx, err)
+	if out != nil {
+		return Decision{}, out
+	}
+	if budget {
 		e.stats.BudgetRejected++
 		e.cBudget.Inc()
-		return Decision{Tier: tier, Window: e.win}, nil
 	}
-	return Decision{}, err
+	return Decision{Tier: tier, Window: e.win}, nil
 }
 
 // minSlotsServing wraps Incremental.MinSlots with the satisficing fallback
@@ -468,7 +551,9 @@ func (e *Engine) solverErr(ctx context.Context, tier Tier, err error) (Decision,
 // live context, probe the window cap once — lo = hint = maxWin makes it a
 // single feasibility check — and return that schedule with satisficed=true
 // (the window is then the probe schedule's makespan, feasible but not proven
-// minimal). Called with e.mu held.
+// minimal). It touches no shared engine state beyond the model it is handed,
+// so the sharded engine can run it under a zone lock alone; the caller books
+// satisficed outcomes into the tallies under e.mu.
 func (e *Engine) minSlotsServing(ctx context.Context, inc *schedule.Incremental, p *schedule.Problem, hint, lo int, opts milp.Options) (win int, s *tdma.Schedule, solved, pivots int, satisficed bool, err error) {
 	win, s, solved, pivots, err = inc.MinSlots(p, hint, lo, e.maxWin, opts)
 	if err == nil || !e.cfg.BudgetRejects || !errors.Is(err, milp.ErrLimit) ||
@@ -483,9 +568,17 @@ func (e *Engine) minSlotsServing(ctx context.Context, inc *schedule.Incremental,
 		// and a second ErrLimit becomes the conservative budget rejection.
 		return 0, nil, solved, pivots, false, err2
 	}
-	e.stats.Satisficed++
-	e.cSatisfice.Inc()
 	return makespanOf(s2), s2, solved, pivots, true, nil
+}
+
+// bookSatisficed records satisficing fallbacks taken during a decision's
+// solver phase. Called with e.mu held.
+func (e *Engine) bookSatisficed(n int) {
+	if n <= 0 {
+		return
+	}
+	e.stats.Satisficed += uint64(n)
+	e.cSatisfice.Add(uint64(n))
 }
 
 // admitMono is the monolithic solver tier: one persistent model over a
@@ -535,6 +628,9 @@ func (e *Engine) admitMono(ctx context.Context, newDemand map[topology.LinkID]in
 			e.memoStore(fp, memoEntry{})
 		}
 		return e.solverErr(ctx, tier, err)
+	}
+	if sat {
+		e.bookSatisficed(1)
 	}
 	if !sat {
 		// Satisficed windows are feasible but not proven minimal, so they
@@ -646,10 +742,13 @@ func (e *Engine) admitZoned(ctx context.Context, delta, newDemand map[topology.L
 					hint = max(hint, iv[1])
 				}
 			}
-			_, zs, zsolved, zpiv, _, err := e.minSlotsServing(ctx, zinc, zp, hint, 0, opts)
+			_, zs, zsolved, zpiv, zsat, err := e.minSlotsServing(ctx, zinc, zp, hint, 0, opts)
 			if err != nil {
 				restore()
 				return e.solverErr(ctx, tier, err)
+			}
+			if zsat {
+				e.bookSatisficed(1)
 			}
 			blocks = zs.Assignments
 			solved += zsolved
@@ -694,12 +793,21 @@ func (e *Engine) admitZoned(ctx context.Context, delta, newDemand map[topology.L
 // blocks first-fit to reclaim fragmentation — the re-pack provably never
 // grows the makespan.
 func (e *Engine) Release(id FlowID) error {
+	if e.sharded {
+		return e.releaseSharded(id)
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	f, ok := e.flows[id]
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownFlow, id)
 	}
+	return e.releaseLocked(f)
+}
+
+// releaseLocked returns f's slots and runs the periodic compaction. Called
+// with e.mu held (and, in sharded mode, the zone locks of f's path).
+func (e *Engine) releaseLocked(f Flow) error {
 	for l, d := range f.demand() {
 		if err := e.sched.TrimLink(l, d); err != nil {
 			return err
@@ -708,10 +816,11 @@ func (e *Engine) Release(id FlowID) error {
 			delete(e.demand, l)
 		}
 	}
-	delete(e.flows, id)
+	delete(e.flows, f.ID)
 	e.rebuildOcc()
 	e.win = makespanOf(e.sched)
 	e.solverDirty = true
+	e.gen++
 	e.stats.Releases++
 	e.cRelease.Inc()
 	e.releases++
@@ -734,6 +843,7 @@ func (e *Engine) Release(id FlowID) error {
 // start and are re-placed no later than they were, so the old position is
 // always still free. Hence the makespan never grows. Called with e.mu held.
 func (e *Engine) compact() error {
+	start := time.Now()
 	blocks := slices.Clone(e.sched.Assignments)
 	slices.SortFunc(blocks, func(a, b tdma.Assignment) int {
 		if a.Start != b.Start {
@@ -760,8 +870,10 @@ func (e *Engine) compact() error {
 		e.occAdd(b.Link, s, s+b.Length)
 	}
 	e.win = makespanOf(e.sched)
+	e.gen++
 	e.stats.Compactions++
 	e.cCompact.Inc()
+	e.hCompact.Observe(float64(time.Since(start).Microseconds()))
 	return nil
 }
 

@@ -1,0 +1,256 @@
+package admit
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"slices"
+
+	"wimesh/internal/milp"
+	"wimesh/internal/partition"
+	"wimesh/internal/schedule"
+	"wimesh/internal/tdma"
+	"wimesh/internal/topology"
+)
+
+// TryDefrag attempts one solver-driven defragmentation pass: a re-solve of
+// the aggregate demand over private persistent models, off the decision
+// path, looking for a schedule strictly shorter than the incumbent window.
+// A candidate is validated against the full conflict graph and the demand
+// snapshot, then swapped into the live schedule atomically — but only if the
+// schedule has not changed since the snapshot (any admit, release, compaction
+// or defrag in between bumps the generation counter and the stale candidate
+// is discarded). Returns the number of window slots won (0 = no win: the
+// incumbent was already minimal, the solve ran out of budget, or the
+// schedule moved underneath it).
+//
+// TryDefrag is safe to run concurrently with admissions; passes themselves
+// serialize on an internal lock. Unlike first-fit compaction, which only
+// slides blocks earlier in their current order, the re-solve may reorder
+// blocks arbitrarily and so recovers fragmentation compaction cannot.
+func (e *Engine) TryDefrag(ctx context.Context) (int, error) {
+	e.dfMu.Lock()
+	defer e.dfMu.Unlock()
+
+	e.mu.Lock()
+	gen0 := e.gen
+	win0 := e.win
+	demand := make(map[topology.LinkID]int, len(e.demand))
+	for l, d := range e.demand {
+		demand[l] = d
+	}
+	e.mu.Unlock()
+	if win0 <= 1 || len(demand) == 0 {
+		return 0, nil
+	}
+
+	opts := e.cfg.MILP
+	if ctx != nil {
+		opts.Interrupt = ctx.Done()
+	}
+	var (
+		cand []tdma.Assignment
+		win  int
+		ok   bool
+		err  error
+	)
+	if e.cfg.Zoned {
+		cand, win, ok, err = e.defragZoned(demand, win0, opts)
+	} else {
+		cand, win, ok, err = e.defragMono(demand, win0, opts)
+	}
+	if err != nil || !ok {
+		return 0, err
+	}
+
+	// Validate the candidate off-line before it can touch the live schedule:
+	// conflict-free under the full graph, and carrying exactly the snapshot
+	// demand.
+	tmp := &tdma.Schedule{Config: e.cfg.Frame}
+	if err := tmp.SetAssignments(cand); err != nil {
+		return 0, err
+	}
+	if err := tmp.Validate(e.cfg.Graph); err != nil {
+		return 0, fmt.Errorf("admit: defrag candidate invalid: %w", err)
+	}
+	slots := make(map[topology.LinkID]int, len(demand))
+	for _, a := range cand {
+		slots[a.Link] += a.Length
+	}
+	for l, d := range demand {
+		if slots[l] != d {
+			return 0, fmt.Errorf("admit: defrag candidate carries %d slots on link %d, demand %d",
+				slots[l], l, d)
+		}
+	}
+	for l, n := range slots {
+		if demand[l] != n {
+			return 0, fmt.Errorf("admit: defrag candidate carries %d slots on link %d, demand %d",
+				n, l, demand[l])
+		}
+	}
+	if win >= win0 {
+		return 0, nil
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.gen != gen0 {
+		// The schedule moved while the re-pack solved: the candidate no
+		// longer matches the live demand. Drop it; the next pass re-snapshots.
+		return 0, nil
+	}
+	if err := e.sched.SetAssignments(cand); err != nil {
+		return 0, err
+	}
+	e.rebuildOcc()
+	e.win = win
+	e.gen++
+	// The window shrank but is proven minimal only by the monolithic exact
+	// re-pack; staying conservative either way costs one lower-bound hint.
+	e.solverDirty = true
+	won := win0 - win
+	e.stats.Defrags++
+	e.stats.DefragSlots += uint64(won)
+	e.cDefrag.Inc()
+	e.cDefragSlots.Add(uint64(won))
+	return won, nil
+}
+
+// defragMono re-packs the aggregate demand with the private monolithic model,
+// probing strictly below the incumbent window. ok=false reports "no win"
+// outcomes (incumbent already minimal, budget exhausted).
+func (e *Engine) defragMono(demand map[topology.LinkID]int, win0 int, opts milp.Options) ([]tdma.Assignment, int, bool, error) {
+	if e.dfInc == nil || !e.dfInc.Supports(demand) {
+		support := e.dfSupport
+		for l, d := range demand {
+			if d > 0 && !slices.Contains(support, l) {
+				support = append(support, l)
+			}
+		}
+		inc, err := schedule.NewIncremental(e.cfg.Graph, support, e.cfg.Frame)
+		if err != nil {
+			return nil, 0, false, err
+		}
+		slices.Sort(support)
+		e.dfInc, e.dfSupport = inc, support
+	}
+	p := &schedule.Problem{Graph: e.cfg.Graph, Demand: demand, FrameSlots: e.cfg.Frame.DataSlots}
+	win, s, _, _, err := e.dfInc.Repack(p, win0, opts)
+	if err != nil {
+		if errors.Is(err, schedule.ErrInfeasible) || errors.Is(err, milp.ErrLimit) {
+			return nil, 0, false, nil
+		}
+		return nil, 0, false, err
+	}
+	return slices.Clone(s.Assignments), win, true, nil
+}
+
+// defragZoned re-solves every demand-carrying zone with the private per-zone
+// models and first-fits the union into a scratch occupancy capped strictly
+// below the incumbent window — any placement failure means no provable win.
+func (e *Engine) defragZoned(demand map[topology.LinkID]int, win0 int, opts milp.Options) ([]tdma.Assignment, int, bool, error) {
+	if e.dfZoneInc == nil {
+		e.dfZoneInc = make(map[int]*schedule.Incremental)
+		e.dfZoneSup = make(map[int][]topology.LinkID)
+	}
+	maxPairs := e.cfg.MaxZonePairs
+	if maxPairs <= 0 {
+		maxPairs = partition.DefaultMaxZonePairs
+	}
+	full := &schedule.Problem{Graph: e.cfg.Graph, Demand: demand, FrameSlots: e.cfg.Frame.DataSlots}
+	var blocks []tdma.Assignment
+	for zi := range e.dec.Zones {
+		zp := partition.ZoneProblem(full, e.dec, zi)
+		active := false
+		for _, d := range zp.Demand {
+			if d > 0 {
+				active = true
+				break
+			}
+		}
+		if !active {
+			continue
+		}
+		if partition.ActivePairs(zp) > maxPairs {
+			gs, err := schedule.Greedy(zp, e.cfg.Frame)
+			if err != nil {
+				return nil, 0, false, nil
+			}
+			blocks = append(blocks, gs.Assignments...)
+			continue
+		}
+		zinc := e.dfZoneInc[zi]
+		if zinc == nil || !zinc.Supports(zp.Demand) {
+			support := e.dfZoneSup[zi]
+			for l, d := range zp.Demand {
+				if d > 0 && !slices.Contains(support, l) {
+					support = append(support, l)
+				}
+			}
+			ninc, err := schedule.NewIncremental(e.cfg.Graph, support, e.cfg.Frame)
+			if err != nil {
+				return nil, 0, false, err
+			}
+			slices.Sort(support)
+			e.dfZoneInc[zi], e.dfZoneSup[zi] = ninc, support
+			zinc = ninc
+		}
+		_, zs, _, _, err := zinc.MinSlots(zp, 0, 0, win0-1, opts)
+		if err != nil {
+			// An infeasible zone below win0 or a blown budget: no win.
+			if errors.Is(err, schedule.ErrInfeasible) || errors.Is(err, milp.ErrLimit) {
+				return nil, 0, false, nil
+			}
+			return nil, 0, false, err
+		}
+		blocks = append(blocks, zs.Assignments...)
+	}
+	cand, win, ok := e.scratchFit(blocks, win0-1)
+	return cand, win, ok, nil
+}
+
+// scratchFit first-fit places the blocks (sorted ascending by start, length
+// descending, link) against a private occupancy index bounded by limit,
+// returning the placements and their makespan, or ok=false when any block
+// does not fit. It reads only the immutable conflict graph, so it runs
+// without any engine lock.
+func (e *Engine) scratchFit(blocks []tdma.Assignment, limit int) ([]tdma.Assignment, int, bool) {
+	slices.SortFunc(blocks, func(a, b tdma.Assignment) int {
+		if a.Start != b.Start {
+			return a.Start - b.Start
+		}
+		if a.Length != b.Length {
+			return b.Length - a.Length
+		}
+		return int(a.Link - b.Link)
+	})
+	occ := make([][][2]int, len(e.occ))
+	out := make([]tdma.Assignment, 0, len(blocks))
+	win := 0
+	for _, b := range blocks {
+		var bs [][2]int
+		bs = append(bs, occ[b.Link]...)
+		e.cfg.Graph.VisitNeighbors(b.Link, func(nb topology.LinkID) bool {
+			bs = append(bs, occ[nb]...)
+			return true
+		})
+		slices.SortFunc(bs, func(x, y [2]int) int { return x[0] - y[0] })
+		cur := 0
+		for _, iv := range bs {
+			if iv[0]-cur >= b.Length {
+				break
+			}
+			cur = max(cur, iv[1])
+		}
+		if cur+b.Length > limit {
+			return nil, 0, false
+		}
+		ivs := occ[b.Link]
+		i, _ := slices.BinarySearchFunc(ivs, cur, func(iv [2]int, s int) int { return iv[0] - s })
+		occ[b.Link] = slices.Insert(ivs, i, [2]int{cur, cur + b.Length})
+		out = append(out, tdma.Assignment{Link: b.Link, Start: cur, Length: b.Length})
+		win = max(win, cur+b.Length)
+	}
+	return out, win, true
+}

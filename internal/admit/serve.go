@@ -1,0 +1,223 @@
+package admit
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// ServeOptions parameterizes ServeConcurrent.
+type ServeOptions struct {
+	// Workers is the number of admission workers. 0 or 1 replays serially
+	// through Serve — byte-identical to the single-threaded engine.
+	Workers int
+	// BatchMax caps the arrivals decided by one joint AdmitBatch call
+	// (0 = 16). A worker batches whatever is queued when its solver frees
+	// up, so batches form exactly when arrivals outpace decisions.
+	BatchMax int
+	// QueueCap bounds each worker's event queue (0 = 128). The dispatcher
+	// blocks when a queue is full, so memory stays bounded under overload.
+	QueueCap int
+	// Defrag runs background solver-driven re-packs (Engine.TryDefrag)
+	// every DefragEvery (0 = 5ms) while the replay is in flight.
+	Defrag      bool
+	DefragEvery time.Duration
+}
+
+// ServeConcurrent replays the workload against the engine across several
+// admission workers. Arrivals are sharded by the flow's home zone, so all
+// events of one flow stay on one worker in order; each worker gathers the
+// arrivals queued while its previous decision ran and decides them with one
+// joint AdmitBatch call. With Workers <= 1 and Defrag off the replay
+// delegates to Serve and is byte-identical to the serial engine; otherwise
+// the verdict set is pinned by the differential tests, but per-call ordering
+// and latency are scheduler-dependent.
+func ServeConcurrent(ctx context.Context, e *Engine, w *Workload, opts ServeOptions) (ServeStats, error) {
+	if opts.Workers <= 1 && !opts.Defrag {
+		return Serve(ctx, e, w)
+	}
+	workers := max(opts.Workers, 1)
+	batchMax := opts.BatchMax
+	if batchMax <= 0 {
+		batchMax = 16
+	}
+	qcap := opts.QueueCap
+	if qcap <= 0 {
+		qcap = 128
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	start := time.Now()
+	queues := make([]chan Event, workers)
+	for i := range queues {
+		queues[i] = make(chan Event, qcap)
+	}
+	results := make([]ServeStats, workers)
+	errs := make([]error, workers)
+
+	var workerWg sync.WaitGroup
+	for wi := 0; wi < workers; wi++ {
+		workerWg.Add(1)
+		go func(wi int) {
+			defer workerWg.Done()
+			errs[wi] = serveWorker(runCtx, cancel, e, queues[wi], batchMax, &results[wi])
+		}(wi)
+	}
+
+	var defragWg sync.WaitGroup
+	if opts.Defrag {
+		every := opts.DefragEvery
+		if every <= 0 {
+			every = 5 * time.Millisecond
+		}
+		defragWg.Add(1)
+		go func() {
+			defer defragWg.Done()
+			t := time.NewTicker(every)
+			defer t.Stop()
+			for {
+				select {
+				case <-runCtx.Done():
+					return
+				case <-t.C:
+					// Best-effort: a failed or stale pass just means no win.
+					_, _ = e.TryDefrag(runCtx)
+				}
+			}
+		}()
+	}
+
+	// Dispatch in event order. A departure goes to the worker that got the
+	// arrival (recorded here — dispatch order guarantees the arrival is
+	// mapped first), so per-flow event ordering survives the sharding.
+	homeOf := make(map[FlowID]int, len(w.Events)/2)
+	for _, ev := range w.Events {
+		if runCtx.Err() != nil {
+			break
+		}
+		wi := 0
+		if ev.Arrive {
+			wi = e.HomeZone(ev.Flow) % workers
+			homeOf[ev.Flow.ID] = wi
+		} else {
+			var ok bool
+			if wi, ok = homeOf[ev.Flow.ID]; !ok {
+				continue
+			}
+		}
+		queues[wi] <- ev
+		depth := 0
+		for _, q := range queues {
+			depth += len(q)
+		}
+		e.gQueue.Set(int64(depth))
+	}
+	for _, q := range queues {
+		close(q)
+	}
+	workerWg.Wait()
+	cancel()
+	defragWg.Wait()
+	e.gQueue.Set(0)
+
+	var st ServeStats
+	for i := range results {
+		st.Offered += results[i].Offered
+		st.Admitted += results[i].Admitted
+		st.Rejected += results[i].Rejected
+		st.Fast += results[i].Fast
+		st.Warm += results[i].Warm
+		st.Cold += results[i].Cold
+		st.Elapsed += results[i].Elapsed
+		for _, v := range results[i].Latency.Values() {
+			st.Latency.Add(v)
+		}
+	}
+	st.Wall = time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return st, err
+		}
+	}
+	return st, ctx.Err()
+}
+
+// serveWorker consumes one shard's event queue. Arrivals accumulate into a
+// batch that is flushed — decided by one joint AdmitBatch call — when the
+// queue momentarily empties (nothing else to amortize over), the batch hits
+// batchMax, or a departure needs the flows decided first. After an error the
+// worker keeps draining its queue so the dispatcher never blocks on a full
+// channel; the cancelled context stops the dispatch loop itself.
+func serveWorker(ctx context.Context, cancel context.CancelFunc, e *Engine, q chan Event, batchMax int, st *ServeStats) error {
+	admitted := make(map[FlowID]bool)
+	var batch []Flow
+	var werr error
+	fail := func(err error) {
+		if werr == nil {
+			werr = err
+		}
+		cancel()
+	}
+	flush := func() {
+		if len(batch) == 0 || werr != nil {
+			return
+		}
+		decs, err := e.AdmitBatch(ctx, batch)
+		for i, d := range decs {
+			st.Offered++
+			st.Elapsed += d.Latency
+			st.Latency.AddDuration(d.Latency)
+			if d.Admitted {
+				st.Admitted++
+				admitted[batch[i].ID] = true
+			} else {
+				st.Rejected++
+			}
+			switch d.Tier {
+			case TierFast:
+				st.Fast++
+			case TierWarm:
+				st.Warm++
+			case TierCold:
+				st.Cold++
+			}
+		}
+		batch = batch[:0]
+		if err != nil {
+			fail(err)
+		}
+	}
+	for ev := range q {
+		if werr != nil {
+			continue // drain mode
+		}
+		if ctx.Err() != nil {
+			fail(ctx.Err())
+			continue
+		}
+		if !ev.Arrive {
+			flush()
+			if werr != nil || !admitted[ev.Flow.ID] {
+				continue
+			}
+			s := time.Now()
+			if err := e.Release(ev.Flow.ID); err != nil {
+				fail(err)
+				continue
+			}
+			st.Elapsed += time.Since(s)
+			delete(admitted, ev.Flow.ID)
+			continue
+		}
+		batch = append(batch, ev.Flow)
+		if len(batch) >= batchMax || len(q) == 0 {
+			flush()
+		}
+	}
+	flush()
+	return werr
+}

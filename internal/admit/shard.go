@@ -1,0 +1,520 @@
+package admit
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"slices"
+	"time"
+
+	"wimesh/internal/milp"
+	"wimesh/internal/partition"
+	"wimesh/internal/schedule"
+	"wimesh/internal/tdma"
+	"wimesh/internal/topology"
+)
+
+// This file is the sharded decision path (Config.Sharded): per-zone locking
+// so admissions in disjoint zones solve in parallel, and joint batch
+// decisions that amortize one solve over several queued arrivals.
+//
+// Lock hierarchy, strictly outside-in:
+//
+//	zoneMu[i] < zoneMu[j] for i < j  <  e.mu
+//
+// A decision takes the zone locks of every zone its demand delta touches, in
+// ascending zone-ID order (partition.ZoneSet yields exactly that), and only
+// then — possibly repeatedly — the stitch lock e.mu. e.mu is never held while
+// acquiring a zone lock, so lock-order cycles cannot form. The zone locks
+// freeze the demands of the locked zones' links for the whole decision (every
+// demand write holds the link's zone lock and e.mu); e.mu alone guards the
+// live schedule, the occupancy index, the flow table and the tallies.
+
+// lockZones acquires the given zone locks in ascending order, recording the
+// total acquisition wait in the admit.lock_wait_us histogram.
+func (e *Engine) lockZones(zones []int) {
+	start := time.Now()
+	for _, zi := range zones {
+		e.zoneMu[zi].Lock()
+	}
+	e.hLockWait.Observe(float64(time.Since(start).Microseconds()))
+}
+
+// unlockZones releases the locks taken by lockZones.
+func (e *Engine) unlockZones(zones []int) {
+	for i := len(zones) - 1; i >= 0; i-- {
+		e.zoneMu[zones[i]].Unlock()
+	}
+}
+
+// HomeZone returns the zone of the flow's first path link (0 when the engine
+// is not zoned): the dispatch key ServeConcurrent shards arrivals by, so all
+// events of one flow land on one worker in order.
+func (e *Engine) HomeZone(f Flow) int {
+	if e.dec == nil || len(f.Path) == 0 {
+		return 0
+	}
+	if zi := e.dec.ZoneOf(f.Path[0]); zi >= 0 {
+		return zi
+	}
+	return 0
+}
+
+// admitSharded is the Sharded-mode body of Admit: one flow decided under its
+// own zone locks.
+func (e *Engine) admitSharded(ctx context.Context, f Flow) (Decision, error) {
+	start := time.Now()
+	if err := f.validate(len(e.occ)); err != nil {
+		return Decision{}, err
+	}
+	zones := e.dec.ZoneSet(f.Path)
+	e.lockZones(zones)
+	defer e.unlockZones(zones)
+	out, _, err := e.admitShardedGroup(ctx, []Flow{f}, start)
+	if err != nil {
+		return Decision{}, err
+	}
+	return out[0], nil
+}
+
+// AdmitBatch decides the flows as one joint admission where possible: the
+// union of their demand deltas is checked, fastpathed or solved once, and
+// every member inherits the joint verdict. Demands are monotone, so a joint
+// admit proves each member individually admissible; any joint failure —
+// duplicate ID, structural cap, infeasibility, budget miss, stitch conflict —
+// falls back to deciding the flows individually in slice order, so batching
+// never changes a verdict relative to sequential Admit calls. On an error the
+// decisions made so far are returned with it; the remaining flows are
+// undecided. Works on any engine; sharded engines hold the union zone-lock
+// set for the whole batch.
+func (e *Engine) AdmitBatch(ctx context.Context, flows []Flow) ([]Decision, error) {
+	start := time.Now()
+	if len(flows) == 0 {
+		return nil, nil
+	}
+	ids := make(map[FlowID]bool, len(flows))
+	for _, f := range flows {
+		if err := f.validate(len(e.occ)); err != nil {
+			return nil, err
+		}
+		if ids[f.ID] {
+			return nil, fmt.Errorf("%w: duplicate flow %s in batch", ErrBadFlow, f.ID)
+		}
+		ids[f.ID] = true
+	}
+	e.hBatch.Observe(float64(len(flows)))
+	if e.sharded {
+		var union []topology.LinkID
+		for _, f := range flows {
+			union = append(union, f.Path...)
+		}
+		zones := e.dec.ZoneSet(union)
+		e.lockZones(zones)
+		defer e.unlockZones(zones)
+		if out, ok, err := e.admitShardedGroup(ctx, flows, start); ok || err != nil {
+			return out, err
+		}
+		out := make([]Decision, 0, len(flows))
+		for _, f := range flows {
+			ds, _, err := e.admitShardedGroup(ctx, []Flow{f}, time.Now())
+			if err != nil {
+				return out, err
+			}
+			out = append(out, ds[0])
+		}
+		return out, nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if out, ok, err := e.tryJointSerialLocked(ctx, flows, start); ok || err != nil {
+		return out, err
+	}
+	out := make([]Decision, 0, len(flows))
+	for _, f := range flows {
+		d, err := e.admitSerialLocked(ctx, f, time.Now())
+		if err != nil {
+			return out, err
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+// tryJointSerialLocked attempts the joint decision of a batch on a
+// non-sharded engine. ok=false with a nil error means the joint attempt
+// proved nothing (duplicate, cap, reject, or budget miss) and the caller
+// must decide the flows individually. Called with e.mu held.
+func (e *Engine) tryJointSerialLocked(ctx context.Context, flows []Flow, start time.Time) ([]Decision, bool, error) {
+	delta := make(map[topology.LinkID]int)
+	for _, f := range flows {
+		if _, dup := e.flows[f.ID]; dup {
+			return nil, false, nil
+		}
+		for i, l := range f.Path {
+			delta[l] += f.Slots[i]
+		}
+	}
+	for l, d := range delta {
+		if e.demand[l]+d > e.maxWin {
+			return nil, false, nil
+		}
+	}
+	if placed := e.tryFastpath(delta); placed != nil {
+		for _, a := range placed {
+			if err := e.sched.Add(a); err != nil {
+				return nil, false, err
+			}
+			e.occAdd(a.Link, a.Start, a.End())
+		}
+		for l, d := range delta {
+			e.demand[l] += d
+		}
+		for _, f := range flows {
+			e.flows[f.ID] = f
+		}
+		e.gen++
+		return e.groupCommit(flows, start, Decision{Admitted: true, Tier: TierFast, Window: e.win}), true, nil
+	}
+	newDemand := make(map[topology.LinkID]int, len(e.demand)+len(delta))
+	for l, d := range e.demand {
+		newDemand[l] = d
+	}
+	for l, d := range delta {
+		newDemand[l] += d
+	}
+	opts := e.cfg.MILP
+	if ctx != nil {
+		opts.Interrupt = ctx.Done()
+	}
+	var (
+		dec Decision
+		err error
+	)
+	if e.cfg.Zoned {
+		dec, err = e.admitZoned(ctx, delta, newDemand, opts)
+	} else {
+		dec, err = e.admitMono(ctx, newDemand, opts)
+	}
+	if err != nil {
+		if ctx != nil && ctx.Err() != nil {
+			return nil, false, err
+		}
+		if errors.Is(err, milp.ErrLimit) {
+			// The joint model is bigger than any member's; a blown budget
+			// here says nothing about the individual solves.
+			return nil, false, nil
+		}
+		return nil, false, err
+	}
+	if !dec.Admitted {
+		return nil, false, nil
+	}
+	e.demand = newDemand
+	for _, f := range flows {
+		e.flows[f.ID] = f
+	}
+	e.gen++
+	return e.groupCommit(flows, start, dec), true, nil
+}
+
+// admitShardedGroup decides the flows as one joint admission under their zone
+// locks, which the caller already holds (a superset is fine). For a single
+// flow the outcome is authoritative — verdicts match the serial zoned engine.
+// For a joint batch (len ≥ 2), ok=false with a nil error signals the caller
+// to fall back to individual decisions: a joint failure must not reject a
+// call a sequential run would admit.
+//
+// The decision runs in three phases. Phase A under e.mu: duplicate checks, ID
+// reservation (e.pending), the structural cap, the first-fit fastpath, and a
+// snapshot of the solver inputs. Phase B under the zone locks alone: the
+// per-zone solves — the expensive part, running concurrently with admissions
+// in other zones. Phase C under e.mu again: swap the zones' allocations into
+// the live schedule (re-checked against the live occupancy, so halo links
+// stay safe) and commit. The zone locks keep the demands of every touched
+// link frozen across the phases, so the phase-A snapshot cannot go stale
+// where it matters.
+func (e *Engine) admitShardedGroup(ctx context.Context, flows []Flow, start time.Time) ([]Decision, bool, error) {
+	joint := len(flows) > 1
+	delta := make(map[topology.LinkID]int)
+	for _, f := range flows {
+		for i, l := range f.Path {
+			delta[l] += f.Slots[i]
+		}
+	}
+	links := make([]topology.LinkID, 0, len(delta))
+	for l := range delta {
+		links = append(links, l)
+	}
+	zones := e.dec.ZoneSet(links)
+
+	e.mu.Lock()
+	for _, f := range flows {
+		if _, dup := e.flows[f.ID]; dup || e.pending[f.ID] {
+			e.mu.Unlock()
+			if joint {
+				return nil, false, nil
+			}
+			return nil, false, fmt.Errorf("%w: flow %s already admitted", ErrBadFlow, f.ID)
+		}
+	}
+	for _, f := range flows {
+		e.pending[f.ID] = true
+	}
+	unreserve := func() {
+		for _, f := range flows {
+			delete(e.pending, f.ID)
+		}
+	}
+	for l, d := range delta {
+		if e.demand[l]+d > e.maxWin {
+			unreserve()
+			if joint {
+				e.mu.Unlock()
+				return nil, false, nil
+			}
+			d := e.finish(start, Decision{Tier: TierNone})
+			e.mu.Unlock()
+			return []Decision{d}, true, nil
+		}
+	}
+	if placed := e.tryFastpath(delta); placed != nil {
+		for _, a := range placed {
+			if err := e.sched.Add(a); err != nil {
+				unreserve()
+				e.mu.Unlock()
+				return nil, false, err
+			}
+			e.occAdd(a.Link, a.Start, a.End())
+		}
+		for l, d := range delta {
+			e.demand[l] += d
+		}
+		for _, f := range flows {
+			e.flows[f.ID] = f
+		}
+		e.gen++
+		unreserve()
+		out := e.groupCommit(flows, start, Decision{Admitted: true, Tier: TierFast, Window: e.win})
+		e.mu.Unlock()
+		return out, true, nil
+	}
+	newDemand := make(map[topology.LinkID]int, len(e.demand)+len(delta))
+	for l, d := range e.demand {
+		newDemand[l] = d
+	}
+	for l, d := range delta {
+		newDemand[l] += d
+	}
+	hints := make([]int, len(zones))
+	for i, zi := range zones {
+		h := 0
+		for _, l := range e.dec.Zones[zi].Links {
+			for _, iv := range e.occ[l] {
+				h = max(h, iv[1])
+			}
+		}
+		hints[i] = h
+	}
+	e.mu.Unlock()
+
+	opts := e.cfg.MILP
+	if ctx != nil {
+		opts.Interrupt = ctx.Done()
+	}
+	maxPairs := e.cfg.MaxZonePairs
+	if maxPairs <= 0 {
+		maxPairs = partition.DefaultMaxZonePairs
+	}
+	full := &schedule.Problem{Graph: e.cfg.Graph, Demand: newDemand, FrameSlots: e.cfg.Frame.DataSlots}
+	tier := TierWarm
+	zoneBlocks := make([][]tdma.Assignment, len(zones))
+	var greedy, sat, solved, pivots int
+	for i, zi := range zones {
+		zp := partition.ZoneProblem(full, e.dec, zi)
+		if partition.ActivePairs(zp) > maxPairs {
+			gs, gerr := schedule.Greedy(zp, e.cfg.Frame)
+			if gerr != nil {
+				return e.groupSolverExit(ctx, flows, start, tier, greedy, sat, joint, gerr)
+			}
+			zoneBlocks[i] = gs.Assignments
+			greedy++
+			continue
+		}
+		zinc := e.zoneInc[zi]
+		if zinc == nil || !zinc.Supports(zp.Demand) {
+			support := e.zoneSupport[zi]
+			for l, d := range zp.Demand {
+				if d > 0 && !slices.Contains(support, l) {
+					support = append(support, l)
+				}
+			}
+			ninc, err := schedule.NewIncremental(e.cfg.Graph, support, e.cfg.Frame)
+			if err != nil {
+				return e.groupSolverExit(ctx, flows, start, tier, greedy, sat, joint, err)
+			}
+			slices.Sort(support)
+			e.zoneInc[zi], e.zoneSupport[zi] = ninc, support
+			zinc = ninc
+			tier = TierCold
+		}
+		_, zs, zsolved, zpiv, zsat, err := e.minSlotsServing(ctx, zinc, zp, hints[i], 0, opts)
+		if err != nil {
+			return e.groupSolverExit(ctx, flows, start, tier, greedy, sat, joint, err)
+		}
+		if zsat {
+			sat++
+		}
+		zoneBlocks[i] = zs.Assignments
+		solved += zsolved
+		pivots += zpiv
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	unreserve()
+	e.bookZoneTallies(greedy, sat)
+	snapshot := slices.Clone(e.sched.Assignments)
+	snapWin := e.win
+	restore := func() {
+		e.sched.Assignments = snapshot
+		e.sched.Invalidate()
+		e.win = snapWin
+		e.rebuildOcc()
+	}
+	for i, zi := range zones {
+		e.dropLinks(e.dec.Zones[zi].Links)
+		blocks := zoneBlocks[i]
+		slices.SortFunc(blocks, func(a, b tdma.Assignment) int {
+			if a.Start != b.Start {
+				return a.Start - b.Start
+			}
+			if a.Length != b.Length {
+				return b.Length - a.Length
+			}
+			return int(a.Link - b.Link)
+		})
+		for _, b := range blocks {
+			s := e.firstFit(b.Link, b.Length, e.maxWin, nil)
+			if s < 0 {
+				restore()
+				if joint {
+					return nil, false, nil
+				}
+				return []Decision{e.finish(start, Decision{Tier: tier, Window: e.win})}, true, nil
+			}
+			if err := e.sched.Add(tdma.Assignment{Link: b.Link, Start: s, Length: b.Length}); err != nil {
+				restore()
+				return nil, false, err
+			}
+			e.occAdd(b.Link, s, s+b.Length)
+		}
+	}
+	for l, d := range delta {
+		e.demand[l] += d
+	}
+	for _, f := range flows {
+		e.flows[f.ID] = f
+	}
+	e.gen++
+	e.win = makespanOf(e.sched)
+	out := e.groupCommit(flows, start, Decision{Admitted: true, Tier: tier, Window: e.win, Solved: solved, Pivots: pivots})
+	return out, true, nil
+}
+
+// groupSolverExit unwinds a sharded decision whose solve phase failed: the
+// ID reservations are dropped and the accumulated zone tallies booked under
+// e.mu, then the error is folded into the engine's verdict contract — or,
+// for a joint batch, into the fall-back-to-individual signal.
+func (e *Engine) groupSolverExit(ctx context.Context, flows []Flow, start time.Time, tier Tier, greedy, sat int, joint bool, err error) ([]Decision, bool, error) {
+	_, budget, out := e.classifySolverErr(ctx, err)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, f := range flows {
+		delete(e.pending, f.ID)
+	}
+	e.bookZoneTallies(greedy, sat)
+	if joint {
+		if out == nil || (errors.Is(err, milp.ErrLimit) && (ctx == nil || ctx.Err() == nil)) {
+			return nil, false, nil
+		}
+		return nil, false, out
+	}
+	if out != nil {
+		return nil, false, out
+	}
+	if budget {
+		e.stats.BudgetRejected++
+		e.cBudget.Inc()
+	}
+	return []Decision{e.finish(start, Decision{Tier: tier, Window: e.win})}, true, nil
+}
+
+// bookZoneTallies records per-zone solve outcomes accumulated outside the
+// stitch lock. Called with e.mu held.
+func (e *Engine) bookZoneTallies(greedy, sat int) {
+	if greedy > 0 {
+		e.stats.ZoneGreedy += uint64(greedy)
+		e.cZoneGreedy.Add(uint64(greedy))
+	}
+	e.bookSatisficed(sat)
+}
+
+// groupCommit books an admitted group decision — tier tallies per member,
+// the batch counter, and per-member decisions whose latency is the group
+// elapsed time amortized across the members (the solve ran once for all of
+// them). Called with e.mu held.
+func (e *Engine) groupCommit(flows []Flow, start time.Time, dec Decision) []Decision {
+	k := uint64(len(flows))
+	switch dec.Tier {
+	case TierFast:
+		e.stats.Fast += k
+		e.cFast.Add(k)
+	case TierWarm:
+		e.stats.Warm += k
+		e.stats.WarmPivots += uint64(dec.Pivots)
+		e.cWarm.Add(k)
+		e.cWarmPivots.Add(uint64(dec.Pivots))
+	case TierCold:
+		e.stats.Cold += k
+		e.cCold.Add(k)
+	}
+	if k > 1 {
+		e.stats.Batched += k
+	}
+	per := time.Since(start) / time.Duration(len(flows))
+	out := make([]Decision, len(flows))
+	for i := range out {
+		d := dec
+		d.Latency = per
+		if i > 0 {
+			// Solver effort is attributed once, to the first member.
+			d.Solved, d.Pivots = 0, 0
+		}
+		e.stats.Admitted++
+		e.hDecision.Observe(float64(per.Microseconds()))
+		out[i] = d
+	}
+	return out
+}
+
+// releaseSharded is the Sharded-mode body of Release. The flow's zone locks
+// must be taken before e.mu (lock order), so the flow is looked up first,
+// its zones locked, and the lookup re-checked — a concurrent Release of the
+// same ID may have won the race in between.
+func (e *Engine) releaseSharded(id FlowID) error {
+	e.mu.Lock()
+	f, ok := e.flows[id]
+	e.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownFlow, id)
+	}
+	zones := e.dec.ZoneSet(f.Path)
+	e.lockZones(zones)
+	defer e.unlockZones(zones)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.flows[id]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownFlow, id)
+	}
+	return e.releaseLocked(f)
+}

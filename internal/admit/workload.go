@@ -47,6 +47,12 @@ type WorkloadConfig struct {
 	SlotsPerLink int
 	// Seed drives all randomness.
 	Seed int64
+	// ToGateway routes every call to the topology's gateway instead of the
+	// drawn destination — the WiMAX-mesh traffic pattern, where all flows
+	// transit the base station. The destination draw still happens, so the
+	// random sequence (and hence every later call) is unchanged; calls
+	// originating at the gateway itself are dropped like unroutable ones.
+	ToGateway bool
 }
 
 // Generate builds the workload. Calls between nodes with no route are
@@ -76,6 +82,16 @@ func Generate(cfg WorkloadConfig) (*Workload, error) {
 			dst = topology.NodeID(rng.Intn(n))
 		}
 		holding := time.Duration(rng.ExpFloat64() * float64(cfg.MeanHolding))
+		if cfg.ToGateway {
+			gw, ok := cfg.Topo.Gateway()
+			if !ok {
+				return nil, fmt.Errorf("%w: ToGateway needs a gateway node", ErrBadFlow)
+			}
+			if src == gw {
+				continue
+			}
+			dst = gw
+		}
 		path, err := cfg.Topo.ShortestPath(src, dst)
 		if err != nil || len(path) == 0 {
 			continue
@@ -117,14 +133,19 @@ type ServeStats struct {
 	Latency stats.Sample
 	// Elapsed is the wall time spent inside Admit/Release calls.
 	Elapsed time.Duration
+	// Wall is the end-to-end replay time. For a serial replay it tracks
+	// Elapsed closely; for ServeConcurrent it is the fair throughput
+	// denominator, since workers overlap their in-call time.
+	Wall time.Duration
 }
 
 // Serve replays the workload against the engine as fast as possible (event
 // times only order the replay, they are not slept). It stops early when ctx
 // is cancelled — including mid-solve, via the engine's solver interrupt —
 // and returns ctx.Err() with the stats accumulated so far.
-func Serve(ctx context.Context, e *Engine, w *Workload) (ServeStats, error) {
-	var st ServeStats
+func Serve(ctx context.Context, e *Engine, w *Workload) (st ServeStats, _ error) {
+	wallStart := time.Now()
+	defer func() { st.Wall = time.Since(wallStart) }()
 	admitted := make(map[FlowID]bool)
 	for _, ev := range w.Events {
 		if err := ctx.Err(); err != nil {

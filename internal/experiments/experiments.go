@@ -119,9 +119,10 @@ var registry = []struct {
 	{"R17", R17FrameDuration},
 	{"R18", R18PartitionedScale},
 	{"R19", R19AdmissionServing},
+	{"R20", R20ShardedServing},
 }
 
-// IDs returns the experiment identifiers in canonical order (R1..R19).
+// IDs returns the experiment identifiers in canonical order (R1..R20).
 func IDs() []string {
 	out := make([]string, len(registry))
 	for i, g := range registry {

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+	"time"
+)
+
+// TestShardSmoke is the reduced R20 the `make admit-smoke` target runs under
+// the race detector: one zoned city slice served serially and through the
+// sharded path at 8 workers, exercising per-zone locking, joint batching and
+// the concurrent dispatcher end to end.
+func TestShardSmoke(t *testing.T) {
+	tab, err := r20Table("R20S", []r20Point{
+		{nodes: 120, calls: 50, rate: 40, holding: 10 * time.Second},
+	}, []int{1, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(tab.Rows))
+	}
+	for i, row := range tab.Rows {
+		offered, err := strconv.Atoi(row[3])
+		if err != nil || offered <= 0 {
+			t.Errorf("row %d: offered = %q, want positive int", i, row[3])
+		}
+		admitted, _ := strconv.Atoi(row[4])
+		rejected, _ := strconv.Atoi(row[5])
+		if admitted+rejected != offered {
+			t.Errorf("row %d: verdicts %d+%d do not reconcile with offered %d",
+				i, admitted, rejected, offered)
+		}
+		if admitted == 0 {
+			t.Errorf("row %d: admitted nothing", i)
+		}
+	}
+	if w, _ := strconv.Atoi(tab.Rows[0][2]); w != 1 {
+		t.Errorf("first row workers = %q, want the serial baseline", tab.Rows[0][2])
+	}
+	if w, _ := strconv.Atoi(tab.Rows[1][2]); w != 8 {
+		t.Errorf("second row workers = %q, want the sharded run", tab.Rows[1][2])
+	}
+	// The sharded row must actually batch — joint decisions are the whole
+	// point of the flash-crowd workload.
+	if batched, _ := strconv.Atoi(tab.Rows[1][6]); batched == 0 {
+		t.Errorf("sharded run decided no admissions jointly")
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"slices"
 	"sort"
 	"time"
 
@@ -115,6 +116,25 @@ func (d *Decomposition) ZoneOf(l topology.LinkID) int {
 		return -1
 	}
 	return d.zoneOf[l]
+}
+
+// NumZones returns the number of non-empty zones.
+func (d *Decomposition) NumZones() int { return len(d.Zones) }
+
+// ZoneSet returns the sorted, deduplicated zone indices owning the given
+// links (links outside the decomposition are skipped). It is the zone→lock
+// mapping of the sharded admission engine: the zones an admission's demand
+// delta touches are exactly the locks the decision must hold, taken in the
+// ascending order ZoneSet yields so concurrent admissions cannot deadlock.
+func (d *Decomposition) ZoneSet(links []topology.LinkID) []int {
+	var zones []int
+	for _, l := range links {
+		if zi := d.ZoneOf(l); zi >= 0 {
+			zones = append(zones, zi)
+		}
+	}
+	sort.Ints(zones)
+	return slices.Compact(zones)
 }
 
 // NumHalo returns the total number of halo links across all zones.

@@ -153,6 +153,22 @@ func (inc *Incremental) apply(p *Problem, win int) error {
 	return nil
 }
 
+// Repack searches for a schedule of the problem's demands strictly shorter
+// than the incumbent window: the solver-driven defragmentation entry point.
+// It probes the persistent model over [1, incumbent-1] starting at
+// incumbent-1 (release fragmentation typically leaves only a slot or two of
+// recoverable slack, so the first probe usually decides), returning the
+// minimum window and its witness schedule, or ErrInfeasible when the
+// incumbent is already the true minimum. The result is exact: a successful
+// Repack proves the returned window minimal for the demand vector.
+func (inc *Incremental) Repack(p *Problem, incumbent int, opts milp.Options) (int, *tdma.Schedule, int, int, error) {
+	if incumbent <= 1 {
+		return 0, nil, 0, 0, fmt.Errorf("%w: incumbent window %d leaves no room below it",
+			ErrInfeasible, incumbent)
+	}
+	return inc.MinSlots(p, incumbent-1, 0, incumbent-1, opts)
+}
+
 // MinSlots finds the smallest window in [lo, maxWin] feasible for the
 // problem's demands, probing the persistent model by mutation only. The
 // search starts at hint — for an admission delta the incumbent window, which

@@ -1,0 +1,54 @@
+package schedule
+
+import (
+	"errors"
+	"testing"
+
+	"wimesh/internal/milp"
+	"wimesh/internal/topology"
+)
+
+// TestRepack pins the defragmentation entry point: an incumbent above the
+// true minimum re-packs down to exactly the minimum with a valid witness, an
+// incumbent at the minimum proves ErrInfeasible (nothing shorter exists), and
+// a degenerate incumbent is rejected outright.
+func TestRepack(t *testing.T) {
+	g, support, cfg := incrementalFixture(t, 6, 16)
+	inc, err := NewIncremental(g, support, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := milp.Options{MaxNodes: 50_000, Workers: 1}
+	demand := map[topology.LinkID]int{support[0]: 3, support[1]: 2}
+	p := &Problem{Graph: g, Demand: demand, FrameSlots: cfg.DataSlots}
+
+	min, _, _, _, err := inc.MinSlots(p, 0, 0, 0, opts)
+	if err != nil {
+		t.Fatalf("MinSlots: %v", err)
+	}
+
+	// A fragmented incumbent: Repack must land exactly on the minimum.
+	win, sched, solved, _, err := inc.Repack(p, min+3, opts)
+	if err != nil {
+		t.Fatalf("Repack from %d: %v", min+3, err)
+	}
+	if win != min {
+		t.Fatalf("Repack window %d, want the minimum %d", win, min)
+	}
+	if solved < 1 {
+		t.Fatalf("Repack solved %d programs, want at least 1", solved)
+	}
+	if err := p.checkSchedule(sched); err != nil {
+		t.Fatalf("Repack witness invalid: %v", err)
+	}
+
+	// Incumbent already minimal: strictly-shorter search is infeasible.
+	if _, _, _, _, err := inc.Repack(p, min, opts); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("Repack at the minimum: err = %v, want ErrInfeasible", err)
+	}
+
+	// Incumbent <= 1 leaves no room below it.
+	if _, _, _, _, err := inc.Repack(p, 1, opts); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("Repack at incumbent 1: err = %v, want ErrInfeasible", err)
+	}
+}

@@ -48,6 +48,28 @@ func (s *Schedule) Invalidate() {
 	s.cacheLen = -1
 }
 
+// SetAssignments replaces the whole assignment list in one step and drops
+// the per-link caches, after validating every entry against the frame
+// bounds. It is the swap entry point of the admission engine's solver-driven
+// defragmentation: a background re-pack is computed off to the side and,
+// once validated, installed over the live schedule under the engine's lock
+// without intermediate states ever being observable. The slice is adopted,
+// not copied; the caller must not retain it.
+func (s *Schedule) SetAssignments(as []Assignment) error {
+	for _, a := range as {
+		if a.Length <= 0 {
+			return fmt.Errorf("%w: non-positive length %d for link %d", ErrBadAssignment, a.Length, a.Link)
+		}
+		if a.Start < 0 || a.End() > s.Config.DataSlots {
+			return fmt.Errorf("%w: slots [%d,%d) outside frame of %d slots (link %d)",
+				ErrBadAssignment, a.Start, a.End(), s.Config.DataSlots, a.Link)
+		}
+	}
+	s.Assignments = as
+	s.Invalidate()
+	return nil
+}
+
 // NewSchedule returns an empty schedule with the given frame layout.
 func NewSchedule(cfg FrameConfig) (*Schedule, error) {
 	if err := cfg.Validate(); err != nil {

@@ -1,0 +1,59 @@
+package tdma
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestSetAssignments covers the whole-schedule swap used by the admission
+// engine's defragmentation: a valid replacement is adopted atomically and the
+// per-link caches answer for the new layout, while an invalid replacement is
+// rejected before any state changes.
+func TestSetAssignments(t *testing.T) {
+	cfg := FrameConfig{FrameDuration: 20_000_000, DataSlots: 16}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSchedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(Assignment{Link: 0, Start: 0, Length: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(Assignment{Link: 1, Start: 4, Length: 2}); err != nil {
+		t.Fatal(err)
+	}
+	// Warm the memoized per-link view, then swap: the caches must be dropped
+	// and re-answer for the new layout, not the old one.
+	if got := s.LinkSlots(0); got != 4 {
+		t.Fatalf("pre-swap LinkSlots(0) = %d, want 4", got)
+	}
+	repacked := []Assignment{
+		{Link: 0, Start: 2, Length: 3},
+		{Link: 1, Start: 5, Length: 1},
+	}
+	if err := s.SetAssignments(repacked); err != nil {
+		t.Fatalf("SetAssignments: %v", err)
+	}
+	if got := s.LinkSlots(0); got != 3 {
+		t.Fatalf("post-swap LinkSlots(0) = %d, want 3", got)
+	}
+	if got := s.LinkSlots(1); got != 1 {
+		t.Fatalf("post-swap LinkSlots(1) = %d, want 1", got)
+	}
+
+	// Invalid replacements are rejected with the schedule untouched.
+	for _, bad := range [][]Assignment{
+		{{Link: 0, Start: 14, Length: 4}}, // overruns the frame
+		{{Link: 0, Start: -1, Length: 2}}, // negative start
+		{{Link: 0, Start: 0, Length: 0}},  // empty block
+	} {
+		if err := s.SetAssignments(bad); !errors.Is(err, ErrBadAssignment) {
+			t.Fatalf("SetAssignments(%v): err = %v, want ErrBadAssignment", bad, err)
+		}
+		if got := s.LinkSlots(0); got != 3 {
+			t.Fatalf("schedule mutated by rejected swap: LinkSlots(0) = %d, want 3", got)
+		}
+	}
+}
