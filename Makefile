@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check differential lpdebug examples obs-allocs scale-smoke admit-smoke profile bench bench-full bench-json bench-compare clean
+.PHONY: all build test vet race check differential lpdebug examples obs-allocs scale-smoke admit-smoke class-smoke profile bench bench-full bench-json bench-compare clean
 
 all: check
 
@@ -78,7 +78,16 @@ admit-smoke:
 	$(GO) vet ./...
 	$(GO) test -race -count=1 -run 'TestAdmitSmoke|TestShardSmoke' ./internal/experiments
 
-check: vet build race differential lpdebug examples obs-allocs admit-smoke
+# A reduced R21 (120-node zoned city, mixed UGS/rtPS/nrtPS/BE workload under
+# overload) through the class-aware serving pipeline — class deadlines, the
+# classed fastpath and solver caps, and preemptive admission with evictions —
+# under go vet and the race detector. The full sweep lives in
+# `meshbench -only R21`.
+class-smoke:
+	$(GO) vet ./...
+	$(GO) test -race -count=1 -run TestClassSmoke ./internal/experiments
+
+check: vet build race differential lpdebug examples obs-allocs admit-smoke class-smoke
 
 # CPU+heap profile of the scheduler-bound experiments (see README
 # "Performance" for reading the output).
@@ -104,9 +113,10 @@ bench-json:
 
 # Re-run the experiments and compare tables + wall clock against the newest
 # committed BENCH_<date>.json: any table cell change (outside the
-# wall-clock-dependent columns of R7, R18, R19 and R20 — R19's time-budgeted
-# verdict split and all of R20's serial-vs-sharded comparison included) or a
-# >20% wall-clock regression fails the target.
+# wall-clock-dependent columns of R7, R18, R19, R20 and R21 — R19's
+# time-budgeted verdict split, all of R20's serial-vs-sharded comparison and
+# R21's per-class latency quantiles included) or a >20% wall-clock regression
+# fails the target.
 bench-compare:
 	$(GO) run ./cmd/meshbench -workers 1 -json /tmp/bench-compare.json > /dev/null
 	$(GO) run ./cmd/benchcompare $(lastword $(sort $(wildcard BENCH_*.json))) /tmp/bench-compare.json

@@ -552,6 +552,24 @@ func BenchmarkR20ShardedServing(b *testing.B) {
 	b.ReportMetric(metric(last, 3, 9), "speedup/1000nodes")
 }
 
+// BenchmarkR21ClassScheduling runs the mixed-class admission comparison and
+// reports the 1000-node admitted counts of both arms plus the evictions the
+// preemptive arm paid for its gain (rows: 250/off, 250/on, 1000/off,
+// 1000/on; col 4 = admitted, col 6 = preempted).
+func BenchmarkR21ClassScheduling(b *testing.B) {
+	var last *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.R21ClassScheduling()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	b.ReportMetric(metric(last, 2, 4), "admitted-nopreempt-1000nodes")
+	b.ReportMetric(metric(last, 3, 4), "admitted-preempt-1000nodes")
+	b.ReportMetric(metric(last, 3, 6), "evicted-preempt-1000nodes")
+}
+
 // BenchmarkKernelAfterStep measures the kernel's schedule+execute hot path;
 // steady state must be allocation-free (slab + free list + value heap).
 func BenchmarkKernelAfterStep(b *testing.B) {

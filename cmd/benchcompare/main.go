@@ -70,7 +70,7 @@ func run(args []string, out io.Writer) error {
 		minDelta  = fs.Float64("mindelta", 5, "ignore wall-clock regressions smaller than this many milliseconds")
 		volatile  = fs.String("volatile", "R7:ILP search,R7:order+BF,R7:greedy,R18:wall ms,"+
 			"R19:*latency*,R19:adm/s,R19:admitted,R19:rejected,R19:fastpath,R19:warm,R19:cold,"+
-			"R20:*,R20:adm/s",
+			"R20:*,R20:adm/s,R21:*p99*",
 			"comma-separated ID:column cells that depend on host wall clock and may differ; both halves accept path.Match globs (note * does not cross a '/', hence the explicit R20:adm/s)")
 	)
 	if err := fs.Parse(args); err != nil {

@@ -111,6 +111,68 @@ func TestVolatileGlobCellsIgnored(t *testing.T) {
 	}
 }
 
+func TestParseVolatile(t *testing.T) {
+	pats, err := parseVolatile(" R7:ILP search, R19:*latency* ,,")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(pats) != 2 {
+		t.Fatalf("got %d patterns, want 2 (blank entries skipped)", len(pats))
+	}
+	if pats[0] != (volatilePat{id: "R7", col: "ILP search"}) {
+		t.Errorf("first entry: %+v", pats[0])
+	}
+	if pats[1] != (volatilePat{id: "R19", col: "*latency*"}) {
+		t.Errorf("second entry: %+v", pats[1])
+	}
+	for _, bad := range []string{
+		"R7",     // no colon
+		":col",   // empty ID half
+		"R7:",    // empty column half
+		"R7:[",   // malformed glob in the column half
+		"[:wall", // malformed glob in the ID half
+	} {
+		if _, err := parseVolatile(bad); err == nil {
+			t.Errorf("entry %q accepted", bad)
+		}
+	}
+}
+
+func TestIsVolatile(t *testing.T) {
+	pats, err := parseVolatile("R7:ILP search,R19:*latency*,R2*:wall ms,R20:*,R20:adm/s,R21:*p99*")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, tc := range []struct {
+		id, col string
+		want    bool
+	}{
+		{"R7", "ILP search", true},      // exact match on both halves
+		{"R7", "greedy", false},         // exact column does not spread
+		{"R19", "p50 latency us", true}, // glob column half
+		{"R19", "offered", false},       // deterministic column stays checked
+		{"R20", "wall ms", true},        // glob ID half (R2*)
+		{"R18", "wall ms", false},       // R2* does not reach back to R18
+		{"R20", "batched", true},        // R20:* covers slash-free columns
+		{"R20", "adm/s", true},          // ...but only the explicit entry covers adm/s
+		{"R21", "ugs p99 us", true},     // default R21 entry covers the class latencies
+		{"R21", "preempted", false},     // the verdict columns stay byte-checked
+	} {
+		if got := isVolatile(pats, tc.id, tc.col); got != tc.want {
+			t.Errorf("isVolatile(%q, %q) = %v, want %v", tc.id, tc.col, got, tc.want)
+		}
+	}
+	// The documented gotcha behind the explicit R20:adm/s entry: path.Match's
+	// * does not cross a '/', so R20:* alone would leave adm/s checked.
+	solo, err := parseVolatile("R20:*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if isVolatile(solo, "R20", "adm/s") {
+		t.Error("R20:* unexpectedly covers the slash-bearing adm/s column")
+	}
+}
+
 func TestBadVolatilePatternRejected(t *testing.T) {
 	old := writeReport(t, "old.json", baseReport())
 	now := writeReport(t, "new.json", baseReport())

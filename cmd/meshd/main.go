@@ -14,6 +14,9 @@
 //	meshd -to-gateway                       # all calls route to the gateway
 //	meshd -max-window 24                    # tighter admission (more rejects)
 //	meshd -metrics-out metrics.json         # dump admit.* counters
+//	meshd -class-mix ugs=0.5,rtps=0.2/2,be=0.3 -preempt
+//	                                        # mixed service classes, voice may
+//	                                        # evict best-effort under overload
 //
 // The workload is derived purely from the flags (same flags, same calls,
 // byte-identical replay at -workers 1); only the latency numbers are
@@ -34,6 +37,8 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -75,6 +80,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		batchMax    = fs.Int("batch", 16, "max arrivals decided by one joint solve when workers queue up (workers > 1 only)")
 		defrag      = fs.Bool("defrag", false, "run background solver-driven defragmentation during the replay")
 		milpWorkers = fs.Int("milp-workers", 1, "branch-and-bound worker threads inside each admission solve")
+		classMix    = fs.String("class-mix", "", "weighted service-class mix, e.g. ugs=0.5,rtps=0.2/2,nrtps=0.2/2,be=0.1 (class=weight[/slots-per-link]); empty serves pure best-effort calls as before")
+		preempt     = fs.Bool("preempt", false, "let guaranteed-class (UGS/rtPS) arrivals evict best-effort and nrtPS calls when every repair tier fails; single worker only")
+		ugsDeadline = fs.Int("ugs-deadline", 0, "per-link slot deadline for aggregate UGS traffic (0 = none)")
+		rtpsWindow  = fs.Int("rtps-window", 0, "per-link slot deadline for aggregate UGS+rtPS traffic (0 = none)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -90,6 +99,13 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	if *milpWorkers < 1 {
 		return fmt.Errorf("-milp-workers %d: need at least 1", *milpWorkers)
+	}
+	if *preempt && *workers > 1 {
+		return fmt.Errorf("-preempt needs -workers 1: an eviction can hit a call owned by another worker")
+	}
+	mix, err := parseClassMix(*classMix)
+	if err != nil {
+		return err
 	}
 	height := (*nodes + 3) / 4
 	topo, err := topology.Grid(4, height, 100)
@@ -111,6 +127,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		BudgetRejects: true,
 		Zoned:         *zoned,
 		Sharded:       *workers > 1,
+		UGSDeadline:   *ugsDeadline,
+		RtPSWindow:    *rtpsWindow,
+		Preempt:       *preempt,
 		Registry:      reg,
 	})
 	if err != nil {
@@ -119,7 +138,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	w, err := admit.Generate(admit.WorkloadConfig{
 		Topo: topo, Calls: *calls, ArrivalRate: *rate,
 		MeanHolding: *holding, SlotsPerLink: *slots, Seed: *seed,
-		ToGateway: *toGateway,
+		ToGateway: *toGateway, ClassMix: mix,
 	})
 	if err != nil {
 		return err
@@ -151,6 +170,12 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	es := sess.Stats()
 	fmt.Fprintf(out, "engine: %d releases, %d compactions, %d memo hits, %d satisficed, %d budget rejects; %d live calls, window %d\n",
 		es.Releases, es.Compactions, es.MemoHits, es.Satisficed, es.BudgetRejected, sess.NumCalls(), sess.Window())
+	if *classMix != "" || *preempt || *ugsDeadline > 0 || *rtpsWindow > 0 {
+		// Class line only when a class feature is on, so the default output
+		// stays byte-identical release to release.
+		fmt.Fprintf(out, "classes: mix %q, ugs deadline %d, rtps window %d; %d preempt attempts, %d preemptive admits, %d calls evicted\n",
+			*classMix, *ugsDeadline, *rtpsWindow, es.PreemptAttempts, es.PreemptAdmits, es.PreemptEvicted)
+	}
 	if *workers > 1 || *defrag {
 		// Extra line only off the serial path, so the default -workers 1
 		// output stays byte-identical release to release.
@@ -182,6 +207,41 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// parseClassMix parses the -class-mix syntax: comma-separated
+// class=weight[/slots-per-link] shares, e.g. "ugs=0.5,rtps=0.2/2,be=0.3".
+// An empty string is a valid empty mix (pure best-effort workload).
+func parseClassMix(s string) ([]admit.ClassShare, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var mix []admit.ClassShare
+	for _, part := range strings.Split(s, ",") {
+		name, rest, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("-class-mix %q: want class=weight[/slots-per-link]", part)
+		}
+		class, err := admit.ParseClass(name)
+		if err != nil {
+			return nil, fmt.Errorf("-class-mix %q: %w", part, err)
+		}
+		weightStr, slotsStr, hasSlots := strings.Cut(rest, "/")
+		weight, err := strconv.ParseFloat(weightStr, 64)
+		if err != nil || weight <= 0 {
+			return nil, fmt.Errorf("-class-mix %q: weight %q must be a positive number", part, weightStr)
+		}
+		share := admit.ClassShare{Class: class, Weight: weight}
+		if hasSlots {
+			spl, err := strconv.Atoi(slotsStr)
+			if err != nil || spl < 1 {
+				return nil, fmt.Errorf("-class-mix %q: slots-per-link %q must be a positive integer", part, slotsStr)
+			}
+			share.SlotsPerLink = spl
+		}
+		mix = append(mix, share)
+	}
+	return mix, nil
 }
 
 // windowCap resolves the effective serving window for the banner.

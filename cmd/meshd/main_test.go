@@ -106,10 +106,57 @@ func TestRunBadFlags(t *testing.T) {
 		{"-workers", "0"},
 		{"-workers", "8"}, // concurrent admission requires -zoned
 		{"-milp-workers", "0"},
+		{"-zoned", "-workers", "2", "-preempt"}, // preemption is single-worker
+		{"-class-mix", "voice=1"},
+		{"-class-mix", "ugs"},
+		{"-class-mix", "ugs=0"},
+		{"-class-mix", "ugs=0.5/0"},
 	} {
 		var sb strings.Builder
 		if err := run(context.Background(), args, &sb); err == nil {
 			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestParseClassMix(t *testing.T) {
+	mix, err := parseClassMix("ugs=0.5,rtps=0.2/2,nrtps=0.2/2,be=0.1")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(mix) != 4 {
+		t.Fatalf("got %d shares, want 4", len(mix))
+	}
+	if mix[1].Weight != 0.2 || mix[1].SlotsPerLink != 2 {
+		t.Errorf("rtps share: %+v", mix[1])
+	}
+	if mix[0].SlotsPerLink != 0 {
+		t.Errorf("ugs share without /slots should inherit: %+v", mix[0])
+	}
+	if got, err := parseClassMix(""); err != nil || got != nil {
+		t.Errorf("empty mix: %v, %v", got, err)
+	}
+}
+
+// TestRunClassMix drives the mixed-class preemptive path end to end and
+// checks the class summary line appears with its eviction counters.
+func TestRunClassMix(t *testing.T) {
+	var sb strings.Builder
+	err := run(context.Background(), []string{
+		"-nodes", "16", "-calls", "40", "-rate", "100", "-holding", "200ms",
+		"-frame-slots", "16", "-class-mix", "ugs=0.6,be=0.4", "-preempt",
+	}, &sb)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"served: 40 offered",
+		`classes: mix "ugs=0.6,be=0.4", ugs deadline 0, rtps window 0;`,
+		"preempt attempts",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
 		}
 	}
 }

@@ -84,10 +84,13 @@ type FlowID string
 
 // Flow is an admission request: Slots[i] data slots per frame on link
 // Path[i]. A link appearing twice contributes the sum of its entries.
+// Class is the flow's 802.16 service class; the zero value (best effort)
+// reproduces the engine's class-oblivious behavior exactly.
 type Flow struct {
 	ID    FlowID
 	Path  []topology.LinkID
 	Slots []int
+	Class Class
 }
 
 // demand folds the flow into a per-link slot map.
@@ -111,6 +114,11 @@ type Decision struct {
 	Pivots int
 	// Latency is the in-engine decision time.
 	Latency time.Duration
+	// Preempted lists the flows evicted to make this admission possible
+	// (Config.Preempt). Non-empty only on admitted guaranteed-class
+	// decisions; the evicted flows are no longer served and must not be
+	// released again.
+	Preempted []FlowID
 }
 
 // Stats is a snapshot of the engine's lifetime tallies.
@@ -137,6 +145,12 @@ type Stats struct {
 	// branch-and-bound budget — with Config.BudgetRejects, after the
 	// satisficing fallback also failed to decide in time.
 	BudgetRejected uint64
+	// PreemptAttempts counts guaranteed-class rejections that entered the
+	// preemption search; PreemptAdmits the ones it converted to admissions;
+	// PreemptEvicted the BE/nrtPS flows evicted across those admissions.
+	PreemptAttempts uint64
+	PreemptAdmits   uint64
+	PreemptEvicted  uint64
 }
 
 // Config parameterizes an Engine.
@@ -147,6 +161,26 @@ type Config struct {
 	// MaxWindow caps the schedule makespan in slots (0 = all data slots).
 	// Admissions that cannot fit within it are rejected.
 	MaxWindow int
+	// UGSDeadline, when positive, requires every link's aggregate UGS slots
+	// to complete within the first UGSDeadline slots of the frame — the
+	// periodic-grant region of the 802.16 frame map. RtPSWindow, when
+	// positive, requires each link's UGS+rtPS slots to complete within the
+	// first RtPSWindow slots (at least UGSDeadline when both are set).
+	// Zero disables the deadline machinery entirely; classes then only
+	// order preemption, and the engine's verdicts and schedules are
+	// byte-identical to the class-oblivious ones.
+	UGSDeadline int
+	RtPSWindow  int
+	// Preempt lets a guaranteed-class (UGS/rtPS) arrival that fails every
+	// repair tier evict the cheapest conflict-relevant set of BE/nrtPS
+	// flows and retry. Evictions are reported in Decision.Preempted and the
+	// evicted flows are no longer served. Non-guaranteed arrivals never
+	// preempt, and guaranteed flows are never victims. Requires the serial
+	// engine (not Sharded): preemption retries mutate and roll back the
+	// whole schedule under one lock.
+	Preempt bool
+	// MaxPreempt caps the evictions spent on one admission (0 = no cap).
+	MaxPreempt int
 	// MILP configures the branch-and-bound solves. Admit overrides
 	// Interrupt with the call context's Done channel.
 	MILP milp.Options
@@ -225,6 +259,10 @@ type Engine struct {
 	demand map[topology.LinkID]int
 	flows  map[FlowID]Flow
 	win    int
+	// cls tracks, per link, the aggregate guaranteed-class slots:
+	// [0] UGS, [1] rtPS. Maintained only when classed() — a deadline is
+	// configured — and guarded by e.mu like demand.
+	cls map[topology.LinkID][2]int
 	// gen counts committed mutations of the live schedule (admit, release,
 	// compaction, defrag swap). Background defragmentation snapshots it and
 	// discards its candidate when the schedule moved underneath the solve.
@@ -273,6 +311,8 @@ type Engine struct {
 	cZoneGreedy, cWarmPivots     *obs.Counter
 	cMemo, cSatisfice, cBudget   *obs.Counter
 	cDefrag, cDefragSlots        *obs.Counter
+	cPreemptAttempt              *obs.Counter
+	cPreemptAdmit, cPreemptEvict *obs.Counter
 	hDecision, hCompact          *obs.Histogram
 	hBatch, hLockWait            *obs.Histogram
 	gQueue                       *obs.Gauge
@@ -297,6 +337,17 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.Sharded && !cfg.Zoned {
 		return nil, fmt.Errorf("%w: Sharded requires Zoned (per-zone locks need zones)", ErrBadFlow)
 	}
+	if cfg.UGSDeadline < 0 || cfg.RtPSWindow < 0 {
+		return nil, fmt.Errorf("%w: negative class deadline (ugs %d, rtps %d)",
+			ErrBadFlow, cfg.UGSDeadline, cfg.RtPSWindow)
+	}
+	if cfg.UGSDeadline > 0 && cfg.RtPSWindow > 0 && cfg.RtPSWindow < cfg.UGSDeadline {
+		return nil, fmt.Errorf("%w: rtPS window %d below UGS deadline %d",
+			ErrBadFlow, cfg.RtPSWindow, cfg.UGSDeadline)
+	}
+	if cfg.Preempt && cfg.Sharded {
+		return nil, fmt.Errorf("%w: Preempt requires the serial engine (preemption retries roll back the whole schedule)", ErrBadFlow)
+	}
 	e := &Engine{
 		cfg:     cfg,
 		maxWin:  maxWin,
@@ -305,6 +356,7 @@ func New(cfg Config) (*Engine, error) {
 		occ:     make([][][2]int, cfg.Graph.NumVertices()),
 		demand:  make(map[topology.LinkID]int),
 		flows:   make(map[FlowID]Flow),
+		cls:     make(map[topology.LinkID][2]int),
 		pending: make(map[FlowID]bool),
 	}
 	e.memoCap = cfg.MemoSize
@@ -349,6 +401,9 @@ func New(cfg Config) (*Engine, error) {
 		e.cBudget = r.Counter("admit.budget_reject")
 		e.cDefrag = r.Counter("admit.defrag")
 		e.cDefragSlots = r.Counter("admit.defrag_win_slots")
+		e.cPreemptAttempt = r.Counter("admit.preempt_attempt")
+		e.cPreemptAdmit = r.Counter("admit.preempt_admit")
+		e.cPreemptEvict = r.Counter("admit.preempt_evict")
 		e.hDecision = r.Histogram("admit.decision_us", 0, 100_000, 50)
 		e.hCompact = r.Histogram("admit.compact_us", 0, 100_000, 50)
 		e.hBatch = r.Histogram("admit.batch_size", 0, 64, 32)
@@ -359,6 +414,16 @@ func New(cfg Config) (*Engine, error) {
 }
 
 // Window returns the current schedule makespan in slots.
+//
+// Locking note (audited for the sharded engine): e.mu alone is sufficient
+// for this and the other read accessors even under Config.Sharded. Every
+// mutation of reader-visible state — e.sched, e.occ, e.demand, e.flows,
+// e.win, e.cls, e.stats — happens with e.mu held: the sharded decision
+// path mutates only zone solver state (zoneInc, zoneSupport, guarded by
+// the zone locks) during its unlocked solve phase B, and commits through
+// phases A and C under e.mu. TestShardedSnapshotRace hammers these
+// accessors against ServeConcurrent under the race detector to keep it
+// that way.
 func (e *Engine) Window() int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -379,7 +444,10 @@ func (e *Engine) Stats() Stats {
 	return e.stats
 }
 
-// Snapshot returns a copy of the live schedule.
+// Snapshot returns a copy of the live schedule. The assignment slice is
+// cloned under e.mu (see the locking note on Window), so the copy is a
+// consistent point-in-time schedule even while sharded admissions and
+// background defrag run concurrently.
 func (e *Engine) Snapshot() *tdma.Schedule {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -389,13 +457,16 @@ func (e *Engine) Snapshot() *tdma.Schedule {
 	return cp
 }
 
-func (f Flow) validate(numLinks int) error {
+func (f Flow) validate(numLinks, frameSlots int) error {
 	if f.ID == "" {
 		return fmt.Errorf("%w: empty flow ID", ErrBadFlow)
 	}
 	if len(f.Path) == 0 || len(f.Path) != len(f.Slots) {
 		return fmt.Errorf("%w: flow %s has %d links, %d slot counts",
 			ErrBadFlow, f.ID, len(f.Path), len(f.Slots))
+	}
+	if f.Class > ClassUGS {
+		return fmt.Errorf("%w: flow %s has unknown class %d", ErrBadFlow, f.ID, f.Class)
 	}
 	for i, l := range f.Path {
 		if l < 0 || int(l) >= numLinks {
@@ -404,6 +475,35 @@ func (f Flow) validate(numLinks int) error {
 		if f.Slots[i] <= 0 {
 			return fmt.Errorf("%w: flow %s slot count %d on link %d",
 				ErrBadFlow, f.ID, f.Slots[i], l)
+		}
+	}
+	// A link may appear on the path more than once (a route crossing the
+	// same contention domain twice); the tiers all see the FOLDED per-link
+	// demand (see demand()). Folded demand beyond the frame can never be
+	// served in any window, and unlike a single oversized entry — which the
+	// structural cap screens per tier — the individual entries of a
+	// duplicate-link flow can each look harmless, so the mismatch is
+	// rejected here where the request is still a request.
+	for i, l := range f.Path {
+		seen := false
+		for j := 0; j < i; j++ {
+			if f.Path[j] == l {
+				seen = true
+				break
+			}
+		}
+		if seen {
+			continue
+		}
+		total := 0
+		for j := i; j < len(f.Path); j++ {
+			if f.Path[j] == l {
+				total += f.Slots[j]
+			}
+		}
+		if total > frameSlots {
+			return fmt.Errorf("%w: flow %s folded demand %d on link %d exceeds the %d-slot frame",
+				ErrBadFlow, f.ID, total, l, frameSlots)
 		}
 	}
 	return nil
@@ -423,26 +523,59 @@ func (e *Engine) Admit(ctx context.Context, f Flow) (Decision, error) {
 	return e.admitSerialLocked(ctx, f, start)
 }
 
-// admitSerialLocked is the single-lock decision body: validation, the
-// structural cap, the first-fit fastpath, then the solver tiers. Called
-// with e.mu held.
+// admitSerialLocked is the single-lock decision body: validation, one
+// admission attempt through the tiers, and — for rejected guaranteed-class
+// arrivals with Config.Preempt — the preemption retry loop. Called with
+// e.mu held.
 func (e *Engine) admitSerialLocked(ctx context.Context, f Flow, start time.Time) (Decision, error) {
-	if err := f.validate(len(e.occ)); err != nil {
+	if err := f.validate(len(e.occ), e.cfg.Frame.DataSlots); err != nil {
 		return Decision{}, err
 	}
 	if _, dup := e.flows[f.ID]; dup {
 		return Decision{}, fmt.Errorf("%w: flow %s already admitted", ErrBadFlow, f.ID)
 	}
+	dec, err := e.attemptLocked(ctx, f)
+	if err != nil {
+		return Decision{}, err
+	}
+	if !dec.Admitted && e.cfg.Preempt && f.Class.Guaranteed() {
+		// Only guaranteed-class arrivals ever enter the preemption search,
+		// so a BE or nrtPS arrival can never evict anything.
+		dec, err = e.tryPreempt(ctx, f, dec)
+		if err != nil {
+			return Decision{}, err
+		}
+	}
+	return e.finish(start, dec), nil
+}
+
+// attemptLocked runs one admission attempt for f — structural screen, the
+// first-fit fastpath, then the solver tiers — committing engine state and
+// booking the per-tier tallies on success. The shared admit/reject tallies
+// and the latency stamp are the caller's (finish), so the preemption loop
+// can re-run the attempt after evictions. Called with e.mu held; f must be
+// validated and not a duplicate.
+func (e *Engine) attemptLocked(ctx context.Context, f Flow) (Decision, error) {
 	delta := f.demand()
 	for l, d := range delta {
 		if e.demand[l]+d > e.maxWin {
 			// No window within the cap can carry this link's demand:
 			// structurally impossible, no solver needed.
-			return e.finish(start, Decision{Tier: TierNone}), nil
+			return Decision{Tier: TierNone}, nil
+		}
+	}
+	newCls := e.clsAfter(f)
+	if newCls != nil {
+		for l := range delta {
+			if v := newCls[l]; e.clsOver(v[0], v[1]) {
+				// The link's guaranteed-class slots cannot all complete by
+				// their deadlines in any window: structurally impossible.
+				return Decision{Tier: TierNone}, nil
+			}
 		}
 	}
 
-	if pending := e.tryFastpath(delta); pending != nil {
+	if pending := e.tryFastpath(delta, newCls); pending != nil {
 		for _, a := range pending {
 			if err := e.sched.Add(a); err != nil {
 				return Decision{}, err
@@ -452,11 +585,14 @@ func (e *Engine) admitSerialLocked(ctx context.Context, f Flow, start time.Time)
 		for l, d := range delta {
 			e.demand[l] += d
 		}
+		if newCls != nil {
+			e.cls = newCls
+		}
 		e.flows[f.ID] = f
 		e.gen++
 		e.stats.Fast++
 		e.cFast.Inc()
-		return e.finish(start, Decision{Admitted: true, Tier: TierFast, Window: e.win}), nil
+		return Decision{Admitted: true, Tier: TierFast, Window: e.win}, nil
 	}
 
 	newDemand := make(map[topology.LinkID]int, len(e.demand)+len(delta))
@@ -476,15 +612,18 @@ func (e *Engine) admitSerialLocked(ctx context.Context, f Flow, start time.Time)
 		err error
 	)
 	if e.cfg.Zoned {
-		dec, err = e.admitZoned(ctx, delta, newDemand, opts)
+		dec, err = e.admitZoned(ctx, delta, newDemand, newCls, opts)
 	} else {
-		dec, err = e.admitMono(ctx, newDemand, opts)
+		dec, err = e.admitMono(ctx, newDemand, newCls, opts)
 	}
 	if err != nil {
 		return Decision{}, err
 	}
 	if dec.Admitted {
 		e.demand = newDemand
+		if newCls != nil {
+			e.cls = newCls
+		}
 		e.flows[f.ID] = f
 		e.gen++
 		switch dec.Tier {
@@ -498,7 +637,7 @@ func (e *Engine) admitSerialLocked(ctx context.Context, f Flow, start time.Time)
 			e.cCold.Inc()
 		}
 	}
-	return e.finish(start, dec), nil
+	return dec, nil
 }
 
 // finish stamps the latency and the shared admit/reject tallies.
@@ -582,9 +721,11 @@ func (e *Engine) bookSatisficed(n int) {
 }
 
 // admitMono is the monolithic solver tier: one persistent model over a
-// grow-only support set. Called with e.mu held.
-func (e *Engine) admitMono(ctx context.Context, newDemand map[topology.LinkID]int, opts milp.Options) (Decision, error) {
-	fp := fingerprint(newDemand)
+// grow-only support set. newCls carries the prospective per-link class
+// totals (nil when the engine is class-oblivious); they reach the solver
+// as absolute start caps. Called with e.mu held.
+func (e *Engine) admitMono(ctx context.Context, newDemand map[topology.LinkID]int, newCls map[topology.LinkID][2]int, opts milp.Options) (Decision, error) {
+	fp := fingerprint(newDemand, newCls)
 	if ent, ok := e.memo[fp]; ok {
 		e.stats.MemoHits++
 		e.cMemo.Inc()
@@ -621,7 +762,8 @@ func (e *Engine) admitMono(ctx context.Context, newDemand map[topology.LinkID]in
 		// case is a single warm probe.
 		lo = e.win
 	}
-	p := &schedule.Problem{Graph: e.cfg.Graph, Demand: newDemand, FrameSlots: e.cfg.Frame.DataSlots}
+	p := &schedule.Problem{Graph: e.cfg.Graph, Demand: newDemand, FrameSlots: e.cfg.Frame.DataSlots,
+		StartCap: e.capsFor(newCls)}
 	win, s, solved, pivots, sat, err := e.minSlotsServing(ctx, e.inc, p, e.win, lo, opts)
 	if err != nil {
 		if errors.Is(err, schedule.ErrInfeasible) {
@@ -645,7 +787,11 @@ func (e *Engine) admitMono(ctx context.Context, newDemand map[topology.LinkID]in
 }
 
 // fingerprint serializes a demand vector into a memo key: links ascending.
-func fingerprint(demand map[topology.LinkID]int) string {
+// A classed engine folds the per-link class totals in too — the same
+// aggregate demand under a different UGS/rtPS composition has different
+// start caps, so the verdicts are not interchangeable. With cls nil the
+// key bytes are exactly the pre-class ones.
+func fingerprint(demand map[topology.LinkID]int, cls map[topology.LinkID][2]int) string {
 	links := make([]topology.LinkID, 0, len(demand))
 	for l, d := range demand {
 		if d > 0 {
@@ -657,6 +803,14 @@ func fingerprint(demand map[topology.LinkID]int) string {
 	for _, l := range links {
 		b = binary.AppendVarint(b, int64(l))
 		b = binary.AppendVarint(b, int64(demand[l]))
+	}
+	if cls != nil {
+		b = append(b, 0xff)
+		for _, l := range links {
+			v := cls[l]
+			b = binary.AppendVarint(b, int64(v[0]))
+			b = binary.AppendVarint(b, int64(v[1]))
+		}
 	}
 	return string(b)
 }
@@ -678,8 +832,11 @@ func (e *Engine) memoStore(fp string, ent memoEntry) {
 }
 
 // admitZoned re-solves only the zones the delta touches and first-fits their
-// new blocks back against the rest of the schedule. Called with e.mu held.
-func (e *Engine) admitZoned(ctx context.Context, delta, newDemand map[topology.LinkID]int, opts milp.Options) (Decision, error) {
+// new blocks back against the rest of the schedule. newCls carries the
+// prospective per-link class totals (nil when class-oblivious): the zone
+// solves see them as start caps, and the re-stitch respects them through
+// stitchLimit. Called with e.mu held.
+func (e *Engine) admitZoned(ctx context.Context, delta, newDemand map[topology.LinkID]int, newCls map[topology.LinkID][2]int, opts milp.Options) (Decision, error) {
 	snapshot := slices.Clone(e.sched.Assignments)
 	snapWin := e.win
 	restore := func() {
@@ -702,9 +859,11 @@ func (e *Engine) admitZoned(ctx context.Context, delta, newDemand map[topology.L
 	slices.Sort(zones)
 
 	tier, solved, pivots := TierWarm, 0, 0
-	full := &schedule.Problem{Graph: e.cfg.Graph, Demand: newDemand, FrameSlots: e.cfg.Frame.DataSlots}
+	full := &schedule.Problem{Graph: e.cfg.Graph, Demand: newDemand, FrameSlots: e.cfg.Frame.DataSlots,
+		StartCap: e.capsFor(newCls)}
 	for _, zi := range zones {
 		zp := partition.ZoneProblem(full, e.dec, zi)
+		zp.StartCap = full.StartCap
 		zoneLinks := e.dec.Zones[zi].Links
 
 		var blocks []tdma.Assignment
@@ -769,11 +928,14 @@ func (e *Engine) admitZoned(ctx context.Context, delta, newDemand map[topology.L
 			}
 			return int(a.Link - b.Link)
 		})
+		placed := make(map[topology.LinkID]int, len(zoneLinks))
 		for _, b := range blocks {
-			s := e.firstFit(b.Link, b.Length, e.maxWin, nil)
+			lim := e.stitchLimit(b.Link, placed[b.Link], b.Length, newCls)
+			s := e.firstFit(b.Link, b.Length, lim, nil)
 			if s < 0 {
-				// Cross-zone packing failure: conservative rejection, like
-				// the partitioned planner's stitch failures.
+				// Cross-zone packing failure (or a class deadline the
+				// stitch cannot keep): conservative rejection, like the
+				// partitioned planner's stitch failures.
 				restore()
 				return Decision{Tier: tier, Window: e.win}, nil
 			}
@@ -782,6 +944,7 @@ func (e *Engine) admitZoned(ctx context.Context, delta, newDemand map[topology.L
 				return Decision{}, err
 			}
 			e.occAdd(b.Link, s, s+b.Length)
+			placed[b.Link] += b.Length
 		}
 	}
 	e.win = makespanOf(e.sched)
@@ -817,6 +980,7 @@ func (e *Engine) releaseLocked(f Flow) error {
 		}
 	}
 	delete(e.flows, f.ID)
+	e.classAdd(f, -1)
 	e.rebuildOcc()
 	e.win = makespanOf(e.sched)
 	e.solverDirty = true
@@ -919,13 +1083,58 @@ func (e *Engine) Check() error {
 	if occSlots != schedSlots {
 		return fmt.Errorf("admit: occupancy index holds %d slots, schedule %d", occSlots, schedSlots)
 	}
+	if e.classed() {
+		// The class totals must mirror the flow table, and every link's
+		// guaranteed prefixes must be covered by their deadlines.
+		want := make(map[topology.LinkID][2]int)
+		for _, f := range e.flows {
+			var idx int
+			switch f.Class {
+			case ClassUGS:
+				idx = 0
+			case ClassRtPS:
+				idx = 1
+			default:
+				continue
+			}
+			for i, l := range f.Path {
+				v := want[l]
+				v[idx] += f.Slots[i]
+				want[l] = v
+			}
+		}
+		for l, v := range want {
+			if e.cls[l] != v {
+				return fmt.Errorf("admit: link %d class totals %v, flows say %v", l, e.cls[l], v)
+			}
+		}
+		for l, v := range e.cls {
+			if want[l] != v {
+				return fmt.Errorf("admit: link %d class totals %v, flows say %v", l, v, want[l])
+			}
+			if D1 := e.cfg.UGSDeadline; D1 > 0 && v[0] > 0 && e.covered(l, D1) < v[0] {
+				return fmt.Errorf("admit: link %d covers %d slots by UGS deadline %d, needs %d",
+					l, e.covered(l, D1), D1, v[0])
+			}
+			if D2 := e.cfg.RtPSWindow; D2 > 0 && v[1] > 0 && e.covered(l, D2) < v[0]+v[1] {
+				return fmt.Errorf("admit: link %d covers %d slots by rtPS window %d, needs %d",
+					l, e.covered(l, D2), D2, v[0]+v[1])
+			}
+		}
+	}
 	return nil
 }
 
 // tryFastpath attempts first-fit placement of the delta entirely within the
 // current window. Returns the placements to commit, or nil when any link
-// does not fit (the solver tiers take over). Called with e.mu held.
-func (e *Engine) tryFastpath(delta map[topology.LinkID]int) []tdma.Assignment {
+// does not fit (the solver tiers take over). newCls, when non-nil, carries
+// the prospective per-link class totals: each link's placement is then cut
+// into up to three segments — slots that must end by the UGS deadline,
+// by the rtPS window, and anywhere in the window — sized so the link's
+// deadline coverage (see Check) holds after the commit. With newCls nil the
+// placement degenerates to the single unconstrained segment and is
+// byte-identical to the class-oblivious fastpath. Called with e.mu held.
+func (e *Engine) tryFastpath(delta map[topology.LinkID]int, newCls map[topology.LinkID][2]int) []tdma.Assignment {
 	if e.win == 0 {
 		return nil
 	}
@@ -937,22 +1146,49 @@ func (e *Engine) tryFastpath(delta map[topology.LinkID]int) []tdma.Assignment {
 	var pending []tdma.Assignment
 	for _, l := range links {
 		need := delta[l]
-		for need > 0 {
-			s := e.firstFit(l, need, e.win, pending)
-			n := need
-			if s < 0 {
-				// No room for the full run; take the largest leading free
-				// gap instead, splitting the demand across blocks.
-				s, n = e.firstGap(l, e.win, pending)
-				if s < 0 {
-					return nil
+		n1, n2 := 0, 0
+		lim1, lim2 := e.win, e.win
+		if newCls != nil {
+			v := newCls[l]
+			if D1 := e.cfg.UGSDeadline; D1 > 0 && v[0] > 0 {
+				if n1 = v[0] - e.covered(l, D1); n1 < 0 {
+					n1 = 0
 				}
-				if n > need {
-					n = need
-				}
+				lim1 = min(lim1, D1)
 			}
-			pending = append(pending, tdma.Assignment{Link: l, Start: s, Length: n})
-			need -= n
+			if D2 := e.cfg.RtPSWindow; D2 > 0 && v[1] > 0 {
+				if n2 = v[0] + v[1] - e.covered(l, D2); n2 < 0 {
+					n2 = 0
+				}
+				lim2 = min(lim2, D2)
+			}
+			n2 = max(n2, n1)
+			if n2 > need {
+				// Coverage short by more than this delta adds: the live
+				// invariant should make this impossible, but defer to the
+				// solver rather than over-place.
+				return nil
+			}
+		}
+		for _, seg := range [3][2]int{{n1, lim1}, {n2 - n1, lim2}, {need - n2, e.win}} {
+			n, lim := seg[0], seg[1]
+			for n > 0 {
+				s := e.firstFit(l, n, lim, pending)
+				m := n
+				if s < 0 {
+					// No room for the full run; take the largest leading free
+					// gap instead, splitting the demand across blocks.
+					s, m = e.firstGap(l, lim, pending)
+					if s < 0 {
+						return nil
+					}
+					if m > n {
+						m = n
+					}
+				}
+				pending = append(pending, tdma.Assignment{Link: l, Start: s, Length: m})
+				n -= m
+			}
 		}
 	}
 	return pending

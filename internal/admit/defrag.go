@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"maps"
 	"slices"
 
 	"wimesh/internal/milp"
@@ -39,6 +40,13 @@ func (e *Engine) TryDefrag(ctx context.Context) (int, error) {
 	for l, d := range e.demand {
 		demand[l] = d
 	}
+	// Class totals snapshotted with the demand: a classed re-pack must keep
+	// every link's guaranteed prefixes covered by their deadlines, and the
+	// gen check below discards the candidate if either snapshot went stale.
+	var clsSnap map[topology.LinkID][2]int
+	if e.classed() {
+		clsSnap = maps.Clone(e.cls)
+	}
 	e.mu.Unlock()
 	if win0 <= 1 || len(demand) == 0 {
 		return 0, nil
@@ -55,9 +63,9 @@ func (e *Engine) TryDefrag(ctx context.Context) (int, error) {
 		err  error
 	)
 	if e.cfg.Zoned {
-		cand, win, ok, err = e.defragZoned(demand, win0, opts)
+		cand, win, ok, err = e.defragZoned(demand, clsSnap, win0, opts)
 	} else {
-		cand, win, ok, err = e.defragMono(demand, win0, opts)
+		cand, win, ok, err = e.defragMono(demand, clsSnap, win0, opts)
 	}
 	if err != nil || !ok {
 		return 0, err
@@ -87,6 +95,30 @@ func (e *Engine) TryDefrag(ctx context.Context) (int, error) {
 		if demand[l] != n {
 			return 0, fmt.Errorf("admit: defrag candidate carries %d slots on link %d, demand %d",
 				n, l, demand[l])
+		}
+	}
+	if clsSnap != nil {
+		// Deadline coverage check: the monolithic re-pack respects the caps
+		// by construction, but the zoned stitch (scratchFit) does not track
+		// them, so a candidate that uncovers a guaranteed prefix is simply
+		// not a win.
+		covBy := func(l topology.LinkID, deadline int) int {
+			n := 0
+			for _, a := range cand {
+				if a.Link != l || a.Start >= deadline {
+					continue
+				}
+				n += min(a.End(), deadline) - a.Start
+			}
+			return n
+		}
+		for l, v := range clsSnap {
+			if D1 := e.cfg.UGSDeadline; D1 > 0 && v[0] > 0 && covBy(l, D1) < v[0] {
+				return 0, nil
+			}
+			if D2 := e.cfg.RtPSWindow; D2 > 0 && v[1] > 0 && covBy(l, D2) < v[0]+v[1] {
+				return 0, nil
+			}
 		}
 	}
 	if win >= win0 {
@@ -120,7 +152,7 @@ func (e *Engine) TryDefrag(ctx context.Context) (int, error) {
 // defragMono re-packs the aggregate demand with the private monolithic model,
 // probing strictly below the incumbent window. ok=false reports "no win"
 // outcomes (incumbent already minimal, budget exhausted).
-func (e *Engine) defragMono(demand map[topology.LinkID]int, win0 int, opts milp.Options) ([]tdma.Assignment, int, bool, error) {
+func (e *Engine) defragMono(demand map[topology.LinkID]int, clsSnap map[topology.LinkID][2]int, win0 int, opts milp.Options) ([]tdma.Assignment, int, bool, error) {
 	if e.dfInc == nil || !e.dfInc.Supports(demand) {
 		support := e.dfSupport
 		for l, d := range demand {
@@ -135,7 +167,8 @@ func (e *Engine) defragMono(demand map[topology.LinkID]int, win0 int, opts milp.
 		slices.Sort(support)
 		e.dfInc, e.dfSupport = inc, support
 	}
-	p := &schedule.Problem{Graph: e.cfg.Graph, Demand: demand, FrameSlots: e.cfg.Frame.DataSlots}
+	p := &schedule.Problem{Graph: e.cfg.Graph, Demand: demand, FrameSlots: e.cfg.Frame.DataSlots,
+		StartCap: e.capsFor(clsSnap)}
 	win, s, _, _, err := e.dfInc.Repack(p, win0, opts)
 	if err != nil {
 		if errors.Is(err, schedule.ErrInfeasible) || errors.Is(err, milp.ErrLimit) {
@@ -149,7 +182,7 @@ func (e *Engine) defragMono(demand map[topology.LinkID]int, win0 int, opts milp.
 // defragZoned re-solves every demand-carrying zone with the private per-zone
 // models and first-fits the union into a scratch occupancy capped strictly
 // below the incumbent window — any placement failure means no provable win.
-func (e *Engine) defragZoned(demand map[topology.LinkID]int, win0 int, opts milp.Options) ([]tdma.Assignment, int, bool, error) {
+func (e *Engine) defragZoned(demand map[topology.LinkID]int, clsSnap map[topology.LinkID][2]int, win0 int, opts milp.Options) ([]tdma.Assignment, int, bool, error) {
 	if e.dfZoneInc == nil {
 		e.dfZoneInc = make(map[int]*schedule.Incremental)
 		e.dfZoneSup = make(map[int][]topology.LinkID)
@@ -158,10 +191,12 @@ func (e *Engine) defragZoned(demand map[topology.LinkID]int, win0 int, opts milp
 	if maxPairs <= 0 {
 		maxPairs = partition.DefaultMaxZonePairs
 	}
-	full := &schedule.Problem{Graph: e.cfg.Graph, Demand: demand, FrameSlots: e.cfg.Frame.DataSlots}
+	full := &schedule.Problem{Graph: e.cfg.Graph, Demand: demand, FrameSlots: e.cfg.Frame.DataSlots,
+		StartCap: e.capsFor(clsSnap)}
 	var blocks []tdma.Assignment
 	for zi := range e.dec.Zones {
 		zp := partition.ZoneProblem(full, e.dec, zi)
+		zp.StartCap = full.StartCap
 		active := false
 		for _, d := range zp.Demand {
 			if d > 0 {

@@ -2,6 +2,7 @@ package admit
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"time"
 )
@@ -35,6 +36,11 @@ type ServeOptions struct {
 func ServeConcurrent(ctx context.Context, e *Engine, w *Workload, opts ServeOptions) (ServeStats, error) {
 	if opts.Workers <= 1 && !opts.Defrag {
 		return Serve(ctx, e, w)
+	}
+	if e.cfg.Preempt && opts.Workers > 1 {
+		// An eviction can hit a flow admitted by another worker, whose
+		// admitted-set would go stale and Release an unknown ID.
+		return ServeStats{}, fmt.Errorf("%w: preemptive serving needs a single worker", ErrBadFlow)
 	}
 	workers := max(opts.Workers, 1)
 	batchMax := opts.BatchMax
@@ -132,6 +138,7 @@ func ServeConcurrent(ctx context.Context, e *Engine, w *Workload, opts ServeOpti
 		st.Fast += results[i].Fast
 		st.Warm += results[i].Warm
 		st.Cold += results[i].Cold
+		st.Preempted += results[i].Preempted
 		st.Elapsed += results[i].Elapsed
 		for _, v := range results[i].Latency.Values() {
 			st.Latency.Add(v)
@@ -174,6 +181,12 @@ func serveWorker(ctx context.Context, cancel context.CancelFunc, e *Engine, q ch
 			if d.Admitted {
 				st.Admitted++
 				admitted[batch[i].ID] = true
+				// Preemptive serving is single-worker (ServeConcurrent
+				// enforces it), so every evicted ID lives in this map.
+				for _, id := range d.Preempted {
+					delete(admitted, id)
+					st.Preempted++
+				}
 			} else {
 				st.Rejected++
 			}

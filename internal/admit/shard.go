@@ -64,7 +64,7 @@ func (e *Engine) HomeZone(f Flow) int {
 // own zone locks.
 func (e *Engine) admitSharded(ctx context.Context, f Flow) (Decision, error) {
 	start := time.Now()
-	if err := f.validate(len(e.occ)); err != nil {
+	if err := f.validate(len(e.occ), e.cfg.Frame.DataSlots); err != nil {
 		return Decision{}, err
 	}
 	zones := e.dec.ZoneSet(f.Path)
@@ -94,7 +94,7 @@ func (e *Engine) AdmitBatch(ctx context.Context, flows []Flow) ([]Decision, erro
 	}
 	ids := make(map[FlowID]bool, len(flows))
 	for _, f := range flows {
-		if err := f.validate(len(e.occ)); err != nil {
+		if err := f.validate(len(e.occ), e.cfg.Frame.DataSlots); err != nil {
 			return nil, err
 		}
 		if ids[f.ID] {
@@ -159,7 +159,17 @@ func (e *Engine) tryJointSerialLocked(ctx context.Context, flows []Flow, start t
 			return nil, false, nil
 		}
 	}
-	if placed := e.tryFastpath(delta); placed != nil {
+	newCls := e.clsAfter(flows...)
+	if newCls != nil {
+		for l := range delta {
+			if v := newCls[l]; e.clsOver(v[0], v[1]) {
+				// The joint deltas overflow a deadline region; individual
+				// members may still fit, so fall back rather than reject.
+				return nil, false, nil
+			}
+		}
+	}
+	if placed := e.tryFastpath(delta, newCls); placed != nil {
 		for _, a := range placed {
 			if err := e.sched.Add(a); err != nil {
 				return nil, false, err
@@ -168,6 +178,9 @@ func (e *Engine) tryJointSerialLocked(ctx context.Context, flows []Flow, start t
 		}
 		for l, d := range delta {
 			e.demand[l] += d
+		}
+		if newCls != nil {
+			e.cls = newCls
 		}
 		for _, f := range flows {
 			e.flows[f.ID] = f
@@ -191,9 +204,9 @@ func (e *Engine) tryJointSerialLocked(ctx context.Context, flows []Flow, start t
 		err error
 	)
 	if e.cfg.Zoned {
-		dec, err = e.admitZoned(ctx, delta, newDemand, opts)
+		dec, err = e.admitZoned(ctx, delta, newDemand, newCls, opts)
 	} else {
-		dec, err = e.admitMono(ctx, newDemand, opts)
+		dec, err = e.admitMono(ctx, newDemand, newCls, opts)
 	}
 	if err != nil {
 		if ctx != nil && ctx.Err() != nil {
@@ -210,6 +223,9 @@ func (e *Engine) tryJointSerialLocked(ctx context.Context, flows []Flow, start t
 		return nil, false, nil
 	}
 	e.demand = newDemand
+	if newCls != nil {
+		e.cls = newCls
+	}
 	for _, f := range flows {
 		e.flows[f.ID] = f
 	}
@@ -277,7 +293,26 @@ func (e *Engine) admitShardedGroup(ctx context.Context, flows []Flow, start time
 			return []Decision{d}, true, nil
 		}
 	}
-	if placed := e.tryFastpath(delta); placed != nil {
+	// Prospective class totals, snapshotted under e.mu like the solver
+	// inputs. The zone locks freeze the class totals of every touched link
+	// across the phases (class totals only move with those links' demands),
+	// so the snapshot stays valid where the solves and the stitch read it.
+	newCls := e.clsAfter(flows...)
+	if newCls != nil {
+		for l := range delta {
+			if v := newCls[l]; e.clsOver(v[0], v[1]) {
+				unreserve()
+				if joint {
+					e.mu.Unlock()
+					return nil, false, nil
+				}
+				d := e.finish(start, Decision{Tier: TierNone})
+				e.mu.Unlock()
+				return []Decision{d}, true, nil
+			}
+		}
+	}
+	if placed := e.tryFastpath(delta, newCls); placed != nil {
 		for _, a := range placed {
 			if err := e.sched.Add(a); err != nil {
 				unreserve()
@@ -291,6 +326,7 @@ func (e *Engine) admitShardedGroup(ctx context.Context, flows []Flow, start time
 		}
 		for _, f := range flows {
 			e.flows[f.ID] = f
+			e.classAdd(f, 1)
 		}
 		e.gen++
 		unreserve()
@@ -325,12 +361,14 @@ func (e *Engine) admitShardedGroup(ctx context.Context, flows []Flow, start time
 	if maxPairs <= 0 {
 		maxPairs = partition.DefaultMaxZonePairs
 	}
-	full := &schedule.Problem{Graph: e.cfg.Graph, Demand: newDemand, FrameSlots: e.cfg.Frame.DataSlots}
+	full := &schedule.Problem{Graph: e.cfg.Graph, Demand: newDemand, FrameSlots: e.cfg.Frame.DataSlots,
+		StartCap: e.capsFor(newCls)}
 	tier := TierWarm
 	zoneBlocks := make([][]tdma.Assignment, len(zones))
 	var greedy, sat, solved, pivots int
 	for i, zi := range zones {
 		zp := partition.ZoneProblem(full, e.dec, zi)
+		zp.StartCap = full.StartCap
 		if partition.ActivePairs(zp) > maxPairs {
 			gs, gerr := schedule.Greedy(zp, e.cfg.Frame)
 			if gerr != nil {
@@ -393,8 +431,10 @@ func (e *Engine) admitShardedGroup(ctx context.Context, flows []Flow, start time
 			}
 			return int(a.Link - b.Link)
 		})
+		placed := make(map[topology.LinkID]int, len(blocks))
 		for _, b := range blocks {
-			s := e.firstFit(b.Link, b.Length, e.maxWin, nil)
+			lim := e.stitchLimit(b.Link, placed[b.Link], b.Length, newCls)
+			s := e.firstFit(b.Link, b.Length, lim, nil)
 			if s < 0 {
 				restore()
 				if joint {
@@ -407,6 +447,7 @@ func (e *Engine) admitShardedGroup(ctx context.Context, flows []Flow, start time
 				return nil, false, err
 			}
 			e.occAdd(b.Link, s, s+b.Length)
+			placed[b.Link] += b.Length
 		}
 	}
 	for l, d := range delta {
@@ -414,6 +455,7 @@ func (e *Engine) admitShardedGroup(ctx context.Context, flows []Flow, start time
 	}
 	for _, f := range flows {
 		e.flows[f.ID] = f
+		e.classAdd(f, 1)
 	}
 	e.gen++
 	e.win = makespanOf(e.sched)

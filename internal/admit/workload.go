@@ -53,6 +53,23 @@ type WorkloadConfig struct {
 	// random sequence (and hence every later call) is unchanged; calls
 	// originating at the gateway itself are dropped like unroutable ones.
 	ToGateway bool
+	// ClassMix, when non-empty, draws each call's service class from the
+	// weighted mix (one extra uniform draw per call, after the holding
+	// time, so an empty mix keeps the legacy random sequence exactly).
+	// A share's SlotsPerLink overrides the workload-wide one, letting
+	// video (rtPS) and bulk-data (nrtPS) calls carry heavier demand than
+	// voice. An empty mix generates pure best-effort flows as before.
+	ClassMix []ClassShare
+}
+
+// ClassShare is one component of a workload's service-class mix.
+type ClassShare struct {
+	Class Class
+	// Weight is this class's share of arrivals, normalized over the mix.
+	Weight float64
+	// SlotsPerLink overrides WorkloadConfig.SlotsPerLink for this class
+	// (0 = inherit).
+	SlotsPerLink int
 }
 
 // Generate builds the workload. Calls between nodes with no route are
@@ -69,6 +86,19 @@ func Generate(cfg WorkloadConfig) (*Workload, error) {
 	if cfg.Calls <= 0 || cfg.ArrivalRate <= 0 || cfg.MeanHolding <= 0 || cfg.SlotsPerLink <= 0 {
 		return nil, fmt.Errorf("%w: non-positive workload parameter", ErrBadFlow)
 	}
+	var mixTotal float64
+	for _, cs := range cfg.ClassMix {
+		if cs.Weight <= 0 {
+			return nil, fmt.Errorf("%w: class %s weight %v, want positive", ErrBadFlow, cs.Class, cs.Weight)
+		}
+		if cs.Class > ClassUGS {
+			return nil, fmt.Errorf("%w: unknown class %d in mix", ErrBadFlow, cs.Class)
+		}
+		if cs.SlotsPerLink < 0 {
+			return nil, fmt.Errorf("%w: class %s slots per link %d", ErrBadFlow, cs.Class, cs.SlotsPerLink)
+		}
+		mixTotal += cs.Weight
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	w := &Workload{Erlang: cfg.ArrivalRate * cfg.MeanHolding.Seconds()}
 	now := time.Duration(0)
@@ -82,6 +112,25 @@ func Generate(cfg WorkloadConfig) (*Workload, error) {
 			dst = topology.NodeID(rng.Intn(n))
 		}
 		holding := time.Duration(rng.ExpFloat64() * float64(cfg.MeanHolding))
+		class := ClassBE
+		spl := cfg.SlotsPerLink
+		if len(cfg.ClassMix) > 0 {
+			// The class draw comes last and only when a mix is configured,
+			// so mixless workloads replay the legacy random sequence.
+			x := rng.Float64() * mixTotal
+			cs := cfg.ClassMix[len(cfg.ClassMix)-1]
+			for _, c := range cfg.ClassMix {
+				if x < c.Weight {
+					cs = c
+					break
+				}
+				x -= c.Weight
+			}
+			class = cs.Class
+			if cs.SlotsPerLink > 0 {
+				spl = cs.SlotsPerLink
+			}
+		}
 		if cfg.ToGateway {
 			gw, ok := cfg.Topo.Gateway()
 			if !ok {
@@ -98,9 +147,9 @@ func Generate(cfg WorkloadConfig) (*Workload, error) {
 		}
 		slots := make([]int, len(path))
 		for j := range slots {
-			slots[j] = cfg.SlotsPerLink
+			slots[j] = spl
 		}
-		f := Flow{ID: FlowID(fmt.Sprintf("call-%d", i)), Path: path, Slots: slots}
+		f := Flow{ID: FlowID(fmt.Sprintf("call-%d", i)), Path: path, Slots: slots, Class: class}
 		w.Events = append(w.Events,
 			Event{At: now, Arrive: true, Flow: f},
 			Event{At: now + holding, Flow: Flow{ID: f.ID}})
@@ -129,6 +178,10 @@ func Generate(cfg WorkloadConfig) (*Workload, error) {
 type ServeStats struct {
 	Offered, Admitted, Rejected int
 	Fast, Warm, Cold            int
+	// Preempted counts flows evicted by preemptive admissions during the
+	// replay (Config.Preempt). Evicted flows stay counted as Admitted —
+	// they were served until eviction — but their departures become no-ops.
+	Preempted int
 	// Latency collects per-decision latencies in seconds.
 	Latency stats.Sample
 	// Elapsed is the wall time spent inside Admit/Release calls.
@@ -172,6 +225,12 @@ func Serve(ctx context.Context, e *Engine, w *Workload) (st ServeStats, _ error)
 		if dec.Admitted {
 			st.Admitted++
 			admitted[ev.Flow.ID] = true
+			for _, id := range dec.Preempted {
+				// The engine no longer serves evicted flows; dropping them
+				// here keeps their departures from Releasing unknown IDs.
+				delete(admitted, id)
+				st.Preempted++
+			}
 		} else {
 			st.Rejected++
 		}

@@ -37,6 +37,15 @@ type SessionConfig struct {
 	// CompactEvery and MemoSize pass through to admit.Config.
 	CompactEvery int
 	MemoSize     int
+	// UGSDeadline and RtPSWindow pass through to admit.Config: per-link
+	// slot deadlines for the guaranteed service classes (0 = unconstrained;
+	// zero deadlines make classes purely informational, so tagged calls
+	// decide exactly like untagged ones).
+	UGSDeadline int
+	RtPSWindow  int
+	// Preempt passes through to admit.Config: a guaranteed-class call that
+	// would otherwise be rejected may evict best-effort and nrtPS flows.
+	Preempt bool
 	// Registry receives the engine's admit.* metrics (nil disables them).
 	Registry *obs.Registry
 }
@@ -68,6 +77,9 @@ func (s *System) NewSession(cfg SessionConfig) (*Session, error) {
 		ZoneSize:      s.ZoneSize,
 		CompactEvery:  cfg.CompactEvery,
 		MemoSize:      cfg.MemoSize,
+		UGSDeadline:   cfg.UGSDeadline,
+		RtPSWindow:    cfg.RtPSWindow,
+		Preempt:       cfg.Preempt,
 		Registry:      cfg.Registry,
 	})
 	if err != nil {
@@ -97,8 +109,18 @@ func (s *System) CallSlots(path topology.Path, codec voip.Codec) ([]int, error) 
 	if err := codec.Validate(); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
+	return s.ServiceSlots(path, codec.Service())
+}
+
+// ServiceSlots computes the per-hop slot demand of one constant-rate service
+// flow along path, with the same adaptive-rate conversion as CallSlots: each
+// link's PHY rate sets its bytes-per-slot capacity for the service's packet
+// size, and the service bandwidth is rounded up to whole slots per frame.
+func (s *System) ServiceSlots(path topology.Path, svc voip.Service) ([]int, error) {
+	if err := svc.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 	mac := s.MAC.Defaulted()
-	bps := codec.BandwidthBps()
 	slots := make([]int, len(path))
 	for i, l := range path {
 		lk, err := s.Topo.Link(l)
@@ -109,15 +131,15 @@ func (s *System) CallSlots(path topology.Path, codec voip.Codec) ([]int, error) 
 		if lk.RateBps > 0 && mac.PHY.SupportsRate(lk.RateBps) {
 			rate = lk.RateBps
 		}
-		b, err := tdmaemu.BytesPerSlotAtRate(mac, s.Frame, codec.PacketBytes(), rate)
+		b, err := tdmaemu.BytesPerSlotAtRate(mac, s.Frame, svc.PacketBytes, rate)
 		if err != nil {
 			return nil, err
 		}
 		if b <= 0 {
 			return nil, fmt.Errorf("core: a %v slot at %g b/s cannot carry a %d-byte packet (link %d)",
-				s.Frame.SlotDuration(), rate, codec.PacketBytes(), l)
+				s.Frame.SlotDuration(), rate, svc.PacketBytes, l)
 		}
-		d := int(math.Ceil(bps * s.Frame.FrameDuration.Seconds() / float64(8*b)))
+		d := int(math.Ceil(svc.BitrateBps * s.Frame.FrameDuration.Seconds() / float64(8*b)))
 		if d < 1 {
 			d = 1
 		}
@@ -139,7 +161,28 @@ func (s *Session) AdmitCall(ctx context.Context, id admit.FlowID, src, dst topol
 	if err != nil {
 		return admit.Decision{}, path, err
 	}
-	dec, err := s.eng.Admit(ctx, admit.Flow{ID: id, Path: path, Slots: slots})
+	// Voice is the UGS service: without a configured UGSDeadline the tag is
+	// purely informational and the decision matches an untagged engine's.
+	dec, err := s.eng.Admit(ctx, admit.Flow{ID: id, Path: path, Slots: slots, Class: admit.ClassUGS})
+	return dec, path, err
+}
+
+// AdmitService routes one constant-rate service flow over the minimum-hop
+// path and asks the engine to admit it under the given service class — the
+// generalization of AdmitCall to video (rtPS), bulk data (nrtPS) and
+// best-effort traffic. A nil error with Decision.Admitted == false is a
+// capacity rejection; with preemption configured, Decision.Preempted lists
+// any flows evicted to make room.
+func (s *Session) AdmitService(ctx context.Context, id admit.FlowID, src, dst topology.NodeID, svc voip.Service, class admit.Class) (admit.Decision, topology.Path, error) {
+	path, err := s.sys.Topo.ShortestPath(src, dst)
+	if err != nil {
+		return admit.Decision{}, nil, fmt.Errorf("core: route %d->%d: %w", src, dst, err)
+	}
+	slots, err := s.sys.ServiceSlots(path, svc)
+	if err != nil {
+		return admit.Decision{}, path, err
+	}
+	dec, err := s.eng.Admit(ctx, admit.Flow{ID: id, Path: path, Slots: slots, Class: class})
 	return dec, path, err
 }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"testing"
 
 	"wimesh/internal/admit"
@@ -120,4 +121,82 @@ func TestSessionRejectsBeyondMaxWindow(t *testing.T) {
 		t.Fatal("releasing an unknown call succeeded")
 	}
 	var _ admit.Stats = sess.Stats()
+}
+
+// TestSessionAdmitService covers the class-aware serving entry points: the
+// video and bulk traffic models convert to heavier per-hop demand than a
+// voice codec, AdmitService tags flows with the requested class, and with
+// Preempt on a voice call squeezed out by best-effort traffic gets admitted
+// by eviction.
+func TestSessionAdmitService(t *testing.T) {
+	topo, err := topology.Grid(3, 3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := topo.ShortestPath(0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	videoSlots, err := sys.ServiceSlots(path, voip.Video())
+	if err != nil {
+		t.Fatal(err)
+	}
+	voiceSlots, err := sys.CallSlots(path, voip.G711())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range path {
+		if videoSlots[i] < voiceSlots[i] {
+			t.Fatalf("hop %d: 384k video wants %d slots, voice %d", i, videoSlots[i], voiceSlots[i])
+		}
+	}
+	if _, err := sys.ServiceSlots(path, voip.Service{Name: "bad"}); err == nil {
+		t.Fatal("invalid service accepted")
+	}
+
+	sess, err := sys.NewSession(SessionConfig{Preempt: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	dec, _, err := sess.AdmitService(ctx, "video-1", 0, 8, voip.Video(), admit.ClassRtPS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Admitted {
+		t.Fatalf("video call rejected on an empty mesh: %+v", dec)
+	}
+	// Saturate the mesh with best-effort bulk flows until one is rejected,
+	// then check a voice arrival preempts its way in.
+	for i := 0; ; i++ {
+		id := admit.FlowID(fmt.Sprintf("bulk-%d", i))
+		dec, _, err := sess.AdmitService(ctx, id, 0, 8, voip.Bulk(), admit.ClassBE)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !dec.Admitted {
+			break
+		}
+		if i > 10_000 {
+			t.Fatal("mesh never saturated")
+		}
+	}
+	dec, _, err = sess.AdmitCall(ctx, "voice-1", 0, 8, voip.G711())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Admitted {
+		t.Fatalf("voice call not admitted by preemption: %+v", dec)
+	}
+	if len(dec.Preempted) == 0 {
+		t.Fatalf("voice call admitted without evictions on a saturated mesh: %+v", dec)
+	}
+	st := sess.Stats()
+	if st.PreemptAdmits == 0 || st.PreemptEvicted == 0 {
+		t.Fatalf("preempt stats: %+v", st)
+	}
 }

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+	"time"
+)
+
+// TestClassSmoke runs a reduced R21 configuration (one city scale, both
+// preemption arms) and checks the table's invariants: verdicts reconcile,
+// the non-preemptive arm evicts nothing, and the preemptive arm both evicts
+// calls and admits at least as many as the baseline.
+func TestClassSmoke(t *testing.T) {
+	tab, err := r21Table("R21S", []r21Point{
+		{nodes: 120, calls: 80, rate: 40, holding: 10 * time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2 (preempt off/on)", len(tab.Rows))
+	}
+	admitted := make([]int, 2)
+	for i, row := range tab.Rows {
+		offered, err := strconv.Atoi(row[3])
+		if err != nil || offered <= 0 {
+			t.Fatalf("row %d: offered = %q, want positive int", i, row[3])
+		}
+		adm, _ := strconv.Atoi(row[4])
+		rej, _ := strconv.Atoi(row[5])
+		if adm+rej != offered {
+			t.Errorf("row %d: verdicts %d+%d do not reconcile with offered %d", i, adm, rej, offered)
+		}
+		if adm == 0 {
+			t.Errorf("row %d: admitted nothing", i)
+		}
+		admitted[i] = adm
+	}
+	if tab.Rows[0][2] != "false" || tab.Rows[1][2] != "true" {
+		t.Fatalf("preempt column: %q, %q, want false then true", tab.Rows[0][2], tab.Rows[1][2])
+	}
+	if n, _ := strconv.Atoi(tab.Rows[0][6]); n != 0 {
+		t.Errorf("non-preemptive arm evicted %d calls", n)
+	}
+	evicted, _ := strconv.Atoi(tab.Rows[1][6])
+	if evicted == 0 {
+		t.Errorf("preemptive arm under overload evicted nothing")
+	}
+	if admitted[1] < admitted[0] {
+		t.Errorf("preemption lowered admissions: %d -> %d", admitted[0], admitted[1])
+	}
+}

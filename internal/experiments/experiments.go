@@ -120,9 +120,10 @@ var registry = []struct {
 	{"R18", R18PartitionedScale},
 	{"R19", R19AdmissionServing},
 	{"R20", R20ShardedServing},
+	{"R21", R21ClassScheduling},
 }
 
-// IDs returns the experiment identifiers in canonical order (R1..R20).
+// IDs returns the experiment identifiers in canonical order (R1..R21).
 func IDs() []string {
 	out := make([]string, len(registry))
 	for i, g := range registry {

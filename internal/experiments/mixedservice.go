@@ -27,16 +27,20 @@ func R13MixedService() (*Table, error) {
 		Notes:  "4-chain, 1 voice call over 3 hops + saturating 700-byte best-effort on the first hop, 8 s runs",
 	}
 	type scenario struct {
-		name     string
-		beFlood  bool
-		priority bool
+		name    string
+		beFlood bool
+		// markBE controls whether flood packets carry the best-effort class
+		// mark the priority queues act on. True is the normal serving path
+		// (the "BE flood, priority" row); false is the ablation (the "BE
+		// flood, no priority" row), where unmarked bulk competes as voice.
+		markBE bool
 	}
 	for _, sc := range []scenario{
 		{"voice only", false, true},
 		{"BE flood, priority", true, true},
 		{"BE flood, no priority", true, false},
 	} {
-		r, p95, loss, beMbps, err := mixedRun(sc.beFlood, sc.priority)
+		r, p95, loss, beMbps, err := mixedRun(sc.beFlood, sc.markBE)
 		if err != nil {
 			return nil, fmt.Errorf("R13 %s: %w", sc.name, err)
 		}
@@ -46,7 +50,7 @@ func R13MixedService() (*Table, error) {
 	return t, nil
 }
 
-func mixedRun(beFlood, priority bool) (rFactor float64, p95 time.Duration, loss float64, beMbps float64, err error) {
+func mixedRun(beFlood, markBE bool) (rFactor float64, p95 time.Duration, loss float64, beMbps float64, err error) {
 	frame := emuFrame(16)
 	topo, err := topology.Chain(4, 100)
 	if err != nil {
@@ -120,7 +124,7 @@ func mixedRun(beFlood, priority bool) (rFactor float64, p95 time.Duration, loss 
 						FlowID: 1, Seq: j*4 + b,
 						Path:       topology.Path{path[0]},
 						Bytes:      700,
-						BestEffort: priority, // ablation: unmarked BE competes as voice
+						BestEffort: markBE, // false = ablation: unmarked BE competes as voice
 					})
 				}
 			}); err != nil {

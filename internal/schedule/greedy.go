@@ -43,6 +43,12 @@ func Greedy(p *Problem, cfg tdma.FrameConfig) (*tdma.Schedule, error) {
 			return nil, fmt.Errorf("%w: greedy could not place link %d (demand %d) in %d slots",
 				ErrInfeasible, l, d, p.FrameSlots)
 		}
+		if cap, capped := p.StartCap[l]; capped && start > cap {
+			// First-fit already found the earliest conflict-free start, so a
+			// start past the link's deadline cap cannot be repaired greedily.
+			return nil, fmt.Errorf("%w: greedy start %d for link %d past its cap %d",
+				ErrInfeasible, start, l, cap)
+		}
 		placedBy[l] = placedInterval{start: start, end: start + d}
 		if err := s.Add(tdma.Assignment{Link: l, Start: start, Length: d}); err != nil {
 			return nil, err

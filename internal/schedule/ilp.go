@@ -70,7 +70,12 @@ func buildILP(p *Problem, winSlots int, minimizeDelay bool) (*ilpModel, error) {
 		win:      winSlots,
 	}
 	for _, l := range im.links {
-		v, err := m.AddVar(fmt.Sprintf("s_%d", l), milp.Integer, float64(winSlots-p.Demand[l]), 0)
+		up := p.startUpper(l, winSlots)
+		if up < 0 {
+			return nil, fmt.Errorf("%w: link %d start cap %d below its demand window",
+				ErrInfeasible, l, p.StartCap[l])
+		}
+		v, err := m.AddVar(fmt.Sprintf("s_%d", l), milp.Integer, float64(up), 0)
 		if err != nil {
 			return nil, err
 		}
@@ -190,7 +195,7 @@ func (im *ilpModel) setWindow(p *Problem, winSlots int) error {
 		return nil
 	}
 	for _, l := range im.links {
-		if err := im.model.SetUpper(im.startVar[l], float64(winSlots-p.Demand[l])); err != nil {
+		if err := im.model.SetUpper(im.startVar[l], float64(p.startUpper(l, winSlots))); err != nil {
 			return err
 		}
 	}

@@ -104,7 +104,17 @@ func (inc *Incremental) apply(p *Problem, win int) error {
 			return fmt.Errorf("%w: demand %d on link %d exceeds window %d",
 				ErrInfeasible, d, l, win)
 		}
-		if err := inc.im.model.SetUpper(inc.im.startVar[l], float64(win-d)); err != nil {
+		up := win - d
+		if d > 0 {
+			// Class-deadline caps apply only to links that carry demand;
+			// dormant columns stay unconstrained within the window. A cap
+			// below zero is window-independent infeasibility.
+			if up = p.startUpper(l, win); up < 0 {
+				return fmt.Errorf("%w: link %d start cap %d below its demand window",
+					ErrInfeasible, l, p.StartCap[l])
+			}
+		}
+		if err := inc.im.model.SetUpper(inc.im.startVar[l], float64(up)); err != nil {
 			return err
 		}
 	}

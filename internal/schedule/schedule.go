@@ -62,6 +62,16 @@ type Problem struct {
 	FrameSlots int
 	// Flows lists the delay requirements (may be empty).
 	Flows []FlowRequirement
+	// StartCap optionally bounds a link's start slot absolutely (inclusive),
+	// on top of the window bound win-demand. It is how service-class
+	// deadlines reach the solvers: a link whose traffic must complete its
+	// first k slots by deadline D gets StartCap[l] = D - k, and the solution
+	// interval [s, s+d) then covers those k slots by D. Links absent from
+	// the map (or with no demand) are uncapped. A cap below zero makes the
+	// link infeasible at every window. Caps only ever tighten the
+	// window-relaxation monotonicity (they are window-independent), so the
+	// window searches stay sound.
+	StartCap map[topology.LinkID]int
 
 	// Cached derived views, guarded by mu and keyed by cacheFP.
 	mu       sync.Mutex
@@ -233,6 +243,18 @@ func (p *Problem) CliqueLowerBound() int {
 	p.cliqueLB, p.haveLB = lb, true
 	p.mu.Unlock()
 	return lb
+}
+
+// startUpper returns the upper bound of link l's start variable at window
+// win: the window bound win-demand tightened by the link's absolute StartCap
+// when one is set. A negative result means the link cannot be scheduled at
+// any window (the cap itself is violated).
+func (p *Problem) startUpper(l topology.LinkID, win int) int {
+	up := win - p.Demand[l]
+	if cap, ok := p.StartCap[l]; ok && cap < up {
+		up = cap
+	}
+	return up
 }
 
 // checkSchedule verifies that a produced schedule meets the demands and is

@@ -1,0 +1,48 @@
+package voip
+
+import "fmt"
+
+// Service is a generic constant-rate traffic model for the non-voice 802.16
+// service classes: an IP-layer bandwidth and a packet size, without the
+// E-model parameters a voice codec carries. Voice calls keep using Codec;
+// Service covers the rtPS (streaming video) and nrtPS (bulk data) flows the
+// mixed-class experiments offer beside them.
+type Service struct {
+	Name string
+	// BitrateBps is the IP-layer bandwidth of one flow direction, headers
+	// included (the slot-demand conversion uses it as-is).
+	BitrateBps float64
+	// PacketBytes is the on-wire IP packet size, used to size slots.
+	PacketBytes int
+}
+
+// Video returns the rtPS streaming-video model: 384 kb/s — the classic
+// H.263/MPEG-4 videophone rate over mesh links — in 1024-byte packets,
+// sized so one packet fits a default emulation slot at the base rate
+// (preamble + guard leave room for ~1100 bytes of 11 Mb/s airtime).
+func Video() Service {
+	return Service{Name: "video-384k", BitrateBps: 384e3, PacketBytes: 1024}
+}
+
+// Bulk returns the nrtPS bulk-data model: a 256 kb/s committed
+// file-transfer rate, fragmented to the same slot-sized 1024-byte packets
+// as Video rather than full MTU frames (a 1500-byte packet's airtime
+// overruns a default slot).
+func Bulk() Service {
+	return Service{Name: "bulk-256k", BitrateBps: 256e3, PacketBytes: 1024}
+}
+
+// Validate checks the service parameters.
+func (s Service) Validate() error {
+	if s.BitrateBps <= 0 || s.PacketBytes <= 0 {
+		return fmt.Errorf("voip: bad service %q: rate %g, packet %d bytes",
+			s.Name, s.BitrateBps, s.PacketBytes)
+	}
+	return nil
+}
+
+// Service converts the codec to its traffic model: the on-wire bandwidth and
+// packet size of an always-on call direction, RTP/UDP/IP included.
+func (c Codec) Service() Service {
+	return Service{Name: c.Name, BitrateBps: c.BandwidthBps(), PacketBytes: c.PacketBytes()}
+}
